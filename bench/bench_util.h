@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benchmarks (E1..E8).
+
+#ifndef INFLOG_BENCH_BENCH_UTIL_H_
+#define INFLOG_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+
+#include "src/ast/parser.h"
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/graphs/digraph.h"
+#include "src/relation/database.h"
+#include "src/sat/cnf.h"
+
+namespace inflog {
+namespace bench {
+
+/// Parses a program or aborts (benchmark setup failure is a bug).
+inline Program MustProgram(std::string_view text,
+                           std::shared_ptr<SymbolTable> symbols) {
+  auto result = ParseProgram(text, std::move(symbols));
+  INFLOG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Database {E(u,v)} for a digraph over a shared symbol table.
+inline Database DbFromGraph(const Digraph& g,
+                            std::shared_ptr<SymbolTable> symbols) {
+  Database db(std::move(symbols));
+  GraphToDatabase(g, "E", &db);
+  return db;
+}
+
+/// Random 3-CNF at a given clause/variable ratio.
+inline sat::Cnf Random3Sat(int num_vars, double ratio, Rng* rng) {
+  sat::Cnf cnf;
+  for (int i = 0; i < num_vars; ++i) cnf.NewVar();
+  const int num_clauses = static_cast<int>(num_vars * ratio);
+  for (int c = 0; c < num_clauses; ++c) {
+    sat::Clause clause;
+    while (clause.size() < 3) {
+      const sat::Var v = static_cast<sat::Var>(rng->Uniform(num_vars));
+      bool dup = false;
+      for (const sat::Lit& l : clause) dup |= l.var() == v;
+      if (!dup) clause.push_back(sat::Lit(v, rng->Bernoulli(0.5)));
+    }
+    cnf.AddClause(clause);
+  }
+  return cnf;
+}
+
+}  // namespace bench
+}  // namespace inflog
+
+#endif  // INFLOG_BENCH_BENCH_UTIL_H_

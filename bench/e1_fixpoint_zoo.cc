@@ -1,0 +1,76 @@
+// E1 — Section 2 example: the fixpoint structure of π₁ on the paper's
+// graph families.
+//
+// Regenerates the series:
+//   * Lₙ: exactly 1 fixpoint (unique = least);
+//   * Cₙ: 0 fixpoints for odd n, 2 for even n;
+//   * Gₖ (k disjoint C₄s): exactly 2ᵏ fixpoints, no least one.
+// Counters report the enumerated fixpoint count so the 2ᵏ growth in the
+// size of the database is visible directly; time tracks the enumeration
+// cost (exponential on Gₖ — the paper's point that fixpoint semantics is
+// combinatorially wild).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/fixpoint/analysis.h"
+
+namespace inflog {
+namespace {
+
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+
+void RunFamily(benchmark::State& state, const Digraph& graph,
+               uint64_t expected_fixpoints, bool expected_least) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = bench::MustProgram(kPi1, symbols);
+  Database db = bench::DbFromGraph(graph, symbols);
+  uint64_t fixpoints = 0;
+  uint64_t sat_calls = 0;
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&program, &db);
+    INFLOG_CHECK(analyzer.ok());
+    auto count = analyzer->CountFixpoints();
+    INFLOG_CHECK(count.ok()) << count.status().ToString();
+    fixpoints = *count;
+    auto least = analyzer->LeastFixpoint();
+    INFLOG_CHECK(least.ok());
+    INFLOG_CHECK(least->has_least == expected_least);
+    sat_calls = least->sat_calls;
+  }
+  INFLOG_CHECK(fixpoints == expected_fixpoints)
+      << "expected " << expected_fixpoints << " got " << fixpoints;
+  state.counters["fixpoints"] = static_cast<double>(fixpoints);
+  state.counters["least_sat_calls"] = static_cast<double>(sat_calls);
+  state.counters["vertices"] = static_cast<double>(graph.num_vertices());
+}
+
+void BM_Path(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunFamily(state, PathGraph(n), 1, /*expected_least=*/true);
+}
+BENCHMARK(BM_Path)->DenseRange(4, 16, 4)->Unit(benchmark::kMillisecond);
+
+void BM_OddCycle(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunFamily(state, CycleGraph(n), 0, false);
+}
+BENCHMARK(BM_OddCycle)->Arg(3)->Arg(7)->Arg(11)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EvenCycle(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunFamily(state, CycleGraph(n), 2, false);
+}
+BENCHMARK(BM_EvenCycle)->Arg(4)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DisjointCycles(benchmark::State& state) {
+  const size_t k = state.range(0);
+  RunFamily(state, DisjointCycles(k, 4), uint64_t{1} << k, false);
+}
+BENCHMARK(BM_DisjointCycles)->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,111 @@
+// E3 — Theorem 2: unique fixpoints and the class US.
+//
+// Series regenerated:
+//   * the cost of π_SAT-UNIQUE-FIXPOINT (operationally: solve, block the
+//     model, solve again — exactly two NP oracle calls) on instances
+//     engineered to have a unique / several / no satisfying assignment;
+//   * uniqueness checks on the Section 2 graph families, where the
+//     answer tracks the 1 / 0 / 2 / 2ᵏ fixpoint counts.
+// Shape expected: uniqueness costs about twice the plain existence check
+// and inherits SAT hardness — consistent with US sitting between co-NP
+// and D^P.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/fixpoint/analysis.h"
+#include "src/reductions/sat_db.h"
+
+namespace inflog {
+namespace {
+
+/// A CNF with exactly one model: a forced equivalence chain.
+sat::Cnf UniqueChain(int num_vars) {
+  sat::Cnf cnf;
+  for (int i = 0; i < num_vars; ++i) cnf.NewVar();
+  cnf.AddClause({sat::Pos(0)});
+  for (int i = 0; i + 1 < num_vars; ++i) {
+    cnf.AddClause({sat::Neg(i), sat::Pos(i + 1)});
+    cnf.AddClause({sat::Pos(i), sat::Neg(i + 1)});
+  }
+  return cnf;
+}
+
+void RunUniqueness(benchmark::State& state, const sat::Cnf& cnf,
+                   UniqueStatus expected) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program pi_sat = PiSatProgram(symbols);
+  Database db = SatToDatabase(cnf, symbols);
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&pi_sat, &db);
+    INFLOG_CHECK(analyzer.ok());
+    auto unique = analyzer->UniqueFixpoint();
+    INFLOG_CHECK(unique.ok());
+    INFLOG_CHECK(*unique == expected);
+  }
+  state.counters["vars"] = cnf.num_vars;
+  state.counters["clauses"] = static_cast<double>(cnf.clauses.size());
+}
+
+void BM_UniqueSat(benchmark::State& state) {
+  RunUniqueness(state, UniqueChain(state.range(0)), UniqueStatus::kUnique);
+}
+BENCHMARK(BM_UniqueSat)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultipleSat(benchmark::State& state) {
+  sat::Cnf cnf = UniqueChain(state.range(0));
+  cnf.NewVar();  // one free variable doubles the model count
+  RunUniqueness(state, cnf, UniqueStatus::kMultiple);
+}
+BENCHMARK(BM_MultipleSat)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NoSat(benchmark::State& state) {
+  sat::Cnf cnf = UniqueChain(state.range(0));
+  cnf.AddClause({sat::Neg(cnf.num_vars - 1)});  // contradiction
+  RunUniqueness(state, cnf, UniqueStatus::kNoFixpoint);
+}
+BENCHMARK(BM_NoSat)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UniquenessVsExistenceOverhead(benchmark::State& state) {
+  // Uniqueness ≈ 2 × existence: measure the pair on one random instance.
+  Rng rng(state.range(0));
+  const sat::Cnf cnf = bench::Random3Sat(state.range(0), 4.3, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program pi_sat = PiSatProgram(symbols);
+  Database db = SatToDatabase(cnf, symbols);
+  auto analyzer = FixpointAnalyzer::Create(&pi_sat, &db);
+  INFLOG_CHECK(analyzer.ok());
+  for (auto _ : state) {
+    auto unique = analyzer->UniqueFixpoint();
+    INFLOG_CHECK(unique.ok());
+    benchmark::DoNotOptimize(*unique);
+  }
+  state.counters["vars"] = state.range(0);
+}
+BENCHMARK(BM_UniquenessVsExistenceOverhead)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UniqueOnGraphFamilies(benchmark::State& state) {
+  // π₁ on G_k: 2ᵏ fixpoints, so the uniqueness verdict is "multiple";
+  // the check stays two SAT calls no matter how many fixpoints exist.
+  const size_t k = state.range(0);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram("T(X) :- E(Y,X), !T(Y).", symbols);
+  Database db = bench::DbFromGraph(DisjointCycles(k, 4), symbols);
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&p, &db);
+    INFLOG_CHECK(analyzer.ok());
+    auto unique = analyzer->UniqueFixpoint();
+    INFLOG_CHECK(unique.ok());
+    INFLOG_CHECK(*unique == UniqueStatus::kMultiple);
+  }
+  state.counters["fixpoints"] = static_cast<double>(uint64_t{1} << k);
+}
+BENCHMARK(BM_UniqueOnGraphFamilies)->DenseRange(1, 10, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,140 @@
+// E5 — Theorem 4 / Lemmas 1-2: explicit and succinct 3-colorability.
+//
+// Series regenerated:
+//   * Lemma 1: π_COL fixpoint decision vs. the backtracking oracle on
+//     explicit graphs (3-colorable and not);
+//   * Theorem 4: π_SC fixpoint decision on circuit-presented graphs
+//     (K_{2ⁿ}, Qₙ, C_{2ⁿ}) with counters for the ground blow-up — the
+//     grounding scales with 2²ⁿ per gate although the circuit is tiny;
+//   * the succinct→explicit expansion itself, whose 4ⁿ adjacency queries
+//     are the exponential wall behind NEXP-completeness.
+// Shape expected: explicit π_COL grows with the graph; succinct π_SC
+// grows ~4ⁿ per gate regardless of the circuit's size; the expansion
+// curve quadruples per +1 bit.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/fixpoint/analysis.h"
+#include "src/reductions/succinct.h"
+#include "src/reductions/three_coloring.h"
+
+namespace inflog {
+namespace {
+
+void BM_ExplicitPiCol(benchmark::State& state) {
+  // Random graphs near the 3-colorability boundary.
+  const size_t n = state.range(0);
+  Rng rng(n * 31 + 1);
+  const Digraph g = RandomDigraph(n, 2.3 / n, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program pi_col = PiColProgram(symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+  const bool oracle = IsThreeColorable(g);
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&pi_col, &db);
+    INFLOG_CHECK(analyzer.ok());
+    auto has = analyzer->HasFixpoint();
+    INFLOG_CHECK(has.ok());
+    INFLOG_CHECK(*has == oracle);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+  state.counters["colorable"] = oracle ? 1 : 0;
+}
+BENCHMARK(BM_ExplicitPiCol)->DenseRange(4, 16, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExplicitPiColHard(benchmark::State& state) {
+  // Odd wheels: provably non-3-colorable; the SAT search must refute.
+  const size_t rim = state.range(0);
+  Digraph wheel(rim + 1);
+  for (size_t i = 0; i < rim; ++i) {
+    wheel.AddEdge(i, (i + 1) % rim);
+    wheel.AddEdge(rim, i);
+  }
+  auto symbols = std::make_shared<SymbolTable>();
+  Program pi_col = PiColProgram(symbols);
+  Database db = bench::DbFromGraph(wheel, symbols);
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&pi_col, &db);
+    INFLOG_CHECK(analyzer.ok());
+    auto has = analyzer->HasFixpoint();
+    INFLOG_CHECK(has.ok());
+    INFLOG_CHECK(!*has);
+  }
+  state.counters["vertices"] = static_cast<double>(rim + 1);
+}
+BENCHMARK(BM_ExplicitPiColHard)->Arg(5)->Arg(9)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+void RunSuccinct(benchmark::State& state, const SuccinctGraph& sg,
+                 bool expected) {
+  auto symbols = std::make_shared<SymbolTable>();
+  auto instance = BuildSuccinct3Col(sg, symbols);
+  INFLOG_CHECK(instance.ok());
+  AnalyzeOptions options;
+  options.grounder.max_ground_rules = 50'000'000;
+  double ground_rules = 0, atoms = 0;
+  for (auto _ : state) {
+    auto analyzer = FixpointAnalyzer::Create(&instance->program,
+                                             &instance->database, options);
+    INFLOG_CHECK(analyzer.ok()) << analyzer.status().ToString();
+    ground_rules = static_cast<double>(analyzer->ground().rules.size());
+    atoms = static_cast<double>(analyzer->ground().atoms.size());
+    auto has = analyzer->HasFixpoint();
+    INFLOG_CHECK(has.ok());
+    INFLOG_CHECK(*has == expected);
+  }
+  state.counters["n_bits"] = static_cast<double>(sg.n);
+  state.counters["gates"] = static_cast<double>(sg.circuit.num_gates());
+  state.counters["program_rules"] =
+      static_cast<double>(instance->program.rules().size());
+  state.counters["ground_rules"] = ground_rules;
+  state.counters["ground_atoms"] = atoms;
+}
+
+void BM_SuccinctComplete(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunSuccinct(state, SuccinctCompleteGraph(n), /*expected=*/n <= 1);
+}
+BENCHMARK(BM_SuccinctComplete)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SuccinctHypercube(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunSuccinct(state, SuccinctHypercube(n), /*expected=*/true);
+}
+BENCHMARK(BM_SuccinctHypercube)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SuccinctCycle(benchmark::State& state) {
+  const size_t n = state.range(0);
+  RunSuccinct(state, SuccinctCycle(n), /*expected=*/true);
+}
+BENCHMARK(BM_SuccinctCycle)->DenseRange(1, 3, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ExpansionBlowup(benchmark::State& state) {
+  // The 2ⁿ-vertex materialization: 4ⁿ circuit evaluations.
+  const size_t n = state.range(0);
+  const SuccinctGraph sg = SuccinctHypercube(n);
+  size_t edges = 0;
+  for (auto _ : state) {
+    const Digraph g = sg.Expand();
+    edges = g.num_edges();
+    benchmark::DoNotOptimize(edges);
+  }
+  INFLOG_CHECK(edges == (size_t{1} << n) * n);
+  state.counters["n_bits"] = static_cast<double>(n);
+  state.counters["explicit_vertices"] =
+      static_cast<double>(size_t{1} << n);
+  state.counters["explicit_edges"] = static_cast<double>(edges);
+  state.counters["circuit_gates"] =
+      static_cast<double>(sg.circuit.num_gates());
+}
+BENCHMARK(BM_ExpansionBlowup)->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace inflog

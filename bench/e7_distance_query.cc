@@ -1,0 +1,136 @@
+// E7 — Proposition 2: the distance query.
+//
+// Series regenerated:
+//   * inflationary evaluation of the distance program (two synchronized
+//     TC copies + the stage-reading carrier) across graph sizes, verified
+//     against the BFS oracle on every iteration;
+//   * the stratified evaluation of the *same rules*, which computes
+//     TC(x,y) ∧ ¬TC(x*,y*) instead — counters report both carrier sizes
+//     so the semantic divergence is visible in the output;
+//   * the BFS oracle as the baseline cost of the query outside logic.
+// Shape expected: both logic evaluations are polynomial with the
+// inflationary one dominated by the quartic carrier; the divergence
+// counter (tuples in exactly one of the two answers) is nonzero on any
+// graph with two reachable pairs at different distances.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/stratified.h"
+
+namespace inflog {
+namespace {
+
+constexpr char kDistance[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+    "S2(X,Y) :- E(X,Y).\n"
+    "S2(X,Y) :- E(X,Z), S2(Z,Y).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Y), !S2(Xs,Ys).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Z), S1(Z,Y), !S2(Xs,Ys).\n";
+
+Digraph BenchGraph(size_t n) {
+  Rng rng(n * 7 + 3);
+  return RandomDigraph(n, 1.8 / n, &rng);
+}
+
+/// Oracle count of {(x,y,x*,y*) : d(x,y) ≤ d(x*,y*), d(x,y) < ∞}.
+size_t OracleCount(const Digraph& g) {
+  const auto dist = BfsAllPairs(g);
+  const size_t n = g.num_vertices();
+  auto d = [&](size_t u, size_t v) -> int {
+    if (u != v) return dist[u][v];
+    int best = -1;
+    for (uint32_t w : g.Successors(u)) {
+      if (dist[w][u] >= 0 && (best < 0 || 1 + dist[w][u] < best)) {
+        best = 1 + dist[w][u];
+      }
+    }
+    return best;
+  };
+  size_t count = 0;
+  for (size_t x = 0; x < n; ++x) {
+    for (size_t y = 0; y < n; ++y) {
+      const int dxy = d(x, y);
+      if (dxy < 0) continue;
+      for (size_t xs = 0; xs < n; ++xs) {
+        for (size_t ys = 0; ys < n; ++ys) {
+          const int dst = d(xs, ys);
+          if (dst < 0 || dxy <= dst) ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+void BM_DistanceInflationary(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const Digraph g = BenchGraph(n);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram(kDistance, symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+  const size_t expected = OracleCount(g);
+  double carrier = 0, stages = 0;
+  for (auto _ : state) {
+    auto result = EvalInflationary(p, db);
+    INFLOG_CHECK(result.ok());
+    const Relation& s3 = result->state.relations[2];
+    INFLOG_CHECK(s3.size() == expected)
+        << "carrier " << s3.size() << " vs oracle " << expected;
+    carrier = static_cast<double>(s3.size());
+    stages = static_cast<double>(result->num_stages);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["carrier_tuples"] = carrier;
+  state.counters["stages"] = stages;
+}
+BENCHMARK(BM_DistanceInflationary)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistanceStratifiedReading(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const Digraph g = BenchGraph(n);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram(kDistance, symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+  double carrier = 0, divergence = 0;
+  for (auto _ : state) {
+    auto strat = EvalStratified(p, db);
+    INFLOG_CHECK(strat.ok());
+    auto inf = EvalInflationary(p, db);
+    INFLOG_CHECK(inf.ok());
+    const Relation& s = strat->state.relations[2];
+    const Relation& i = inf->state.relations[2];
+    carrier = static_cast<double>(s.size());
+    // Tuples on which the two semantics disagree.
+    size_t diff = 0;
+    for (size_t r = 0; r < s.size(); ++r) {
+      if (!i.Contains(s.Row(r))) ++diff;
+    }
+    for (size_t r = 0; r < i.size(); ++r) {
+      if (!s.Contains(i.Row(r))) ++diff;
+    }
+    divergence = static_cast<double>(diff);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["stratified_tuples"] = carrier;
+  state.counters["divergent_tuples"] = divergence;
+}
+BENCHMARK(BM_DistanceStratifiedReading)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistanceBfsOracle(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const Digraph g = BenchGraph(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OracleCount(g));
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DistanceBfsOracle)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,133 @@
+// inflog_cli: evaluate a DATALOG¬ program file against a database file
+// under a chosen semantics — the downstream-user entry point.
+//
+// Usage:
+//   inflog_cli PROGRAM.dlog DATABASE.facts [SEMANTICS]
+//
+// SEMANTICS is one of:
+//   inflationary (default) | stratified | wellfounded | stable |
+//   fixpoints | analyze
+//
+// Examples (data files ship in examples/data/):
+//   inflog_cli data/pi1.dlog data/path6.facts fixpoints
+//   inflog_cli data/distance.dlog data/shortcut.facts inflationary
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/core/engine.h"
+
+namespace {
+
+int Fail(const inflog::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+inflog::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return inflog::Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void PrintState(const inflog::Engine& engine, const inflog::IdbState& state) {
+  auto program = engine.program();
+  INFLOG_CHECK(program.ok());
+  for (uint32_t pred : (*program)->idb_predicates()) {
+    const auto& info = (*program)->predicate(pred);
+    std::cout << "  " << info.name << " = "
+              << state.relations[info.idb_index].ToString(*engine.symbols())
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: " << argv[0]
+              << " PROGRAM.dlog DATABASE.facts "
+                 "[inflationary|stratified|wellfounded|stable|fixpoints|"
+                 "analyze]\n";
+    return 2;
+  }
+  const std::string semantics = argc > 3 ? argv[3] : "inflationary";
+
+  inflog::Engine engine;
+  auto program_text = ReadFile(argv[1]);
+  if (!program_text.ok()) return Fail(program_text.status());
+  if (auto s = engine.LoadProgramText(*program_text); !s.ok()) return Fail(s);
+  auto db_text = ReadFile(argv[2]);
+  if (!db_text.ok()) return Fail(db_text.status());
+  if (auto s = engine.LoadDatabaseText(*db_text); !s.ok()) return Fail(s);
+
+  if (semantics == "analyze") {
+    auto description = engine.Describe();
+    if (!description.ok()) return Fail(description.status());
+    std::cout << *description;
+    return 0;
+  }
+  if (semantics == "inflationary") {
+    auto result = engine.Inflationary();
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "inflationary semantics (" << result->num_stages
+              << " stages):\n";
+    PrintState(engine, result->state);
+    return 0;
+  }
+  if (semantics == "stratified") {
+    auto result = engine.Stratified();
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "stratified semantics (" << result->num_strata
+              << " strata):\n";
+    PrintState(engine, result->state);
+    return 0;
+  }
+  if (semantics == "wellfounded") {
+    auto result = engine.WellFounded();
+    if (!result.ok()) return Fail(result.status());
+    std::cout << "well-founded model ("
+              << (result->total ? "total" : "three-valued") << "):\n";
+    std::cout << " true atoms:\n";
+    PrintState(engine, result->true_state);
+    std::cout << " undefined atoms:\n";
+    PrintState(engine, result->undefined_state);
+    return 0;
+  }
+  if (semantics == "stable") {
+    auto result = engine.StableModels();
+    if (!result.ok()) return Fail(result.status());
+    std::cout << result->models.size() << " stable model(s) among "
+              << result->supported_examined << " supported model(s):\n";
+    for (size_t i = 0; i < result->models.size(); ++i) {
+      std::cout << " model " << i + 1 << ":\n";
+      PrintState(engine, result->models[i]);
+    }
+    return 0;
+  }
+  if (semantics == "fixpoints") {
+    auto analyzer = engine.MakeAnalyzer();
+    if (!analyzer.ok()) return Fail(analyzer.status());
+    auto fixpoints = analyzer->EnumerateFixpoints(/*limit=*/64);
+    if (!fixpoints.ok()) return Fail(fixpoints.status());
+    std::cout << fixpoints->size()
+              << " fixpoint(s) (enumeration capped at 64):\n";
+    for (size_t i = 0; i < fixpoints->size(); ++i) {
+      std::cout << " fixpoint " << i + 1 << ":\n";
+      PrintState(engine, (*fixpoints)[i]);
+    }
+    auto least = analyzer->LeastFixpoint();
+    if (!least.ok()) return Fail(least.status());
+    std::cout << "least fixpoint exists: "
+              << (least->has_least ? "yes" : "no") << "\n";
+    return 0;
+  }
+  std::cerr << "unknown semantics: " << semantics << "\n";
+  return 2;
+}

@@ -1,0 +1,99 @@
+// Theorem 4: SUCCINCT 3-COLORING compiled to fixpoint existence.
+//
+// A Boolean circuit with 2n inputs presents a graph on {0,1}ⁿ. The π_SC
+// compiler emits one arity-2n relation per gate plus the π_COL rules over
+// the 2-element universe {0,1}; the program has a fixpoint iff the
+// presented graph is 3-colorable. The example also materializes the
+// exponential expansion to show the succinct/explicit size gap that makes
+// the combined-complexity problem NEXP-complete.
+
+#include <iostream>
+
+#include "src/fixpoint/analysis.h"
+#include "src/reductions/succinct.h"
+#include "src/reductions/three_coloring.h"
+
+namespace {
+
+int Fail(const inflog::Status& status) {
+  std::cerr << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int RunCase(const std::string& name, const inflog::SuccinctGraph& sg) {
+  std::cout << "=== " << name << " ===\n";
+  std::cout << "circuit: " << sg.circuit.num_gates() << " gates over 2n="
+            << 2 * sg.n << " inputs; presents a graph on " << sg.num_vertices()
+            << " vertices\n";
+
+  const inflog::Digraph expanded = sg.Expand();
+  std::cout << "explicit expansion: " << expanded.num_vertices()
+            << " vertices, " << expanded.num_edges() << " edges\n";
+
+  auto symbols = std::make_shared<inflog::SymbolTable>();
+  auto instance = inflog::BuildSuccinct3Col(sg, symbols);
+  if (!instance.ok()) return Fail(instance.status());
+  std::cout << "pi_SC: " << instance->program.rules().size()
+            << " rules, universe {0,1}\n";
+
+  inflog::AnalyzeOptions options;
+  options.grounder.max_ground_rules = 50'000'000;
+  auto analyzer = inflog::FixpointAnalyzer::Create(
+      &instance->program, &instance->database, options);
+  if (!analyzer.ok()) return Fail(analyzer.status());
+  std::cout << "grounding: " << analyzer->ground().rules.size()
+            << " ground rules, " << analyzer->ground().atoms.size()
+            << " ground atoms\n";
+
+  auto fixpoint = analyzer->FindFixpoint();
+  if (!fixpoint.ok()) return Fail(fixpoint.status());
+  const bool oracle = inflog::IsThreeColorable(expanded);
+  std::cout << "fixpoint exists: " << (fixpoint->has_value() ? "yes" : "no")
+            << "   (oracle says 3-colorable: " << (oracle ? "yes" : "no")
+            << ")\n";
+  if (fixpoint->has_value() != oracle) {
+    std::cerr << "MISMATCH against the oracle!\n";
+    return 1;
+  }
+  if (fixpoint->has_value()) {
+    auto colors = inflog::DecodeSuccinctColoring(*instance, sg, **fixpoint);
+    if (!colors.ok()) return Fail(colors.status());
+    std::cout << "decoded coloring:";
+    const char* names[] = {"R", "B", "G"};
+    for (size_t v = 0; v < colors->size(); ++v) {
+      std::cout << " " << v << ":" << names[(*colors)[v]];
+    }
+    std::cout << "  proper: "
+              << (inflog::IsProperColoring(expanded, *colors) ? "yes"
+                                                              : "NO (bug!)")
+              << "\n";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  if (int rc = RunCase("K_2 (n=1, complete)",
+                       inflog::SuccinctCompleteGraph(1))) {
+    return rc;
+  }
+  if (int rc = RunCase("K_4 (n=2, complete — needs 4 colors)",
+                       inflog::SuccinctCompleteGraph(2))) {
+    return rc;
+  }
+  if (int rc = RunCase("Q_2 (n=2, hypercube — bipartite)",
+                       inflog::SuccinctHypercube(2))) {
+    return rc;
+  }
+  if (int rc = RunCase("C_8 (n=3, succinct even cycle)",
+                       inflog::SuccinctCycle(3))) {
+    return rc;
+  }
+  std::cout << "The succinct instance size grows with the circuit (poly in "
+               "n)\nwhile the presented graph has 2^n vertices — the "
+               "expression-\ncomplexity blow-up behind Theorem 4's NEXP-"
+               "completeness.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Static analysis of DATALOG¬ programs: predicate dependency graph,
+// stratifiability (Chandra–Harel / Apt–Blair–Walker layering), and safety
+// (range restriction) diagnostics.
+//
+// Stratifiability matters because the paper contrasts its proposal with the
+// stratified semantics, which "cannot assign meaning to all DATALOG¬
+// programs"; the analysis decides which of the two applies. Safety is
+// advisory only: the paper's own programs (the toggle rule, the succinct
+// input-gate rules) are unsafe and are evaluated over the active domain.
+
+#ifndef INFLOG_AST_ANALYSIS_H_
+#define INFLOG_AST_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+
+namespace inflog {
+
+/// One edge of the predicate dependency graph: `head` depends on `body`
+/// through some rule; `negative` if through a negated literal.
+struct DependencyEdge {
+  uint32_t head;
+  uint32_t body;
+  bool negative;
+};
+
+/// Result of AnalyzeProgram.
+struct ProgramAnalysis {
+  /// Dependency edges, deduplicated (an edge is negative if ANY rule uses
+  /// the body predicate negatively under that head).
+  std::vector<DependencyEdge> edges;
+
+  /// True iff no cycle of dependencies passes through a negative edge.
+  bool stratifiable = false;
+
+  /// Stratum per predicate id. EDB predicates are stratum 0; IDB strata
+  /// start at 0 as well (an IDB predicate with no negative dependencies can
+  /// share stratum 0). Meaningful only if `stratifiable`.
+  std::vector<int> stratum;
+
+  /// Number of strata (max stratum + 1). Meaningful only if `stratifiable`.
+  int num_strata = 0;
+
+  /// Per-rule safety: for each rule, the list of variable indices that are
+  /// not range-restricted (bound by no positive body literal, directly or
+  /// through equalities). Empty inner vectors mean the rule is safe.
+  std::vector<std::vector<uint32_t>> unsafe_vars;
+
+  /// Human-readable warnings (one per unsafe rule).
+  std::vector<std::string> warnings;
+
+  /// True iff every rule is safe.
+  bool AllSafe() const {
+    for (const auto& v : unsafe_vars) {
+      if (!v.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// Runs all analyses over `program`.
+ProgramAnalysis AnalyzeProgram(const Program& program);
+
+/// Computes the range-restriction closure for one rule: variables bound by
+/// positive body atoms, closed under equalities with constants or bound
+/// variables. Exposed for testing.
+std::vector<bool> BoundVariables(const Rule& rule);
+
+}  // namespace inflog
+
+#endif  // INFLOG_AST_ANALYSIS_H_

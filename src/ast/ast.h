@@ -1,0 +1,103 @@
+// Abstract syntax for DATALOG¬ programs (Section 2 of the paper).
+//
+// A rule is  S(x̄) ← t₁, ..., t_q  where each body literal is an atomic
+// formula Q(x̄), a negated atomic formula ¬Q(x̄), an equality x = y, or an
+// inequality x ≠ y, and the head is an atomic formula. Terms are variables
+// (rule-scoped, dense indices) or constants (interned Values). Constants
+// may appear anywhere a variable may, including rule heads (the succinct
+// 3-coloring compiler emits input-gate rules like G(z₁,1,z₂) ← .).
+
+#ifndef INFLOG_AST_AST_H_
+#define INFLOG_AST_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/relation/value.h"
+
+namespace inflog {
+
+/// Sentinel predicate id for literals that have none (equalities).
+inline constexpr uint32_t kNoPredicate = static_cast<uint32_t>(-1);
+
+/// A term: a rule-scoped variable or an interned constant.
+struct Term {
+  enum class Kind : uint8_t { kVariable, kConstant };
+
+  Kind kind;
+  /// Variable index within the enclosing rule, or the constant's Value.
+  uint32_t id;
+
+  static Term Var(uint32_t index) { return Term{Kind::kVariable, index}; }
+  static Term Const(Value value) { return Term{Kind::kConstant, value}; }
+
+  bool IsVariable() const { return kind == Kind::kVariable; }
+  bool IsConstant() const { return kind == Kind::kConstant; }
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && id == other.id;
+  }
+};
+
+/// A body literal.
+struct Literal {
+  enum class Kind : uint8_t {
+    kAtom,     ///< Q(t̄)
+    kNegAtom,  ///< ¬Q(t̄)
+    kEq,       ///< t₁ = t₂   (args has exactly two terms)
+    kNeq,      ///< t₁ ≠ t₂   (args has exactly two terms)
+  };
+
+  Kind kind = Kind::kAtom;
+  /// Predicate id for kAtom/kNegAtom; kNoPredicate otherwise.
+  uint32_t predicate = kNoPredicate;
+  std::vector<Term> args;
+
+  static Literal Pos(uint32_t pred, std::vector<Term> args) {
+    return Literal{Kind::kAtom, pred, std::move(args)};
+  }
+  static Literal Neg(uint32_t pred, std::vector<Term> args) {
+    return Literal{Kind::kNegAtom, pred, std::move(args)};
+  }
+  static Literal Eq(Term lhs, Term rhs) {
+    return Literal{Kind::kEq, kNoPredicate, {lhs, rhs}};
+  }
+  static Literal Neq(Term lhs, Term rhs) {
+    return Literal{Kind::kNeq, kNoPredicate, {lhs, rhs}};
+  }
+
+  bool IsPositiveAtom() const { return kind == Kind::kAtom; }
+  bool IsNegatedAtom() const { return kind == Kind::kNegAtom; }
+};
+
+/// A rule head: an atomic formula over the rule's terms.
+struct HeadAtom {
+  uint32_t predicate = kNoPredicate;
+  std::vector<Term> args;
+};
+
+/// A DATALOG¬ rule. Variables are indexed 0..num_vars-1; var_names maps
+/// indices back to source names for printing.
+struct Rule {
+  HeadAtom head;
+  std::vector<Literal> body;
+  uint32_t num_vars = 0;
+  std::vector<std::string> var_names;
+
+  /// True iff no body literal is a negated atom or an inequality — the
+  /// paper's definition of a (positive) DATALOG rule.
+  bool IsPositive() const {
+    for (const Literal& lit : body) {
+      if (lit.kind == Literal::Kind::kNegAtom ||
+          lit.kind == Literal::Kind::kNeq) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_AST_AST_H_

@@ -1,0 +1,49 @@
+// Text parser for DATALOG¬ programs and database fact files.
+//
+// Program syntax (one clause per '.'; '%' or '//' start line comments):
+//
+//   T(X)        :- E(Y,X), !T(Y).        % the paper's program π₁
+//   S2(X,Y)     :- E(X,Z), S2(Z,Y).
+//   Q(X,Y,Z,W)  :- S1(X,Y), not S1(Z,W). % 'not' and '!' both negate
+//   P(X)        :- !R(X), !B(X), !G(X).
+//   G1(Z1,1,Z2).                         % bodyless rule (universal head)
+//   Eq(X,Y)     :- D(X), D(Y), X = Y.    % equality / inequality literals
+//
+// Variables start with an uppercase letter or '_'; constants are lowercase
+// identifiers, numbers, or 'quoted strings'. Unsafe rules (head or negated
+// variables not bound by any positive body literal) are legal and evaluate
+// over the active domain, as in the paper.
+//
+// Database syntax: ground facts plus optional universe declarations:
+//
+//   E(1,2). E(2,3).
+//   @universe 1 2 3 4.
+
+#ifndef INFLOG_AST_PARSER_H_
+#define INFLOG_AST_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Parses a program, interning constants into `symbols`.
+Result<Program> ParseProgram(std::string_view text,
+                             std::shared_ptr<SymbolTable> symbols);
+
+/// Convenience overload with a fresh symbol table.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses facts and @universe declarations into an existing database.
+Status ParseDatabaseInto(std::string_view text, Database* db);
+
+/// Parses a database with a fresh symbol table.
+Result<Database> ParseDatabase(std::string_view text);
+
+}  // namespace inflog
+
+#endif  // INFLOG_AST_PARSER_H_

@@ -1,0 +1,158 @@
+#include "src/ast/program.h"
+
+#include <set>
+
+#include "src/ast/printer.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Result<uint32_t> Program::GetOrAddPredicate(std::string_view name,
+                                            size_t arity) {
+  auto it = pred_ids_.find(std::string(name));
+  if (it != pred_ids_.end()) {
+    const PredicateInfo& info = preds_[it->second];
+    if (info.arity != arity) {
+      return Status::InvalidArgument(
+          StrCat("predicate ", name, " used with arity ", arity,
+                 " but declared with arity ", info.arity));
+    }
+    return it->second;
+  }
+  const uint32_t id = static_cast<uint32_t>(preds_.size());
+  preds_.push_back(PredicateInfo{std::string(name), arity, false, -1});
+  pred_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<uint32_t> Program::FindPredicate(std::string_view name) const {
+  auto it = pred_ids_.find(std::string(name));
+  if (it == pred_ids_.end()) {
+    return Status::NotFound(StrCat("no predicate named ", name));
+  }
+  return it->second;
+}
+
+namespace {
+
+Status ValidateTerm(const Term& term, const Rule& rule) {
+  if (term.IsVariable() && term.id >= rule.num_vars) {
+    return Status::InvalidArgument(
+        StrCat("variable index ", term.id, " out of range (num_vars=",
+               rule.num_vars, ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Program::AddRule(Rule rule) {
+  // Validate the head.
+  if (rule.head.predicate >= preds_.size()) {
+    return Status::InvalidArgument("head predicate id out of range");
+  }
+  PredicateInfo& head_info = preds_[rule.head.predicate];
+  if (rule.head.args.size() != head_info.arity) {
+    return Status::InvalidArgument(
+        StrCat("head of rule for ", head_info.name, " has ",
+               rule.head.args.size(), " args, expected ", head_info.arity));
+  }
+  for (const Term& t : rule.head.args) {
+    INFLOG_RETURN_IF_ERROR(ValidateTerm(t, rule));
+  }
+  // Validate the body.
+  for (const Literal& lit : rule.body) {
+    switch (lit.kind) {
+      case Literal::Kind::kAtom:
+      case Literal::Kind::kNegAtom: {
+        if (lit.predicate >= preds_.size()) {
+          return Status::InvalidArgument("body predicate id out of range");
+        }
+        const PredicateInfo& info = preds_[lit.predicate];
+        if (lit.args.size() != info.arity) {
+          return Status::InvalidArgument(
+              StrCat("literal on ", info.name, " has ", lit.args.size(),
+                     " args, expected ", info.arity));
+        }
+        break;
+      }
+      case Literal::Kind::kEq:
+      case Literal::Kind::kNeq:
+        if (lit.args.size() != 2) {
+          return Status::InvalidArgument(
+              "equality literal must have exactly two terms");
+        }
+        break;
+    }
+    for (const Term& t : lit.args) {
+      INFLOG_RETURN_IF_ERROR(ValidateTerm(t, rule));
+    }
+  }
+  if (rule.var_names.size() != rule.num_vars) {
+    // Synthesize names if the caller did not provide them.
+    rule.var_names.resize(rule.num_vars);
+    for (uint32_t v = 0; v < rule.num_vars; ++v) {
+      if (rule.var_names[v].empty()) {
+        rule.var_names[v] = StrCat("V", v);
+      }
+    }
+  }
+  // The head predicate becomes a nondatabase (IDB) relation.
+  if (!head_info.is_idb) {
+    head_info.is_idb = true;
+    head_info.idb_index = static_cast<int>(idb_preds_.size());
+    idb_preds_.push_back(rule.head.predicate);
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+std::vector<uint32_t> Program::edb_predicates() const {
+  std::vector<uint32_t> edbs;
+  for (uint32_t p = 0; p < preds_.size(); ++p) {
+    if (!preds_[p].is_idb) edbs.push_back(p);
+  }
+  return edbs;
+}
+
+bool Program::IsPositive() const {
+  for (const Rule& rule : rules_) {
+    if (!rule.IsPositive()) return false;
+  }
+  return true;
+}
+
+bool Program::HasNegation() const {
+  for (const Rule& rule : rules_) {
+    for (const Literal& lit : rule.body) {
+      if (lit.IsNegatedAtom()) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Value> Program::Constants() const {
+  std::set<Value> seen;
+  for (const Rule& rule : rules_) {
+    for (const Term& t : rule.head.args) {
+      if (t.IsConstant()) seen.insert(t.id);
+    }
+    for (const Literal& lit : rule.body) {
+      for (const Term& t : lit.args) {
+        if (t.IsConstant()) seen.insert(t.id);
+      }
+    }
+  }
+  return std::vector<Value>(seen.begin(), seen.end());
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += FormatRule(*this, rule);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace inflog

@@ -1,0 +1,98 @@
+// Program: a finite set of DATALOG¬ rules plus the predicate catalog.
+//
+// Predicates are classified per the paper: those appearing in some rule
+// head are nondatabase (IDB) relations; the rest are database (EDB)
+// relations supplied by the Database at evaluation time. IDB predicates
+// get dense indices (idb_index) used by the evaluators' state vectors.
+
+#ifndef INFLOG_AST_PROGRAM_H_
+#define INFLOG_AST_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/ast.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/relation/value.h"
+
+namespace inflog {
+
+/// Catalog entry for one predicate symbol.
+struct PredicateInfo {
+  std::string name;
+  size_t arity;
+  bool is_idb = false;
+  /// Dense index among IDB predicates, or -1 for EDB predicates.
+  int idb_index = -1;
+};
+
+/// A DATALOG¬ program over a shared symbol table (for its constants).
+class Program {
+ public:
+  explicit Program(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {
+    INFLOG_CHECK(symbols_ != nullptr);
+  }
+
+  /// Returns the id of predicate `name`, creating it with `arity` if new.
+  /// Fails if it exists with a different arity.
+  Result<uint32_t> GetOrAddPredicate(std::string_view name, size_t arity);
+
+  /// Returns the id of an existing predicate, or NotFound.
+  Result<uint32_t> FindPredicate(std::string_view name) const;
+
+  /// Appends a rule after validating predicate arities, variable indices,
+  /// and equality shapes. Marks the head predicate as IDB.
+  Status AddRule(Rule rule);
+
+  /// All rules, in insertion order.
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Number of predicates in the catalog.
+  size_t num_predicates() const { return preds_.size(); }
+
+  /// Catalog entry for predicate `pred`.
+  const PredicateInfo& predicate(uint32_t pred) const {
+    INFLOG_CHECK(pred < preds_.size());
+    return preds_[pred];
+  }
+
+  /// IDB predicate ids in first-head-appearance order; idb_index follows
+  /// this order.
+  const std::vector<uint32_t>& idb_predicates() const { return idb_preds_; }
+
+  /// EDB predicate ids in first-appearance order.
+  std::vector<uint32_t> edb_predicates() const;
+
+  /// True iff every rule is positive — the paper's DATALOG fragment, whose
+  /// operator Θ is monotone and has a least fixpoint (Tarski).
+  bool IsPositive() const;
+
+  /// True iff any rule body mentions a negated atom.
+  bool HasNegation() const;
+
+  /// The shared symbol table holding the program's constants.
+  const SymbolTable& symbols() const { return *symbols_; }
+  std::shared_ptr<SymbolTable> shared_symbols() const { return symbols_; }
+
+  /// All constants appearing in rules (they join the active domain).
+  std::vector<Value> Constants() const;
+
+  /// Renders the program in parsable concrete syntax.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<PredicateInfo> preds_;
+  std::unordered_map<std::string, uint32_t> pred_ids_;
+  std::vector<uint32_t> idb_preds_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_AST_PROGRAM_H_

@@ -1,0 +1,64 @@
+// Checked-invariant macros. INFLOG_CHECK aborts on violation with a
+// file:line-tagged message; it is for internal invariants, not user errors
+// (user errors surface as Status). Supports streaming extra context:
+//
+//   INFLOG_CHECK(arity == tuple.size()) << "inserting into " << name;
+
+#ifndef INFLOG_BASE_LOGGING_H_
+#define INFLOG_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace inflog {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Instantiated only on the failure path of INFLOG_CHECK.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  /// Returns *this as an lvalue so the macro's temporary can feed
+  /// operator& (the glog idiom).
+  CheckFailureStream& self() { return *this; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Makes the failure branch of the CHECK ternary have type void while
+/// binding looser than operator<<, so streamed context attaches to the
+/// failure stream first.
+struct Voidify {
+  void operator&(CheckFailureStream&) {}
+};
+
+}  // namespace internal
+}  // namespace inflog
+
+#define INFLOG_CHECK(condition)                                      \
+  (condition) ? (void)0                                              \
+              : ::inflog::internal::Voidify() &                      \
+                    ::inflog::internal::CheckFailureStream(          \
+                        #condition, __FILE__, __LINE__)              \
+                        .self()
+
+// Debug checks are kept on in all build types: the workloads are symbolic
+// and the invariants cheap relative to joins and SAT search.
+#define INFLOG_DCHECK(condition) INFLOG_CHECK(condition)
+
+#endif  // INFLOG_BASE_LOGGING_H_

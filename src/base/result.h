@@ -1,0 +1,76 @@
+// Result<T>: a value or an error Status (StatusOr-style).
+
+#ifndef INFLOG_BASE_RESULT_H_
+#define INFLOG_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/base/status.h"
+
+namespace inflog {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Construction from a T (or anything convertible) yields an OK result;
+/// construction from a non-OK Status yields an error result. Accessing the
+/// value of an error result is a checked failure (aborts), matching the
+/// library's no-exceptions policy.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    INFLOG_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the held value. Requires ok().
+  const T& value() const& {
+    INFLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    INFLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  /// Moves the held value out. Requires ok().
+  T&& value() && {
+    INFLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace inflog
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status to the caller.
+#define INFLOG_ASSIGN_OR_RETURN(lhs, expr)                      \
+  INFLOG_ASSIGN_OR_RETURN_IMPL_(                                \
+      INFLOG_CONCAT_(_inflog_result, __LINE__), lhs, expr)
+#define INFLOG_CONCAT_INNER_(a, b) a##b
+#define INFLOG_CONCAT_(a, b) INFLOG_CONCAT_INNER_(a, b)
+#define INFLOG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // INFLOG_BASE_RESULT_H_

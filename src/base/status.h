@@ -1,0 +1,102 @@
+// Status: lightweight error propagation without exceptions.
+//
+// The library follows the RocksDB/Arrow idiom: fallible operations return a
+// Status (or a Result<T>, see result.h) instead of throwing. Statuses carry a
+// coarse error code plus a human-readable message assembled at the failure
+// site.
+
+#ifndef INFLOG_BASE_STATUS_H_
+#define INFLOG_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace inflog {
+
+/// Coarse classification of failures. Mirrors the subset of canonical codes
+/// this library actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< Malformed input (parse errors, arity mismatches).
+  kNotFound,           ///< Named entity (relation, predicate) does not exist.
+  kFailedPrecondition, ///< Operation applied to an object in the wrong state.
+  kResourceExhausted,  ///< A configured limit (atoms, conflicts) was hit.
+  kUnimplemented,      ///< Feature intentionally not supported.
+  kInternal,           ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns the canonical spelling of a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value type describing the outcome of a fallible operation.
+///
+/// A default-constructed Status is OK. Error statuses are built through the
+/// named factory functions. Statuses are cheap to copy in the OK case (empty
+/// message) and are intended to be returned by value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory: the OK status.
+  static Status OK() { return Status(); }
+  /// Factory: malformed input.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Factory: missing named entity.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Factory: object in the wrong state for the requested operation.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Factory: configured limit exceeded.
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  /// Factory: feature not supported.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// Factory: internal invariant violation.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The failure message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace inflog
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define INFLOG_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::inflog::Status _inflog_status = (expr);         \
+    if (!_inflog_status.ok()) return _inflog_status;  \
+  } while (0)
+
+#endif  // INFLOG_BASE_STATUS_H_

@@ -1,0 +1,25 @@
+#include "src/base/strings.h"
+
+namespace inflog {
+
+std::vector<std::string> StrSplit(std::string_view text, char delim) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(delim, start);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > start) pieces.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  const char* kSpace = " \t\r\n\v\f";
+  const size_t first = text.find_first_not_of(kSpace);
+  if (first == std::string_view::npos) return std::string_view();
+  const size_t last = text.find_last_not_of(kSpace);
+  return text.substr(first, last - first + 1);
+}
+
+}  // namespace inflog

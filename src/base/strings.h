@@ -1,0 +1,53 @@
+// Small string helpers used across the library (no dependency on absl).
+
+#ifndef INFLOG_BASE_STRINGS_H_
+#define INFLOG_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inflog {
+
+namespace internal {
+inline void StrAppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppendPieces(std::ostringstream& out, const T& head,
+                     const Rest&... rest) {
+  out << head;
+  StrAppendPieces(out, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  internal::StrAppendPieces(out, args...);
+  return out.str();
+}
+
+/// Joins the elements of `parts` with `sep`, using operator<< to render
+/// each element.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out << sep;
+    first = false;
+    out << part;
+  }
+  return out.str();
+}
+
+/// Splits `text` on `delim`, dropping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace inflog
+
+#endif  // INFLOG_BASE_STRINGS_H_

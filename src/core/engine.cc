@@ -1,0 +1,113 @@
+#include "src/core/engine.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Engine::Engine()
+    : symbols_(std::make_shared<SymbolTable>()), database_(symbols_) {}
+
+Status Engine::LoadProgramText(std::string_view text) {
+  INFLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(text, symbols_));
+  program_.emplace(std::move(program));
+  return Status::OK();
+}
+
+Status Engine::LoadProgram(Program program) {
+  if (program.shared_symbols() != symbols_) {
+    return Status::InvalidArgument(
+        "program was built over a different symbol table; construct it "
+        "with Engine::symbols()");
+  }
+  program_.emplace(std::move(program));
+  return Status::OK();
+}
+
+Status Engine::LoadDatabaseText(std::string_view text) {
+  return ParseDatabaseInto(text, &database_);
+}
+
+Result<const Program*> Engine::program() const {
+  if (!program_.has_value()) {
+    return Status::FailedPrecondition("no program loaded");
+  }
+  return &*program_;
+}
+
+Result<ProgramAnalysis> Engine::Analyze() const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return AnalyzeProgram(*p);
+}
+
+Result<std::string> Engine::Describe() const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  const ProgramAnalysis analysis = AnalyzeProgram(*p);
+  std::string out = StrCat("program with ", p->rules().size(), " rule(s)\n");
+  out += p->ToString();
+  out += "EDB:";
+  for (uint32_t pred : p->edb_predicates()) {
+    out += StrCat(" ", p->predicate(pred).name, "/",
+                  p->predicate(pred).arity);
+  }
+  out += "\nIDB:";
+  for (uint32_t pred : p->idb_predicates()) {
+    out += StrCat(" ", p->predicate(pred).name, "/",
+                  p->predicate(pred).arity);
+  }
+  out += StrCat("\npositive DATALOG: ", p->IsPositive() ? "yes" : "no");
+  out += StrCat("\nstratifiable: ", analysis.stratifiable ? "yes" : "no");
+  if (analysis.stratifiable) {
+    out += StrCat(" (", analysis.num_strata, " strata)");
+  }
+  out += "\n";
+  for (const std::string& warning : analysis.warnings) {
+    out += StrCat("warning: ", warning, "\n");
+  }
+  return out;
+}
+
+Result<InflationaryResult> Engine::Inflationary(
+    const InflationaryOptions& options) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return EvalInflationary(*p, database_, options);
+}
+
+Result<StratifiedResult> Engine::Stratified(
+    const StratifiedOptions& options) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return EvalStratified(*p, database_, options);
+}
+
+Result<WellFoundedResult> Engine::WellFounded(
+    const GrounderOptions& options) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return EvalWellFounded(*p, database_, options);
+}
+
+Result<StableResult> Engine::StableModels(
+    const StableOptions& options) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return EnumerateStableModels(*p, database_, options);
+}
+
+Result<FixpointAnalyzer> Engine::MakeAnalyzer(AnalyzeOptions options) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  return FixpointAnalyzer::Create(p, &database_, std::move(options));
+}
+
+Result<const Relation*> Engine::RelationOf(
+    const IdbState& state, std::string_view predicate) const {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t pred, p->FindPredicate(predicate));
+  const int idb = p->predicate(pred).idb_index;
+  if (idb < 0) {
+    return Status::InvalidArgument(
+        StrCat(predicate, " is a database relation, not IDB"));
+  }
+  if (static_cast<size_t>(idb) >= state.relations.size()) {
+    return Status::InvalidArgument("state does not match the program");
+  }
+  return &state.relations[idb];
+}
+
+}  // namespace inflog

@@ -1,0 +1,110 @@
+// Engine: the one-stop public API of the library.
+//
+// Wraps the full pipeline — parse program text, load facts, analyze
+// (EDB/IDB, stratifiability, safety), evaluate under any of the four
+// semantics, and run fixpoint analysis — behind a single object sharing
+// one symbol table. This is the interface the examples and downstream
+// users program against; the lower-level modules remain usable directly.
+//
+// Typical use:
+//
+//   inflog::Engine engine;
+//   INFLOG_RETURN_IF_ERROR(engine.LoadProgramText(
+//       "T(X) :- E(Y,X), !T(Y)."));
+//   INFLOG_RETURN_IF_ERROR(engine.LoadDatabaseText("E(1,2). E(2,3)."));
+//   auto result = engine.Inflationary();          // Θ^∞, total semantics
+//   auto analyzer = engine.MakeAnalyzer();        // Section 3 questions
+//   auto unique = analyzer->UniqueFixpoint();     // US-complete question
+
+#ifndef INFLOG_CORE_ENGINE_H_
+#define INFLOG_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/ast/analysis.h"
+#include "src/ast/parser.h"
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/stable.h"
+#include "src/eval/stratified.h"
+#include "src/eval/wellfounded.h"
+#include "src/fixpoint/analysis.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Facade over the parsing, evaluation and analysis pipeline.
+class Engine {
+ public:
+  /// Creates an engine with a fresh shared symbol table and empty
+  /// database.
+  Engine();
+
+  /// Parses and installs a DATALOG¬ program (replaces any previous one).
+  Status LoadProgramText(std::string_view text);
+
+  /// Installs an already-built program. Its symbol table must be this
+  /// engine's (use symbols()).
+  Status LoadProgram(Program program);
+
+  /// Parses facts / @universe declarations into the database (additive).
+  Status LoadDatabaseText(std::string_view text);
+
+  /// The shared symbol table (pass to builders that intern constants).
+  std::shared_ptr<SymbolTable> symbols() const { return symbols_; }
+
+  /// Mutable database access for programmatic fact loading.
+  Database* mutable_database() { return &database_; }
+  const Database& database() const { return database_; }
+
+  /// The loaded program; FailedPrecondition before LoadProgram*.
+  Result<const Program*> program() const;
+
+  /// Static analysis of the loaded program.
+  Result<ProgramAnalysis> Analyze() const;
+
+  /// Human-readable summary: rules, EDB/IDB split, strata, warnings.
+  Result<std::string> Describe() const;
+
+  // --- Semantics (Section 4 and baselines). ---
+
+  /// Inflationary DATALOG: the paper's proposal. Total and PTIME.
+  Result<InflationaryResult> Inflationary(
+      const InflationaryOptions& options = {}) const;
+
+  /// Stratified semantics; fails on non-stratifiable programs.
+  Result<StratifiedResult> Stratified(
+      const StratifiedOptions& options = {}) const;
+
+  /// Well-founded (three-valued) semantics; always defined.
+  Result<WellFoundedResult> WellFounded(
+      const GrounderOptions& options = {}) const;
+
+  /// Stable models (answer sets).
+  Result<StableResult> StableModels(const StableOptions& options = {}) const;
+
+  // --- Fixpoint analysis (Section 3). ---
+
+  /// Builds a fixpoint analyzer for the loaded (program, database). The
+  /// analyzer borrows the engine's program and database: keep the engine
+  /// alive while using it.
+  Result<FixpointAnalyzer> MakeAnalyzer(AnalyzeOptions options = {}) const;
+
+  /// Looks up an IDB relation by predicate name inside a state produced
+  /// by one of the semantics.
+  Result<const Relation*> RelationOf(const IdbState& state,
+                                     std::string_view predicate) const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  Database database_;
+  std::optional<Program> program_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_CORE_ENGINE_H_

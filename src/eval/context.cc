@@ -1,0 +1,113 @@
+#include "src/eval/context.h"
+
+#include <unordered_set>
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Result<EvalContext> EvalContext::Create(const Program& program,
+                                        const Database& database,
+                                        const EvalContextOptions& options) {
+  EvalContext ctx(program, database);
+  ctx.dynamic_idb_.assign(program.idb_predicates().size(), true);
+  INFLOG_RETURN_IF_ERROR(ctx.Bind(options));
+  return ctx;
+}
+
+Result<EvalContext> EvalContext::CreateWithFixed(
+    const Program& program, const Database& database,
+    std::vector<bool> dynamic_idb, const IdbState* fixed_state,
+    const EvalContextOptions& options) {
+  INFLOG_CHECK(dynamic_idb.size() == program.idb_predicates().size());
+  INFLOG_CHECK(fixed_state != nullptr);
+  INFLOG_CHECK(fixed_state->relations.size() ==
+               program.idb_predicates().size());
+  EvalContext ctx(program, database);
+  ctx.dynamic_idb_ = std::move(dynamic_idb);
+  ctx.fixed_state_ = fixed_state;
+  INFLOG_RETURN_IF_ERROR(ctx.Bind(options));
+  return ctx;
+}
+
+Status EvalContext::Bind(const EvalContextOptions& options) {
+  bindings_.resize(program_->num_predicates());
+  for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
+    const PredicateInfo& info = program_->predicate(pred);
+    PredBinding& binding = bindings_[pred];
+    if (info.is_idb) {
+      if (dynamic_idb_[info.idb_index]) {
+        binding.kind = PredBinding::Kind::kDynamicIdb;
+        binding.dyn_index = info.idb_index;
+      } else {
+        binding.kind = PredBinding::Kind::kFixedIdb;
+        INFLOG_CHECK(fixed_state_ != nullptr)
+            << "fixed IDB predicate without a fixed state";
+        binding.fixed = &fixed_state_->relations[info.idb_index];
+      }
+      continue;
+    }
+    binding.kind = PredBinding::Kind::kEdb;
+    auto rel = database_->GetRelation(info.name);
+    if (!rel.ok()) {
+      if (!options.allow_missing_edb) {
+        return Status::NotFound(
+            StrCat("EDB relation ", info.name,
+                   " is not present in the database"));
+      }
+      empties_.push_back(std::make_unique<Relation>(info.arity));
+      binding.fixed = empties_.back().get();
+      continue;
+    }
+    if ((*rel)->arity() != info.arity) {
+      return Status::InvalidArgument(
+          StrCat("EDB relation ", info.name, " has arity ", (*rel)->arity(),
+                 " in the database but ", info.arity, " in the program"));
+    }
+    binding.fixed = *rel;
+  }
+
+  // Evaluation universe: active domain plus program constants, deduped,
+  // database order first (deterministic).
+  std::unordered_set<Value> seen;
+  for (Value v : database_->universe()) {
+    if (seen.insert(v).second) universe_.push_back(v);
+  }
+  for (Value v : program_->Constants()) {
+    if (seen.insert(v).second) universe_.push_back(v);
+  }
+  return Status::OK();
+}
+
+const Relation& EvalContext::Resolve(uint32_t pred,
+                                     const IdbState& state) const {
+  INFLOG_DCHECK(pred < bindings_.size());
+  const PredBinding& binding = bindings_[pred];
+  if (binding.kind == PredBinding::Kind::kDynamicIdb) {
+    return state.relations[binding.dyn_index];
+  }
+  return *binding.fixed;
+}
+
+bool EvalContext::IsDynamic(uint32_t pred) const {
+  INFLOG_DCHECK(pred < bindings_.size());
+  return bindings_[pred].kind == PredBinding::Kind::kDynamicIdb;
+}
+
+const HashIndex& EvalContext::GetIndex(uint32_t pred,
+                                       const std::vector<size_t>& key_cols,
+                                       const IdbState& state) const {
+  const Relation& rel = Resolve(pred, state);
+  auto key = std::make_pair(pred, key_cols);
+  auto it = index_cache_.find(key);
+  if (it != index_cache_.end() && it->second.relation == &rel &&
+      it->second.version == rel.version()) {
+    return *it->second.index;
+  }
+  CachedIndex entry{&rel, rel.version(),
+                    std::make_unique<HashIndex>(rel, key_cols)};
+  auto [pos, unused] = index_cache_.insert_or_assign(key, std::move(entry));
+  return *pos->second.index;
+}
+
+}  // namespace inflog

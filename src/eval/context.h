@@ -1,0 +1,111 @@
+// EvalContext: binds a program's predicates to concrete relations for one
+// evaluation run, and owns the join-index cache.
+//
+// Resolution per predicate:
+//   * EDB predicates read the database relation of the same name (error at
+//     creation if it is missing or has the wrong arity, unless
+//     allow_missing_edb is set, in which case it reads an empty relation);
+//   * "fixed" IDB predicates read from a caller-supplied state that does
+//     not evolve during the run (used by the stratified evaluator for
+//     lower strata, and by Θ when checking a candidate fixpoint);
+//   * "dynamic" IDB predicates read from the evolving IdbState passed to
+//     each execution and participate in semi-naive deltas.
+//
+// The evaluation universe is the database's active domain plus all
+// constants mentioned by the program (Section 2 of the paper lets
+// variables range over the elements appearing in the database; program
+// constants are added so rules like G(Z,1) ← . are meaningful even when 1
+// appears in no fact).
+
+#ifndef INFLOG_EVAL_CONTEXT_H_
+#define INFLOG_EVAL_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/relation/database.h"
+#include "src/relation/index.h"
+
+namespace inflog {
+
+/// Options controlling predicate binding.
+struct EvalContextOptions {
+  /// If true, EDB predicates missing from the database are bound to empty
+  /// relations instead of failing.
+  bool allow_missing_edb = false;
+};
+
+/// Per-run binding of predicates to relations plus the index cache.
+class EvalContext {
+ public:
+  /// Creates a context in which every IDB predicate is dynamic.
+  static Result<EvalContext> Create(const Program& program,
+                                    const Database& database,
+                                    const EvalContextOptions& options = {});
+
+  /// Creates a context where only the IDB predicates with
+  /// `dynamic_idb[idb_index]` set evolve; the rest read `fixed_state`.
+  /// `fixed_state` must outlive the context.
+  static Result<EvalContext> CreateWithFixed(
+      const Program& program, const Database& database,
+      std::vector<bool> dynamic_idb, const IdbState* fixed_state,
+      const EvalContextOptions& options = {});
+
+  /// The relation predicate `pred` reads from, given the evolving state.
+  const Relation& Resolve(uint32_t pred, const IdbState& state) const;
+
+  /// True iff `pred` is a dynamic IDB predicate in this run.
+  bool IsDynamic(uint32_t pred) const;
+
+  /// The evaluation universe (active domain ∪ program constants).
+  const std::vector<Value>& universe() const { return universe_; }
+
+  const Program& program() const { return *program_; }
+  const Database& database() const { return *database_; }
+
+  /// Returns a (possibly cached) hash index over `key_cols` of the relation
+  /// predicate `pred` resolves to. Rebuilds if the relation has grown since
+  /// the cached index was built.
+  const HashIndex& GetIndex(uint32_t pred, const std::vector<size_t>& key_cols,
+                            const IdbState& state) const;
+
+ private:
+  EvalContext(const Program& program, const Database& database)
+      : program_(&program), database_(&database) {}
+
+  Status Bind(const EvalContextOptions& options);
+
+  struct PredBinding {
+    enum class Kind { kEdb, kFixedIdb, kDynamicIdb };
+    Kind kind = Kind::kEdb;
+    const Relation* fixed = nullptr;  // kEdb / kFixedIdb
+    int dyn_index = -1;               // kDynamicIdb
+  };
+
+  const Program* program_;
+  const Database* database_;
+  std::vector<PredBinding> bindings_;   // by predicate id
+  std::vector<bool> dynamic_idb_;       // by idb_index
+  const IdbState* fixed_state_ = nullptr;
+  std::vector<Value> universe_;
+  // Relations for EDB predicates bound as empty (allow_missing_edb).
+  std::vector<std::unique_ptr<Relation>> empties_;
+
+  struct CachedIndex {
+    const Relation* relation;
+    uint64_t version;
+    std::unique_ptr<HashIndex> index;
+  };
+  // (pred, key columns) -> cached index. Mutable: building an index does
+  // not change observable evaluation results.
+  mutable std::map<std::pair<uint32_t, std::vector<size_t>>, CachedIndex>
+      index_cache_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_CONTEXT_H_

@@ -1,0 +1,165 @@
+#include "src/eval/executor.h"
+
+#include "src/base/logging.h"
+
+namespace inflog {
+namespace {
+
+/// Recursive interpreter. Bindings are a flat Value array indexed by the
+/// rule's variable ids, with kNoValue marking unbound; each recursion level
+/// undoes exactly the bindings it introduced.
+class Interpreter {
+ public:
+  Interpreter(const EvalContext& ctx, const RulePlan& plan,
+              const IdbState& state, const DeltaRanges* deltas,
+              Relation* out, EvalStats* stats)
+      : ctx_(ctx),
+        plan_(plan),
+        rule_(ctx.program().rules()[plan.rule_index]),
+        state_(state),
+        deltas_(deltas),
+        out_(out),
+        stats_(stats) {
+    bindings_.assign(rule_.num_vars, kNoValue);
+    head_tuple_.resize(rule_.head.args.size());
+  }
+
+  void Run() {
+    if (plan_.never_fires) return;
+    Step(0);
+  }
+
+ private:
+  Value TermValue(const Term& t) const {
+    if (t.IsConstant()) return t.id;
+    INFLOG_DCHECK(bindings_[t.id] != kNoValue) << "unbound term at runtime";
+    return bindings_[t.id];
+  }
+
+  void Step(size_t op_index) {
+    if (op_index == plan_.ops.size()) {
+      Emit();
+      return;
+    }
+    const PlanOp& op = plan_.ops[op_index];
+    switch (op.kind) {
+      case PlanOp::Kind::kMatch:
+        StepMatch(op, op_index);
+        return;
+      case PlanOp::Kind::kBindEq: {
+        const Value v = TermValue(op.source);
+        INFLOG_DCHECK(bindings_[op.target_var] == kNoValue);
+        bindings_[op.target_var] = v;
+        Step(op_index + 1);
+        bindings_[op.target_var] = kNoValue;
+        return;
+      }
+      case PlanOp::Kind::kFilterEq:
+        if (TermValue(op.lhs) == TermValue(op.rhs)) Step(op_index + 1);
+        return;
+      case PlanOp::Kind::kFilterNeq:
+        if (TermValue(op.lhs) != TermValue(op.rhs)) Step(op_index + 1);
+        return;
+      case PlanOp::Kind::kFilterNegAtom: {
+        scratch_.clear();
+        for (const Term& t : op.args) scratch_.push_back(TermValue(t));
+        const Relation& rel = ctx_.Resolve(op.predicate, state_);
+        if (!rel.Contains(scratch_)) Step(op_index + 1);
+        return;
+      }
+      case PlanOp::Kind::kEnumerate: {
+        INFLOG_DCHECK(bindings_[op.enum_var] == kNoValue);
+        for (Value v : ctx_.universe()) {
+          ++stats_->enumerations;
+          bindings_[op.enum_var] = v;
+          Step(op_index + 1);
+        }
+        bindings_[op.enum_var] = kNoValue;
+        return;
+      }
+    }
+  }
+
+  /// Matches `op.args` against `row`; binds previously unbound variables,
+  /// recording them in `trail` for the caller to undo. Returns false (with
+  /// a clean trail) on mismatch.
+  bool MatchRow(const PlanOp& op, TupleView row,
+                std::vector<uint32_t>* trail) {
+    ++stats_->rows_matched;
+    for (size_t i = 0; i < op.args.size(); ++i) {
+      const Term& t = op.args[i];
+      if (t.IsConstant()) {
+        if (row[i] != t.id) return Undo(trail);
+      } else if (bindings_[t.id] != kNoValue) {
+        if (row[i] != bindings_[t.id]) return Undo(trail);
+      } else {
+        bindings_[t.id] = row[i];
+        trail->push_back(t.id);
+      }
+    }
+    return true;
+  }
+
+  bool Undo(std::vector<uint32_t>* trail) {
+    for (uint32_t v : *trail) bindings_[v] = kNoValue;
+    trail->clear();
+    return false;
+  }
+
+  void StepMatch(const PlanOp& op, size_t op_index) {
+    const Relation& rel = ctx_.Resolve(op.predicate, state_);
+    std::vector<uint32_t> trail;
+    auto try_row = [&](TupleView row) {
+      if (MatchRow(op, row, &trail)) {
+        Step(op_index + 1);
+        Undo(&trail);
+      }
+    };
+    if (op.is_delta_scan) {
+      INFLOG_DCHECK(deltas_ != nullptr) << "delta plan without delta ranges";
+      const PredicateInfo& info = ctx_.program().predicate(op.predicate);
+      const auto [begin, end] = (*deltas_)[info.idb_index];
+      for (size_t r = begin; r < end; ++r) try_row(rel.Row(r));
+      return;
+    }
+    if (!op.key_cols.empty()) {
+      ++stats_->index_lookups;
+      const HashIndex& index = ctx_.GetIndex(op.predicate, op.key_cols,
+                                             state_);
+      scratch_.clear();
+      for (size_t col : op.key_cols) scratch_.push_back(TermValue(op.args[col]));
+      for (uint32_t r : index.Lookup(scratch_)) try_row(rel.Row(r));
+      return;
+    }
+    for (size_t r = 0; r < rel.size(); ++r) try_row(rel.Row(r));
+  }
+
+  void Emit() {
+    ++stats_->derivations;
+    for (size_t i = 0; i < rule_.head.args.size(); ++i) {
+      head_tuple_[i] = TermValue(rule_.head.args[i]);
+    }
+    if (out_->Insert(head_tuple_)) ++stats_->new_tuples;
+  }
+
+  const EvalContext& ctx_;
+  const RulePlan& plan_;
+  const Rule& rule_;
+  const IdbState& state_;
+  const DeltaRanges* deltas_;
+  Relation* out_;
+  EvalStats* stats_;
+  std::vector<Value> bindings_;
+  Tuple head_tuple_;
+  Tuple scratch_;
+};
+
+}  // namespace
+
+void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
+                 const IdbState& state, const DeltaRanges* deltas,
+                 Relation* out, EvalStats* stats) {
+  Interpreter(ctx, plan, state, deltas, out, stats).Run();
+}
+
+}  // namespace inflog

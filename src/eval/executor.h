@@ -1,0 +1,48 @@
+// Plan executor: interprets a RulePlan against an evaluation context and an
+// IDB state, emitting derived head tuples.
+
+#ifndef INFLOG_EVAL_EXECUTOR_H_
+#define INFLOG_EVAL_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/context.h"
+#include "src/eval/plan.h"
+
+namespace inflog {
+
+/// Counters accumulated across executions; cheap to keep, useful for the
+/// naive-vs-semi-naive ablation benchmarks.
+struct EvalStats {
+  uint64_t derivations = 0;    ///< Head tuples produced (with duplicates).
+  uint64_t new_tuples = 0;     ///< Head tuples that were new in the output.
+  uint64_t rows_matched = 0;   ///< Rows tested by kMatch ops.
+  uint64_t index_lookups = 0;  ///< kMatch ops served by a hash index.
+  uint64_t enumerations = 0;   ///< Universe elements tried by kEnumerate.
+  uint64_t stages = 0;         ///< Iteration stages run (filled by drivers).
+
+  void Add(const EvalStats& other) {
+    derivations += other.derivations;
+    new_tuples += other.new_tuples;
+    rows_matched += other.rows_matched;
+    index_lookups += other.index_lookups;
+    enumerations += other.enumerations;
+    stages += other.stages;
+  }
+};
+
+/// Row ranges [begin, end) per dynamic IDB predicate (by idb_index) holding
+/// the tuples added in the previous stage. Used by delta-scan ops.
+using DeltaRanges = std::vector<std::pair<size_t, size_t>>;
+
+/// Executes `plan` reading predicate values through `ctx`/`state`, inserting
+/// derived head tuples into `out` (which must have the head's arity).
+/// `deltas` may be null when the plan has no delta literal.
+void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
+                 const IdbState& state, const DeltaRanges* deltas,
+                 Relation* out, EvalStats* stats);
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_EXECUTOR_H_

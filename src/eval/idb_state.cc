@@ -1,0 +1,43 @@
+#include "src/eval/idb_state.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+IdbState MakeEmptyIdbState(const Program& program) {
+  IdbState state;
+  state.relations.reserve(program.idb_predicates().size());
+  for (uint32_t pred : program.idb_predicates()) {
+    state.relations.emplace_back(program.predicate(pred).arity);
+  }
+  return state;
+}
+
+IdbState IntersectStates(const IdbState& a, const IdbState& b) {
+  INFLOG_CHECK(a.relations.size() == b.relations.size());
+  IdbState out;
+  out.relations.reserve(a.relations.size());
+  for (size_t i = 0; i < a.relations.size(); ++i) {
+    INFLOG_CHECK(a.relations[i].arity() == b.relations[i].arity());
+    Relation r(a.relations[i].arity());
+    for (size_t row = 0; row < a.relations[i].size(); ++row) {
+      TupleView t = a.relations[i].Row(row);
+      if (b.relations[i].Contains(t)) r.Insert(t);
+    }
+    out.relations.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string IdbStateToString(const Program& program, const IdbState& state) {
+  std::string out;
+  const auto& idb = program.idb_predicates();
+  INFLOG_CHECK(idb.size() == state.relations.size());
+  for (size_t i = 0; i < idb.size(); ++i) {
+    out += StrCat(program.predicate(idb[i]).name, " = ",
+                  state.relations[i].ToString(program.symbols()), "\n");
+  }
+  return out;
+}
+
+}  // namespace inflog

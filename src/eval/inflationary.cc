@@ -1,0 +1,48 @@
+#include "src/eval/inflationary.h"
+
+namespace inflog {
+
+size_t InflationaryResult::TupleStage(size_t idb_index,
+                                      TupleView tuple) const {
+  INFLOG_CHECK(idb_index < state.relations.size());
+  const int64_t row = state.relations[idb_index].Find(tuple);
+  if (row < 0) return 0;
+  const std::vector<size_t>& sizes = stage_sizes[idb_index];
+  for (size_t k = 0; k < sizes.size(); ++k) {
+    if (static_cast<size_t>(row) < sizes[k]) return k + 1;
+  }
+  INFLOG_CHECK(false) << "row beyond recorded stages";
+  return 0;
+}
+
+Result<InflationaryResult> EvalInflationary(
+    const Program& program, const Database& database,
+    const InflationaryOptions& options) {
+  INFLOG_ASSIGN_OR_RETURN(
+      EvalContext ctx, EvalContext::Create(program, database,
+                                           options.context));
+  InflationaryResult result;
+  result.state = MakeEmptyIdbState(program);
+  SemiNaiveOptions sn;
+  sn.max_stages = options.max_stages;
+  sn.use_deltas = options.use_seminaive;
+  SemiNaiveOutcome outcome = RunSemiNaive(ctx, sn, &result.state);
+  result.num_stages = outcome.num_stages;
+  result.converged = outcome.converged;
+  result.stage_sizes = std::move(outcome.stage_sizes);
+  result.stats = outcome.stats;
+  return result;
+}
+
+Result<InflationaryResult> EvalLeastFixpoint(
+    const Program& program, const Database& database,
+    const InflationaryOptions& options) {
+  if (!program.IsPositive()) {
+    return Status::FailedPrecondition(
+        "least-fixpoint semantics requires a positive DATALOG program; "
+        "use EvalInflationary for DATALOG¬");
+  }
+  return EvalInflationary(program, database, options);
+}
+
+}  // namespace inflog

@@ -1,0 +1,64 @@
+// Inflationary DATALOG — the paper's proposed semantics (Section 4).
+//
+// The inflationary semantics of π on D is Θ^∞ = ⋃ₙ Θⁿ where Θ¹ = Θ(∅) and
+// Θⁿ⁺¹ = Θⁿ ∪ Θ(Θⁿ): the inductive fixpoint of the inflationary operator
+// Θ̂(S) = S ∪ Θ(S). It is total (every DATALOG¬ program gets a meaning),
+// agrees with the least fixpoint on negation-free DATALOG, and is
+// computable in polynomial time — the sequence is increasing and stabilizes
+// after at most |A|^k · m stages.
+
+#ifndef INFLOG_EVAL_INFLATIONARY_H_
+#define INFLOG_EVAL_INFLATIONARY_H_
+
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/context.h"
+#include "src/eval/seminaive.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Options for the inflationary evaluator.
+struct InflationaryOptions {
+  /// Semi-naive (delta-restricted) stages; switch off for the naive
+  /// re-derive-everything driver used as an oracle and ablation baseline.
+  bool use_seminaive = true;
+  /// Stop after this many stages (0 = run to the inductive fixpoint).
+  size_t max_stages = 0;
+  EvalContextOptions context;
+};
+
+/// The inflationary semantics of (π, D) with per-stage bookkeeping.
+struct InflationaryResult {
+  IdbState state;  ///< Θ^∞ (or Θ^max_stages if capped).
+  /// Number of productive stages n₀ (Sⁿ⁰ = Sⁿ⁰⁺¹).
+  size_t num_stages = 0;
+  bool converged = false;
+  /// stage_sizes[idb_index][k] = relation size after stage k+1.
+  std::vector<std::vector<size_t>> stage_sizes;
+  EvalStats stats;
+
+  /// The 1-based stage at which `tuple` entered relation `idb_index`, or 0
+  /// if the tuple is not in Θ^∞. Proposition 2's distance program encodes
+  /// path lengths in exactly these stages.
+  size_t TupleStage(size_t idb_index, TupleView tuple) const;
+};
+
+/// Evaluates the inflationary semantics of `program` on `database`.
+Result<InflationaryResult> EvalInflationary(
+    const Program& program, const Database& database,
+    const InflationaryOptions& options = {});
+
+/// Least-fixpoint semantics for (positive) DATALOG programs. Fails with
+/// FailedPrecondition if `program` is not positive; on positive programs
+/// the operator is monotone, so this equals the inflationary semantics
+/// (and the paper's standard DATALOG semantics).
+Result<InflationaryResult> EvalLeastFixpoint(
+    const Program& program, const Database& database,
+    const InflationaryOptions& options = {});
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_INFLATIONARY_H_

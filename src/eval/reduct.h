@@ -1,0 +1,29 @@
+// Gelfond–Lifschitz reducts and least models of positive ground programs.
+//
+// Shared machinery for the well-founded and stable-model semantics — the
+// successors of the fixpoint semantics the paper studies (Van Gelder's
+// alternating fixpoint grew directly out of this line of work).
+
+#ifndef INFLOG_EVAL_REDUCT_H_
+#define INFLOG_EVAL_REDUCT_H_
+
+#include <vector>
+
+#include "src/ground/ground_program.h"
+
+namespace inflog {
+
+/// Computes the least model of the reduct P^I: drop every ground rule
+/// with a negated atom in `assumed_true`, drop the remaining negated
+/// literals, and close the positive residue under immediate consequence
+/// (unit propagation on definite rules). Returns truth by atom id.
+///
+/// This operator S(I) is antimonotone in I; its alternating iteration
+/// yields the well-founded semantics, and its fixpoints S(I) = I are the
+/// stable models.
+std::vector<bool> LeastModelOfReduct(const GroundProgram& ground,
+                                     const std::vector<bool>& assumed_true);
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_REDUCT_H_

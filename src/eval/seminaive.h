@@ -1,0 +1,67 @@
+// The shared semi-naive stage loop.
+//
+// Drives the inflationary iteration S⁰ = ∅, Sⁿ⁺¹ = Sⁿ ∪ Θ(Sⁿ) for a subset
+// of rules, with a subset of the IDB predicates designated dynamic. Used by
+// the inflationary evaluator (all rules, all predicates dynamic) and the
+// stratified evaluator (one stratum at a time).
+//
+// Stage-exactness of the delta optimization: a rule body is a conjunction
+// of positive IDB literals (monotone non-decreasing along the stages),
+// EDB / equality literals (constant), and negated IDB literals (monotone
+// non-increasing). If a body instance is true at Sⁿ and all its positive
+// dynamic literals already held at Sⁿ⁻¹, then the whole body held at Sⁿ⁻¹
+// (negated literals true at Sⁿ were true at every earlier stage), so its
+// head entered at stage n at the latest. Hence the tuples that are new at
+// stage n+1 all have a positive dynamic literal matched in Δⁿ, and
+// restricting one positive dynamic literal to Δⁿ (iterating over the
+// choices) reproduces the naive stage sets exactly. This matters because
+// Proposition 2's distance program reads its meaning off the stage at
+// which tuples enter. The property is cross-checked against the naive
+// driver in tests/eval_inflationary_test.cc.
+
+#ifndef INFLOG_EVAL_SEMINAIVE_H_
+#define INFLOG_EVAL_SEMINAIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+
+namespace inflog {
+
+/// Options for one semi-naive run.
+struct SemiNaiveOptions {
+  /// Rules to evaluate (indices into program.rules()); empty = all rules.
+  std::vector<size_t> rule_subset;
+  /// Stop after this many stages (0 = run to the inductive fixpoint).
+  size_t max_stages = 0;
+  /// If false, recompute full Θ every stage (the naive driver; used as a
+  /// cross-check oracle and as the ablation baseline in bench E6).
+  bool use_deltas = true;
+};
+
+/// Output of a semi-naive run.
+struct SemiNaiveOutcome {
+  /// Number of productive stages (stages that added at least one tuple);
+  /// this is the n₀ with S^{n₀} = S^{n₀+1} of Section 4.
+  size_t num_stages = 0;
+  /// True iff the run reached the inductive fixpoint (false only when
+  /// max_stages cut it short).
+  bool converged = false;
+  /// stage_sizes[idb_index][k] = relation size after stage k+1. The stage
+  /// of a tuple at row r is the first k with r < stage_sizes[idb][k].
+  std::vector<std::vector<size_t>> stage_sizes;
+  EvalStats stats;
+};
+
+/// Runs the loop, growing `state` in place (append-only). `ctx` decides
+/// which predicates are dynamic; rules whose head predicate is not dynamic
+/// in `ctx` must not be part of the subset.
+SemiNaiveOutcome RunSemiNaive(const EvalContext& ctx,
+                              const SemiNaiveOptions& options,
+                              IdbState* state);
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_SEMINAIVE_H_

@@ -1,0 +1,49 @@
+#include "src/eval/stable.h"
+
+#include "src/eval/reduct.h"
+
+namespace inflog {
+
+Result<StableResult> EnumerateStableModels(const Program& program,
+                                           const Database& database,
+                                           const StableOptions& options) {
+  INFLOG_ASSIGN_OR_RETURN(
+      FixpointAnalyzer analyzer,
+      FixpointAnalyzer::Create(&program, &database, options.analyze));
+  const GroundProgram& ground = analyzer.ground();
+  const CompletionEncoding& encoding = analyzer.encoding();
+
+  // Enumerate supported models directly at the SAT level so we can apply
+  // the stability filter on atom vectors.
+  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, [&]() -> Result<sat::Solver> {
+    sat::Solver s(options.analyze.solver);
+    s.AddCnf(encoding.cnf);
+    return s;
+  }());
+
+  StableResult out;
+  while (out.supported_examined < options.max_supported) {
+    const sat::SolveResult res = solver.Solve();
+    if (res == sat::SolveResult::kUnknown) {
+      return Status::ResourceExhausted("SAT conflict budget exhausted");
+    }
+    if (res == sat::SolveResult::kUnsat) return out;
+    ++out.supported_examined;
+    const std::vector<bool> atoms = encoding.DecodeAtoms(solver.Model());
+    // Gelfond–Lifschitz check: S is stable iff S = LM(P^S).
+    if (LeastModelOfReduct(ground, atoms) == atoms) {
+      out.models.push_back(ground.DecodeState(program, atoms));
+    }
+    // Block this supported model and continue.
+    sat::Clause block;
+    for (size_t a = 0; a < encoding.atom_vars.size(); ++a) {
+      const int32_t var = encoding.atom_vars[a];
+      if (var < 0) continue;
+      block.push_back(atoms[a] ? sat::Neg(var) : sat::Pos(var));
+    }
+    if (block.empty() || !solver.AddClause(block)) return out;
+  }
+  return Status::ResourceExhausted("supported-model budget exhausted");
+}
+
+}  // namespace inflog

@@ -1,0 +1,48 @@
+// Stable model semantics (Gelfond–Lifschitz), as a filter over the
+// paper's fixpoints.
+//
+// Every stable model is a fixpoint of Θ (a supported model), but not
+// conversely: S(x) ← S(x) supports any subset of A while only ∅ is
+// stable. The enumerator therefore runs the supported-model pipeline
+// (ground → completion → CDCL with blocking clauses) and keeps the models
+// that equal the least model of their own reduct. This is the modern
+// answer-set view of the negation problem the paper posed; the
+// experiments use it to situate the fixpoint/inflationary semantics
+// against the XSB/DLV/clingo lineage.
+
+#ifndef INFLOG_EVAL_STABLE_H_
+#define INFLOG_EVAL_STABLE_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/fixpoint/analysis.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Options for stable-model enumeration.
+struct StableOptions {
+  /// Cap on the number of *supported* models examined.
+  size_t max_supported = 100'000;
+  AnalyzeOptions analyze;
+};
+
+/// Result of stable-model enumeration.
+struct StableResult {
+  std::vector<IdbState> models;
+  /// Supported models (fixpoints) examined — ≥ models.size(); the gap is
+  /// the supported-but-not-stable count (e.g. self-supported loops).
+  size_t supported_examined = 0;
+};
+
+/// Enumerates the stable models of (π, D).
+Result<StableResult> EnumerateStableModels(const Program& program,
+                                           const Database& database,
+                                           const StableOptions& options = {});
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_STABLE_H_

@@ -1,0 +1,49 @@
+#include "src/eval/stratified.h"
+
+#include "src/eval/seminaive.h"
+
+namespace inflog {
+
+Result<StratifiedResult> EvalStratified(const Program& program,
+                                        const Database& database,
+                                        const StratifiedOptions& options) {
+  const ProgramAnalysis analysis = AnalyzeProgram(program);
+  if (!analysis.stratifiable) {
+    return Status::FailedPrecondition(
+        "program is not stratifiable (a cycle passes through negation); "
+        "the stratified semantics is undefined — use EvalInflationary");
+  }
+  StratifiedResult result;
+  result.num_strata = analysis.num_strata;
+  result.state = MakeEmptyIdbState(program);
+
+  const size_t num_idb = program.idb_predicates().size();
+  for (int stratum = 0; stratum < analysis.num_strata; ++stratum) {
+    // Rules whose head lives in this stratum.
+    SemiNaiveOptions sn;
+    sn.use_deltas = options.use_seminaive;
+    for (size_t r = 0; r < program.rules().size(); ++r) {
+      if (analysis.stratum[program.rules()[r].head.predicate] == stratum) {
+        sn.rule_subset.push_back(r);
+      }
+    }
+    if (sn.rule_subset.empty()) continue;
+    // This stratum's predicates are dynamic; lower strata are frozen at
+    // their already-computed values inside `result.state`.
+    std::vector<bool> dynamic(num_idb, false);
+    for (size_t i = 0; i < num_idb; ++i) {
+      dynamic[i] =
+          analysis.stratum[program.idb_predicates()[i]] == stratum;
+    }
+    INFLOG_ASSIGN_OR_RETURN(
+        EvalContext ctx,
+        EvalContext::CreateWithFixed(program, database, dynamic,
+                                     &result.state, options.context));
+    SemiNaiveOutcome outcome = RunSemiNaive(ctx, sn, &result.state);
+    INFLOG_CHECK(outcome.converged);
+    result.stats.Add(outcome.stats);
+  }
+  return result;
+}
+
+}  // namespace inflog

@@ -1,0 +1,45 @@
+// Stratified semantics (Chandra–Harel [CH85], Apt–Blair–Walker [ABW86]) —
+// the baseline semantics the paper contrasts Inflationary DATALOG with.
+//
+// The predicates are layered so that negation only reaches strictly lower
+// layers; each stratum is then a positive program in its own predicates
+// and is evaluated to its least fixpoint with all lower strata frozen.
+// Only stratifiable programs have this semantics — the toggle rule and
+// π_SAT do not — whereas the inflationary semantics is total. On programs
+// that are stratified, the two semantics may still differ: Proposition 2's
+// distance program is the paper's example, reproduced in bench E7.
+
+#ifndef INFLOG_EVAL_STRATIFIED_H_
+#define INFLOG_EVAL_STRATIFIED_H_
+
+#include "src/ast/analysis.h"
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Options for the stratified evaluator.
+struct StratifiedOptions {
+  bool use_seminaive = true;
+  EvalContextOptions context;
+};
+
+/// The stratified model of (π, D).
+struct StratifiedResult {
+  IdbState state;
+  int num_strata = 0;
+  EvalStats stats;
+};
+
+/// Evaluates the stratified semantics. Fails with FailedPrecondition if
+/// the program is not stratifiable.
+Result<StratifiedResult> EvalStratified(
+    const Program& program, const Database& database,
+    const StratifiedOptions& options = {});
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_STRATIFIED_H_

@@ -1,0 +1,33 @@
+#include "src/eval/theta.h"
+
+namespace inflog {
+
+ThetaOperator::ThetaOperator(const EvalContext* ctx) : ctx_(ctx) {
+  const Program& program = ctx_->program();
+  const std::vector<bool> all_dynamic(program.idb_predicates().size(), true);
+  plans_.reserve(program.rules().size());
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    plans_.push_back(PlanRule(program, r, all_dynamic, /*delta_literal=*/-1));
+  }
+}
+
+IdbState ThetaOperator::Apply(const IdbState& state, EvalStats* stats) const {
+  const Program& program = ctx_->program();
+  IdbState out = MakeEmptyIdbState(program);
+  EvalStats local;
+  for (const RulePlan& plan : plans_) {
+    const Rule& rule = program.rules()[plan.rule_index];
+    const int idb = program.predicate(rule.head.predicate).idb_index;
+    INFLOG_CHECK(idb >= 0);
+    ExecutePlan(*ctx_, plan, state, /*deltas=*/nullptr,
+                &out.relations[idb], &local);
+  }
+  if (stats != nullptr) stats->Add(local);
+  return out;
+}
+
+bool ThetaOperator::IsFixpoint(const IdbState& state, EvalStats* stats) const {
+  return Apply(state, stats) == state;
+}
+
+}  // namespace inflog

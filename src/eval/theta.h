@@ -1,0 +1,41 @@
+// ThetaOperator: the paper's immediate consequence operator Θ (Section 2).
+//
+// Given IDB values S = (S₁, ..., S_m), Θ(S) is the state whose i-th
+// relation is { ā : D ⊨ ⋁ᵣ θᵣ(ā, S) }, the heads derivable in one step by
+// the rules with head Sᵢ, variables ranging over the evaluation universe.
+// S is a fixpoint of (π, D) iff Θ(S) = S.
+
+#ifndef INFLOG_EVAL_THETA_H_
+#define INFLOG_EVAL_THETA_H_
+
+#include <vector>
+
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+#include "src/eval/plan.h"
+
+namespace inflog {
+
+/// Compiled form of Θ for one (program, database) pair.
+class ThetaOperator {
+ public:
+  /// `ctx` must treat every IDB predicate as dynamic and must outlive the
+  /// operator.
+  explicit ThetaOperator(const EvalContext* ctx);
+
+  /// Computes Θ(state) from scratch (not unioned with `state`).
+  IdbState Apply(const IdbState& state, EvalStats* stats = nullptr) const;
+
+  /// True iff Θ(state) = state — the paper's fixpoint condition.
+  bool IsFixpoint(const IdbState& state, EvalStats* stats = nullptr) const;
+
+  const EvalContext& context() const { return *ctx_; }
+
+ private:
+  const EvalContext* ctx_;
+  std::vector<RulePlan> plans_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_THETA_H_

@@ -1,0 +1,42 @@
+#include "src/eval/wellfounded.h"
+
+#include "src/eval/reduct.h"
+
+namespace inflog {
+
+Result<WellFoundedResult> EvalWellFounded(const Program& program,
+                                          const Database& database,
+                                          const GrounderOptions& options) {
+  WellFoundedResult out;
+  INFLOG_ASSIGN_OR_RETURN(out.ground,
+                          GroundProgramFor(program, database, options));
+  const size_t num_atoms = out.ground.atoms.size();
+
+  std::vector<bool> under(num_atoms, false);  // U: definitely true
+  std::vector<bool> over;                     // V: possibly true
+  while (true) {
+    ++out.rounds;
+    over = LeastModelOfReduct(out.ground, under);
+    std::vector<bool> next_under = LeastModelOfReduct(out.ground, over);
+    if (next_under == under) break;
+    under = std::move(next_under);
+  }
+
+  out.truth.assign(num_atoms, 0);
+  out.true_state = out.ground.DecodeState(program, under);
+  std::vector<bool> undefined(num_atoms, false);
+  out.total = true;
+  for (size_t a = 0; a < num_atoms; ++a) {
+    if (under[a]) {
+      out.truth[a] = 1;
+    } else if (over[a]) {
+      out.truth[a] = -1;
+      undefined[a] = true;
+      out.total = false;
+    }
+  }
+  out.undefined_state = out.ground.DecodeState(program, undefined);
+  return out;
+}
+
+}  // namespace inflog

@@ -1,0 +1,122 @@
+// FixpointAnalyzer: the executable form of the paper's Section 3.
+//
+// For a fixed program π and input database D it answers, through the
+// ground-completion-CDCL pipeline:
+//
+//   * HasFixpoint / FindFixpoint     — Theorem 1's NP problem;
+//   * UniqueFixpoint                 — Theorem 2's US problem
+//                                      (two SAT calls: solve, block, solve);
+//   * EnumerateFixpoints / Count     — the full fixpoint structure (the
+//                                      §2 example: paths, cycles, Gₙ);
+//   * LeastFixpoint                  — Theorem 3's problem, decided by the
+//                                      paper's observation that a least
+//                                      fixpoint exists iff the
+//                                      intersection of all fixpoints is a
+//                                      fixpoint. The intersection is
+//                                      computed with polynomially many SAT
+//                                      calls (FONP-style: first-order
+//                                      combination of NP oracle answers).
+//
+// Every model returned by the solver is re-verified against the direct
+// Θ(S) = S check, so the SAT path never silently diverges from the
+// semantics.
+
+#ifndef INFLOG_FIXPOINT_ANALYSIS_H_
+#define INFLOG_FIXPOINT_ANALYSIS_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/fixpoint/completion.h"
+#include "src/ground/grounder.h"
+#include "src/relation/database.h"
+#include "src/sat/solver.h"
+
+namespace inflog {
+
+/// Limits for fixpoint analysis.
+struct AnalyzeOptions {
+  GrounderOptions grounder;
+  sat::SolverOptions solver;
+  /// Verify each decoded fixpoint with a direct Θ(S) = S check.
+  bool verify_models = true;
+};
+
+/// Three-way answer for unique-fixpoint queries (the class US asks for
+/// "exactly one accepting computation").
+enum class UniqueStatus { kNoFixpoint, kUnique, kMultiple };
+
+/// Outcome of the least-fixpoint decision.
+struct LeastFixpointOutcome {
+  bool has_fixpoint = false;  ///< (π, D) has at least one fixpoint.
+  bool has_least = false;     ///< The intersection is itself a fixpoint.
+  /// The coordinatewise intersection of all fixpoints (meaningful iff
+  /// has_fixpoint). When has_least, this is the least fixpoint.
+  IdbState intersection;
+  /// SAT oracle calls used (the FONP flavor of Theorem 3 made concrete).
+  size_t sat_calls = 0;
+};
+
+/// Per-(π, D) analyzer. Holds the grounding and its completion; each query
+/// runs a fresh CDCL solver over the encoding.
+class FixpointAnalyzer {
+ public:
+  /// Grounds and encodes. `program` and `database` must outlive the
+  /// analyzer.
+  static Result<FixpointAnalyzer> Create(const Program* program,
+                                         const Database* database,
+                                         AnalyzeOptions options = {});
+
+  /// Does (π, D) have any fixpoint?
+  Result<bool> HasFixpoint() const;
+
+  /// Some fixpoint, or nullopt when none exists.
+  Result<std::optional<IdbState>> FindFixpoint() const;
+
+  /// Up to `limit` fixpoints (0 = all). The order is solver-dependent but
+  /// deterministic for a fixed build.
+  Result<std::vector<IdbState>> EnumerateFixpoints(size_t limit = 0) const;
+
+  /// Number of fixpoints, counted by enumeration up to `limit`
+  /// (ResourceExhausted beyond it).
+  Result<uint64_t> CountFixpoints(uint64_t limit = 1'000'000) const;
+
+  /// None / exactly one / more than one fixpoint.
+  Result<UniqueStatus> UniqueFixpoint() const;
+
+  /// Decides least-fixpoint existence per Theorem 3.
+  Result<LeastFixpointOutcome> LeastFixpoint() const;
+
+  /// Direct semantic check Θ(state) = state (independent of SAT).
+  Result<bool> VerifyFixpoint(const IdbState& state) const;
+
+  const GroundProgram& ground() const { return ground_; }
+  const CompletionEncoding& encoding() const { return encoding_; }
+
+ private:
+  FixpointAnalyzer(const Program* program, const Database* database,
+                   AnalyzeOptions options)
+      : program_(program), database_(database), options_(options) {}
+
+  /// Fresh solver pre-loaded with the completion.
+  Result<sat::Solver> MakeSolver() const;
+
+  /// Decodes + optionally verifies a solver model.
+  Result<IdbState> DecodeModel(const sat::Solver& solver) const;
+
+  /// Clause blocking the model's head-atom assignment.
+  sat::Clause BlockingClause(const sat::Solver& solver) const;
+
+  const Program* program_;
+  const Database* database_;
+  AnalyzeOptions options_;
+  GroundProgram ground_;
+  CompletionEncoding encoding_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_FIXPOINT_ANALYSIS_H_

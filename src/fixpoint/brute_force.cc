@@ -1,0 +1,72 @@
+#include "src/fixpoint/brute_force.h"
+
+#include "src/base/strings.h"
+#include "src/eval/theta.h"
+
+namespace inflog {
+
+Result<std::vector<IdbState>> BruteForceFixpoints(
+    const Program& program, const Database& database,
+    const BruteForceOptions& options) {
+  EvalContextOptions ctx_options;
+  ctx_options.allow_missing_edb = options.allow_missing_edb;
+  INFLOG_ASSIGN_OR_RETURN(
+      EvalContext ctx, EvalContext::Create(program, database, ctx_options));
+  const std::vector<Value>& universe = ctx.universe();
+
+  // Materialize the full candidate atom space: every tuple over the
+  // universe, for every IDB predicate.
+  struct CandidateAtom {
+    size_t idb_index;
+    Tuple tuple;
+  };
+  std::vector<CandidateAtom> atoms;
+  const auto& idb = program.idb_predicates();
+  for (size_t i = 0; i < idb.size(); ++i) {
+    const size_t arity = program.predicate(idb[i]).arity;
+    // Count |A|^arity with overflow care.
+    double count = 1;
+    for (size_t k = 0; k < arity; ++k) count *= universe.size();
+    if (count + atoms.size() > static_cast<double>(options.max_atoms)) {
+      return Status::ResourceExhausted(
+          StrCat("brute force would enumerate 2^",
+                 static_cast<size_t>(count) + atoms.size(), " states (cap ",
+                 options.max_atoms, " atoms)"));
+    }
+    // Odometer over A^arity.
+    Tuple tuple(arity, universe.empty() ? 0 : universe[0]);
+    std::vector<size_t> digits(arity, 0);
+    if (arity == 0) {
+      atoms.push_back(CandidateAtom{i, {}});
+      continue;
+    }
+    if (universe.empty()) continue;
+    while (true) {
+      for (size_t k = 0; k < arity; ++k) tuple[k] = universe[digits[k]];
+      atoms.push_back(CandidateAtom{i, tuple});
+      size_t k = 0;
+      while (k < arity && ++digits[k] == universe.size()) {
+        digits[k] = 0;
+        ++k;
+      }
+      if (k == arity) break;
+    }
+  }
+  INFLOG_CHECK(atoms.size() <= 63) << "mask enumeration limit";
+
+  ThetaOperator theta(&ctx);
+  std::vector<IdbState> fixpoints;
+  const uint64_t total = uint64_t{1} << atoms.size();
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    IdbState state = MakeEmptyIdbState(program);
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      if (mask & (uint64_t{1} << a)) {
+        state.relations[atoms[a].idb_index].Insert(atoms[a].tuple);
+      }
+    }
+    if (theta.IsFixpoint(state)) fixpoints.push_back(std::move(state));
+  }
+  return fixpoints;
+}
+
+}  // namespace inflog

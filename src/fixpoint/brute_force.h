@@ -1,0 +1,36 @@
+// Brute-force fixpoint enumeration over the full IDB tuple space.
+//
+// Enumerates every candidate state S ⊆ A^k₁ × ... × A^k_m and keeps those
+// with Θ(S) = S. Exponential — usable only when the total number of
+// candidate atoms is tiny — but it checks the definition directly, with no
+// grounding, completion, or SAT in the loop, so it is the ground truth the
+// analyzer is property-tested against.
+
+#ifndef INFLOG_FIXPOINT_BRUTE_FORCE_H_
+#define INFLOG_FIXPOINT_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Limits for brute-force enumeration.
+struct BruteForceOptions {
+  /// Error out when |A|^arity summed over IDB predicates exceeds this
+  /// (2^max_atoms candidate states would be enumerated).
+  size_t max_atoms = 22;
+  bool allow_missing_edb = false;
+};
+
+/// All fixpoints of (π, D), by exhaustive enumeration.
+Result<std::vector<IdbState>> BruteForceFixpoints(
+    const Program& program, const Database& database,
+    const BruteForceOptions& options = {});
+
+}  // namespace inflog
+
+#endif  // INFLOG_FIXPOINT_BRUTE_FORCE_H_

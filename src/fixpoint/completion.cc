@@ -1,0 +1,117 @@
+#include "src/fixpoint/completion.h"
+
+#include <algorithm>
+
+namespace inflog {
+namespace {
+
+/// Lazily computed simplification of one interned body against the set of
+/// supported atoms.
+struct SimplifiedBody {
+  enum class State : uint8_t { kUnknown, kTrue, kFalse, kLit };
+  State state = State::kUnknown;
+  sat::Lit lit;
+};
+
+}  // namespace
+
+CompletionEncoding EncodeCompletion(const GroundProgram& ground) {
+  CompletionEncoding enc;
+  const size_t num_atoms = ground.atoms.size();
+  INFLOG_CHECK(ground.rules_by_head.size() == num_atoms)
+      << "GroundProgram::IndexHeads() must run before encoding";
+
+  enc.atom_vars.assign(num_atoms, -1);
+  for (uint32_t a = 0; a < num_atoms; ++a) {
+    if (!ground.rules_by_head[a].empty()) {
+      enc.atom_vars[a] = enc.cnf.NewVar();
+    }
+  }
+
+  // One shared Tseitin definition per interned body (computed lazily the
+  // first time a rule uses that body).
+  std::vector<SimplifiedBody> simplified(ground.bodies.size());
+  auto body_def = [&](uint32_t body_id) -> SimplifiedBody& {
+    SimplifiedBody& sb = simplified[body_id];
+    if (sb.state != SimplifiedBody::State::kUnknown) return sb;
+    const GroundBody& body = ground.bodies.body(body_id);
+    std::vector<sat::Lit> lits;
+    for (uint32_t p : body.pos) {
+      if (enc.atom_vars[p] < 0) {
+        sb.state = SimplifiedBody::State::kFalse;  // unsupported atom
+        return sb;
+      }
+      lits.push_back(sat::Pos(enc.atom_vars[p]));
+    }
+    for (uint32_t n : body.neg) {
+      if (enc.atom_vars[n] < 0) continue;  // ¬(false atom) is true
+      lits.push_back(sat::Neg(enc.atom_vars[n]));
+    }
+    if (lits.empty()) {
+      sb.state = SimplifiedBody::State::kTrue;
+      return sb;
+    }
+    std::sort(lits.begin(), lits.end());
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    if (lits.size() == 1) {
+      sb.state = SimplifiedBody::State::kLit;
+      sb.lit = lits[0];
+      return sb;
+    }
+    const sat::Var b = enc.cnf.NewVar();
+    ++enc.num_body_vars;
+    sb.state = SimplifiedBody::State::kLit;
+    sb.lit = sat::Pos(b);
+    // b ↔ ⋀ lits.
+    sat::Clause back{sb.lit};
+    for (const sat::Lit& l : lits) {
+      enc.cnf.AddClause({sat::Neg(b), l});
+      back.push_back(~l);
+    }
+    enc.cnf.AddClause(std::move(back));
+    return sb;
+  };
+
+  for (uint32_t a = 0; a < num_atoms; ++a) {
+    if (enc.atom_vars[a] < 0) continue;
+    const sat::Lit head = sat::Pos(enc.atom_vars[a]);
+
+    bool has_true_body = false;
+    std::vector<sat::Lit> body_lits;     // one defining literal per body
+    std::vector<int32_t> seen_codes;     // dedup across this head's bodies
+    for (uint32_t r : ground.rules_by_head[a]) {
+      const SimplifiedBody& sb = body_def(ground.rules[r].body);
+      if (sb.state == SimplifiedBody::State::kFalse) continue;
+      if (sb.state == SimplifiedBody::State::kTrue) {
+        has_true_body = true;
+        break;
+      }
+      if (std::find(seen_codes.begin(), seen_codes.end(), sb.lit.code) ==
+          seen_codes.end()) {
+        seen_codes.push_back(sb.lit.code);
+        body_lits.push_back(sb.lit);
+      }
+    }
+
+    if (has_true_body) {
+      // a ↔ (true ∨ ...): a is simply true.
+      enc.cnf.AddClause({head});
+      continue;
+    }
+    if (body_lits.empty()) {
+      // Every body was unsatisfiable: a ↔ false.
+      enc.cnf.AddClause({~head});
+      continue;
+    }
+    // bᵢ → a, and a → ⋁ bᵢ.
+    sat::Clause support{~head};
+    for (const sat::Lit& b : body_lits) {
+      enc.cnf.AddClause({~b, head});
+      support.push_back(b);
+    }
+    enc.cnf.AddClause(std::move(support));
+  }
+  return enc;
+}
+
+}  // namespace inflog

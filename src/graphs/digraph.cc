@@ -1,0 +1,246 @@
+#include "src/graphs/digraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+bool Digraph::AddEdge(size_t u, size_t v) {
+  INFLOG_CHECK(u < adj_.size() && v < adj_.size());
+  auto& out = adj_[u];
+  if (std::find(out.begin(), out.end(), static_cast<uint32_t>(v)) !=
+      out.end()) {
+    return false;
+  }
+  out.push_back(static_cast<uint32_t>(v));
+  ++num_edges_;
+  return true;
+}
+
+bool Digraph::HasEdge(size_t u, size_t v) const {
+  INFLOG_CHECK(u < adj_.size() && v < adj_.size());
+  const auto& out = adj_[u];
+  return std::find(out.begin(), out.end(), static_cast<uint32_t>(v)) !=
+         out.end();
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> Digraph::Edges() const {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_edges_);
+  for (uint32_t u = 0; u < adj_.size(); ++u) {
+    for (uint32_t v : adj_[u]) edges.emplace_back(u, v);
+  }
+  return edges;
+}
+
+std::string Digraph::ToString() const {
+  std::string out = StrCat("n=", num_vertices(), " edges=[");
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("(", u, ",", v, ")");
+  }
+  return out + "]";
+}
+
+Digraph PathGraph(size_t n) {
+  Digraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Digraph CycleGraph(size_t n) {
+  INFLOG_CHECK(n >= 1);
+  Digraph g(n);
+  for (size_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Digraph DisjointCycles(size_t k, size_t len) {
+  INFLOG_CHECK(len >= 1);
+  Digraph g(k * len);
+  for (size_t c = 0; c < k; ++c) {
+    const size_t base = c * len;
+    for (size_t i = 0; i + 1 < len; ++i) g.AddEdge(base + i, base + i + 1);
+    g.AddEdge(base + len - 1, base);
+  }
+  return g;
+}
+
+Digraph CompleteGraph(size_t n) {
+  Digraph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      if (u != v) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph RandomDigraph(size_t n, double p, Rng* rng) {
+  Digraph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = 0; v < n; ++v) {
+      if (u != v && rng->Bernoulli(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph Hypercube(size_t d) {
+  const size_t n = size_t{1} << d;
+  Digraph g(n);
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t bit = 0; bit < d; ++bit) {
+      g.AddEdge(u, u ^ (size_t{1} << bit));
+    }
+  }
+  return g;
+}
+
+std::vector<std::vector<int>> BfsAllPairs(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<std::vector<int>> dist(n, std::vector<int>(n, -1));
+  for (size_t s = 0; s < n; ++s) {
+    dist[s][s] = 0;
+    std::deque<uint32_t> queue{static_cast<uint32_t>(s)};
+    while (!queue.empty()) {
+      const uint32_t u = queue.front();
+      queue.pop_front();
+      for (uint32_t v : g.Successors(u)) {
+        if (dist[s][v] < 0) {
+          dist[s][v] = dist[s][u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<bool>> TransitiveClosure(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<std::vector<bool>> tc(n, std::vector<bool>(n, false));
+  for (const auto& [u, v] : g.Edges()) tc[u][v] = true;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!tc[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (tc[k][j]) tc[i][j] = true;
+      }
+    }
+  }
+  return tc;
+}
+
+namespace {
+
+bool ColorBacktrack(const std::vector<std::vector<bool>>& adjacent,
+                    std::vector<int>* colors, size_t v) {
+  const size_t n = adjacent.size();
+  if (v == n) return true;
+  for (int c = 0; c < 3; ++c) {
+    bool ok = true;
+    for (size_t u = 0; u < v && ok; ++u) {
+      if (adjacent[u][v] && (*colors)[u] == c) ok = false;
+    }
+    if (adjacent[v][v]) ok = false;  // self-loop: no proper coloring
+    if (!ok) continue;
+    (*colors)[v] = c;
+    if (ColorBacktrack(adjacent, colors, v + 1)) return true;
+  }
+  (*colors)[v] = -1;
+  return false;
+}
+
+}  // namespace
+
+bool IsThreeColorable(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<std::vector<bool>> adjacent(n, std::vector<bool>(n, false));
+  for (const auto& [u, v] : g.Edges()) {
+    adjacent[u][v] = true;
+    adjacent[v][u] = true;
+  }
+  std::vector<int> colors(n, -1);
+  return ColorBacktrack(adjacent, &colors, 0);
+}
+
+namespace {
+
+uint64_t HamiltonBacktrack(const Digraph& g, std::vector<bool>* used,
+                           size_t current, size_t visited) {
+  const size_t n = g.num_vertices();
+  if (visited == n) return g.HasEdge(current, 0) ? 1 : 0;
+  uint64_t count = 0;
+  for (uint32_t next : g.Successors(current)) {
+    if ((*used)[next]) continue;
+    (*used)[next] = true;
+    count += HamiltonBacktrack(g, used, next, visited + 1);
+    (*used)[next] = false;
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t CountHamiltonCircuits(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  if (n == 0) return 0;
+  if (n == 1) return g.HasEdge(0, 0) ? 1 : 0;
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  return HamiltonBacktrack(g, &used, 0, 1);
+}
+
+void GraphToDatabase(const Digraph& g, std::string_view edge_relation,
+                     Database* db) {
+  for (size_t v = 0; v < g.num_vertices(); ++v) {
+    db->AddUniverseInt(static_cast<int64_t>(v));
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    const Tuple tuple{db->symbols().InternInt(u), db->symbols().InternInt(v)};
+    INFLOG_CHECK(db->AddFact(edge_relation, tuple).ok());
+  }
+  if (!db->HasRelation(edge_relation)) {
+    INFLOG_CHECK(db->DeclareRelation(edge_relation, 2).ok());
+  }
+}
+
+Result<Digraph> GraphFromDatabase(const Database& db,
+                                  std::string_view edge_relation) {
+  const size_t n = db.universe().size();
+  // Map universe symbols "0".."n-1" back to indices.
+  std::vector<int64_t> index_of(db.symbols().size(), -1);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string name = std::to_string(i);
+    const Value v = db.symbols().Find(name);
+    if (v == kNoValue || !db.InUniverse(v)) {
+      return Status::InvalidArgument(
+          StrCat("universe is not the decimal range 0..", n - 1));
+    }
+    index_of[v] = static_cast<int64_t>(i);
+  }
+  Digraph g(n);
+  INFLOG_ASSIGN_OR_RETURN(const Relation* rel,
+                          db.GetRelation(edge_relation));
+  if (rel->arity() != 2) {
+    return Status::InvalidArgument("edge relation must be binary");
+  }
+  for (size_t r = 0; r < rel->size(); ++r) {
+    TupleView row = rel->Row(r);
+    const int64_t u = index_of[row[0]];
+    const int64_t v = index_of[row[1]];
+    if (u < 0 || v < 0) {
+      return Status::InvalidArgument("edge endpoint outside the universe");
+    }
+    g.AddEdge(static_cast<size_t>(u), static_cast<size_t>(v));
+  }
+  return g;
+}
+
+}  // namespace inflog

@@ -1,0 +1,108 @@
+// Digraph: the finite directed graphs the paper's examples live on.
+//
+// Vertices are 0..n-1. Conversions to/from the relational representation
+// (a binary EDB relation E over vertex symbols) connect the graph world to
+// the DATALOG¬ world; the generators produce the paper's families (paths
+// Lₙ, cycles Cₙ, disjoint cycle unions Gₙ) plus standard test fodder; the
+// oracles (BFS distances, transitive closure, 3-colorability, Hamilton
+// circuits) are the independent ground truth the reductions are checked
+// against.
+
+#ifndef INFLOG_GRAPHS_DIGRAPH_H_
+#define INFLOG_GRAPHS_DIGRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/logging.h"
+#include "src/base/rng.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// A directed graph on vertices 0..n-1 (no multi-edges).
+class Digraph {
+ public:
+  explicit Digraph(size_t num_vertices) : adj_(num_vertices) {}
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds edge u→v if absent; returns true when added.
+  bool AddEdge(size_t u, size_t v);
+
+  bool HasEdge(size_t u, size_t v) const;
+
+  /// Out-neighbors of u.
+  const std::vector<uint32_t>& Successors(size_t u) const {
+    INFLOG_CHECK(u < adj_.size());
+    return adj_[u];
+  }
+
+  /// All edges as (u, v) pairs, ordered by u then insertion.
+  std::vector<std::pair<uint32_t, uint32_t>> Edges() const;
+
+  /// Renders "n=3 edges=[(0,1),(1,2)]".
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<uint32_t>> adj_;
+  size_t num_edges_ = 0;
+};
+
+// --- Generators (the paper's families and standard test graphs). ---
+
+/// The directed path Lₙ: vertices 1..n as 0..n-1, edges i→i+1.
+Digraph PathGraph(size_t n);
+
+/// The directed cycle Cₙ: edges i→i+1 and n-1→0.
+Digraph CycleGraph(size_t n);
+
+/// Gₖ of the §2 example: k disjoint copies of the cycle C_len (the paper
+/// uses len = 4; 2ᵏ pairwise-incomparable fixpoints of π₁ live here).
+Digraph DisjointCycles(size_t k, size_t len);
+
+/// The complete digraph Kₙ (all ordered pairs u ≠ v).
+Digraph CompleteGraph(size_t n);
+
+/// Erdős–Rényi digraph: each ordered pair u ≠ v is an edge with
+/// probability p (deterministic under `rng`).
+Digraph RandomDigraph(size_t n, double p, Rng* rng);
+
+/// Undirected hypercube Q_d on 2^d vertices, both edge directions.
+Digraph Hypercube(size_t d);
+
+// --- Oracles. ---
+
+/// All-pairs shortest path lengths by BFS; dist[u][v] = -1 when v is
+/// unreachable from u, 0 on the diagonal.
+std::vector<std::vector<int>> BfsAllPairs(const Digraph& g);
+
+/// Transitive closure: tc[u][v] iff there is a nonempty path u→v.
+std::vector<std::vector<bool>> TransitiveClosure(const Digraph& g);
+
+/// Ignores edge directions and decides proper 3-colorability by
+/// backtracking. Self-loops make a graph uncolorable.
+bool IsThreeColorable(const Digraph& g);
+
+/// Counts directed Hamilton circuits (up to rotation, fixing vertex 0 as
+/// the start). Exponential; for small graphs only.
+uint64_t CountHamiltonCircuits(const Digraph& g);
+
+// --- Relational representation. ---
+
+/// Writes the graph into `db` as facts E(u, v), vertex i named "i". Adds
+/// every vertex to the universe (isolated vertices included).
+void GraphToDatabase(const Digraph& g, std::string_view edge_relation,
+                     Database* db);
+
+/// Reads a digraph back from a binary relation whose constants are decimal
+/// vertex names 0..n-1 (n = universe size).
+Result<Digraph> GraphFromDatabase(const Database& db,
+                                  std::string_view edge_relation);
+
+}  // namespace inflog
+
+#endif  // INFLOG_GRAPHS_DIGRAPH_H_

@@ -1,0 +1,130 @@
+// Ground programs: the propositional residue of (π, D).
+//
+// The grounder instantiates every rule over the evaluation universe,
+// evaluates away the EDB and (in)equality literals, and keeps the IDB
+// literals as ground atoms. What remains — ground rules with positive and
+// negated IDB body atoms — is the object on which fixpoint analysis (Clark
+// completion / supported models), the well-founded semantics, and the
+// stable-model check all operate.
+//
+// Bodies are interned: rules whose variables do not all occur in the head
+// (the toggle rule T(z) ← ¬Q(u), ¬T(w) instantiates |A|³ rules over only
+// |A|² distinct bodies) share one GroundBody record, and a rule is just a
+// (head atom, body id) pair. This keeps the cubic rule lists cheap and
+// lets the completion encoder reuse one Tseitin definition per body.
+
+#ifndef INFLOG_GROUND_GROUND_PROGRAM_H_
+#define INFLOG_GROUND_GROUND_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/eval/idb_state.h"
+#include "src/relation/tuple.h"
+
+namespace inflog {
+
+/// A ground IDB atom: predicate id plus a constant tuple.
+struct GroundAtom {
+  uint32_t predicate;
+  Tuple args;
+};
+
+/// Dense numbering of the ground IDB atoms seen during grounding.
+class AtomTable {
+ public:
+  /// Returns the id of (pred, args), interning it if new.
+  uint32_t GetOrAdd(uint32_t predicate, TupleView args);
+
+  /// Returns the id of (pred, args), or -1 if never interned.
+  int64_t Find(uint32_t predicate, TupleView args) const;
+
+  size_t size() const { return atoms_.size(); }
+  const GroundAtom& atom(uint32_t id) const {
+    INFLOG_CHECK(id < atoms_.size());
+    return atoms_[id];
+  }
+
+ private:
+  struct Key {
+    uint32_t predicate;
+    Tuple args;
+    bool operator==(const Key& o) const {
+      return predicate == o.predicate && args == o.args;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return HashTuple(k.args) * 1000003u + k.predicate;
+    }
+  };
+
+  std::vector<GroundAtom> atoms_;
+  std::unordered_map<Key, uint32_t, KeyHash> ids_;
+};
+
+/// One ground rule body: positive and negated IDB atoms (sorted,
+/// deduplicated atom ids). The EDB part has already been checked true;
+/// bodies containing some atom both positively and negatively were
+/// dropped as unsatisfiable before interning.
+struct GroundBody {
+  std::vector<uint32_t> pos;
+  std::vector<uint32_t> neg;
+
+  bool empty() const { return pos.empty() && neg.empty(); }
+};
+
+/// Dense numbering of distinct ground bodies.
+class BodyTable {
+ public:
+  /// Interns a canonical (sorted/deduplicated) body.
+  uint32_t GetOrAdd(GroundBody body);
+
+  size_t size() const { return bodies_.size(); }
+  const GroundBody& body(uint32_t id) const {
+    INFLOG_CHECK(id < bodies_.size());
+    return bodies_[id];
+  }
+
+ private:
+  std::vector<GroundBody> bodies_;
+  std::unordered_map<std::vector<uint32_t>, uint32_t, TupleHash> ids_;
+};
+
+/// One ground rule: head ← bodies.body(body).
+struct GroundRule {
+  uint32_t head;
+  uint32_t body;
+};
+
+/// The grounding of (π, D).
+struct GroundProgram {
+  AtomTable atoms;
+  BodyTable bodies;
+  std::vector<GroundRule> rules;
+
+  /// rule indices by head atom id (atoms with no entry are unsupported and
+  /// false in every fixpoint).
+  std::vector<std::vector<uint32_t>> rules_by_head;
+
+  const GroundBody& RuleBody(const GroundRule& rule) const {
+    return bodies.body(rule.body);
+  }
+
+  /// Rebuilds rules_by_head from `rules`.
+  void IndexHeads();
+
+  /// Decodes a set of true atoms (by atom id) into an IdbState for
+  /// `program` (all other atoms false).
+  IdbState DecodeState(const Program& program,
+                       const std::vector<bool>& true_atoms) const;
+
+  /// Debug rendering "Pred(a,b) :- Pred2(c), !Pred3(d)." per rule.
+  std::string ToString(const Program& program) const;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_GROUND_GROUND_PROGRAM_H_

@@ -1,0 +1,41 @@
+// Grounder: instantiates (π, D) into a GroundProgram.
+//
+// Every rule is instantiated over the evaluation universe (active domain ∪
+// program constants) with the paper's semantics: all variables, including
+// head-only and negation-only variables, range over the universe. The EDB
+// part of each instantiation is evaluated against the database (positive
+// EDB atoms drive the enumeration as joins; negated EDB atoms, equalities
+// and inequalities filter); instantiations whose EDB part fails are
+// dropped, and the surviving IDB literals form the ground rule.
+
+#ifndef INFLOG_GROUND_GROUNDER_H_
+#define INFLOG_GROUND_GROUNDER_H_
+
+#include <cstdint>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/ground/ground_program.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// Limits for the grounding phase.
+struct GrounderOptions {
+  /// Abort with ResourceExhausted beyond this many ground rules (the
+  /// combined-complexity instances of Theorem 4 genuinely explode; this
+  /// keeps benchmarks honest instead of hanging).
+  uint64_t max_ground_rules = 5'000'000;
+  /// If true, EDB predicates missing from the database are treated as
+  /// empty relations.
+  bool allow_missing_edb = false;
+};
+
+/// Grounds `program` against `database`.
+Result<GroundProgram> GroundProgramFor(const Program& program,
+                                       const Database& database,
+                                       const GrounderOptions& options = {});
+
+}  // namespace inflog
+
+#endif  // INFLOG_GROUND_GROUNDER_H_

@@ -1,0 +1,193 @@
+#include "src/logic/eval.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace logic {
+namespace {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const FoModel& model)
+      : model_(model), universe_(model.UniverseOrDefault()) {}
+
+  Result<bool> Eval(const FormulaPtr& f, FoBinding* binding) {
+    switch (f->kind) {
+      case Formula::Kind::kTrue:
+        return true;
+      case Formula::Kind::kFalse:
+        return false;
+      case Formula::Kind::kAtom: {
+        INFLOG_ASSIGN_OR_RETURN(const Relation* rel, Resolve(f->pred));
+        if (rel->arity() != f->args.size()) {
+          return Status::InvalidArgument(
+              StrCat("atom ", f->pred, " has ", f->args.size(),
+                     " args, relation has arity ", rel->arity()));
+        }
+        Tuple tuple;
+        tuple.reserve(f->args.size());
+        for (const FoTerm& t : f->args) {
+          INFLOG_ASSIGN_OR_RETURN(const Value v, TermValue(t, *binding));
+          tuple.push_back(v);
+        }
+        return rel->Contains(tuple);
+      }
+      case Formula::Kind::kEq: {
+        INFLOG_ASSIGN_OR_RETURN(const Value a, TermValue(f->args[0], *binding));
+        INFLOG_ASSIGN_OR_RETURN(const Value b, TermValue(f->args[1], *binding));
+        return a == b;
+      }
+      case Formula::Kind::kNot: {
+        INFLOG_ASSIGN_OR_RETURN(const bool v, Eval(f->children[0], binding));
+        return !v;
+      }
+      case Formula::Kind::kAnd:
+        for (const FormulaPtr& c : f->children) {
+          INFLOG_ASSIGN_OR_RETURN(const bool v, Eval(c, binding));
+          if (!v) return false;
+        }
+        return true;
+      case Formula::Kind::kOr:
+        for (const FormulaPtr& c : f->children) {
+          INFLOG_ASSIGN_OR_RETURN(const bool v, Eval(c, binding));
+          if (v) return true;
+        }
+        return false;
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall: {
+        const bool is_exists = f->kind == Formula::Kind::kExists;
+        return EvalQuantifier(f, binding, 0, is_exists);
+      }
+    }
+    return Status::Internal("bad formula kind");
+  }
+
+ private:
+  Result<bool> EvalQuantifier(const FormulaPtr& f, FoBinding* binding,
+                              size_t var_index, bool is_exists) {
+    if (var_index == f->vars.size()) {
+      return Eval(f->children[0], binding);
+    }
+    const std::string& var = f->vars[var_index];
+    // Shadowing: remember and restore any outer binding of this name.
+    auto it = binding->find(var);
+    const bool had = it != binding->end();
+    const Value saved = had ? it->second : kNoValue;
+    for (Value v : universe_) {
+      (*binding)[var] = v;
+      INFLOG_ASSIGN_OR_RETURN(
+          const bool result, EvalQuantifier(f, binding, var_index + 1,
+                                            is_exists));
+      if (result == is_exists) {
+        RestoreBinding(binding, var, had, saved);
+        return is_exists;
+      }
+    }
+    RestoreBinding(binding, var, had, saved);
+    return !is_exists;
+  }
+
+  static void RestoreBinding(FoBinding* binding, const std::string& var,
+                             bool had, Value saved) {
+    if (had) {
+      (*binding)[var] = saved;
+    } else {
+      binding->erase(var);
+    }
+  }
+
+  Result<const Relation*> Resolve(const std::string& pred) {
+    auto it = model_.extra.find(pred);
+    if (it != model_.extra.end()) return it->second;
+    return model_.db->GetRelation(pred);
+  }
+
+  Result<Value> TermValue(const FoTerm& t, const FoBinding& binding) {
+    if (t.is_var) {
+      auto it = binding.find(t.name);
+      if (it == binding.end()) {
+        return Status::InvalidArgument(
+            StrCat("unbound variable ", t.name));
+      }
+      return it->second;
+    }
+    const Value v = model_.db->symbols().Find(t.name);
+    if (v == kNoValue) {
+      return Status::InvalidArgument(StrCat("unknown constant ", t.name));
+    }
+    return v;
+  }
+
+  const FoModel& model_;
+  std::vector<Value> universe_;
+};
+
+}  // namespace
+
+Result<bool> EvalFormula(const FoModel& model, const FormulaPtr& f,
+                         const FoBinding& binding) {
+  FoBinding scratch = binding;
+  return Evaluator(model).Eval(f, &scratch);
+}
+
+Result<bool> EvalEsoBruteForce(const FoModel& model,
+                               const EsoSentence& sentence,
+                               size_t max_atoms) {
+  const std::vector<Value> universe = model.UniverseOrDefault();
+  // Candidate atoms for each SO variable.
+  struct WitnessAtom {
+    size_t so_index;
+    Tuple tuple;
+  };
+  std::vector<WitnessAtom> atoms;
+  for (size_t s = 0; s < sentence.so_vars.size(); ++s) {
+    const size_t arity = sentence.so_vars[s].arity;
+    double count = 1;
+    for (size_t k = 0; k < arity; ++k) count *= universe.size();
+    if (count + atoms.size() > static_cast<double>(max_atoms)) {
+      return Status::ResourceExhausted(
+          StrCat("∃SO brute force needs more than ", max_atoms, " atoms"));
+    }
+    if (arity == 0) {
+      atoms.push_back(WitnessAtom{s, {}});
+      continue;
+    }
+    if (universe.empty()) continue;
+    std::vector<size_t> digits(arity, 0);
+    while (true) {
+      Tuple t(arity);
+      for (size_t k = 0; k < arity; ++k) t[k] = universe[digits[k]];
+      atoms.push_back(WitnessAtom{s, std::move(t)});
+      size_t k = 0;
+      while (k < arity && ++digits[k] == universe.size()) {
+        digits[k] = 0;
+        ++k;
+      }
+      if (k == arity) break;
+    }
+  }
+  const uint64_t total = uint64_t{1} << atoms.size();
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    std::vector<Relation> witnesses;
+    witnesses.reserve(sentence.so_vars.size());
+    for (const RelVar& rv : sentence.so_vars) {
+      witnesses.emplace_back(rv.arity);
+    }
+    for (size_t a = 0; a < atoms.size(); ++a) {
+      if (mask & (uint64_t{1} << a)) {
+        witnesses[atoms[a].so_index].Insert(atoms[a].tuple);
+      }
+    }
+    FoModel extended = model;
+    for (size_t s = 0; s < sentence.so_vars.size(); ++s) {
+      extended.extra[sentence.so_vars[s].name] = &witnesses[s];
+    }
+    INFLOG_ASSIGN_OR_RETURN(const bool holds,
+                            EvalFormula(extended, sentence.matrix));
+    if (holds) return true;
+  }
+  return false;
+}
+
+}  // namespace logic
+}  // namespace inflog

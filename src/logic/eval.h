@@ -1,0 +1,54 @@
+// Model checking of first-order and ∃SO formulas over finite databases.
+//
+// Quantifiers range over the database universe (plus any extra elements
+// the caller supplies). Relation names resolve first against the caller's
+// overlay (IDB values, second-order witnesses) and then against the
+// database — mirroring how the paper's formulas mix σ-relations with the
+// quantified S̄.
+
+#ifndef INFLOG_LOGIC_EVAL_H_
+#define INFLOG_LOGIC_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/logic/formula.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+namespace logic {
+
+/// A finite structure: the database plus an overlay of named relations.
+struct FoModel {
+  const Database* db = nullptr;
+  /// Overlay relations (shadow same-named database relations).
+  std::map<std::string, const Relation*> extra;
+
+  /// The universe quantifiers range over (defaults to db->universe()).
+  std::vector<Value> UniverseOrDefault() const {
+    return db->universe();
+  }
+};
+
+/// A variable assignment.
+using FoBinding = std::map<std::string, Value>;
+
+/// Decides model ⊨ f [binding]. Fails on unknown relations, unknown
+/// constants, arity mismatches, or unbound free variables.
+Result<bool> EvalFormula(const FoModel& model, const FormulaPtr& f,
+                         const FoBinding& binding = {});
+
+/// Decides model ⊨ ∃S̄ φ by enumerating all witness relations over the
+/// universe — exponential, usable only when Σ |A|^arity is tiny. This is
+/// the independent oracle the Theorem 1 compiler is tested against.
+/// `max_atoms` caps the total witness atom count (2^max_atoms states).
+Result<bool> EvalEsoBruteForce(const FoModel& model,
+                               const EsoSentence& sentence,
+                               size_t max_atoms = 20);
+
+}  // namespace logic
+}  // namespace inflog
+
+#endif  // INFLOG_LOGIC_EVAL_H_

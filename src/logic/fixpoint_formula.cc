@@ -1,0 +1,105 @@
+#include "src/logic/fixpoint_formula.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace logic {
+namespace {
+
+/// Formula term for a rule term, with rule variables named per-rule.
+FoTerm RuleTerm(const Program& program, size_t rule_index, const Term& t) {
+  if (t.IsConstant()) {
+    return FoTerm::Const(program.symbols().Name(t.id));
+  }
+  return FoTerm::Var(StrCat("r", rule_index, "v", t.id));
+}
+
+/// The body of rule `r` as a conjunction, plus head-matching equalities
+/// x̄ = head args.
+FormulaPtr RuleDisjunct(const Program& program, size_t rule_index,
+                        const std::vector<std::string>& tuple_vars) {
+  const Rule& rule = program.rules()[rule_index];
+  std::vector<FormulaPtr> conj;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    conj.push_back(Eq(FoTerm::Var(tuple_vars[i]),
+                      RuleTerm(program, rule_index, rule.head.args[i])));
+  }
+  for (const Literal& lit : rule.body) {
+    std::vector<FoTerm> args;
+    for (const Term& t : lit.args) {
+      args.push_back(RuleTerm(program, rule_index, t));
+    }
+    switch (lit.kind) {
+      case Literal::Kind::kAtom:
+        conj.push_back(Atom(program.predicate(lit.predicate).name, args));
+        break;
+      case Literal::Kind::kNegAtom:
+        conj.push_back(
+            Not(Atom(program.predicate(lit.predicate).name, args)));
+        break;
+      case Literal::Kind::kEq:
+        conj.push_back(Eq(args[0], args[1]));
+        break;
+      case Literal::Kind::kNeq:
+        conj.push_back(Not(Eq(args[0], args[1])));
+        break;
+    }
+  }
+  // All rule variables are existential (head variables too — the
+  // equalities x̄ = t̄ tie them to the tuple).
+  std::vector<std::string> exist_vars;
+  for (uint32_t v = 0; v < rule.num_vars; ++v) {
+    exist_vars.push_back(StrCat("r", rule_index, "v", v));
+  }
+  return Exists(std::move(exist_vars), And(std::move(conj)));
+}
+
+}  // namespace
+
+FormulaPtr BuildOperatorFormula(const Program& program, size_t idb_index) {
+  INFLOG_CHECK(idb_index < program.idb_predicates().size());
+  const uint32_t pred = program.idb_predicates()[idb_index];
+  const size_t arity = program.predicate(pred).arity;
+  std::vector<std::string> tuple_vars;
+  for (size_t i = 0; i < arity; ++i) tuple_vars.push_back(StrCat("x", i));
+  std::vector<FormulaPtr> disjuncts;
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    if (program.rules()[r].head.predicate == pred) {
+      disjuncts.push_back(RuleDisjunct(program, r, tuple_vars));
+    }
+  }
+  return Or(std::move(disjuncts));
+}
+
+FormulaPtr BuildFixpointFormula(const Program& program) {
+  std::vector<FormulaPtr> conjuncts;
+  for (size_t i = 0; i < program.idb_predicates().size(); ++i) {
+    const uint32_t pred = program.idb_predicates()[i];
+    const size_t arity = program.predicate(pred).arity;
+    std::vector<std::string> tuple_vars;
+    std::vector<FoTerm> tuple_terms;
+    for (size_t k = 0; k < arity; ++k) {
+      tuple_vars.push_back(StrCat("x", k));
+      tuple_terms.push_back(FoTerm::Var(tuple_vars.back()));
+    }
+    FormulaPtr lhs = Atom(program.predicate(pred).name, tuple_terms);
+    FormulaPtr rhs = BuildOperatorFormula(program, i);
+    conjuncts.push_back(Forall(tuple_vars, Iff(lhs, rhs)));
+  }
+  return And(std::move(conjuncts));
+}
+
+Result<bool> FormulaSaysFixpoint(const Program& program, const Database& db,
+                                 const IdbState& state) {
+  FoModel model;
+  model.db = &db;
+  const auto& idb = program.idb_predicates();
+  INFLOG_CHECK(state.relations.size() == idb.size());
+  for (size_t i = 0; i < idb.size(); ++i) {
+    model.extra[program.predicate(idb[i]).name] = &state.relations[i];
+  }
+  return EvalFormula(model, BuildFixpointFormula(program));
+}
+
+}  // namespace logic
+}  // namespace inflog

@@ -1,0 +1,44 @@
+// The fixpoint formula φ_π of Section 3.
+//
+// For a program π with nondatabase relations S̄, φ_π(S̄) is the first-order
+// sentence  ⋀ᵢ ∀x̄ᵢ [Sᵢ(x̄ᵢ) ↔ φᵢ(x̄ᵢ, S̄)]  where φᵢ is the existential
+// formula defining the i-th component of the operator Θ. For every
+// database D and IDB values S̄:
+//
+//     S̄ is a fixpoint of (π, D)   ⇔   D ⊨ φ_π(S̄).
+//
+// The paper uses φ_π twice: to put π-UNIQUE-FIXPOINT into the
+// (∃! S̄)φ(S̄) logical form, and (with second-order relativization) to put
+// least-fixpoint existence into FONP (Theorem 3).
+
+#ifndef INFLOG_LOGIC_FIXPOINT_FORMULA_H_
+#define INFLOG_LOGIC_FIXPOINT_FORMULA_H_
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/logic/eval.h"
+#include "src/logic/formula.h"
+
+namespace inflog {
+namespace logic {
+
+/// Builds φ_π. Free relation names: the program's EDB and IDB predicate
+/// names.
+FormulaPtr BuildFixpointFormula(const Program& program);
+
+/// Builds the existential first-order formula φᵢ(x̄, S̄) defining component
+/// `idb_index` of Θ (Section 2's analysis: Θ is existential-first-order
+/// definable). The tuple variables are named x0..x_{k-1}.
+FormulaPtr BuildOperatorFormula(const Program& program, size_t idb_index);
+
+/// Convenience: checks D ⊨ φ_π(state) by overlaying the state's relations
+/// — semantically identical to ThetaOperator::IsFixpoint, via the logic
+/// path.
+Result<bool> FormulaSaysFixpoint(const Program& program, const Database& db,
+                                 const IdbState& state);
+
+}  // namespace logic
+}  // namespace inflog
+
+#endif  // INFLOG_LOGIC_FIXPOINT_FORMULA_H_

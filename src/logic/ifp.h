@@ -1,0 +1,60 @@
+// FO+IFP: inflationary fixpoints of first-order definable operators
+// (Gurevich–Shelah [GS86]), and Proposition 1's two translations between
+// Inflationary DATALOG and the existential fragment of FO+IFP.
+//
+// An operator formula φ(x̄, S) with a designated relation name S defines
+// H(R) = { ā : D ⊨ φ(ā, R) }; its inflationary iteration
+// R ← R ∪ H(R) from ∅ reaches the inductive fixpoint of Ĥ(R) = R ∪ H(R).
+// Proposition 1: a query is Inflationary-DATALOG expressible iff it is
+// expressible this way with φ existential.
+
+#ifndef INFLOG_LOGIC_IFP_H_
+#define INFLOG_LOGIC_IFP_H_
+
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/logic/eval.h"
+#include "src/logic/formula.h"
+
+namespace inflog {
+namespace logic {
+
+/// A first-order definable operator on k-ary relations.
+struct IfpOperator {
+  FormulaPtr formula;                    ///< φ(x̄, S)
+  std::vector<std::string> tuple_vars;   ///< x̄ (free in φ)
+  std::string rel_name;                  ///< S (may occur in φ)
+  size_t arity = 0;                      ///< k = |x̄| = arity of S
+};
+
+/// Result of an inflationary iteration.
+struct IfpResult {
+  Relation relation;
+  size_t stages = 0;
+
+  explicit IfpResult(size_t arity) : relation(arity) {}
+};
+
+/// Computes the inductive fixpoint of Ĥ(R) = R ∪ H(R) over `model`'s
+/// universe by stage iteration (polynomially many stages, as in §4).
+Result<IfpResult> InflationaryFixpointOfFormula(const FoModel& model,
+                                                const IfpOperator& op);
+
+/// Proposition 1, program → formula direction: extracts the existential
+/// first-order operator formula of a DATALOG¬ program with a single
+/// nondatabase relation (the case the paper's proof treats). Fails with
+/// FailedPrecondition on multi-IDB programs.
+Result<IfpOperator> ProgramToIfpOperator(const Program& program);
+
+/// Proposition 1, formula → program direction: compiles an existential
+/// operator formula into a DATALOG¬ program (one rule per DNF disjunct)
+/// whose inflationary semantics equals the formula's inductive fixpoint.
+/// Fails if φ is not existential (contains ∀ after NNF).
+Result<std::string> IfpOperatorToProgramText(const IfpOperator& op);
+
+}  // namespace logic
+}  // namespace inflog
+
+#endif  // INFLOG_LOGIC_IFP_H_

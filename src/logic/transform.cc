@@ -1,0 +1,423 @@
+#include "src/logic/transform.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace logic {
+namespace {
+
+FormulaPtr NnfImpl(const FormulaPtr& f, bool negate) {
+  switch (f->kind) {
+    case Formula::Kind::kTrue:
+      return negate ? False() : True();
+    case Formula::Kind::kFalse:
+      return negate ? True() : False();
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEq:
+      return negate ? Not(f) : f;
+    case Formula::Kind::kNot:
+      return NnfImpl(f->children[0], !negate);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      const bool make_and = (f->kind == Formula::Kind::kAnd) != negate;
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children.size());
+      for (const FormulaPtr& c : f->children) {
+        children.push_back(NnfImpl(c, negate));
+      }
+      return make_and ? And(std::move(children)) : Or(std::move(children));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      const bool make_exists =
+          (f->kind == Formula::Kind::kExists) != negate;
+      FormulaPtr body = NnfImpl(f->children[0], negate);
+      return make_exists ? Exists(f->vars, body) : Forall(f->vars, body);
+    }
+  }
+  INFLOG_CHECK(false);
+  return f;
+}
+
+}  // namespace
+
+FormulaPtr ToNnf(const FormulaPtr& f) { return NnfImpl(f, false); }
+
+FormulaPtr RenameBoundApart(const FormulaPtr& f, int* counter) {
+  switch (f->kind) {
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEq:
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kNot:
+      return Not(RenameBoundApart(f->children[0], counter));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children.size());
+      for (const FormulaPtr& c : f->children) {
+        children.push_back(RenameBoundApart(c, counter));
+      }
+      return f->kind == Formula::Kind::kAnd ? And(std::move(children))
+                                            : Or(std::move(children));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      std::vector<std::string> fresh;
+      std::vector<std::pair<std::string, FoTerm>> subst;
+      fresh.reserve(f->vars.size());
+      for (const std::string& v : f->vars) {
+        std::string name = StrCat("q$", (*counter)++);
+        subst.emplace_back(v, FoTerm::Var(name));
+        fresh.push_back(std::move(name));
+      }
+      FormulaPtr body =
+          RenameBoundApart(SubstituteVars(f->children[0], subst), counter);
+      return f->kind == Formula::Kind::kExists
+                 ? Exists(std::move(fresh), body)
+                 : Forall(std::move(fresh), body);
+    }
+  }
+  INFLOG_CHECK(false);
+  return f;
+}
+
+PrenexForm ToPrenex(const FormulaPtr& f) {
+  switch (f->kind) {
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEq:
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return PrenexForm{{}, f};
+    case Formula::Kind::kNot:
+      // NNF: negation sits on a literal only.
+      INFLOG_CHECK(f->children[0]->kind == Formula::Kind::kAtom ||
+                   f->children[0]->kind == Formula::Kind::kEq)
+          << "ToPrenex requires NNF input";
+      return PrenexForm{{}, f};
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<PrenexForm> parts;
+      parts.reserve(f->children.size());
+      for (const FormulaPtr& c : f->children) {
+        parts.push_back(ToPrenex(c));
+      }
+      // ∀-greedy merge of the sibling prefixes: repeatedly take a ∀ from
+      // any part if one is available at the front, otherwise take an ∃.
+      // Each part's internal order is preserved; since bound variables
+      // are renamed apart, sibling quantifiers commute and any such
+      // interleaving is equivalent.
+      PrenexForm out;
+      std::vector<size_t> pos(parts.size(), 0);
+      while (true) {
+        bool took = false;
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (pos[i] < parts[i].prefix.size() &&
+              parts[i].prefix[pos[i]].first) {
+            out.prefix.push_back(parts[i].prefix[pos[i]++]);
+            took = true;
+          }
+        }
+        if (took) continue;
+        // No ∀ at any front; take one ∃ and loop (a later ∀ may unlock).
+        for (size_t i = 0; i < parts.size(); ++i) {
+          if (pos[i] < parts[i].prefix.size()) {
+            out.prefix.push_back(parts[i].prefix[pos[i]++]);
+            took = true;
+            break;
+          }
+        }
+        if (!took) break;
+      }
+      std::vector<FormulaPtr> matrices;
+      matrices.reserve(parts.size());
+      for (PrenexForm& p : parts) matrices.push_back(std::move(p.matrix));
+      out.matrix = f->kind == Formula::Kind::kAnd ? And(std::move(matrices))
+                                                  : Or(std::move(matrices));
+      return out;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      PrenexForm inner = ToPrenex(f->children[0]);
+      PrenexForm out;
+      for (const std::string& v : f->vars) {
+        out.prefix.emplace_back(f->kind == Formula::Kind::kForall, v);
+      }
+      out.prefix.insert(out.prefix.end(), inner.prefix.begin(),
+                        inner.prefix.end());
+      out.matrix = std::move(inner.matrix);
+      return out;
+    }
+  }
+  INFLOG_CHECK(false);
+  return PrenexForm{};
+}
+
+namespace {
+
+/// Rebuilds a formula from a prefix suffix and matrix.
+FormulaPtr Requantify(const std::vector<std::pair<bool, std::string>>& prefix,
+                      size_t from, FormulaPtr matrix) {
+  FormulaPtr out = std::move(matrix);
+  for (size_t i = prefix.size(); i > from; --i) {
+    const auto& [is_forall, var] = prefix[i - 1];
+    out = is_forall ? Forall({var}, out) : Exists({var}, out);
+  }
+  return out;
+}
+
+/// DNF of a quantifier-free NNF matrix; each clause is a conjunction.
+Result<std::vector<std::vector<SnfLiteral>>> MatrixToDnf(
+    const FormulaPtr& f, size_t max_disjuncts) {
+  using Disjuncts = std::vector<std::vector<SnfLiteral>>;
+  switch (f->kind) {
+    case Formula::Kind::kTrue:
+      return Disjuncts{{}};
+    case Formula::Kind::kFalse:
+      return Disjuncts{};
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEq: {
+      SnfLiteral lit;
+      lit.is_eq = f->kind == Formula::Kind::kEq;
+      lit.pred = f->pred;
+      lit.args = f->args;
+      return Disjuncts{{lit}};
+    }
+    case Formula::Kind::kNot: {
+      const FormulaPtr& child = f->children[0];
+      if (child->kind != Formula::Kind::kAtom &&
+          child->kind != Formula::Kind::kEq) {
+        return Status::InvalidArgument("matrix is not in NNF");
+      }
+      SnfLiteral lit;
+      lit.negated = true;
+      lit.is_eq = child->kind == Formula::Kind::kEq;
+      lit.pred = child->pred;
+      lit.args = child->args;
+      return Disjuncts{{lit}};
+    }
+    case Formula::Kind::kOr: {
+      Disjuncts out;
+      for (const FormulaPtr& c : f->children) {
+        INFLOG_ASSIGN_OR_RETURN(Disjuncts part,
+                                MatrixToDnf(c, max_disjuncts));
+        out.insert(out.end(), part.begin(), part.end());
+        if (out.size() > max_disjuncts) {
+          return Status::ResourceExhausted("DNF blow-up");
+        }
+      }
+      return out;
+    }
+    case Formula::Kind::kAnd: {
+      Disjuncts acc{{}};
+      for (const FormulaPtr& c : f->children) {
+        INFLOG_ASSIGN_OR_RETURN(Disjuncts part,
+                                MatrixToDnf(c, max_disjuncts));
+        Disjuncts next;
+        for (const auto& a : acc) {
+          for (const auto& b : part) {
+            std::vector<SnfLiteral> merged = a;
+            merged.insert(merged.end(), b.begin(), b.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_disjuncts) {
+              return Status::ResourceExhausted("DNF blow-up");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    default:
+      return Status::InvalidArgument(
+          "matrix contains quantifiers; prenex first");
+  }
+}
+
+std::string LiteralKey(const SnfLiteral& lit) {
+  std::string key = lit.negated ? "!" : "";
+  key += lit.is_eq ? "=" : lit.pred;
+  for (const FoTerm& t : lit.args) {
+    key += StrCat("|", t.is_var ? "v" : "c", t.name);
+  }
+  return key;
+}
+
+/// Simplifies a DNF: folds trivial (in)equalities, drops contradictory
+/// disjuncts, deduplicates literals and disjuncts, applies absorption.
+std::vector<std::vector<SnfLiteral>> SimplifyDnf(
+    std::vector<std::vector<SnfLiteral>> disjuncts) {
+  std::vector<std::vector<SnfLiteral>> cleaned;
+  std::set<std::vector<std::string>> seen_disjuncts;
+  for (auto& disjunct : disjuncts) {
+    bool contradictory = false;
+    std::vector<SnfLiteral> lits;
+    std::set<std::string> keys;
+    for (SnfLiteral& lit : disjunct) {
+      if (lit.is_eq) {
+        const FoTerm& a = lit.args[0];
+        const FoTerm& b = lit.args[1];
+        if (a == b) {
+          if (lit.negated) contradictory = true;  // t ≠ t
+          continue;                                // t = t: drop
+        }
+        if (!a.is_var && !b.is_var) {
+          // Distinct constant names denote distinct interned values.
+          if (!lit.negated) contradictory = true;
+          continue;
+        }
+      }
+      const std::string key = LiteralKey(lit);
+      if (keys.insert(key).second) lits.push_back(lit);
+      // Complementary pair?
+      const std::string complement =
+          lit.negated ? key.substr(1) : StrCat("!", key);
+      if (keys.find(complement) != keys.end()) contradictory = true;
+      if (contradictory) break;
+    }
+    if (contradictory) continue;
+    std::vector<std::string> canon;
+    for (const SnfLiteral& lit : lits) canon.push_back(LiteralKey(lit));
+    std::sort(canon.begin(), canon.end());
+    if (seen_disjuncts.insert(canon).second) {
+      cleaned.push_back(std::move(lits));
+    }
+  }
+  // Absorption: drop disjuncts whose literal set contains another's.
+  std::vector<std::set<std::string>> keysets;
+  keysets.reserve(cleaned.size());
+  for (const auto& d : cleaned) {
+    std::set<std::string> ks;
+    for (const SnfLiteral& lit : d) ks.insert(LiteralKey(lit));
+    keysets.push_back(std::move(ks));
+  }
+  std::vector<std::vector<SnfLiteral>> out;
+  for (size_t i = 0; i < cleaned.size(); ++i) {
+    bool absorbed = false;
+    for (size_t j = 0; j < cleaned.size() && !absorbed; ++j) {
+      if (i == j) continue;
+      if (keysets[j].size() < keysets[i].size() ||
+          (keysets[j].size() == keysets[i].size() && j < i)) {
+        absorbed = std::includes(keysets[i].begin(), keysets[i].end(),
+                                 keysets[j].begin(), keysets[j].end());
+      }
+    }
+    if (!absorbed) out.push_back(std::move(cleaned[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SkolemNormalForm> ToSkolemNormalForm(const EsoSentence& sentence,
+                                            const SnfOptions& options) {
+  int counter = 0;
+  int rel_counter = 0;
+  SkolemNormalForm snf;
+  snf.so_vars = sentence.so_vars;
+
+  FormulaPtr work = RenameBoundApart(ToNnf(sentence.matrix), &counter);
+  // Conjuncts already in ∀*∃* prenex form.
+  std::vector<PrenexForm> done;
+
+  while (true) {
+    PrenexForm p = ToPrenex(work);
+    if (p.IsForallExists()) {
+      done.push_back(std::move(p));
+      break;
+    }
+    // Locate the first ∃ (everything before it is ∀) — it has a later ∀.
+    size_t i = 0;
+    while (p.prefix[i].first) ++i;
+    std::vector<std::string> u_bar;
+    for (size_t k = 0; k < i; ++k) u_bar.push_back(p.prefix[k].second);
+    const std::string v = p.prefix[i].second;
+    FormulaPtr psi = Requantify(p.prefix, i + 1, p.matrix);
+
+    // Fresh function-graph relation X(ū, v).
+    const std::string x_name = StrCat("X$", rel_counter++);
+    snf.so_vars.push_back(RelVar{x_name, u_bar.size() + 1});
+    std::vector<FoTerm> x_args;
+    for (const std::string& u : u_bar) x_args.push_back(FoTerm::Var(u));
+    x_args.push_back(FoTerm::Var(v));
+
+    // C1 = ∀ū ∀v (¬X(ū,v) ∨ ψ): strictly fewer offending ∃s; keep working.
+    std::vector<std::string> uv = u_bar;
+    uv.push_back(v);
+    work = Forall(uv, Or({Not(Atom(x_name, x_args)), psi}));
+
+    // C2 = ∀ū' ∃v' X(ū',v'): already conforming; emit with fresh copies.
+    std::vector<std::string> u_fresh;
+    std::vector<FoTerm> x_args_fresh;
+    for (size_t k = 0; k < u_bar.size(); ++k) {
+      u_fresh.push_back(StrCat("q$", counter++));
+      x_args_fresh.push_back(FoTerm::Var(u_fresh.back()));
+    }
+    const std::string v_fresh = StrCat("q$", counter++);
+    x_args_fresh.push_back(FoTerm::Var(v_fresh));
+    PrenexForm c2;
+    for (const std::string& u : u_fresh) c2.prefix.emplace_back(true, u);
+    c2.prefix.emplace_back(false, v_fresh);
+    c2.matrix = Atom(x_name, x_args_fresh);
+    done.push_back(std::move(c2));
+  }
+
+  // Merge the conforming conjuncts: all ∀s, then all ∃s (bound variables
+  // are pairwise distinct so the quantifiers commute), matrix = ⋀.
+  std::vector<FormulaPtr> matrices;
+  for (const PrenexForm& p : done) {
+    for (const auto& [is_forall, var] : p.prefix) {
+      (is_forall ? snf.universal_vars : snf.existential_vars)
+          .push_back(var);
+    }
+    matrices.push_back(p.matrix);
+  }
+  INFLOG_ASSIGN_OR_RETURN(
+      auto dnf, MatrixToDnf(And(std::move(matrices)), options.max_disjuncts));
+  snf.disjuncts = SimplifyDnf(std::move(dnf));
+  return snf;
+}
+
+std::string SkolemNormalForm::ToString() const {
+  std::string out;
+  for (const RelVar& rv : so_vars) {
+    out += StrCat("EXISTS ", rv.name, "/", rv.arity, ". ");
+  }
+  if (!universal_vars.empty()) {
+    out += StrCat("forall ", StrJoin(universal_vars, ","), ". ");
+  }
+  if (!existential_vars.empty()) {
+    out += StrCat("exists ", StrJoin(existential_vars, ","), ". ");
+  }
+  bool first_disjunct = true;
+  for (const auto& disjunct : disjuncts) {
+    out += first_disjunct ? "" : " | ";
+    first_disjunct = false;
+    out += "[";
+    for (size_t i = 0; i < disjunct.size(); ++i) {
+      if (i > 0) out += " & ";
+      const SnfLiteral& lit = disjunct[i];
+      if (lit.negated) out += "~";
+      if (lit.is_eq) {
+        out += StrCat(lit.args[0].name, "=", lit.args[1].name);
+      } else {
+        out += lit.pred + "(";
+        for (size_t a = 0; a < lit.args.size(); ++a) {
+          if (a > 0) out += ",";
+          out += lit.args[a].name;
+        }
+        out += ")";
+      }
+    }
+    out += "]";
+  }
+  if (disjuncts.empty()) out += "false";
+  return out;
+}
+
+}  // namespace logic
+}  // namespace inflog

@@ -1,0 +1,91 @@
+// Formula transformations feeding the Theorem 1 compiler.
+//
+// The pipeline is exactly the proof's: bring the first-order part of an
+// ∃SO sentence into prenex normal form, repeatedly eliminate ∀…∃
+// alternations with the paper's function-graph rewrite
+//
+//   (∀ū)(∃v)χ(ū,v) ⇔ (∃X){(∀ū)(∀v)[X(ū,v) → χ(ū,v)] ∧ (∀ū)(∃v)X(ū,v)}
+//
+// until the prefix is ∀*∃* (each application turns one offending ∃ into a
+// ∀ and emits one already-conforming conjunct, so the loop terminates),
+// then put the matrix into disjunctive normal form. The result is the
+// paper's Skolem normal form ∃S̄ ∀x̄ ∃ȳ (θ₁ ∨ ... ∨ θ_k) with each θᵢ a
+// conjunction of literals.
+
+#ifndef INFLOG_LOGIC_TRANSFORM_H_
+#define INFLOG_LOGIC_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/logic/formula.h"
+
+namespace inflog {
+namespace logic {
+
+/// Negation normal form: negations pushed onto atoms/equalities,
+/// implications already expanded by the constructors.
+FormulaPtr ToNnf(const FormulaPtr& f);
+
+/// Renames every bound variable to a fresh name "q$<n>" (capture-free
+/// prenexing requires globally distinct bound variables). `counter`
+/// carries freshness across calls.
+FormulaPtr RenameBoundApart(const FormulaPtr& f, int* counter);
+
+/// A prenex-form formula: quantifier prefix over a quantifier-free matrix.
+struct PrenexForm {
+  /// (is_forall, variable) pairs, outermost first.
+  std::vector<std::pair<bool, std::string>> prefix;
+  FormulaPtr matrix;
+
+  bool IsForallExists() const {
+    bool seen_exists = false;
+    for (const auto& [is_forall, var] : prefix) {
+      if (!is_forall) {
+        seen_exists = true;
+      } else if (seen_exists) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Prenexes an NNF, renamed-apart formula. Sibling prefixes are merged
+/// ∀-greedily (sound because bound variables are pairwise distinct, so
+/// quantifiers from different subformulas commute).
+PrenexForm ToPrenex(const FormulaPtr& f);
+
+/// One literal of a Skolem-normal-form disjunct.
+struct SnfLiteral {
+  bool negated = false;
+  bool is_eq = false;         ///< equality literal (pred unused)
+  std::string pred;
+  std::vector<FoTerm> args;   ///< two terms for equalities
+};
+
+/// The paper's Skolem normal form.
+struct SkolemNormalForm {
+  std::vector<RelVar> so_vars;  ///< original ∃S̄ plus introduced graphs X
+  std::vector<std::string> universal_vars;
+  std::vector<std::string> existential_vars;
+  /// The DNF matrix: each disjunct is a conjunction of literals.
+  std::vector<std::vector<SnfLiteral>> disjuncts;
+
+  std::string ToString() const;
+};
+
+/// Options bounding the (worst-case exponential) DNF step.
+struct SnfOptions {
+  size_t max_disjuncts = 100'000;
+};
+
+/// Runs the full pipeline on an ∃SO sentence.
+Result<SkolemNormalForm> ToSkolemNormalForm(const EsoSentence& sentence,
+                                            const SnfOptions& options = {});
+
+}  // namespace logic
+}  // namespace inflog
+
+#endif  // INFLOG_LOGIC_TRANSFORM_H_

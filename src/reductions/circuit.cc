@@ -1,0 +1,245 @@
+#include "src/reductions/circuit.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+uint32_t Circuit::AddInput(uint32_t pos) {
+  INFLOG_CHECK(pos < num_inputs_);
+  gates_.push_back(Gate{Gate::Kind::kIn, 0, 0, pos});
+  return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t Circuit::AddAnd(uint32_t x, uint32_t y) {
+  INFLOG_CHECK(x < gates_.size() && y < gates_.size());
+  gates_.push_back(Gate{Gate::Kind::kAnd, x, y, 0});
+  return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t Circuit::AddOr(uint32_t x, uint32_t y) {
+  INFLOG_CHECK(x < gates_.size() && y < gates_.size());
+  gates_.push_back(Gate{Gate::Kind::kOr, x, y, 0});
+  return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t Circuit::AddNot(uint32_t x) {
+  INFLOG_CHECK(x < gates_.size());
+  gates_.push_back(Gate{Gate::Kind::kNot, x, x, 0});
+  return static_cast<uint32_t>(gates_.size() - 1);
+}
+
+uint32_t Circuit::AddAndAll(const std::vector<uint32_t>& xs) {
+  INFLOG_CHECK(!xs.empty());
+  uint32_t acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = AddAnd(acc, xs[i]);
+  return acc;
+}
+
+uint32_t Circuit::AddOrAll(const std::vector<uint32_t>& xs) {
+  INFLOG_CHECK(!xs.empty());
+  uint32_t acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = AddOr(acc, xs[i]);
+  return acc;
+}
+
+std::vector<bool> Circuit::EvalAllGates(const std::vector<bool>& inputs) const {
+  INFLOG_CHECK(inputs.size() == num_inputs_);
+  std::vector<bool> values(gates_.size());
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    switch (g.kind) {
+      case Gate::Kind::kIn:
+        values[i] = inputs[g.input];
+        break;
+      case Gate::Kind::kAnd:
+        values[i] = values[g.a] && values[g.b];
+        break;
+      case Gate::Kind::kOr:
+        values[i] = values[g.a] || values[g.b];
+        break;
+      case Gate::Kind::kNot:
+        values[i] = !values[g.a];
+        break;
+    }
+  }
+  return values;
+}
+
+bool Circuit::Eval(const std::vector<bool>& inputs) const {
+  INFLOG_CHECK(!gates_.empty());
+  return EvalAllGates(inputs).back();
+}
+
+Status Circuit::Validate() const {
+  if (gates_.empty()) {
+    return Status::InvalidArgument("circuit has no gates");
+  }
+  for (size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (g.kind == Gate::Kind::kIn) {
+      if (g.input >= num_inputs_) {
+        return Status::InvalidArgument(
+            StrCat("gate ", i, " reads input ", g.input, " of ",
+                   num_inputs_));
+      }
+      continue;
+    }
+    if (g.a >= i || g.b >= i) {
+      return Status::InvalidArgument(
+          StrCat("gate ", i, " reads a later or same gate"));
+    }
+  }
+  return Status::OK();
+}
+
+bool SuccinctGraph::HasEdge(uint64_t u, uint64_t v) const {
+  std::vector<bool> inputs(2 * n);
+  for (size_t bit = 0; bit < n; ++bit) {
+    inputs[bit] = (u >> bit) & 1;
+    inputs[n + bit] = (v >> bit) & 1;
+  }
+  return circuit.Eval(inputs);
+}
+
+Digraph SuccinctGraph::Expand() const {
+  const size_t size = num_vertices();
+  Digraph g(size);
+  for (uint64_t u = 0; u < size; ++u) {
+    for (uint64_t v = 0; v < size; ++v) {
+      if (HasEdge(u, v)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Gate computing "input u-bit i differs from input v-bit i".
+uint32_t AddBitDiffers(Circuit* c, size_t n, size_t bit) {
+  const uint32_t ui = c->AddInput(bit);
+  const uint32_t vi = c->AddInput(n + bit);
+  const uint32_t both = c->AddAnd(ui, vi);
+  const uint32_t either = c->AddOr(ui, vi);
+  return c->AddAnd(either, c->AddNot(both));  // XOR
+}
+
+}  // namespace
+
+SuccinctGraph SuccinctCompleteGraph(size_t n) {
+  SuccinctGraph sg;
+  sg.n = n;
+  sg.circuit = Circuit(2 * n);
+  std::vector<uint32_t> diffs;
+  for (size_t bit = 0; bit < n; ++bit) {
+    diffs.push_back(AddBitDiffers(&sg.circuit, n, bit));
+  }
+  sg.circuit.AddOrAll(diffs);  // u ≠ v
+  return sg;
+}
+
+SuccinctGraph SuccinctHypercube(size_t n) {
+  SuccinctGraph sg;
+  sg.n = n;
+  sg.circuit = Circuit(2 * n);
+  std::vector<uint32_t> diffs;
+  for (size_t bit = 0; bit < n; ++bit) {
+    diffs.push_back(AddBitDiffers(&sg.circuit, n, bit));
+  }
+  // Exactly one bit differs: ⋁ᵢ (diffᵢ ∧ ⋀_{j≠i} ¬diffⱼ).
+  std::vector<uint32_t> exactly_one;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<uint32_t> conj{diffs[i]};
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i) conj.push_back(sg.circuit.AddNot(diffs[j]));
+    }
+    exactly_one.push_back(sg.circuit.AddAndAll(conj));
+  }
+  sg.circuit.AddOrAll(exactly_one);
+  return sg;
+}
+
+SuccinctGraph SuccinctCycle(size_t n) {
+  SuccinctGraph sg;
+  sg.n = n;
+  sg.circuit = Circuit(2 * n);
+  // v = u + 1 (mod 2ⁿ) via a ripple carry: c₀ = 1, yᵢ = uᵢ ⊕ cᵢ,
+  // cᵢ₊₁ = uᵢ ∧ cᵢ; edge iff ⋀ᵢ (vᵢ ↔ yᵢ).
+  std::vector<uint32_t> match;
+  // carry starts as constant true: encode as (x ∨ ¬x) on input 0.
+  const uint32_t in0 = sg.circuit.AddInput(0);
+  uint32_t carry = sg.circuit.AddOr(in0, sg.circuit.AddNot(in0));
+  for (size_t bit = 0; bit < n; ++bit) {
+    const uint32_t ui = sg.circuit.AddInput(bit);
+    const uint32_t vi = sg.circuit.AddInput(n + bit);
+    // yᵢ = uᵢ ⊕ carry.
+    const uint32_t both = sg.circuit.AddAnd(ui, carry);
+    const uint32_t either = sg.circuit.AddOr(ui, carry);
+    const uint32_t yi = sg.circuit.AddAnd(either, sg.circuit.AddNot(both));
+    // vᵢ ↔ yᵢ  ≡  (vᵢ ∧ yᵢ) ∨ (¬vᵢ ∧ ¬yᵢ).
+    const uint32_t eq = sg.circuit.AddOr(
+        sg.circuit.AddAnd(vi, yi),
+        sg.circuit.AddAnd(sg.circuit.AddNot(vi), sg.circuit.AddNot(yi)));
+    match.push_back(eq);
+    carry = both;
+  }
+  sg.circuit.AddAndAll(match);
+  return sg;
+}
+
+SuccinctGraph SuccinctFromExplicit(const Digraph& g, size_t n) {
+  INFLOG_CHECK(g.num_vertices() <= (size_t{1} << n))
+      << "graph too large for " << n << " bits";
+  SuccinctGraph sg;
+  sg.n = n;
+  sg.circuit = Circuit(2 * n);
+  Circuit& c = sg.circuit;
+  // Literal cache: gate for "input i is 1" and "input i is 0".
+  std::vector<uint32_t> pos(2 * n), neg(2 * n);
+  for (size_t i = 0; i < 2 * n; ++i) {
+    pos[i] = c.AddInput(i);
+    neg[i] = c.AddNot(pos[i]);
+  }
+  std::vector<uint32_t> edge_terms;
+  for (const auto& [u, v] : g.Edges()) {
+    std::vector<uint32_t> conj;
+    for (size_t bit = 0; bit < n; ++bit) {
+      conj.push_back(((u >> bit) & 1) ? pos[bit] : neg[bit]);
+      conj.push_back(((v >> bit) & 1) ? pos[n + bit] : neg[n + bit]);
+    }
+    edge_terms.push_back(c.AddAndAll(conj));
+  }
+  if (edge_terms.empty()) {
+    // No edges: constant false.
+    const uint32_t in0 = c.AddInput(0);
+    c.AddAnd(in0, c.AddNot(in0));
+  } else {
+    c.AddOrAll(edge_terms);
+  }
+  return sg;
+}
+
+SuccinctGraph RandomSuccinctGraph(size_t n, size_t extra_gates, Rng* rng) {
+  SuccinctGraph sg;
+  sg.n = n;
+  sg.circuit = Circuit(2 * n);
+  Circuit& c = sg.circuit;
+  for (size_t i = 0; i < 2 * n; ++i) c.AddInput(static_cast<uint32_t>(i));
+  for (size_t i = 0; i < extra_gates; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng->Uniform(c.num_gates()));
+    const uint32_t b = static_cast<uint32_t>(rng->Uniform(c.num_gates()));
+    switch (rng->Uniform(3)) {
+      case 0:
+        c.AddAnd(a, b);
+        break;
+      case 1:
+        c.AddOr(a, b);
+        break;
+      default:
+        c.AddNot(a);
+        break;
+    }
+  }
+  return sg;
+}
+
+}  // namespace inflog

@@ -1,0 +1,112 @@
+// Boolean circuits and succinctly represented graphs (Theorem 4).
+//
+// A circuit is a sequence of gates (aᵢ, bᵢ, cᵢ) with aᵢ ∈ {IN, AND, OR,
+// NOT} and gate inputs referring to earlier gates, exactly as in the
+// paper. A circuit with 2n inputs presents a graph on {0,1}ⁿ: the inputs
+// are the bit strings of two vertices and the output says whether they are
+// adjacent. SUCCINCT 3-COLORING — is the presented graph 3-colorable? —
+// is NEXP-complete (Lemma 2), which is how the paper shows the
+// expression-complexity version of fixpoint existence is NEXP-complete.
+
+#ifndef INFLOG_REDUCTIONS_CIRCUIT_H_
+#define INFLOG_REDUCTIONS_CIRCUIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/graphs/digraph.h"
+
+namespace inflog {
+
+/// One gate. Inputs `a`, `b` index earlier gates (NOT uses a == b; IN uses
+/// `input` instead).
+struct Gate {
+  enum class Kind : uint8_t { kIn, kAnd, kOr, kNot };
+  Kind kind;
+  uint32_t a = 0;      ///< first input gate (kAnd/kOr/kNot)
+  uint32_t b = 0;      ///< second input gate (kAnd/kOr); == a for kNot
+  uint32_t input = 0;  ///< input position (kIn)
+};
+
+/// A Boolean circuit; the last gate is the output.
+class Circuit {
+ public:
+  explicit Circuit(size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  /// Appends a gate reading input position `pos`; returns its index.
+  uint32_t AddInput(uint32_t pos);
+  /// Appends x ∧ y over gate indices; returns its index.
+  uint32_t AddAnd(uint32_t x, uint32_t y);
+  /// Appends x ∨ y; returns its index.
+  uint32_t AddOr(uint32_t x, uint32_t y);
+  /// Appends ¬x; returns its index.
+  uint32_t AddNot(uint32_t x);
+
+  /// Convenience folds; both require at least one operand.
+  uint32_t AddAndAll(const std::vector<uint32_t>& xs);
+  uint32_t AddOrAll(const std::vector<uint32_t>& xs);
+
+  size_t num_inputs() const { return num_inputs_; }
+  size_t num_gates() const { return gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  /// Evaluates the circuit: the value of the last gate on `inputs`
+  /// (size num_inputs).
+  bool Eval(const std::vector<bool>& inputs) const;
+
+  /// Per-gate values (for the π_SC correspondence tests).
+  std::vector<bool> EvalAllGates(const std::vector<bool>& inputs) const;
+
+  /// Structural well-formedness: nonempty, inputs in range, acyclic by
+  /// construction.
+  Status Validate() const;
+
+ private:
+  size_t num_inputs_;
+  std::vector<Gate> gates_;
+};
+
+/// A graph on {0,1}ⁿ presented by a circuit with 2n inputs. Input
+/// positions 0..n-1 carry the first vertex's bits (LSB first), n..2n-1 the
+/// second's.
+struct SuccinctGraph {
+  size_t n = 0;  ///< vertices are {0,1}ⁿ
+  Circuit circuit{0};
+
+  size_t num_vertices() const { return size_t{1} << n; }
+
+  /// Adjacency test via circuit evaluation.
+  bool HasEdge(uint64_t u, uint64_t v) const;
+
+  /// Materializes all 2ⁿ vertices and 2²ⁿ adjacency queries — the
+  /// exponential blowup Theorem 4 is about.
+  Digraph Expand() const;
+};
+
+// --- Succinct graph families used by the experiments. ---
+
+/// K_{2ⁿ}: edge iff u ≠ v (3-colorable only for n ≤ 1).
+SuccinctGraph SuccinctCompleteGraph(size_t n);
+
+/// Hypercube Qₙ: edge iff u, v differ in exactly one bit (bipartite, so
+/// always 3-colorable).
+SuccinctGraph SuccinctHypercube(size_t n);
+
+/// Directed cycle C_{2ⁿ}: edge iff v = u + 1 (mod 2ⁿ) — an even cycle,
+/// 2-colorable.
+SuccinctGraph SuccinctCycle(size_t n);
+
+/// Encodes an explicit graph (≤ 2ⁿ vertices) as a circuit in DNF over its
+/// edge list — the generic explicit→succinct embedding.
+SuccinctGraph SuccinctFromExplicit(const Digraph& g, size_t n);
+
+/// Random circuit over 2n inputs with `extra_gates` random AND/OR/NOT
+/// gates stacked on the inputs.
+SuccinctGraph RandomSuccinctGraph(size_t n, size_t extra_gates, Rng* rng);
+
+}  // namespace inflog
+
+#endif  // INFLOG_REDUCTIONS_CIRCUIT_H_

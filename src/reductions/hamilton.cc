@@ -1,0 +1,87 @@
+#include "src/reductions/hamilton.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Result<sat::Cnf> HamiltonToCnf(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  if (n < 2) {
+    return Status::InvalidArgument(
+        "Hamilton encoding needs at least two vertices");
+  }
+  sat::Cnf cnf;
+  // x_{v,p}: vertex v at position p.
+  auto x = [&](size_t v, size_t p) {
+    return static_cast<sat::Var>(v * n + p);
+  };
+  for (size_t i = 0; i < n * n; ++i) cnf.NewVar();
+
+  // Every position holds some vertex.
+  for (size_t p = 0; p < n; ++p) {
+    sat::Clause c;
+    for (size_t v = 0; v < n; ++v) c.push_back(sat::Pos(x(v, p)));
+    cnf.AddClause(c);
+  }
+  // No vertex occupies two positions; no position holds two vertices.
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        cnf.AddClause({sat::Neg(x(v, p)), sat::Neg(x(v, q))});
+        cnf.AddClause({sat::Neg(x(p, v)), sat::Neg(x(q, v))});
+      }
+    }
+  }
+  // Consecutive positions must be adjacent (including the wrap-around).
+  for (size_t p = 0; p < n; ++p) {
+    const size_t next = (p + 1) % n;
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = 0; v < n; ++v) {
+        if (u == v || g.HasEdge(u, v)) continue;
+        cnf.AddClause({sat::Neg(x(u, p)), sat::Neg(x(v, next))});
+      }
+      // A vertex can never follow itself (u at p and u at next).
+      if (n > 1) {
+        cnf.AddClause({sat::Neg(x(u, p)), sat::Neg(x(u, next))});
+      }
+    }
+  }
+  // Normalize rotations: vertex 0 sits at position 0, giving a bijection
+  // between models and directed Hamilton circuits.
+  cnf.AddClause({sat::Pos(x(0, 0))});
+  return cnf;
+}
+
+Result<std::vector<uint32_t>> DecodeHamiltonCircuit(
+    const Digraph& g, const std::vector<bool>& model) {
+  const size_t n = g.num_vertices();
+  if (model.size() < n * n) {
+    return Status::InvalidArgument("model too small for the encoding");
+  }
+  std::vector<uint32_t> order(n, 0);
+  for (size_t p = 0; p < n; ++p) {
+    int found = -1;
+    for (size_t v = 0; v < n; ++v) {
+      if (model[v * n + p]) {
+        if (found >= 0) {
+          return Status::InvalidArgument(
+              StrCat("two vertices at position ", p));
+        }
+        found = static_cast<int>(v);
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(StrCat("no vertex at position ", p));
+    }
+    order[p] = static_cast<uint32_t>(found);
+  }
+  for (size_t p = 0; p < n; ++p) {
+    if (!g.HasEdge(order[p], order[(p + 1) % n])) {
+      return Status::InvalidArgument(
+          StrCat("positions ", p, "->", (p + 1) % n, " not an edge"));
+    }
+  }
+  return order;
+}
+
+}  // namespace inflog

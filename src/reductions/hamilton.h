@@ -1,0 +1,33 @@
+// Hamilton circuits through the π_SAT pipeline.
+//
+// The paper names "does a graph have a unique Hamilton circuit?" as a
+// typical member of US (Theorem 2's class). This module gives that claim
+// an executable form: encode Hamiltonicity as CNF with a position-based
+// encoding normalized so that satisfying assignments correspond 1:1 to
+// directed Hamilton circuits (vertex 0 pinned to position 0); compose
+// with Example 1's D(I) encoding and π_SAT, and fixpoints of (π_SAT,
+// D(ham(G))) correspond 1:1 to the Hamilton circuits of G. Uniqueness of
+// the circuit becomes uniqueness of the fixpoint.
+
+#ifndef INFLOG_REDUCTIONS_HAMILTON_H_
+#define INFLOG_REDUCTIONS_HAMILTON_H_
+
+#include "src/base/result.h"
+#include "src/graphs/digraph.h"
+#include "src/sat/cnf.h"
+
+namespace inflog {
+
+/// CNF whose models are exactly the directed Hamilton circuits of `g`
+/// (vertex 0 fixed at position 0). Variable x_{v,p} = "vertex v sits at
+/// position p"; index v * n + p.
+Result<sat::Cnf> HamiltonToCnf(const Digraph& g);
+
+/// Reads the circuit (vertex at each position) out of a model of
+/// HamiltonToCnf(g).
+Result<std::vector<uint32_t>> DecodeHamiltonCircuit(
+    const Digraph& g, const std::vector<bool>& model);
+
+}  // namespace inflog
+
+#endif  // INFLOG_REDUCTIONS_HAMILTON_H_

@@ -1,0 +1,131 @@
+#include "src/reductions/sat_db.h"
+
+#include "src/ast/parser.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+
+std::string PiSatText() {
+  return "S(X) :- S(X).\n"
+         "Q(X) :- V(X).\n"
+         "Q(X) :- !S(X), P(X,Y), S(Y).\n"
+         "Q(X) :- !S(X), N(X,Y), !S(Y).\n"
+         "T(Z) :- !Q(U), !T(W).\n";
+}
+
+Program PiSatProgram(std::shared_ptr<SymbolTable> symbols) {
+  auto program = ParseProgram(PiSatText(), std::move(symbols));
+  INFLOG_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+Database SatToDatabase(const sat::Cnf& cnf,
+                       std::shared_ptr<SymbolTable> symbols) {
+  Database db(std::move(symbols));
+  SymbolTable& st = db.symbols();
+  std::vector<Value> var_syms(cnf.num_vars);
+  for (int32_t i = 0; i < cnf.num_vars; ++i) {
+    var_syms[i] = st.Intern(StrCat("v", i));
+    INFLOG_CHECK(db.AddFact("V", Tuple{var_syms[i]}).ok());
+  }
+  // Declare P and N up front: instances without positive (or negative)
+  // occurrences still need the relations to exist.
+  INFLOG_CHECK(db.DeclareRelation("P", 2).ok());
+  INFLOG_CHECK(db.DeclareRelation("N", 2).ok());
+  for (size_t j = 0; j < cnf.clauses.size(); ++j) {
+    const Value c = db.AddUniverseSymbol(StrCat("c", j));
+    for (const sat::Lit& lit : cnf.clauses[j]) {
+      INFLOG_CHECK(db.AddFact(lit.negated() ? "N" : "P",
+                              Tuple{c, var_syms[lit.var()]})
+                       .ok());
+    }
+  }
+  return db;
+}
+
+Result<sat::Cnf> DatabaseToSat(const Database& db) {
+  INFLOG_ASSIGN_OR_RETURN(const Relation* v_rel, db.GetRelation("V"));
+  if (v_rel->arity() != 1) {
+    return Status::InvalidArgument("V must be unary");
+  }
+  // Map variable symbols to dense CNF variables, clause symbols (all
+  // non-V universe elements) to dense clause indices.
+  sat::Cnf cnf;
+  std::vector<int64_t> var_index(db.symbols().size(), -1);
+  std::vector<int64_t> clause_index(db.symbols().size(), -1);
+  for (size_t i = 0; i < v_rel->size(); ++i) {
+    var_index[v_rel->Row(i)[0]] = cnf.NewVar();
+  }
+  std::vector<sat::Clause> clauses;
+  for (Value u : db.universe()) {
+    if (var_index[u] >= 0) continue;
+    clause_index[u] = static_cast<int64_t>(clauses.size());
+    clauses.emplace_back();
+  }
+  for (const char* rel_name : {"P", "N"}) {
+    auto rel = db.GetRelation(rel_name);
+    if (!rel.ok()) continue;  // absent occurrence relation = no literals
+    if ((*rel)->arity() != 2) {
+      return Status::InvalidArgument(StrCat(rel_name, " must be binary"));
+    }
+    const bool negated = rel_name[0] == 'N';
+    for (size_t i = 0; i < (*rel)->size(); ++i) {
+      TupleView row = (*rel)->Row(i);
+      const int64_t c = clause_index[row[0]];
+      const int64_t v = var_index[row[1]];
+      if (c < 0 || v < 0) {
+        return Status::InvalidArgument(
+            StrCat(rel_name, " is not a subset of (A−V) × V"));
+      }
+      clauses[c].push_back(
+          sat::Lit(static_cast<sat::Var>(v), negated));
+    }
+  }
+  cnf.clauses = std::move(clauses);
+  return cnf;
+}
+
+Result<std::vector<bool>> DecodeAssignment(const Program& pi_sat,
+                                           const Database& db,
+                                           const sat::Cnf& cnf,
+                                           const IdbState& fixpoint) {
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t s_pred, pi_sat.FindPredicate("S"));
+  const int idb = pi_sat.predicate(s_pred).idb_index;
+  if (idb < 0) return Status::Internal("S is not IDB in π_SAT");
+  const Relation& s = fixpoint.relations[idb];
+  std::vector<bool> assignment(cnf.num_vars, false);
+  for (int32_t i = 0; i < cnf.num_vars; ++i) {
+    const Value v = db.symbols().Find(StrCat("v", i));
+    if (v == kNoValue) {
+      return Status::InvalidArgument(StrCat("variable v", i, " missing"));
+    }
+    assignment[i] = s.Contains(Tuple{v});
+  }
+  return assignment;
+}
+
+Result<IdbState> EncodeAssignment(const Program& pi_sat, const Database& db,
+                                  const sat::Cnf& cnf,
+                                  const std::vector<bool>& assignment) {
+  if (assignment.size() != static_cast<size_t>(cnf.num_vars)) {
+    return Status::InvalidArgument("assignment size mismatch");
+  }
+  IdbState state = MakeEmptyIdbState(pi_sat);
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t s_pred, pi_sat.FindPredicate("S"));
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t q_pred, pi_sat.FindPredicate("Q"));
+  Relation& s = state.relations[pi_sat.predicate(s_pred).idb_index];
+  Relation& q = state.relations[pi_sat.predicate(q_pred).idb_index];
+  for (int32_t i = 0; i < cnf.num_vars; ++i) {
+    if (!assignment[i]) continue;
+    const Value v = db.symbols().Find(StrCat("v", i));
+    if (v == kNoValue) {
+      return Status::InvalidArgument(StrCat("variable v", i, " missing"));
+    }
+    s.Insert(Tuple{v});
+  }
+  for (Value u : db.universe()) q.Insert(Tuple{u});
+  // T stays empty.
+  return state;
+}
+
+}  // namespace inflog

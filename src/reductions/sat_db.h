@@ -1,0 +1,68 @@
+// Example 1 of the paper: the correspondence between SATISFIABILITY
+// instances and databases over the vocabulary σ = (V, P, N), plus the
+// fixed DATALOG¬ program π_SAT whose fixpoints on D(I) are in bijection
+// with the satisfying assignments of I.
+//
+//   universe  A  =  variables ∪ clauses
+//   V(v)            v is a variable
+//   P(c, v)         v occurs positively in clause c
+//   N(c, v)         v occurs negatively in clause c
+//
+//   π_SAT:   S(x) ← S(x)
+//            Q(x) ← V(x)
+//            Q(x) ← ¬S(x), P(x,y), S(y)
+//            Q(x) ← ¬S(x), N(x,y), ¬S(y)
+//            T(z) ← ¬Q(u), ¬T(w)
+//
+// In a fixpoint, S ⊆ V encodes a satisfying assignment, Q = A certifies
+// that every clause is satisfied, and T = ∅ pacifies the toggle rule.
+// This is Theorem 1 instantiated at SAT and the engine of Theorem 2
+// (unique fixpoint ⇔ unique satisfying assignment, US-completeness).
+
+#ifndef INFLOG_REDUCTIONS_SAT_DB_H_
+#define INFLOG_REDUCTIONS_SAT_DB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/relation/database.h"
+#include "src/sat/cnf.h"
+
+namespace inflog {
+
+/// The fixed program π_SAT in concrete syntax.
+std::string PiSatText();
+
+/// Parses π_SAT over `symbols`.
+Program PiSatProgram(std::shared_ptr<SymbolTable> symbols);
+
+/// D(I): encodes a CNF instance as a database over (V, P, N). Variable i
+/// becomes constant "v<i>", clause j becomes "c<j>".
+Database SatToDatabase(const sat::Cnf& cnf,
+                       std::shared_ptr<SymbolTable> symbols);
+
+/// I(D): decodes a database over (V, P, N) back into a CNF instance.
+/// Inverse of SatToDatabase on its image; accepts any database in the
+/// class 𝒴 (V ⊆ A, P,N ⊆ (A−V)×V).
+Result<sat::Cnf> DatabaseToSat(const Database& db);
+
+/// Reads the assignment out of a π_SAT fixpoint: assignment[i] is true
+/// iff S contains v<i>.
+Result<std::vector<bool>> DecodeAssignment(const Program& pi_sat,
+                                           const Database& db,
+                                           const sat::Cnf& cnf,
+                                           const IdbState& fixpoint);
+
+/// Builds the fixpoint (S = assignment, Q = A, T = ∅) that a satisfying
+/// `assignment` induces — the forward direction of the Theorem 1 proof.
+Result<IdbState> EncodeAssignment(const Program& pi_sat, const Database& db,
+                                  const sat::Cnf& cnf,
+                                  const std::vector<bool>& assignment);
+
+}  // namespace inflog
+
+#endif  // INFLOG_REDUCTIONS_SAT_DB_H_

@@ -1,0 +1,157 @@
+#include "src/reductions/succinct.h"
+
+#include "src/ast/parser.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace {
+
+/// "P(V1,...,Vk)" with the variable stem, e.g. Vars("Gt3", "A", 6).
+std::string Atom(std::string_view pred, std::string_view stem, size_t k) {
+  std::string out = StrCat(pred, "(");
+  for (size_t i = 1; i <= k; ++i) {
+    if (i > 1) out += ",";
+    out += StrCat(stem, i);
+  }
+  return out + ")";
+}
+
+/// Atom over the concatenation of two variable stems (x̄, ȳ).
+std::string Atom2(std::string_view pred, std::string_view stem_x,
+                  std::string_view stem_y, size_t n) {
+  std::string out = StrCat(pred, "(");
+  for (size_t i = 1; i <= n; ++i) out += StrCat(i > 1 ? "," : "", stem_x, i);
+  for (size_t i = 1; i <= n; ++i) out += StrCat(",", stem_y, i);
+  return out + ")";
+}
+
+}  // namespace
+
+Result<SuccinctColInstance> BuildSuccinct3Col(
+    const SuccinctGraph& graph, std::shared_ptr<SymbolTable> symbols) {
+  INFLOG_RETURN_IF_ERROR(graph.circuit.Validate());
+  const size_t n = graph.n;
+  if (n == 0) {
+    return Status::InvalidArgument("succinct graph needs n >= 1");
+  }
+  if (graph.circuit.num_inputs() != 2 * n) {
+    return Status::InvalidArgument(
+        StrCat("circuit must have 2n = ", 2 * n, " inputs, has ",
+               graph.circuit.num_inputs()));
+  }
+
+  std::string text;
+  const auto& gates = graph.circuit.gates();
+  auto gate_pred = [](size_t i) { return StrCat("Gt", i); };
+
+  // One relation of arity 2n per gate.
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.kind) {
+      case Gate::Kind::kIn: {
+        // Head with the constant 1 at the gate's input position; all other
+        // coordinates are free head variables over the universe {0,1}.
+        std::string head = StrCat(gate_pred(i), "(");
+        for (size_t pos = 0; pos < 2 * n; ++pos) {
+          if (pos > 0) head += ",";
+          head += (pos == g.input) ? "1" : StrCat("A", pos + 1);
+        }
+        text += head + ").\n";
+        break;
+      }
+      case Gate::Kind::kAnd:
+        text += StrCat(Atom(gate_pred(i), "A", 2 * n), " :- ",
+                       Atom(gate_pred(g.a), "A", 2 * n), ", ",
+                       Atom(gate_pred(g.b), "A", 2 * n), ".\n");
+        break;
+      case Gate::Kind::kOr:
+        text += StrCat(Atom(gate_pred(i), "A", 2 * n), " :- ",
+                       Atom(gate_pred(g.a), "A", 2 * n), ".\n");
+        text += StrCat(Atom(gate_pred(i), "A", 2 * n), " :- ",
+                       Atom(gate_pred(g.b), "A", 2 * n), ".\n");
+        break;
+      case Gate::Kind::kNot:
+        text += StrCat(Atom(gate_pred(i), "A", 2 * n), " :- !",
+                       Atom(gate_pred(g.a), "A", 2 * n), ".\n");
+        break;
+    }
+  }
+
+  // π_COL with E identified with the output gate and n-tuple vertices.
+  const std::string e = gate_pred(gates.size() - 1);
+  const std::string rx = Atom("R", "X", n), bx = Atom("B", "X", n),
+                    gx = Atom("G", "X", n);
+  const std::string ry = Atom("R", "Y", n), by = Atom("B", "Y", n),
+                    gy = Atom("G", "Y", n);
+  const std::string px = Atom("P", "X", n);
+  const std::string exy = Atom2(e, "X", "Y", n);
+  text += StrCat(rx, " :- ", rx, ".\n");
+  text += StrCat(bx, " :- ", bx, ".\n");
+  text += StrCat(gx, " :- ", gx, ".\n");
+  text += StrCat(px, " :- ", exy, ", ", rx, ", ", ry, ".\n");
+  text += StrCat(px, " :- ", exy, ", ", bx, ", ", by, ".\n");
+  text += StrCat(px, " :- ", exy, ", ", gx, ", ", gy, ".\n");
+  text += StrCat(px, " :- ", gx, ", ", bx, ".\n");
+  text += StrCat(px, " :- ", bx, ", ", rx, ".\n");
+  text += StrCat(px, " :- ", rx, ", ", gx, ".\n");
+  text += StrCat(px, " :- !", rx, ", !", bx, ", !", gx, ".\n");
+  text += StrCat(Atom("T", "Z", n), " :- ", px, ", !",
+                 Atom("T", "W", n), ".\n");
+
+  INFLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(text, symbols));
+
+  // The two-element universe, pinned by Dom = {0,1}.
+  Database db(std::move(symbols));
+  INFLOG_RETURN_IF_ERROR(
+      db.AddFact("Dom", Tuple{db.symbols().Intern("0")}));
+  INFLOG_RETURN_IF_ERROR(
+      db.AddFact("Dom", Tuple{db.symbols().Intern("1")}));
+
+  SuccinctColInstance instance(std::move(program), std::move(db));
+  instance.program_text = std::move(text);
+  instance.output_pred = e;
+  return instance;
+}
+
+Tuple VertexTuple(const SymbolTable& symbols, uint64_t u, size_t n) {
+  const Value zero = symbols.Find("0");
+  const Value one = symbols.Find("1");
+  INFLOG_CHECK(zero != kNoValue && one != kNoValue)
+      << "bit symbols not interned";
+  Tuple t(n);
+  for (size_t bit = 0; bit < n; ++bit) {
+    t[bit] = ((u >> bit) & 1) ? one : zero;
+  }
+  return t;
+}
+
+Result<std::vector<int>> DecodeSuccinctColoring(
+    const SuccinctColInstance& instance, const SuccinctGraph& graph,
+    const IdbState& fixpoint) {
+  const Program& p = instance.program;
+  const SymbolTable& symbols = instance.database.symbols();
+  const size_t count = graph.num_vertices();
+  std::vector<int> colors(count, -1);
+  const char* color_preds[] = {"R", "B", "G"};
+  for (int c = 0; c < 3; ++c) {
+    INFLOG_ASSIGN_OR_RETURN(const uint32_t pred,
+                            p.FindPredicate(color_preds[c]));
+    const Relation& rel = fixpoint.relations[p.predicate(pred).idb_index];
+    for (uint64_t u = 0; u < count; ++u) {
+      if (!rel.Contains(VertexTuple(symbols, u, graph.n))) continue;
+      if (colors[u] >= 0) {
+        return Status::InvalidArgument(
+            StrCat("vertex ", u, " is doubly colored"));
+      }
+      colors[u] = c;
+    }
+  }
+  for (uint64_t u = 0; u < count; ++u) {
+    if (colors[u] < 0) {
+      return Status::InvalidArgument(StrCat("vertex ", u, " is uncolored"));
+    }
+  }
+  return colors;
+}
+
+}  // namespace inflog

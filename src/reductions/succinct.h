@@ -1,0 +1,63 @@
+// Theorem 4: compiling SUCCINCT 3-COLORING into fixpoint existence.
+//
+// Given a circuit {(aᵢ,bᵢ,cᵢ)} with 2n inputs presenting a graph on
+// {0,1}ⁿ, build the DATALOG¬ program π_SC over the two-element universe
+// {0,1}: one nondatabase relation Gtᵢ of arity 2n per gate, with
+//
+//   AND:  Gtᵢ(x̄,ȳ) ← Gtₐ(x̄,ȳ), Gt_b(x̄,ȳ)
+//   OR:   Gtᵢ(x̄,ȳ) ← Gtₐ(x̄,ȳ)   and   Gtᵢ(x̄,ȳ) ← Gt_b(x̄,ȳ)
+//   NOT:  Gtᵢ(x̄,ȳ) ← ¬Gtₐ(x̄,ȳ)
+//   IN j: Gtᵢ(z₁,...,z_{j-1},1,z_{j+1},...,z₂ₙ) ← .
+//
+// plus the rules of π_COL with the edge relation E identified with the
+// output gate's relation and the colors R/B/G of arity n. In every
+// fixpoint the gate relations hold exactly the 2n-tuples on which the
+// gate outputs 1 (the completions mirror the circuit bottom-up), so a
+// fixpoint exists iff the presented graph is 3-colorable.
+//
+// The universe is pinned to {0,1} by a database relation Dom = {0,1},
+// exactly the paper's "fixing the universe is not a departure" remark.
+
+#ifndef INFLOG_REDUCTIONS_SUCCINCT_H_
+#define INFLOG_REDUCTIONS_SUCCINCT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/idb_state.h"
+#include "src/reductions/circuit.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// The compiled instance: π_SC plus its two-element database.
+struct SuccinctColInstance {
+  std::string program_text;
+  Program program;
+  Database database;
+  /// Name of the output gate's relation (the succinct edge relation).
+  std::string output_pred;
+
+  SuccinctColInstance(Program p, Database d)
+      : program(std::move(p)), database(std::move(d)) {}
+};
+
+/// Compiles the succinct graph into π_SC. Fails on malformed circuits.
+Result<SuccinctColInstance> BuildSuccinct3Col(
+    const SuccinctGraph& graph, std::shared_ptr<SymbolTable> symbols);
+
+/// The n-tuple of bit symbols for vertex `u` (LSB first), matching the
+/// input ordering of SuccinctGraph::HasEdge.
+Tuple VertexTuple(const SymbolTable& symbols, uint64_t u, size_t n);
+
+/// Reads the coloring of the 2ⁿ vertices out of a π_SC fixpoint
+/// (0/1/2 for R/B/G).
+Result<std::vector<int>> DecodeSuccinctColoring(
+    const SuccinctColInstance& instance, const SuccinctGraph& graph,
+    const IdbState& fixpoint);
+
+}  // namespace inflog
+
+#endif  // INFLOG_REDUCTIONS_SUCCINCT_H_

@@ -1,0 +1,71 @@
+#include "src/reductions/three_coloring.h"
+
+#include "src/ast/parser.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+
+std::string PiColText() {
+  return "R(X) :- R(X).\n"
+         "B(X) :- B(X).\n"
+         "G(X) :- G(X).\n"
+         "P(X) :- E(X,Y), R(X), R(Y).\n"
+         "P(X) :- E(X,Y), B(X), B(Y).\n"
+         "P(X) :- E(X,Y), G(X), G(Y).\n"
+         "P(X) :- G(X), B(X).\n"
+         "P(X) :- B(X), R(X).\n"
+         "P(X) :- R(X), G(X).\n"
+         "P(X) :- !R(X), !B(X), !G(X).\n"
+         "T(Z) :- P(X), !T(W).\n";
+}
+
+Program PiColProgram(std::shared_ptr<SymbolTable> symbols) {
+  auto program = ParseProgram(PiColText(), std::move(symbols));
+  INFLOG_CHECK(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+Result<std::vector<int>> DecodeColoring(const Program& pi_col,
+                                        const Database& db,
+                                        size_t num_vertices,
+                                        const IdbState& fixpoint) {
+  const char* color_preds[] = {"R", "B", "G"};
+  std::vector<int> colors(num_vertices, -1);
+  for (int c = 0; c < 3; ++c) {
+    INFLOG_ASSIGN_OR_RETURN(const uint32_t pred,
+                            pi_col.FindPredicate(color_preds[c]));
+    const Relation& rel = fixpoint.relations[pi_col.predicate(pred).idb_index];
+    for (size_t v = 0; v < num_vertices; ++v) {
+      const Value sym = db.symbols().Find(std::to_string(v));
+      if (sym == kNoValue) {
+        return Status::InvalidArgument(
+            StrCat("vertex ", v, " missing from the database"));
+      }
+      if (!rel.Contains(Tuple{sym})) continue;
+      if (colors[v] >= 0) {
+        return Status::InvalidArgument(
+            StrCat("vertex ", v, " is doubly colored"));
+      }
+      colors[v] = c;
+    }
+  }
+  for (size_t v = 0; v < num_vertices; ++v) {
+    if (colors[v] < 0) {
+      return Status::InvalidArgument(StrCat("vertex ", v, " is uncolored"));
+    }
+  }
+  return colors;
+}
+
+bool IsProperColoring(const Digraph& g, const std::vector<int>& colors) {
+  if (colors.size() != g.num_vertices()) return false;
+  for (int c : colors) {
+    if (c < 0 || c > 2) return false;
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    if (colors[u] == colors[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace inflog

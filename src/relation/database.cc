@@ -1,0 +1,82 @@
+#include "src/relation/database.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Status Database::DeclareRelation(std::string_view name, size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("relation ", name, " re-declared with arity ", arity,
+                 " (was ", it->second.arity(), ")"));
+    }
+    return Status::OK();
+  }
+  relations_.emplace(std::string(name), Relation(arity));
+  return Status::OK();
+}
+
+void Database::AddUniverseValue(Value value) {
+  if (universe_set_.insert(value).second) {
+    universe_.push_back(value);
+  }
+}
+
+Value Database::AddUniverseSymbol(std::string_view name) {
+  const Value v = symbols_->Intern(name);
+  AddUniverseValue(v);
+  return v;
+}
+
+Status Database::AddFact(std::string_view relation, TupleView tuple) {
+  INFLOG_RETURN_IF_ERROR(DeclareRelation(relation, tuple.size()));
+  for (Value v : tuple) {
+    INFLOG_CHECK(v < symbols_->size()) << "fact uses un-interned value";
+    AddUniverseValue(v);
+  }
+  relations_.find(relation)->second.Insert(tuple);
+  return Status::OK();
+}
+
+Status Database::AddFactNamed(std::string_view relation,
+                              const std::vector<std::string>& constants) {
+  Tuple tuple;
+  tuple.reserve(constants.size());
+  for (const std::string& c : constants) {
+    tuple.push_back(symbols_->Intern(c));
+  }
+  return AddFact(relation, tuple);
+}
+
+Result<const Relation*> Database::GetRelation(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("no relation named ", name));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+std::string Database::ToString() const {
+  std::string out = "universe: {";
+  for (size_t i = 0; i < universe_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += symbols_->Name(universe_[i]);
+  }
+  out += "}\n";
+  for (const auto& [name, rel] : relations_) {
+    out += StrCat(name, "/", rel.arity(), " = ", rel.ToString(*symbols_),
+                  "\n");
+  }
+  return out;
+}
+
+}  // namespace inflog

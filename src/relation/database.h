@@ -1,0 +1,103 @@
+// Database: a finite structure — a universe (active domain) plus named
+// relations over it.
+//
+// This is the object the paper's definitions quantify over: DATALOG¬
+// variables range over the universe A, and the operator Θ maps IDB relation
+// values over A to IDB relation values over A. The universe is maintained
+// as the active domain (every constant appearing in a fact joins it) plus
+// any explicitly declared elements, matching Section 2 of the paper.
+
+#ifndef INFLOG_RELATION_DATABASE_H_
+#define INFLOG_RELATION_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/relation/relation.h"
+#include "src/relation/tuple.h"
+#include "src/relation/value.h"
+
+namespace inflog {
+
+/// A finite structure over a shared symbol table.
+class Database {
+ public:
+  /// Creates a database with a fresh symbol table.
+  Database() : symbols_(std::make_shared<SymbolTable>()) {}
+
+  /// Creates a database sharing an existing symbol table (so program
+  /// constants and facts intern to the same ids).
+  explicit Database(std::shared_ptr<SymbolTable> symbols)
+      : symbols_(std::move(symbols)) {
+    INFLOG_CHECK(symbols_ != nullptr);
+  }
+
+  /// The shared symbol table.
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+  std::shared_ptr<SymbolTable> shared_symbols() const { return symbols_; }
+
+  /// Declares a relation with the given arity. Re-declaring with the same
+  /// arity is a no-op; with a different arity it is an error.
+  Status DeclareRelation(std::string_view name, size_t arity);
+
+  /// Adds `value` to the universe (idempotent).
+  void AddUniverseValue(Value value);
+
+  /// Interns `name` and adds it to the universe.
+  Value AddUniverseSymbol(std::string_view name);
+
+  /// Interns the decimal rendering of `n` and adds it to the universe.
+  Value AddUniverseInt(int64_t n) {
+    const Value v = symbols_->InternInt(n);
+    AddUniverseValue(v);
+    return v;
+  }
+
+  /// Inserts a fact, declaring the relation on first use (with the fact's
+  /// arity) and adding the fact's constants to the universe. Returns an
+  /// error on arity mismatch with an existing declaration.
+  Status AddFact(std::string_view relation, TupleView tuple);
+
+  /// Convenience: AddFact with named constants, interning each.
+  Status AddFactNamed(std::string_view relation,
+                      const std::vector<std::string>& constants);
+
+  /// The relation named `name`, or NotFound.
+  Result<const Relation*> GetRelation(std::string_view name) const;
+
+  /// True iff a relation named `name` has been declared.
+  bool HasRelation(std::string_view name) const {
+    return relations_.find(std::string(name)) != relations_.end();
+  }
+
+  /// All declared relation names in lexicographic order.
+  std::vector<std::string> RelationNames() const;
+
+  /// The universe, in insertion order (deterministic).
+  const std::vector<Value>& universe() const { return universe_; }
+
+  /// True iff `value` is in the universe.
+  bool InUniverse(Value value) const {
+    return universe_set_.find(value) != universe_set_.end();
+  }
+
+  /// Renders every relation plus the universe, for debugging and goldens.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<SymbolTable> symbols_;
+  std::vector<Value> universe_;
+  std::unordered_set<Value> universe_set_;
+  std::map<std::string, Relation, std::less<>> relations_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_RELATION_DATABASE_H_

@@ -1,0 +1,31 @@
+#include "src/relation/index.h"
+
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace inflog {
+
+HashIndex::HashIndex(const Relation& rel, std::vector<size_t> key_cols)
+    : key_cols_(std::move(key_cols)), built_at_version_(rel.version()) {
+  for (size_t col : key_cols_) {
+    INFLOG_CHECK(col < rel.arity()) << "index column out of range";
+  }
+  Tuple key(key_cols_.size());
+  for (size_t row = 0; row < rel.size(); ++row) {
+    TupleView tuple = rel.Row(row);
+    for (size_t i = 0; i < key_cols_.size(); ++i) {
+      key[i] = tuple[key_cols_[i]];
+    }
+    map_[key].push_back(static_cast<uint32_t>(row));
+  }
+}
+
+std::span<const uint32_t> HashIndex::Lookup(TupleView key) const {
+  INFLOG_DCHECK(key.size() == key_cols_.size());
+  auto it = map_.find(key);
+  if (it == map_.end()) return {};
+  return std::span<const uint32_t>(it->second.data(), it->second.size());
+}
+
+}  // namespace inflog

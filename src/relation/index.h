@@ -1,0 +1,45 @@
+// HashIndex: an equi-join index over a subset of a relation's columns.
+//
+// Built eagerly from a relation snapshot; maps each projection of the key
+// columns to the row ids having that projection. The evaluator builds these
+// on demand (per bound-column mask) and caches them keyed by the relation's
+// version, rebuilding only when the relation has grown.
+
+#ifndef INFLOG_RELATION_INDEX_H_
+#define INFLOG_RELATION_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/relation.h"
+#include "src/relation/tuple.h"
+
+namespace inflog {
+
+/// Immutable equi-lookup index over `key_cols` of a relation snapshot.
+class HashIndex {
+ public:
+  /// Builds the index over the first `rel.size()` rows of `rel`.
+  /// Requires every column in key_cols to be < rel.arity().
+  HashIndex(const Relation& rel, std::vector<size_t> key_cols);
+
+  /// Row ids whose key-column projection equals `key` (same length as
+  /// key_cols). Returns an empty span when no row matches.
+  std::span<const uint32_t> Lookup(TupleView key) const;
+
+  /// The indexed columns.
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+  /// The relation version at build time.
+  uint64_t built_at_version() const { return built_at_version_; }
+
+ private:
+  std::vector<size_t> key_cols_;
+  uint64_t built_at_version_;
+  std::unordered_map<Tuple, std::vector<uint32_t>, TupleHash, TupleEq> map_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_RELATION_INDEX_H_

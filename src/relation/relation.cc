@@ -1,0 +1,82 @@
+#include "src/relation/relation.h"
+
+#include <algorithm>
+
+namespace inflog {
+
+bool Relation::Insert(TupleView tuple) {
+  INFLOG_DCHECK(tuple.size() == arity_)
+      << "arity mismatch: " << tuple.size() << " vs " << arity_;
+  const size_t hash = HashTuple(tuple);
+  std::vector<uint32_t>& bucket = buckets_[hash];
+  for (uint32_t row : bucket) {
+    if (TupleEq()(Row(row), tuple)) return false;
+  }
+  const uint32_t row = static_cast<uint32_t>(size_);
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  ++size_;
+  bucket.push_back(row);
+  ++version_;
+  return true;
+}
+
+bool Relation::Contains(TupleView tuple) const {
+  return Find(tuple) >= 0;
+}
+
+int64_t Relation::Find(TupleView tuple) const {
+  INFLOG_DCHECK(tuple.size() == arity_);
+  auto it = buckets_.find(HashTuple(tuple));
+  if (it == buckets_.end()) return -1;
+  for (uint32_t row : it->second) {
+    if (TupleEq()(Row(row), tuple)) return row;
+  }
+  return -1;
+}
+
+size_t Relation::InsertAll(const Relation& other) {
+  INFLOG_DCHECK(other.arity_ == arity_);
+  size_t added = 0;
+  for (size_t i = 0; i < other.size(); ++i) {
+    if (Insert(other.Row(i))) ++added;
+  }
+  return added;
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  if (size_ > other.size_) return false;
+  for (size_t i = 0; i < size_; ++i) {
+    if (!other.Contains(Row(i))) return false;
+  }
+  return true;
+}
+
+bool Relation::operator==(const Relation& other) const {
+  return arity_ == other.arity_ && size_ == other.size_ && IsSubsetOf(other);
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> rows;
+  rows.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) {
+    TupleView row = Row(i);
+    rows.emplace_back(row.begin(), row.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+std::string Relation::ToString(const SymbolTable& symbols) const {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& row : SortedTuples()) {
+    if (!first) out += ", ";
+    first = false;
+    out += FormatTuple(symbols, row);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace inflog

@@ -1,0 +1,91 @@
+// Relation: an append-only set of equal-arity tuples.
+//
+// Rows live in one flat row-major buffer; membership is tracked by a hash
+// table from tuple hash to row ids (collisions resolved by comparing row
+// contents). Rows are never removed or modified once inserted, which keeps
+// row ids stable and makes the inflationary evaluator's stage bookkeeping
+// (contiguous row ranges per stage) trivial. A monotonically increasing
+// version number lets callers (e.g. the join index cache) detect growth.
+
+#ifndef INFLOG_RELATION_RELATION_H_
+#define INFLOG_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/relation/tuple.h"
+#include "src/relation/value.h"
+
+namespace inflog {
+
+/// A set of tuples of a fixed arity over the interned domain.
+class Relation {
+ public:
+  /// Creates an empty relation of the given arity. Arity 0 is legal: such a
+  /// relation is either empty ("false") or contains the empty tuple
+  /// ("true").
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  /// The number of columns.
+  size_t arity() const { return arity_; }
+
+  /// The number of tuples.
+  size_t size() const { return size_; }
+
+  /// True iff the relation holds no tuples.
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a tuple; returns true iff it was not already present.
+  /// Requires tuple.size() == arity().
+  bool Insert(TupleView tuple);
+
+  /// Membership test. Requires tuple.size() == arity().
+  bool Contains(TupleView tuple) const;
+
+  /// Row index of `tuple`, or -1 if absent. Row indices are stable
+  /// (insertion order), which lets callers map tuples to the inflationary
+  /// stage that introduced them.
+  int64_t Find(TupleView tuple) const;
+
+  /// The i-th inserted tuple (insertion order is stable).
+  TupleView Row(size_t i) const {
+    INFLOG_DCHECK(i < size_);
+    return TupleView(data_.data() + i * arity_, arity_);
+  }
+
+  /// Inserts every tuple of `other` (same arity); returns the number of
+  /// tuples that were new.
+  size_t InsertAll(const Relation& other);
+
+  /// True iff every tuple of this relation is in `other`.
+  bool IsSubsetOf(const Relation& other) const;
+
+  /// Set equality (insertion order is ignored).
+  bool operator==(const Relation& other) const;
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Bumped on every successful insertion; lets index caches detect growth.
+  uint64_t version() const { return version_; }
+
+  /// Rows in a canonical (lexicographically sorted) order, for printing and
+  /// deterministic iteration in tests.
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Renders "{(a,b), (c,d)}" in canonical order.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  size_t arity_;
+  size_t size_ = 0;
+  std::vector<Value> data_;
+  // Tuple hash -> row ids with that hash. Row contents are compared on
+  // lookup, so hash collisions are handled correctly.
+  std::unordered_map<size_t, std::vector<uint32_t>> buckets_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_RELATION_RELATION_H_

@@ -1,0 +1,63 @@
+// Tuples of domain values and hashing support.
+//
+// Relations store rows in a flat buffer; the owning Tuple type is used at
+// API boundaries (insertion, enumeration results) and as hash-map keys.
+
+#ifndef INFLOG_RELATION_TUPLE_H_
+#define INFLOG_RELATION_TUPLE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/relation/value.h"
+
+namespace inflog {
+
+/// An owning tuple of domain values.
+using Tuple = std::vector<Value>;
+
+/// A borrowed view of a tuple (e.g. a row inside a Relation's buffer).
+using TupleView = std::span<const Value>;
+
+/// FNV-1a style mixing over a value sequence. Stable across platforms.
+inline size_t HashTuple(TupleView tuple) {
+  uint64_t h = 1469598103934665603ULL;
+  for (Value v : tuple) {
+    h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<size_t>(h);
+}
+
+/// Transparent hash functor for Tuple/TupleView keys.
+struct TupleHash {
+  using is_transparent = void;
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+  size_t operator()(TupleView t) const { return HashTuple(t); }
+};
+
+/// Transparent equality functor for Tuple/TupleView keys.
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(TupleView a, TupleView b) const {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+};
+
+/// Renders a tuple as "(a,b,c)" using the symbol table's names.
+inline std::string FormatTuple(const SymbolTable& symbols, TupleView tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ",";
+    out += symbols.Name(tuple[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace inflog
+
+#endif  // INFLOG_RELATION_TUPLE_H_

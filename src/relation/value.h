@@ -1,0 +1,70 @@
+// Domain values and the symbol table that interns them.
+//
+// All domain elements (graph vertices, propositional variables, clause
+// names, bits 0/1, ...) are interned into dense uint32 ids so tuples are
+// flat integer arrays and joins are integer comparisons.
+
+#ifndef INFLOG_RELATION_VALUE_H_
+#define INFLOG_RELATION_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace inflog {
+
+/// A domain element, represented as an index into a SymbolTable.
+using Value = uint32_t;
+
+/// Sentinel for "no value" (used by binding environments).
+inline constexpr Value kNoValue = static_cast<Value>(-1);
+
+/// Bidirectional mapping between external names and dense Value ids.
+///
+/// A single SymbolTable is shared by a database and the programs evaluated
+/// against it, so that constants appearing in rule bodies denote the same
+/// ids as the facts. Interning the same name twice returns the same id.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  Value Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const Value id = static_cast<Value>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Interns the decimal rendering of `n`.
+  Value InternInt(int64_t n) { return Intern(std::to_string(n)); }
+
+  /// Returns the id for `name` or kNoValue if it was never interned.
+  Value Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? kNoValue : it->second;
+  }
+
+  /// The external name of `id`. Requires id < size().
+  const std::string& Name(Value id) const {
+    INFLOG_CHECK(id < names_.size()) << "symbol id out of range";
+    return names_[id];
+  }
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Value> ids_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_RELATION_VALUE_H_

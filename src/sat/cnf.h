@@ -1,0 +1,95 @@
+// Propositional CNF: variables, literals, clauses.
+//
+// Variables are dense 0-based ints; a literal packs a variable and a sign
+// into one int (MiniSat encoding: code = 2·var + sign, sign 1 = negated).
+// This module is shared by the CDCL solver, the DIMACS reader, the Clark
+// completion encoder, and the SAT↔database reductions of Example 1.
+
+#ifndef INFLOG_SAT_CNF_H_
+#define INFLOG_SAT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/logging.h"
+
+namespace inflog {
+namespace sat {
+
+/// A propositional variable (0-based).
+using Var = int32_t;
+
+/// A literal: a variable with a sign.
+struct Lit {
+  int32_t code = -1;
+
+  Lit() = default;
+  Lit(Var var, bool negated) : code(2 * var + (negated ? 1 : 0)) {
+    INFLOG_DCHECK(var >= 0);
+  }
+
+  Var var() const { return code >> 1; }
+  bool negated() const { return (code & 1) != 0; }
+  /// The complementary literal.
+  Lit operator~() const {
+    Lit l;
+    l.code = code ^ 1;
+    return l;
+  }
+  bool operator==(const Lit& o) const { return code == o.code; }
+  bool operator!=(const Lit& o) const { return code != o.code; }
+  bool operator<(const Lit& o) const { return code < o.code; }
+};
+
+/// Positive literal of `v`.
+inline Lit Pos(Var v) { return Lit(v, false); }
+/// Negative literal of `v`.
+inline Lit Neg(Var v) { return Lit(v, true); }
+
+/// A clause: a disjunction of literals.
+using Clause = std::vector<Lit>;
+
+/// A CNF formula under construction.
+struct Cnf {
+  int32_t num_vars = 0;
+  std::vector<Clause> clauses;
+
+  /// Allocates a fresh variable.
+  Var NewVar() { return num_vars++; }
+
+  /// Appends a clause; literals must reference allocated variables.
+  void AddClause(Clause clause) {
+    for (const Lit& lit : clause) {
+      INFLOG_DCHECK(lit.var() >= 0 && lit.var() < num_vars);
+    }
+    clauses.push_back(std::move(clause));
+  }
+  void AddClause(std::initializer_list<Lit> lits) {
+    AddClause(Clause(lits));
+  }
+
+  /// True iff `assignment` (indexed by var) satisfies every clause. Used
+  /// as the brute-force oracle in solver tests.
+  bool IsSatisfiedBy(const std::vector<bool>& assignment) const {
+    for (const Clause& clause : clauses) {
+      bool sat = false;
+      for (const Lit& lit : clause) {
+        if (assignment[lit.var()] != lit.negated()) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) return false;
+    }
+    return true;
+  }
+
+  /// Renders in DIMACS-like text (for debugging).
+  std::string ToString() const;
+};
+
+}  // namespace sat
+}  // namespace inflog
+
+#endif  // INFLOG_SAT_CNF_H_

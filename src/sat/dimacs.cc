@@ -1,0 +1,73 @@
+#include "src/sat/dimacs.h"
+
+#include <sstream>
+
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace sat {
+
+Result<Cnf> ParseDimacs(std::string_view text) {
+  Cnf cnf;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool seen_header = false;
+  int64_t declared_clauses = 0;
+  Clause current;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == 'c') continue;
+    if (stripped[0] == 'p') {
+      std::istringstream header{std::string(stripped)};
+      std::string p, fmt;
+      int64_t vars = 0;
+      header >> p >> fmt >> vars >> declared_clauses;
+      if (fmt != "cnf" || vars < 0) {
+        return Status::InvalidArgument(
+            StrCat("bad DIMACS header: ", line));
+      }
+      cnf.num_vars = static_cast<int32_t>(vars);
+      seen_header = true;
+      continue;
+    }
+    if (!seen_header) {
+      return Status::InvalidArgument("DIMACS clause before 'p cnf' header");
+    }
+    std::istringstream body{std::string(stripped)};
+    int64_t v;
+    while (body >> v) {
+      if (v == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+        continue;
+      }
+      const Var var = static_cast<Var>((v < 0 ? -v : v) - 1);
+      if (var >= cnf.num_vars) {
+        return Status::InvalidArgument(
+            StrCat("DIMACS literal ", v, " exceeds declared variables"));
+      }
+      current.push_back(Lit(var, v < 0));
+    }
+  }
+  if (!current.empty()) {
+    return Status::InvalidArgument("DIMACS file ends mid-clause (missing 0)");
+  }
+  return cnf;
+}
+
+std::string ToDimacs(const Cnf& cnf) {
+  std::string out =
+      StrCat("p cnf ", cnf.num_vars, " ", cnf.clauses.size(), "\n");
+  for (const Clause& clause : cnf.clauses) {
+    for (const Lit& lit : clause) {
+      out += StrCat(lit.negated() ? "-" : "", lit.var() + 1, " ");
+    }
+    out += "0\n";
+  }
+  return out;
+}
+
+std::string Cnf::ToString() const { return ToDimacs(*this); }
+
+}  // namespace sat
+}  // namespace inflog

@@ -1,0 +1,25 @@
+// DIMACS CNF reader / writer.
+
+#ifndef INFLOG_SAT_DIMACS_H_
+#define INFLOG_SAT_DIMACS_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/sat/cnf.h"
+
+namespace inflog {
+namespace sat {
+
+/// Parses DIMACS text ("c" comments, "p cnf V C" header, 0-terminated
+/// clauses). External 1-based variables map to internal vars 0..V-1.
+Result<Cnf> ParseDimacs(std::string_view text);
+
+/// Renders `cnf` as DIMACS text (1-based externals).
+std::string ToDimacs(const Cnf& cnf);
+
+}  // namespace sat
+}  // namespace inflog
+
+#endif  // INFLOG_SAT_DIMACS_H_

@@ -1,0 +1,371 @@
+#include "src/sat/solver.h"
+
+#include <algorithm>
+
+namespace inflog {
+namespace sat {
+
+Solver::Solver(SolverOptions options) : options_(options) {}
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(kUndef);
+  levels_.push_back(0);
+  reasons_.push_back(kNoReason);
+  activity_.push_back(0.0);
+  phase_.push_back(0);  // default polarity: false (negative phase)
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  HeapInsert(v);
+  return v;
+}
+
+bool Solver::AddClause(Clause clause) {
+  if (!ok_) return false;
+  CancelUntil(0);
+  // Root-level simplification: drop satisfied clauses and false literals,
+  // detect tautologies and duplicates.
+  std::sort(clause.begin(), clause.end());
+  Clause simplified;
+  Lit prev;
+  for (const Lit& lit : clause) {
+    INFLOG_CHECK(lit.var() >= 0 && lit.var() < num_vars())
+        << "clause uses unallocated variable";
+    if (LitValue(lit) == 1) return true;            // already satisfied
+    if (LitValue(lit) == 0) continue;               // false at root: drop
+    if (!simplified.empty() && lit == prev) continue;  // duplicate
+    if (!simplified.empty() && lit == ~prev) return true;  // tautology
+    simplified.push_back(lit);
+    prev = lit;
+  }
+  if (simplified.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (simplified.size() == 1) {
+    Enqueue(simplified[0], kNoReason);
+    if (Propagate() != kNoReason) ok_ = false;
+    return ok_;
+  }
+  const uint32_t cref = static_cast<uint32_t>(clauses_.size());
+  clauses_.push_back(InternalClause{std::move(simplified), false});
+  AttachClause(cref);
+  return true;
+}
+
+bool Solver::AddCnf(const Cnf& cnf) {
+  while (num_vars() < cnf.num_vars) NewVar();
+  for (const Clause& clause : cnf.clauses) {
+    if (!AddClause(clause)) return false;
+  }
+  return true;
+}
+
+void Solver::AttachClause(uint32_t cref) {
+  const InternalClause& c = clauses_[cref];
+  INFLOG_DCHECK(c.lits.size() >= 2);
+  watches_[c.lits[0].code].push_back(Watch{cref, c.lits[1]});
+  watches_[c.lits[1].code].push_back(Watch{cref, c.lits[0]});
+}
+
+void Solver::Enqueue(Lit l, int32_t reason) {
+  INFLOG_DCHECK(LitValue(l) == kUndef);
+  const Var v = l.var();
+  assigns_[v] = l.negated() ? 0 : 1;
+  levels_[v] = DecisionLevel();
+  reasons_[v] = reason;
+  trail_.push_back(l);
+}
+
+int32_t Solver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    // p became true; visit clauses watching ~p.
+    const Lit false_lit = ~p;
+    std::vector<Watch>& ws = watches_[false_lit.code];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watch w = ws[i];
+      if (LitValue(w.blocker) == 1) {
+        ws[keep++] = w;
+        continue;
+      }
+      InternalClause& c = clauses_[w.clause];
+      // Normalize: the false literal sits at position 1.
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      INFLOG_DCHECK(c.lits[1] == false_lit);
+      if (LitValue(c.lits[0]) == 1) {
+        ws[keep++] = Watch{w.clause, c.lits[0]};
+        continue;
+      }
+      // Find a replacement watch.
+      bool found = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (LitValue(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1].code].push_back(Watch{w.clause, c.lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;  // watch moved to another list
+      // Unit or conflicting.
+      ws[keep++] = w;
+      if (LitValue(c.lits[0]) == 0) {
+        // Conflict: restore the remaining watches and report.
+        for (size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<int32_t>(w.clause);
+      }
+      Enqueue(c.lits[0], static_cast<int32_t>(w.clause));
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void Solver::Analyze(int32_t conflict, Clause* learnt, int* backtrack_level) {
+  learnt->clear();
+  learnt->push_back(Lit());  // slot for the asserting literal
+  int counter = 0;
+  Lit p;
+  bool have_p = false;
+  size_t index = trail_.size();
+  int32_t reason = conflict;
+  do {
+    INFLOG_DCHECK(reason != kNoReason) << "analysis reached a decision";
+    const InternalClause& c = clauses_[reason];
+    for (const Lit& q : c.lits) {
+      if (have_p && q == p) continue;
+      const Var v = q.var();
+      if (seen_[v] || levels_[v] == 0) continue;
+      seen_[v] = 1;
+      BumpVar(v);
+      if (levels_[v] >= DecisionLevel()) {
+        ++counter;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    // Walk the trail back to the next marked literal.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    --index;
+    p = trail_[index];
+    have_p = true;
+    reason = reasons_[p.var()];
+    seen_[p.var()] = 0;
+    --counter;
+  } while (counter > 0);
+  (*learnt)[0] = ~p;
+
+  // Backtrack level: the highest level among the non-asserting literals.
+  *backtrack_level = 0;
+  size_t max_pos = 1;
+  for (size_t i = 1; i < learnt->size(); ++i) {
+    if (levels_[(*learnt)[i].var()] > *backtrack_level) {
+      *backtrack_level = levels_[(*learnt)[i].var()];
+      max_pos = i;
+    }
+  }
+  if (learnt->size() > 1) {
+    std::swap((*learnt)[1], (*learnt)[max_pos]);
+  }
+  for (size_t i = 0; i < learnt->size(); ++i) {
+    seen_[(*learnt)[i].var()] = 0;
+  }
+}
+
+void Solver::CancelUntil(int level) {
+  if (DecisionLevel() <= level) return;
+  const size_t bound = trail_lim_[level];
+  for (size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    phase_[v] = assigns_[v];  // phase saving
+    assigns_[v] = kUndef;
+    reasons_[v] = kNoReason;
+    if (!HeapContains(v)) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(level);
+  qhead_ = trail_.size();
+}
+
+void Solver::BumpVar(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (HeapContains(v)) HeapSiftUp(heap_pos_[v]);
+}
+
+Lit Solver::PickBranchLit() {
+  while (!heap_.empty()) {
+    const Var v = HeapPopMax();
+    if (assigns_[v] == kUndef) {
+      return Lit(v, phase_[v] != 1);
+    }
+  }
+  return Lit();  // no unassigned variable remains
+}
+
+void Solver::HeapInsert(Var v) {
+  heap_pos_[v] = static_cast<int32_t>(heap_.size());
+  heap_.push_back(v);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void Solver::HeapSiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!HeapLess(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    heap_pos_[heap_[parent]] = static_cast<int32_t>(parent);
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    i = parent;
+  }
+}
+
+void Solver::HeapSiftDown(size_t i) {
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t largest = i;
+    if (left < heap_.size() && HeapLess(heap_[largest], heap_[left])) {
+      largest = left;
+    }
+    if (right < heap_.size() && HeapLess(heap_[largest], heap_[right])) {
+      largest = right;
+    }
+    if (largest == i) break;
+    std::swap(heap_[i], heap_[largest]);
+    heap_pos_[heap_[i]] = static_cast<int32_t>(i);
+    heap_pos_[heap_[largest]] = static_cast<int32_t>(largest);
+    i = largest;
+  }
+}
+
+Var Solver::HeapPopMax() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    HeapSiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+uint64_t Solver::Luby(uint64_t i) {
+  // Finds the i-th term (1-based) of the Luby sequence 1,1,2,1,1,2,4,...
+  uint64_t size = 1;
+  uint64_t seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return uint64_t{1} << seq;
+}
+
+SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  CancelUntil(0);
+  if (Propagate() != kNoReason) {
+    ok_ = false;
+    return SolveResult::kUnsat;
+  }
+
+  uint64_t restart_count = 0;
+  uint64_t conflicts_until_restart =
+      options_.restart_base == 0
+          ? UINT64_MAX
+          : options_.restart_base * Luby(restart_count);
+  uint64_t conflicts_this_restart = 0;
+
+  while (true) {
+    const int32_t conflict = Propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (DecisionLevel() == 0) {
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
+      Clause learnt;
+      int backtrack_level = 0;
+      Analyze(conflict, &learnt, &backtrack_level);
+      CancelUntil(backtrack_level);
+      if (learnt.size() == 1) {
+        CancelUntil(0);
+        if (LitValue(learnt[0]) == 0) {
+          ok_ = false;
+          return SolveResult::kUnsat;
+        }
+        if (LitValue(learnt[0]) == kUndef) Enqueue(learnt[0], kNoReason);
+      } else {
+        const uint32_t cref = static_cast<uint32_t>(clauses_.size());
+        clauses_.push_back(InternalClause{learnt, true});
+        AttachClause(cref);
+        Enqueue(learnt[0], static_cast<int32_t>(cref));
+        ++stats_.learned_clauses;
+      }
+      DecayActivities();
+      if (options_.max_conflicts != 0 &&
+          stats_.conflicts >= options_.max_conflicts) {
+        CancelUntil(0);
+        return SolveResult::kUnknown;
+      }
+      continue;
+    }
+
+    if (conflicts_this_restart >= conflicts_until_restart) {
+      ++stats_.restarts;
+      ++restart_count;
+      conflicts_this_restart = 0;
+      conflicts_until_restart =
+          options_.restart_base * Luby(restart_count);
+      CancelUntil(0);
+      continue;
+    }
+
+    // Apply assumptions as pseudo-decisions, one level each.
+    if (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[DecisionLevel()];
+      INFLOG_CHECK(a.var() >= 0 && a.var() < num_vars());
+      if (LitValue(a) == 0) {
+        // Assumption conflicts with the current (root-implied) state.
+        CancelUntil(0);
+        return SolveResult::kUnsat;
+      }
+      NewDecisionLevel();
+      if (LitValue(a) == kUndef) Enqueue(a, kNoReason);
+      continue;
+    }
+
+    ++stats_.decisions;
+    const Lit next = PickBranchLit();
+    if (next.code == -1) {
+      // Every variable is assigned: a model.
+      model_.assign(assigns_.begin(), assigns_.end());
+      CancelUntil(0);
+      return SolveResult::kSat;
+    }
+    NewDecisionLevel();
+    Enqueue(next, kNoReason);
+  }
+}
+
+}  // namespace sat
+}  // namespace inflog

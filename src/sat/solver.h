@@ -1,0 +1,159 @@
+// CDCL SAT solver (MiniSat-style).
+//
+// Conflict-driven clause learning with two-literal watches, first-UIP
+// conflict analysis, VSIDS variable activities with phase saving, Luby
+// restarts, incremental clause addition, and solving under assumptions.
+//
+// This is the NP engine behind the paper's Theorems 1–3: fixpoint
+// existence, uniqueness and least-fixpoint queries are all answered
+// through Clark-completion encodings solved here. It is also used as the
+// independent satisfiability oracle for the Example 1 reduction tests.
+
+#ifndef INFLOG_SAT_SOLVER_H_
+#define INFLOG_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sat/cnf.h"
+
+namespace inflog {
+namespace sat {
+
+/// Outcome of a Solve call.
+enum class SolveResult {
+  kSat,
+  kUnsat,
+  kUnknown,  ///< Conflict budget exhausted.
+};
+
+/// Tuning knobs and budgets.
+struct SolverOptions {
+  /// Abort with kUnknown after this many conflicts (0 = unlimited).
+  uint64_t max_conflicts = 0;
+  /// Luby restart unit (conflicts); 0 disables restarts.
+  uint64_t restart_base = 100;
+  /// VSIDS decay factor.
+  double activity_decay = 0.95;
+};
+
+/// Run statistics.
+struct SolverStats {
+  uint64_t conflicts = 0;
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t restarts = 0;
+  uint64_t learned_clauses = 0;
+};
+
+/// Incremental CDCL solver.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  /// Allocates a fresh variable and returns it.
+  Var NewVar();
+
+  /// Number of allocated variables.
+  int32_t num_vars() const { return static_cast<int32_t>(assigns_.size()); }
+
+  /// Adds a clause (callable between Solve calls). Returns false when the
+  /// solver is already in an unsatisfiable root state.
+  bool AddClause(Clause clause);
+
+  /// Loads every clause of `cnf` (allocating variables as needed).
+  bool AddCnf(const Cnf& cnf);
+
+  /// Decides satisfiability under the given assumption literals.
+  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access after kSat: the value of `v` in the satisfying
+  /// assignment.
+  bool ModelValue(Var v) const {
+    INFLOG_CHECK(v >= 0 && static_cast<size_t>(v) < model_.size());
+    return model_[v] == 1;
+  }
+
+  /// The model as a bool vector indexed by var.
+  std::vector<bool> Model() const {
+    std::vector<bool> m(model_.size());
+    for (size_t i = 0; i < model_.size(); ++i) m[i] = model_[i] == 1;
+    return m;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// True while the root state is consistent (no empty clause derived).
+  bool ok() const { return ok_; }
+
+ private:
+  static constexpr int8_t kUndef = -1;
+  static constexpr int32_t kNoReason = -1;
+
+  struct InternalClause {
+    std::vector<Lit> lits;
+    bool learned = false;
+  };
+  struct Watch {
+    uint32_t clause;
+    Lit blocker;
+  };
+
+  // Assignment access.
+  int8_t VarValue(Var v) const { return assigns_[v]; }
+  /// -1 unassigned, 1 literal true, 0 literal false.
+  int8_t LitValue(Lit l) const {
+    const int8_t a = assigns_[l.var()];
+    if (a == kUndef) return kUndef;
+    return (a == 1) != l.negated() ? 1 : 0;
+  }
+
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
+
+  void AttachClause(uint32_t cref);
+  void Enqueue(Lit l, int32_t reason);
+  int32_t Propagate();  // returns conflicting clause index or kNoReason
+  void Analyze(int32_t conflict, Clause* learnt, int* backtrack_level);
+  void CancelUntil(int level);
+  void BumpVar(Var v);
+  void DecayActivities() { var_inc_ /= options_.activity_decay; }
+  Lit PickBranchLit();
+
+  // Activity-ordered decision heap (max-heap on activity_).
+  bool HeapLess(Var a, Var b) const { return activity_[a] < activity_[b]; }
+  void HeapInsert(Var v);
+  void HeapSiftUp(size_t i);
+  void HeapSiftDown(size_t i);
+  Var HeapPopMax();
+  bool HeapContains(Var v) const { return heap_pos_[v] >= 0; }
+
+  static uint64_t Luby(uint64_t i);
+
+  SolverOptions options_;
+  SolverStats stats_;
+  bool ok_ = true;
+
+  std::vector<InternalClause> clauses_;
+  std::vector<std::vector<Watch>> watches_;  // by literal code
+  std::vector<int8_t> assigns_;              // by var
+  std::vector<int> levels_;                  // by var
+  std::vector<int32_t> reasons_;             // by var
+  std::vector<double> activity_;             // by var
+  std::vector<int8_t> phase_;                // by var (saved polarity)
+  std::vector<char> seen_;                   // by var (analyze scratch)
+  std::vector<Lit> trail_;
+  std::vector<size_t> trail_lim_;
+  size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+
+  std::vector<Var> heap_;
+  std::vector<int32_t> heap_pos_;  // by var; -1 = not in heap
+
+  std::vector<int8_t> model_;
+};
+
+}  // namespace sat
+}  // namespace inflog
+
+#endif  // INFLOG_SAT_SOLVER_H_

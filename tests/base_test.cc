@@ -1,0 +1,155 @@
+// Unit tests for src/base: Status/Result, strings, deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include "src/base/result.h"
+#include "src/base/rng.h"
+#include "src/base/status.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailingOp() { return Status::NotFound("missing"); }
+Status Passthrough() {
+  INFLOG_RETURN_IF_ERROR(FailingOp());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(Passthrough().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HalfOf(int n) {
+  if (n % 2 != 0) return Status::InvalidArgument("odd");
+  return n / 2;
+}
+Result<int> QuarterOf(int n) {
+  INFLOG_ASSIGN_OR_RETURN(const int half, HalfOf(n));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(QuarterOf(8).ok());
+  EXPECT_EQ(*QuarterOf(8), 2);
+  EXPECT_FALSE(QuarterOf(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterOf(7).ok());
+}
+
+TEST(StringsTest, StrCat) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, StrJoin) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(StrJoin(v, ","), "1,2,3");
+  EXPECT_EQ(StrJoin(std::vector<int>{}, ","), "");
+}
+
+TEST(StringsTest, StrSplitDropsEmpty) {
+  auto parts = StrSplit("a,,b,c,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,194 @@
+// Tests for the Engine facade and the Hamilton-circuit US pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/reductions/hamilton.h"
+#include "src/reductions/sat_db.h"
+#include "src/sat/solver.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+TEST(EngineTest, EndToEndPi1) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText("T(X) :- E(Y,X), !T(Y).").ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(1,2). E(2,3). E(3,4).").ok());
+  auto result = engine.Inflationary();
+  ASSERT_TRUE(result.ok());
+  auto t = engine.RelationOf(result->state, "T");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->size(), 3u);  // {2,3,4}: vertices with predecessors
+  auto analyzer = engine.MakeAnalyzer();
+  ASSERT_TRUE(analyzer.ok());
+  auto unique = analyzer->UniqueFixpoint();
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(*unique, UniqueStatus::kUnique);
+}
+
+TEST(EngineTest, RequiresProgramBeforeEvaluation) {
+  Engine engine;
+  EXPECT_FALSE(engine.Inflationary().ok());
+  EXPECT_EQ(engine.Inflationary().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(engine.program().ok());
+}
+
+TEST(EngineTest, LoadProgramReplacesPrevious) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText("A(X) :- E(X,Y).").ok());
+  ASSERT_TRUE(engine.LoadProgramText("B(X) :- E(Y,X).").ok());
+  auto program = engine.program();
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE((*program)->FindPredicate("B").ok());
+  EXPECT_FALSE((*program)->FindPredicate("A").ok());
+}
+
+TEST(EngineTest, DatabaseTextIsAdditive) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadDatabaseText("E(1,2).").ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(2,3).").ok());
+  EXPECT_EQ((*engine.database().GetRelation("E"))->size(), 2u);
+}
+
+TEST(EngineTest, RejectsForeignSymbolTable) {
+  Engine engine;
+  Program foreign = testing::MustProgram("T(X) :- E(X,Y).");
+  EXPECT_FALSE(engine.LoadProgram(std::move(foreign)).ok());
+}
+
+TEST(EngineTest, DescribeSummarizes) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText("T(X) :- E(Y,X), !T(Y).").ok());
+  auto description = engine.Describe();
+  ASSERT_TRUE(description.ok());
+  EXPECT_NE(description->find("EDB: E/2"), std::string::npos)
+      << *description;
+  EXPECT_NE(description->find("IDB: T/1"), std::string::npos);
+  EXPECT_NE(description->find("stratifiable: no"), std::string::npos);
+}
+
+TEST(EngineTest, RelationOfRejectsEdb) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText("T(X) :- E(Y,X).").ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(1,2).").ok());
+  auto result = engine.Inflationary();
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(engine.RelationOf(result->state, "E").ok());
+  EXPECT_FALSE(engine.RelationOf(result->state, "Nope").ok());
+}
+
+TEST(EngineTest, AllSemanticsOnOneProgram) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .LoadProgramText(
+                      "R(X,Y) :- E(X,Y).\n"
+                      "R(X,Y) :- E(X,Z), R(Z,Y).\n"
+                      "Un(X,Y) :- E(Y,X), !R(X,Y).\n")
+                  .ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(1,2). E(2,3).").ok());
+  auto inf = engine.Inflationary();
+  auto strat = engine.Stratified();
+  auto wf = engine.WellFounded();
+  auto stable = engine.StableModels();
+  ASSERT_TRUE(inf.ok() && strat.ok() && wf.ok() && stable.ok());
+  // Stratified program: all four agree on the (total) model.
+  EXPECT_TRUE(wf->total);
+  EXPECT_EQ(wf->true_state, strat->state);
+  ASSERT_EQ(stable->models.size(), 1u);
+  EXPECT_EQ(stable->models[0], strat->state);
+}
+
+// --- Hamilton circuits through π_SAT (the US-typical example). ---
+
+TEST(HamiltonTest, CnfModelsAreCircuits) {
+  const Digraph g = CycleGraph(5);
+  auto cnf = HamiltonToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  sat::Solver solver;
+  solver.AddCnf(*cnf);
+  ASSERT_EQ(solver.Solve(), sat::SolveResult::kSat);
+  auto circuit = DecodeHamiltonCircuit(g, solver.Model());
+  ASSERT_TRUE(circuit.ok()) << circuit.status().ToString();
+  EXPECT_EQ((*circuit)[0], 0u);
+}
+
+TEST(HamiltonTest, NoCircuitOnPath) {
+  auto cnf = HamiltonToCnf(PathGraph(4));
+  ASSERT_TRUE(cnf.ok());
+  sat::Solver solver;
+  solver.AddCnf(*cnf);
+  EXPECT_EQ(solver.Solve(), sat::SolveResult::kUnsat);
+}
+
+class HamiltonCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(HamiltonCounts, ModelCountEqualsCircuitCount) {
+  const int seed = GetParam();
+  Digraph g(0);
+  switch (seed) {
+    case 0:
+      g = CycleGraph(4);
+      break;
+    case 1:
+      g = CompleteGraph(4);
+      break;
+    case 2:
+      g = CompleteGraph(3);
+      break;
+    default: {
+      Rng rng(seed * 911);
+      g = RandomDigraph(5, 0.5, &rng);
+      break;
+    }
+  }
+  const uint64_t expected = CountHamiltonCircuits(g);
+  auto cnf = HamiltonToCnf(g);
+  ASSERT_TRUE(cnf.ok());
+  // Count models by enumeration.
+  sat::Solver solver;
+  solver.AddCnf(*cnf);
+  uint64_t models = 0;
+  while (solver.Solve() == sat::SolveResult::kSat && models < 1000) {
+    ++models;
+    sat::Clause block;
+    for (sat::Var v = 0; v < cnf->num_vars; ++v) {
+      block.push_back(solver.ModelValue(v) ? sat::Neg(v) : sat::Pos(v));
+    }
+    if (!solver.AddClause(block)) break;
+  }
+  EXPECT_EQ(models, expected) << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, HamiltonCounts, ::testing::Range(0, 8));
+
+TEST(HamiltonTest, UniqueCircuitMeansUniqueFixpoint) {
+  // C₄ has exactly one directed Hamilton circuit: the composed reduction
+  // Hamilton → CNF → D(I) → π_SAT must yield a UNIQUE fixpoint; K₄ has
+  // six, so "multiple"; L₄ has none, so "no fixpoint". Theorem 2 end to
+  // end.
+  struct Case {
+    Digraph graph;
+    UniqueStatus expected;
+  } cases[] = {
+      {CycleGraph(4), UniqueStatus::kUnique},
+      {CompleteGraph(4), UniqueStatus::kMultiple},
+      {PathGraph(4), UniqueStatus::kNoFixpoint},
+  };
+  for (const auto& c : cases) {
+    auto cnf = HamiltonToCnf(c.graph);
+    ASSERT_TRUE(cnf.ok());
+    auto symbols = std::make_shared<SymbolTable>();
+    Program pi_sat = PiSatProgram(symbols);
+    Database db = SatToDatabase(*cnf, symbols);
+    auto analyzer = FixpointAnalyzer::Create(&pi_sat, &db);
+    ASSERT_TRUE(analyzer.ok());
+    auto unique = analyzer->UniqueFixpoint();
+    ASSERT_TRUE(unique.ok());
+    EXPECT_EQ(*unique, c.expected) << c.graph.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace inflog

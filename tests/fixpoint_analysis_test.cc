@@ -1,0 +1,394 @@
+// Tests for the grounder, the Clark-completion encoding, and the
+// FixpointAnalyzer: the paper's Section 2 example (paths, cycles, Gₖ), the
+// least-fixpoint algorithm of Theorem 3, and randomized cross-checks
+// against brute-force enumeration of the full state space.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/fixpoint/analysis.h"
+#include "src/fixpoint/brute_force.h"
+#include "src/ground/grounder.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::CanonStates;
+using testing::DbFromGraph;
+using testing::IdbRelation;
+using testing::MustProgram;
+using testing::UnarySet;
+
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+
+// --- Grounder. ---
+
+TEST(GrounderTest, TransitiveClosureGrounding) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(
+      "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);  // E = {01, 12}
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  // Rule 1: one ground rule per edge (bodies fully evaluated away).
+  // Rule 2: per edge (x,z), y ranges over A: 2 × 3 = 6.
+  EXPECT_EQ(g->rules.size(), 2u + 6u);
+  // Facts appear as ground rules with empty bodies.
+  size_t empty_bodies = 0;
+  for (const GroundRule& r : g->rules) {
+    if (g->RuleBody(r).empty()) ++empty_bodies;
+  }
+  EXPECT_EQ(empty_bodies, 2u);
+}
+
+TEST(GrounderTest, ToggleRuleGroundsOverUniverseSquared) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(Z) :- !T(W).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  // z, w over A²; bodies {¬T(w)} dedup by (head, body): 9 rules.
+  EXPECT_EQ(g->rules.size(), 9u);
+  EXPECT_EQ(g->atoms.size(), 3u);
+}
+
+TEST(GrounderTest, UnsatisfiableEdbPartDropsInstances) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- E(X,X).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);  // no self-loops
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->rules.empty());
+}
+
+TEST(GrounderTest, PosNegClashDropsRule) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- S(X), !S(X).\nS(X) :- E(X,Y).", symbols);
+  Database db = DbFromGraph(PathGraph(2), symbols);
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  for (const GroundRule& r : g->rules) {
+    EXPECT_NE(p.predicate(g->atoms.atom(r.head).predicate).name, "T");
+  }
+}
+
+TEST(GrounderTest, InequalityFiltersInstances) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("P(X,Y) :- E(X,Z), E(Y,W), X != Y.", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);  // out-vertices: 0, 1
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  // (x,y) ∈ {0,1}², x ≠ y → 2 ground rules (each with empty body).
+  EXPECT_EQ(g->rules.size(), 2u);
+}
+
+TEST(GrounderTest, GroundRuleLimitEnforced) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(Z) :- !T(W).", symbols);
+  Database db = DbFromGraph(PathGraph(10), symbols);
+  GrounderOptions opts;
+  opts.max_ground_rules = 10;  // 100 instantiations exceed this
+  auto g = GroundProgramFor(p, db, opts);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GrounderTest, MissingEdbPolicies) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- Ghost(X).", symbols);
+  Database db = DbFromGraph(PathGraph(2), symbols);
+  EXPECT_FALSE(GroundProgramFor(p, db).ok());
+  GrounderOptions opts;
+  opts.allow_missing_edb = true;
+  auto g = GroundProgramFor(p, db, opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->rules.empty());
+}
+
+// --- Analyzer on the paper's §2 example. ---
+
+FixpointAnalyzer MustAnalyzer(const Program& p, const Database& db) {
+  auto a = FixpointAnalyzer::Create(&p, &db);
+  INFLOG_CHECK(a.ok()) << a.status().ToString();
+  return std::move(a).value();
+}
+
+TEST(AnalyzerTest, PathHasUniqueFixpointAtOddPositions) {
+  for (size_t n : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(PathGraph(n), symbols);
+    FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+    auto unique = analyzer.UniqueFixpoint();
+    ASSERT_TRUE(unique.ok());
+    EXPECT_EQ(*unique, UniqueStatus::kUnique) << "n=" << n;
+    auto fp = analyzer.FindFixpoint();
+    ASSERT_TRUE(fp.ok());
+    ASSERT_TRUE(fp->has_value());
+    std::set<std::string> expected;
+    for (size_t v = 1; v < n; v += 2) expected.insert(std::to_string(v));
+    EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, **fp, "T")), expected);
+  }
+}
+
+TEST(AnalyzerTest, OddCyclesHaveNoFixpoint) {
+  for (size_t n : {3u, 5u, 7u, 9u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(CycleGraph(n), symbols);
+    FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+    auto has = analyzer.HasFixpoint();
+    ASSERT_TRUE(has.ok());
+    EXPECT_FALSE(*has) << "n=" << n;
+    auto unique = analyzer.UniqueFixpoint();
+    ASSERT_TRUE(unique.ok());
+    EXPECT_EQ(*unique, UniqueStatus::kNoFixpoint);
+  }
+}
+
+TEST(AnalyzerTest, EvenCyclesHaveExactlyTwoFixpoints) {
+  for (size_t n : {4u, 6u, 8u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(CycleGraph(n), symbols);
+    FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+    auto fps = analyzer.EnumerateFixpoints();
+    ASSERT_TRUE(fps.ok());
+    ASSERT_EQ(fps->size(), 2u) << "n=" << n;
+    // The two fixpoints are the alternating sets — incomparable.
+    EXPECT_FALSE((*fps)[0].IsSubsetOf((*fps)[1]));
+    EXPECT_FALSE((*fps)[1].IsSubsetOf((*fps)[0]));
+    auto unique = analyzer.UniqueFixpoint();
+    ASSERT_TRUE(unique.ok());
+    EXPECT_EQ(*unique, UniqueStatus::kMultiple);
+  }
+}
+
+TEST(AnalyzerTest, DisjointCyclesMultiplyFixpoints) {
+  // Gₖ (k disjoint C₄'s) has exactly 2ᵏ pairwise-incomparable fixpoints —
+  // exponentially many in the size of the database (Section 2).
+  for (size_t k : {1u, 2u, 3u, 4u, 5u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(DisjointCycles(k, 4), symbols);
+    FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+    auto count = analyzer.CountFixpoints();
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, uint64_t{1} << k) << "k=" << k;
+  }
+}
+
+TEST(AnalyzerTest, DisjointCyclesHaveNoLeastFixpoint) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(DisjointCycles(3, 4), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto least = analyzer.LeastFixpoint();
+  ASSERT_TRUE(least.ok());
+  EXPECT_TRUE(least->has_fixpoint);
+  EXPECT_FALSE(least->has_least);
+  // The intersection of the alternating fixpoints is empty, and ∅ is not
+  // a fixpoint here.
+  EXPECT_EQ(least->intersection.TotalTuples(), 0u);
+}
+
+TEST(AnalyzerTest, UniqueFixpointIsLeast) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(PathGraph(6), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto least = analyzer.LeastFixpoint();
+  ASSERT_TRUE(least.ok());
+  EXPECT_TRUE(least->has_least);
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, least->intersection, "T")),
+            (std::set<std::string>{"1", "3", "5"}));
+  EXPECT_GE(least->sat_calls, 2u);
+}
+
+TEST(AnalyzerTest, PositiveProgramLeastFixpointMatchesEvaluation) {
+  // For positive DATALOG the least fixpoint exists and equals the
+  // bottom-up evaluation; the analyzer must find exactly it.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(
+      "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).", symbols);
+  Database db = DbFromGraph(CycleGraph(4), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto least = analyzer.LeastFixpoint();
+  ASSERT_TRUE(least.ok());
+  ASSERT_TRUE(least->has_least);
+  // TC of C₄ is all 16 pairs.
+  EXPECT_EQ(IdbRelation(p, least->intersection, "S").size(), 16u);
+  // But fixpoints are not unique: S = A² is also a fixpoint only if it is
+  // supported... (here TC is total so the fixpoint IS unique).
+  auto unique = analyzer.UniqueFixpoint();
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(*unique, UniqueStatus::kUnique);
+}
+
+TEST(AnalyzerTest, PositiveProgramCanHaveManyFixpointsButALeast) {
+  // S(x) ← S(x) supports any subset of A: 2^|A| fixpoints, least = ∅.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("S(X) :- S(X).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto count = analyzer.CountFixpoints();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 8u);
+  auto least = analyzer.LeastFixpoint();
+  ASSERT_TRUE(least.ok());
+  EXPECT_TRUE(least->has_least);
+  EXPECT_EQ(least->intersection.TotalTuples(), 0u);
+}
+
+TEST(AnalyzerTest, EnumerationRespectsLimit) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("S(X) :- S(X).", symbols);
+  Database db = DbFromGraph(PathGraph(4), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto fps = analyzer.EnumerateFixpoints(5);
+  ASSERT_TRUE(fps.ok());
+  EXPECT_EQ(fps->size(), 5u);
+}
+
+TEST(AnalyzerTest, CountLimitExceededIsError) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("S(X) :- S(X).", symbols);
+  Database db = DbFromGraph(PathGraph(4), symbols);
+  FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+  auto count = analyzer.CountFixpoints(/*limit=*/7);
+  EXPECT_FALSE(count.ok());
+  EXPECT_EQ(count.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Brute force cross-checks. ---
+
+TEST(BruteForceTest, MatchesAnalyzerOnPaperExamples) {
+  struct Case {
+    const char* name;
+    Digraph graph;
+  };
+  const Case cases[] = {
+      {"L3", PathGraph(3)},
+      {"L4", PathGraph(4)},
+      {"C3", CycleGraph(3)},
+      {"C4", CycleGraph(4)},
+      {"C5", CycleGraph(5)},
+  };
+  for (const Case& c : cases) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(c.graph, symbols);
+    auto brute = BruteForceFixpoints(p, db);
+    ASSERT_TRUE(brute.ok()) << c.name << ": " << brute.status().ToString();
+    FixpointAnalyzer analyzer = MustAnalyzer(p, db);
+    auto sat = analyzer.EnumerateFixpoints();
+    ASSERT_TRUE(sat.ok()) << c.name;
+    EXPECT_EQ(CanonStates(p, *brute), CanonStates(p, *sat)) << c.name;
+  }
+}
+
+TEST(BruteForceTest, RefusesLargeSpaces) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("S(X,Y) :- E(X,Y), !S(Y,X).", symbols);
+  Database db = DbFromGraph(PathGraph(6), symbols);  // 36 binary atoms
+  auto r = BruteForceFixpoints(p, db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+/// Random DATALOG¬ program over E/2 with unary IDB predicates T, S —
+/// small enough that the full 2^(2|A|) state space is enumerable.
+std::string RandomUnaryProgram(Rng* rng) {
+  const char* heads[] = {"T", "S"};
+  const char* vars[] = {"X", "Y", "Z"};
+  std::string text;
+  const int num_rules = 1 + static_cast<int>(rng->Uniform(3));
+  for (int r = 0; r < num_rules; ++r) {
+    const char* head = heads[rng->Uniform(2)];
+    const char* head_var = vars[rng->Uniform(3)];
+    std::vector<std::string> body;
+    const int num_lits = 1 + static_cast<int>(rng->Uniform(3));
+    for (int l = 0; l < num_lits; ++l) {
+      switch (rng->Uniform(6)) {
+        case 0:
+          body.push_back(StrCat("E(", vars[rng->Uniform(3)], ",",
+                                vars[rng->Uniform(3)], ")"));
+          break;
+        case 1:
+          body.push_back(StrCat("T(", vars[rng->Uniform(3)], ")"));
+          break;
+        case 2:
+          body.push_back(StrCat("S(", vars[rng->Uniform(3)], ")"));
+          break;
+        case 3:
+          body.push_back(StrCat("!T(", vars[rng->Uniform(3)], ")"));
+          break;
+        case 4:
+          body.push_back(StrCat("!S(", vars[rng->Uniform(3)], ")"));
+          break;
+        case 5:
+          body.push_back(StrCat(vars[rng->Uniform(3)],
+                                rng->Bernoulli(0.5) ? " = " : " != ",
+                                vars[rng->Uniform(3)]));
+          break;
+      }
+    }
+    text += StrCat(head, "(", head_var, ") :- ", StrJoin(body, ", "), ".\n");
+  }
+  return text;
+}
+
+class RandomProgramCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramCrossCheck, SatEnumerationEqualsBruteForce) {
+  const int seed = GetParam();
+  Rng rng(seed * 37 + 5);
+  const std::string text = RandomUnaryProgram(&rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(text, symbols);
+  const Digraph g = RandomDigraph(3, 0.4, &rng);
+  Database db = DbFromGraph(g, symbols);
+  // A generated predicate may occur only in bodies, making it a (missing)
+  // EDB relation; both pipelines then read it as empty.
+  BruteForceOptions brute_opts;
+  brute_opts.allow_missing_edb = true;
+  auto brute = BruteForceFixpoints(p, db, brute_opts);
+  ASSERT_TRUE(brute.ok()) << text << brute.status().ToString();
+  AnalyzeOptions analyze_opts;
+  analyze_opts.grounder.allow_missing_edb = true;
+  auto analyzer = FixpointAnalyzer::Create(&p, &db, analyze_opts);
+  ASSERT_TRUE(analyzer.ok()) << text;
+  auto sat = analyzer->EnumerateFixpoints();
+  ASSERT_TRUE(sat.ok()) << text;
+  EXPECT_EQ(CanonStates(p, *brute), CanonStates(p, *sat))
+      << "program:\n"
+      << text << "graph: " << g.ToString();
+  // Least-fixpoint decision agrees with brute force too.
+  auto least = analyzer->LeastFixpoint();
+  ASSERT_TRUE(least.ok());
+  EXPECT_EQ(least->has_fixpoint, !brute->empty()) << text;
+  if (!brute->empty()) {
+    bool brute_has_least = false;
+    for (const IdbState& cand : *brute) {
+      bool below_all = true;
+      for (const IdbState& other : *brute) {
+        below_all &= cand.IsSubsetOf(other);
+      }
+      if (below_all) {
+        brute_has_least = true;
+        EXPECT_EQ(testing::CanonState(p, cand),
+                  testing::CanonState(p, least->intersection))
+            << text;
+      }
+    }
+    EXPECT_EQ(least->has_least, brute_has_least) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramCrossCheck,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace inflog

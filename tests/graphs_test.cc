@@ -1,0 +1,143 @@
+// Tests for the graph substrate: generators, oracles, and the relational
+// round-trip.
+
+#include <gtest/gtest.h>
+
+#include "src/graphs/digraph.h"
+
+namespace inflog {
+namespace {
+
+TEST(DigraphTest, AddEdgeDedups) {
+  Digraph g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GeneratorsTest, PathShape) {
+  const Digraph g = PathGraph(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(4, 0));
+}
+
+TEST(GeneratorsTest, CycleShape) {
+  const Digraph g = CycleGraph(4);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.HasEdge(3, 0));
+}
+
+TEST(GeneratorsTest, DisjointCyclesAreDisjoint) {
+  const Digraph g = DisjointCycles(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 12u);
+  // No edge crosses components.
+  for (const auto& [u, v] : g.Edges()) {
+    EXPECT_EQ(u / 4, v / 4);
+  }
+}
+
+TEST(GeneratorsTest, CompleteGraphEdgeCount) {
+  const Digraph g = CompleteGraph(5);
+  EXPECT_EQ(g.num_edges(), 20u);
+}
+
+TEST(GeneratorsTest, RandomDigraphDeterministicUnderSeed) {
+  Rng a(5), b(5);
+  const Digraph g1 = RandomDigraph(8, 0.3, &a);
+  const Digraph g2 = RandomDigraph(8, 0.3, &b);
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(GeneratorsTest, HypercubeDegree) {
+  const Digraph g = Hypercube(3);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 24u);  // 8 vertices × 3 out-neighbors
+  EXPECT_TRUE(g.HasEdge(0, 4));
+  EXPECT_FALSE(g.HasEdge(0, 3));  // differs in two bits
+}
+
+TEST(OraclesTest, BfsDistancesOnPath) {
+  const auto dist = BfsAllPairs(PathGraph(4));
+  EXPECT_EQ(dist[0][3], 3);
+  EXPECT_EQ(dist[3][0], -1);
+  EXPECT_EQ(dist[1][1], 0);
+}
+
+TEST(OraclesTest, BfsDistancesOnCycle) {
+  const auto dist = BfsAllPairs(CycleGraph(5));
+  EXPECT_EQ(dist[0][4], 4);
+  EXPECT_EQ(dist[4][0], 1);
+}
+
+TEST(OraclesTest, TransitiveClosureOnPathAndCycle) {
+  const auto tc_path = TransitiveClosure(PathGraph(3));
+  EXPECT_TRUE(tc_path[0][2]);
+  EXPECT_FALSE(tc_path[2][0]);
+  EXPECT_FALSE(tc_path[0][0]);
+  const auto tc_cycle = TransitiveClosure(CycleGraph(3));
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) EXPECT_TRUE(tc_cycle[u][v]);
+  }
+}
+
+TEST(OraclesTest, ThreeColorability) {
+  EXPECT_TRUE(IsThreeColorable(CycleGraph(5)));    // odd cycle: 3 colors ok
+  EXPECT_TRUE(IsThreeColorable(CycleGraph(4)));
+  EXPECT_TRUE(IsThreeColorable(CompleteGraph(3)));
+  EXPECT_FALSE(IsThreeColorable(CompleteGraph(4)));
+  EXPECT_TRUE(IsThreeColorable(PathGraph(10)));
+  EXPECT_TRUE(IsThreeColorable(Hypercube(3)));     // bipartite
+}
+
+TEST(OraclesTest, OddWheelNotThreeColorable) {
+  // C₅ plus a hub adjacent to every rim vertex needs 4 colors.
+  Digraph g = CycleGraph(5);
+  Digraph wheel(6);
+  for (const auto& [u, v] : g.Edges()) wheel.AddEdge(u, v);
+  for (int v = 0; v < 5; ++v) wheel.AddEdge(5, v);
+  EXPECT_FALSE(IsThreeColorable(wheel));
+}
+
+TEST(OraclesTest, SelfLoopKillsColoring) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  EXPECT_FALSE(IsThreeColorable(g));
+}
+
+TEST(OraclesTest, HamiltonCircuitCounts) {
+  EXPECT_EQ(CountHamiltonCircuits(CycleGraph(5)), 1u);
+  EXPECT_EQ(CountHamiltonCircuits(PathGraph(4)), 0u);
+  EXPECT_EQ(CountHamiltonCircuits(CompleteGraph(3)), 2u);
+  EXPECT_EQ(CountHamiltonCircuits(CompleteGraph(4)), 6u);  // (n-1)!
+}
+
+TEST(RelationalTest, GraphDatabaseRoundTrip) {
+  Rng rng(77);
+  const Digraph g = RandomDigraph(6, 0.4, &rng);
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  EXPECT_EQ(db.universe().size(), 6u);
+  auto back = GraphFromDatabase(db, "E");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->Edges(), g.Edges());
+}
+
+TEST(RelationalTest, IsolatedVerticesSurviveRoundTrip) {
+  Digraph g(4);
+  g.AddEdge(0, 1);  // vertices 2, 3 isolated
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  EXPECT_EQ(db.universe().size(), 4u);
+  auto back = GraphFromDatabase(db, "E");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_vertices(), 4u);
+  EXPECT_EQ(back->num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace inflog

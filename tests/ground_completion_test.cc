@@ -1,0 +1,203 @@
+// Unit tests for the ground representation (atom/body tables) and the
+// Clark-completion encoder on hand-crafted ground programs, plus the
+// GL-reduct least-model helper.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/reduct.h"
+#include "src/fixpoint/completion.h"
+#include "src/ground/grounder.h"
+#include "src/sat/solver.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::DbFromGraph;
+using testing::MustProgram;
+
+TEST(AtomTableTest, InternsAndFinds) {
+  AtomTable table;
+  const uint32_t a = table.GetOrAdd(0, Tuple{1, 2});
+  const uint32_t b = table.GetOrAdd(0, Tuple{2, 1});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.GetOrAdd(0, Tuple{1, 2}), a);
+  EXPECT_EQ(table.Find(0, Tuple{1, 2}), a);
+  EXPECT_EQ(table.Find(1, Tuple{1, 2}), -1);  // different predicate
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.atom(a).predicate, 0u);
+  EXPECT_EQ(table.atom(a).args, (Tuple{1, 2}));
+}
+
+TEST(BodyTableTest, InternsCanonicalBodies) {
+  BodyTable table;
+  const uint32_t b1 = table.GetOrAdd(GroundBody{{1, 2}, {3}});
+  const uint32_t b2 = table.GetOrAdd(GroundBody{{1, 2}, {3}});
+  EXPECT_EQ(b1, b2);
+  // pos/neg boundary matters: {1,2}|{3} differs from {1}|{2,3}.
+  const uint32_t b3 = table.GetOrAdd(GroundBody{{1}, {2, 3}});
+  EXPECT_NE(b1, b3);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+/// Hand-builds a tiny ground program. Atom ids: a=0, b=1, c=2.
+GroundProgram TinyGround(std::vector<std::pair<int, GroundBody>> rules) {
+  GroundProgram g;
+  g.atoms.GetOrAdd(0, Tuple{0});  // a
+  g.atoms.GetOrAdd(0, Tuple{1});  // b
+  g.atoms.GetOrAdd(0, Tuple{2});  // c
+  for (auto& [head, body] : rules) {
+    const uint32_t body_id = g.bodies.GetOrAdd(std::move(body));
+    g.rules.push_back(GroundRule{static_cast<uint32_t>(head), body_id});
+  }
+  g.IndexHeads();
+  return g;
+}
+
+std::vector<std::vector<bool>> AllModels(const CompletionEncoding& enc,
+                                         size_t num_atoms) {
+  sat::Solver solver;
+  solver.AddCnf(enc.cnf);
+  std::vector<std::vector<bool>> models;
+  while (solver.Solve() == sat::SolveResult::kSat && models.size() < 64) {
+    models.push_back(enc.DecodeAtoms(solver.Model()));
+    sat::Clause block;
+    for (size_t a = 0; a < num_atoms; ++a) {
+      if (enc.atom_vars[a] < 0) continue;
+      block.push_back(models.back()[a] ? sat::Neg(enc.atom_vars[a])
+                                       : sat::Pos(enc.atom_vars[a]));
+    }
+    if (block.empty() || !solver.AddClause(block)) break;
+  }
+  return models;
+}
+
+TEST(CompletionTest, FactForcesTrue) {
+  // a ← . : the only supported model is {a}.
+  GroundProgram g = TinyGround({{0, GroundBody{}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  auto models = AllModels(enc, 3);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_TRUE(models[0][0]);
+  EXPECT_FALSE(models[0][1]);
+  EXPECT_FALSE(models[0][2]);
+}
+
+TEST(CompletionTest, SelfSupportIsFree) {
+  // a ← a: both ∅ and {a} are supported.
+  GroundProgram g = TinyGround({{0, GroundBody{{0}, {}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  EXPECT_EQ(AllModels(enc, 3).size(), 2u);
+}
+
+TEST(CompletionTest, NegativeLoopIsUnsat) {
+  // a ← ¬a: no supported model.
+  GroundProgram g = TinyGround({{0, GroundBody{{}, {0}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  EXPECT_TRUE(AllModels(enc, 3).empty());
+}
+
+TEST(CompletionTest, EvenNegativeLoopHasTwoModels) {
+  // a ← ¬b; b ← ¬a: exactly {a} and {b}.
+  GroundProgram g = TinyGround(
+      {{0, GroundBody{{}, {1}}}, {1, GroundBody{{}, {0}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  auto models = AllModels(enc, 3);
+  ASSERT_EQ(models.size(), 2u);
+  for (const auto& m : models) {
+    EXPECT_NE(m[0], m[1]);  // exactly one of a, b
+    EXPECT_FALSE(m[2]);
+  }
+}
+
+TEST(CompletionTest, UnsupportedPositiveBodyPrunes) {
+  // a ← b, with b never a head: body is false, so a ↔ false.
+  GroundProgram g = TinyGround({{0, GroundBody{{1}, {}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  EXPECT_EQ(enc.atom_vars[1], -1);  // b has no variable
+  auto models = AllModels(enc, 3);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_FALSE(models[0][0]);
+}
+
+TEST(CompletionTest, NegatedUnsupportedAtomIsVacuous) {
+  // a ← ¬b with b unsupported: ¬b is true, so a ↔ true.
+  GroundProgram g = TinyGround({{0, GroundBody{{}, {1}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  auto models = AllModels(enc, 3);
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_TRUE(models[0][0]);
+}
+
+TEST(CompletionTest, SharedBodyGetsOneDefinition) {
+  // a ← b,¬c ; also c... use: a ← {b}, {¬c}... two heads share a body.
+  GroundBody shared{{0}, {2}};
+  GroundProgram g = TinyGround({{1, shared}, {2, GroundBody{{}, {}}},
+                                {0, GroundBody{{}, {}}},
+                                {1, GroundBody{{0}, {2}}}});
+  CompletionEncoding enc = EncodeCompletion(g);
+  // The multi-literal body {a, ¬c} is interned once → ≤ 1 body var.
+  EXPECT_LE(enc.num_body_vars, 1u);
+}
+
+TEST(ReductTest, PositiveProgramLeastModel) {
+  // a ←; b ← a; c ← b: least model {a,b,c} regardless of assumptions.
+  GroundProgram g = TinyGround({{0, GroundBody{}},
+                                {1, GroundBody{{0}, {}}},
+                                {2, GroundBody{{1}, {}}}});
+  const std::vector<bool> none(3, false);
+  auto model = LeastModelOfReduct(g, none);
+  EXPECT_EQ(model, (std::vector<bool>{true, true, true}));
+}
+
+TEST(ReductTest, NegationKillsRules) {
+  // a ←; b ← a, ¬c; c never supported.
+  GroundProgram g = TinyGround(
+      {{0, GroundBody{}}, {1, GroundBody{{0}, {2}}}});
+  // Reduct w.r.t. ∅: ¬c survives, b derived.
+  EXPECT_EQ(LeastModelOfReduct(g, {false, false, false}),
+            (std::vector<bool>{true, true, false}));
+  // Reduct w.r.t. {c}: the b-rule is deleted.
+  EXPECT_EQ(LeastModelOfReduct(g, {false, false, true}),
+            (std::vector<bool>{true, false, false}));
+}
+
+TEST(ReductTest, StableCheckViaReduct) {
+  // a ← ¬b; b ← ¬a: both {a} and {b} are stable (LM of reduct = itself).
+  GroundProgram g = TinyGround(
+      {{0, GroundBody{{}, {1}}}, {1, GroundBody{{}, {0}}}});
+  EXPECT_EQ(LeastModelOfReduct(g, {true, false, false}),
+            (std::vector<bool>{true, false, false}));
+  EXPECT_EQ(LeastModelOfReduct(g, {false, true, false}),
+            (std::vector<bool>{false, true, false}));
+  // But ∅ is not: LM of reduct w.r.t. ∅ derives both.
+  EXPECT_EQ(LeastModelOfReduct(g, {false, false, false}),
+            (std::vector<bool>{true, true, false}));
+}
+
+TEST(GroundProgramTest, ToStringRendersRules) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- E(Y,X), !T(Y).", symbols);
+  Database db = DbFromGraph(PathGraph(2), symbols);
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  const std::string text = g->ToString(p);
+  EXPECT_NE(text.find("T(1) :- !T(0)."), std::string::npos) << text;
+}
+
+TEST(GroundProgramTest, DecodeStateRoundTrip) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- E(Y,X), !T(Y).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto g = GroundProgramFor(p, db);
+  ASSERT_TRUE(g.ok());
+  std::vector<bool> atoms(g->atoms.size(), false);
+  atoms[0] = true;
+  IdbState state = g->DecodeState(p, atoms);
+  EXPECT_EQ(state.relations[0].size(), 1u);
+  TupleView row = state.relations[0].Row(0);
+  EXPECT_EQ(Tuple(row.begin(), row.end()), g->atoms.atom(0).args);
+}
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,341 @@
+// Tests for the inflationary and stratified semantics (Section 4 of the
+// paper), including Proposition 2's distance query, the coincidence with
+// least fixpoints on positive programs, and naive/semi-naive stage
+// equivalence.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/stratified.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::DbFromGraph;
+using testing::IdbRelation;
+using testing::MustProgram;
+using testing::UnarySet;
+
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+constexpr char kTc[] = "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).";
+// Proposition 2's distance program: two synchronized transitive-closure
+// copies plus the carrier S3.
+constexpr char kDistance[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+    "S2(X,Y) :- E(X,Y).\n"
+    "S2(X,Y) :- E(X,Z), S2(Z,Y).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Y), !S2(Xs,Ys).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Z), S1(Z,Y), !S2(Xs,Ys).\n";
+
+InflationaryResult MustEval(const Program& p, const Database& d,
+                            const InflationaryOptions& opts = {}) {
+  auto r = EvalInflationary(p, d, opts);
+  INFLOG_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(InflationaryTest, ToggleSaturatesAtStageOne) {
+  // For T(x) ← ¬T(y): Θ^∞ = Θ¹ = A (the paper's Section 4 example).
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- !T(Y).", symbols);
+  Database db = DbFromGraph(PathGraph(4), symbols);
+  InflationaryResult r = MustEval(p, db);
+  EXPECT_EQ(r.num_stages, 1u);
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, r.state, "T")),
+            (std::set<std::string>{"0", "1", "2", "3"}));
+}
+
+TEST(InflationaryTest, Pi1StopsAtStageOne) {
+  // For π₁: Θ^∞ = Θ¹ = {x : ∃y E(y,x)} (Section 4).
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(PathGraph(4), symbols);
+  InflationaryResult r = MustEval(p, db);
+  EXPECT_EQ(r.num_stages, 1u);
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, r.state, "T")),
+            (std::set<std::string>{"1", "2", "3"}));
+}
+
+TEST(InflationaryTest, TransitiveClosureMatchesOracle) {
+  for (size_t n : {2u, 5u, 9u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kTc, symbols);
+    Rng rng(n * 17);
+    const Digraph g = RandomDigraph(n, 0.3, &rng);
+    Database db = DbFromGraph(g, symbols);
+    InflationaryResult r = MustEval(p, db);
+    const auto tc = TransitiveClosure(g);
+    const Relation& s = IdbRelation(p, r.state, "S");
+    size_t expected = 0;
+    for (size_t u = 0; u < n; ++u) {
+      for (size_t v = 0; v < n; ++v) {
+        if (!tc[u][v]) continue;
+        ++expected;
+        EXPECT_TRUE(s.Contains(Tuple{symbols->InternInt(u),
+                                     symbols->InternInt(v)}))
+            << u << "→" << v;
+      }
+    }
+    EXPECT_EQ(s.size(), expected);
+  }
+}
+
+TEST(InflationaryTest, AgreesWithLeastFixpointOnPositivePrograms) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kTc, symbols);
+  Database db = DbFromGraph(CycleGraph(5), symbols);
+  InflationaryResult inf = MustEval(p, db);
+  auto lfp = EvalLeastFixpoint(p, db);
+  ASSERT_TRUE(lfp.ok());
+  EXPECT_EQ(inf.state, lfp->state);
+}
+
+TEST(InflationaryTest, LeastFixpointRejectsNegation) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto r = EvalLeastFixpoint(p, db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InflationaryTest, TupleStageEncodesDistance) {
+  // In the TC program, (u,v) enters S exactly at stage d(u,v).
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kTc, symbols);
+  const Digraph g = PathGraph(6);
+  Database db = DbFromGraph(g, symbols);
+  InflationaryResult r = MustEval(p, db);
+  const auto dist = BfsAllPairs(g);
+  const int idb = p.predicate(*p.FindPredicate("S")).idb_index;
+  for (size_t u = 0; u < 6; ++u) {
+    for (size_t v = 0; v < 6; ++v) {
+      const size_t stage = r.TupleStage(
+          idb, Tuple{symbols->InternInt(u), symbols->InternInt(v)});
+      if (dist[u][v] > 0) {
+        EXPECT_EQ(stage, static_cast<size_t>(dist[u][v])) << u << "→" << v;
+      } else {
+        EXPECT_EQ(stage, 0u) << u << "→" << v;
+      }
+    }
+  }
+}
+
+TEST(InflationaryTest, StageCountIsDiameterForTc) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kTc, symbols);
+  Database db = DbFromGraph(PathGraph(8), symbols);
+  InflationaryResult r = MustEval(p, db);
+  // Longest shortest path on L₈ is 7; stage 7 adds the last pair.
+  EXPECT_EQ(r.num_stages, 7u);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(InflationaryTest, MaxStagesCapStopsEarly) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kTc, symbols);
+  Database db = DbFromGraph(PathGraph(8), symbols);
+  InflationaryOptions opts;
+  opts.max_stages = 3;
+  InflationaryResult r = MustEval(p, db, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.num_stages, 3u);
+  // After 3 stages S holds exactly the pairs at distance ≤ 3.
+  EXPECT_EQ(IdbRelation(p, r.state, "S").size(), 7u + 6u + 5u);
+}
+
+// --- Naive vs. semi-naive: identical stage sets, stage by stage. ---
+
+class NaiveVsSemiNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveVsSemiNaive, StageSequencesCoincide) {
+  const int seed = GetParam();
+  Rng rng(seed);
+  const size_t n = 3 + rng.Uniform(6);
+  const Digraph g = RandomDigraph(n, 0.25 + 0.1 * (seed % 4), &rng);
+  // A program mixing recursion, negation, and an unsafe toggle.
+  constexpr char kMixed[] =
+      "S(X,Y) :- E(X,Y).\n"
+      "S(X,Y) :- E(X,Z), S(Z,Y).\n"
+      "T(X) :- E(Y,X), !T(Y).\n"
+      "U(X,Y) :- S(X,Y), !S(Y,X).\n"
+      "W(X) :- !S(X,X), !W(X).\n";
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kMixed, symbols);
+  Database db = DbFromGraph(g, symbols);
+  InflationaryOptions semi, naive;
+  naive.use_seminaive = false;
+  InflationaryResult a = MustEval(p, db, semi);
+  InflationaryResult b = MustEval(p, db, naive);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.num_stages, b.num_stages);
+  EXPECT_EQ(a.stage_sizes, b.stage_sizes);
+  // Semi-naive never does more derivation work than naive.
+  EXPECT_LE(a.stats.derivations, b.stats.derivations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveVsSemiNaive,
+                         ::testing::Range(0, 12));
+
+// --- Proposition 2: the distance query. ---
+
+class DistanceQuery : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistanceQuery, InflationaryComputesDistanceComparison) {
+  const int seed = GetParam();
+  Rng rng(seed * 101 + 7);
+  const size_t n = 3 + rng.Uniform(4);
+  const Digraph g = seed == 0   ? PathGraph(4)
+                    : seed == 1 ? CycleGraph(5)
+                                : RandomDigraph(n, 0.3, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kDistance, symbols);
+  Database db = DbFromGraph(g, symbols);
+  InflationaryResult r = MustEval(p, db);
+  const auto dist = BfsAllPairs(g);
+  const size_t nv = g.num_vertices();
+  const Relation& s3 = IdbRelation(p, r.state, "S3");
+
+  auto d = [&](size_t u, size_t v) {
+    // Path distance along nonempty paths; BFS dist 0 on the diagonal means
+    // "no nonempty path" unless a cycle through u exists, handled below.
+    if (u != v) return dist[u][v];
+    int best = -1;
+    for (uint32_t w : g.Successors(u)) {
+      if (dist[w][u] >= 0) {
+        const int len = 1 + dist[w][u];
+        if (best < 0 || len < best) best = len;
+      }
+    }
+    return best;
+  };
+
+  size_t expected_count = 0;
+  for (size_t x = 0; x < nv; ++x) {
+    for (size_t y = 0; y < nv; ++y) {
+      const int dxy = d(x, y);
+      for (size_t xs = 0; xs < nv; ++xs) {
+        for (size_t ys = 0; ys < nv; ++ys) {
+          const int dst = d(xs, ys);
+          const bool expected = dxy >= 0 && (dst < 0 || dxy <= dst);
+          if (expected) ++expected_count;
+          const Tuple t{symbols->InternInt(x), symbols->InternInt(y),
+                        symbols->InternInt(xs), symbols->InternInt(ys)};
+          EXPECT_EQ(s3.Contains(t), expected)
+              << "d(" << x << "," << y << ")=" << dxy << " d*(" << xs << ","
+              << ys << ")=" << dst;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(s3.size(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, DistanceQuery, ::testing::Range(0, 8));
+
+TEST(StratifiedTest, DistanceProgramReadStratifiedGivesTcAndNotTc) {
+  // The same π under the stratified semantics computes
+  // {(x,y,x*,y*) : TC(x,y) ∧ ¬TC(x*,y*)} — the paper's point that the two
+  // semantics differ.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kDistance, symbols);
+  const Digraph g = PathGraph(3);
+  Database db = DbFromGraph(g, symbols);
+  auto r = EvalStratified(p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto tc = TransitiveClosure(g);
+  const Relation& s3 = IdbRelation(p, r->state, "S3");
+  size_t expected_count = 0;
+  for (size_t x = 0; x < 3; ++x) {
+    for (size_t y = 0; y < 3; ++y) {
+      for (size_t xs = 0; xs < 3; ++xs) {
+        for (size_t ys = 0; ys < 3; ++ys) {
+          const bool expected = tc[x][y] && !tc[xs][ys];
+          if (expected) ++expected_count;
+          const Tuple t{symbols->InternInt(x), symbols->InternInt(y),
+                        symbols->InternInt(xs), symbols->InternInt(ys)};
+          EXPECT_EQ(s3.Contains(t), expected);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(s3.size(), expected_count);
+}
+
+TEST(StratifiedTest, SemanticsDifferOnDistanceProgram) {
+  // Concrete divergence witness on L₃: (0,1,0,2) is in the inflationary
+  // S3 (d(0,1)=1 ≤ d(0,2)=2) but not in the stratified S3 (TC(0,2) holds).
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kDistance, symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  InflationaryResult inf = MustEval(p, db);
+  auto strat = EvalStratified(p, db);
+  ASSERT_TRUE(strat.ok());
+  const Tuple witness{symbols->Intern("0"), symbols->Intern("1"),
+                      symbols->Intern("0"), symbols->Intern("2")};
+  EXPECT_TRUE(IdbRelation(p, inf.state, "S3").Contains(witness));
+  EXPECT_FALSE(IdbRelation(p, strat->state, "S3").Contains(witness));
+}
+
+TEST(StratifiedTest, RejectsNonStratifiablePrograms) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto r = EvalStratified(p, db);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StratifiedTest, AgreesWithInflationaryOnPositivePrograms) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kTc, symbols);
+  Rng rng(404);
+  Database db = DbFromGraph(RandomDigraph(7, 0.3, &rng), symbols);
+  auto strat = EvalStratified(p, db);
+  ASSERT_TRUE(strat.ok());
+  InflationaryResult inf = MustEval(p, db);
+  EXPECT_EQ(strat->state, inf.state);
+}
+
+TEST(StratifiedTest, ThreeStrataChain) {
+  // Win := reachable; Lose := not reachable; Gap := Lose pairs with an edge.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(
+      "Reach(X,Y) :- E(X,Y).\n"
+      "Reach(X,Y) :- E(X,Z), Reach(Z,Y).\n"
+      "NoReach(X,Y) :- V(X), V(Y), !Reach(X,Y).\n"
+      "Gap(X,Y) :- NoReach(X,Y), E(Y,X).\n",
+      symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  for (int v = 0; v < 3; ++v) {
+    INFLOG_CHECK(
+        db.AddFact("V", Tuple{symbols->Intern(std::to_string(v))}).ok());
+  }
+  auto r = EvalStratified(p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // NoReach = all 9 pairs minus {(0,1),(0,2),(1,2)} = 6.
+  EXPECT_EQ(IdbRelation(p, r->state, "NoReach").size(), 6u);
+  // Gap: (y→x edge with x not reaching y): (1,0) via E(0,1), (2,1) via
+  // E(1,2).
+  EXPECT_EQ(IdbRelation(p, r->state, "Gap").size(), 2u);
+}
+
+TEST(StratifiedTest, StageSemanticsInvarianceAcrossDrivers) {
+  // Stratified results are independent of the semi-naive option.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kDistance, symbols);
+  Rng rng(7);
+  Database db = DbFromGraph(RandomDigraph(5, 0.4, &rng), symbols);
+  StratifiedOptions fast, slow;
+  slow.use_seminaive = false;
+  auto a = EvalStratified(p, db, fast);
+  auto b = EvalStratified(p, db, slow);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->state, b->state);
+}
+
+}  // namespace
+}  // namespace inflog

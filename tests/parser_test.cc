@@ -1,0 +1,261 @@
+// Tests for the DATALOG¬ parser, printer round-trips, and program
+// analysis (EDB/IDB split, stratification, safety) on the paper's programs.
+
+#include <gtest/gtest.h>
+
+#include "src/ast/analysis.h"
+#include "src/ast/parser.h"
+#include "src/ast/printer.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::MustDatabase;
+using testing::MustProgram;
+
+// The paper's π₁ (Section 2).
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+// The paper's π₂.
+constexpr char kPi2[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+    "S2(X,Y,Z,W) :- S1(X,Y), !S1(Z,W).\n";
+// The paper's π₃ (positive transitive closure).
+constexpr char kPi3[] =
+    "S(X,Y) :- E(X,Y).\n"
+    "S(X,Y) :- E(X,Z), S(Z,Y).\n";
+
+TEST(ParserTest, ParsesPi1) {
+  Program p = MustProgram(kPi1);
+  ASSERT_EQ(p.rules().size(), 1u);
+  const Rule& r = p.rules()[0];
+  EXPECT_EQ(p.predicate(r.head.predicate).name, "T");
+  ASSERT_EQ(r.body.size(), 2u);
+  EXPECT_EQ(r.body[0].kind, Literal::Kind::kAtom);
+  EXPECT_EQ(r.body[1].kind, Literal::Kind::kNegAtom);
+  // E is EDB, T is IDB.
+  EXPECT_FALSE(p.predicate(*p.FindPredicate("E")).is_idb);
+  EXPECT_TRUE(p.predicate(*p.FindPredicate("T")).is_idb);
+  EXPECT_TRUE(p.HasNegation());
+  EXPECT_FALSE(p.IsPositive());
+}
+
+TEST(ParserTest, ParsesPi2WithArities) {
+  Program p = MustProgram(kPi2);
+  EXPECT_EQ(p.rules().size(), 3u);
+  EXPECT_EQ(p.predicate(*p.FindPredicate("S1")).arity, 2u);
+  EXPECT_EQ(p.predicate(*p.FindPredicate("S2")).arity, 4u);
+  EXPECT_EQ(p.idb_predicates().size(), 2u);
+}
+
+TEST(ParserTest, Pi3IsPositive) {
+  Program p = MustProgram(kPi3);
+  EXPECT_TRUE(p.IsPositive());
+  EXPECT_FALSE(p.HasNegation());
+}
+
+TEST(ParserTest, NotKeywordNegates) {
+  Program p = MustProgram("T(X) :- E(Y,X), not T(Y).");
+  EXPECT_EQ(p.rules()[0].body[1].kind, Literal::Kind::kNegAtom);
+}
+
+TEST(ParserTest, EqualityAndInequality) {
+  Program p = MustProgram("P(X,Y) :- D(X), D(Y), X != Y.\n"
+                          "Q(X,Y) :- D(X), D(Y), X = Y.\n"
+                          "R(X,Y) :- D(X), D(Y), X <> Y.\n");
+  EXPECT_EQ(p.rules()[0].body[2].kind, Literal::Kind::kNeq);
+  EXPECT_EQ(p.rules()[1].body[2].kind, Literal::Kind::kEq);
+  EXPECT_EQ(p.rules()[2].body[2].kind, Literal::Kind::kNeq);
+  // Inequality makes a program non-DATALOG per the paper's definition.
+  EXPECT_FALSE(p.IsPositive());
+}
+
+TEST(ParserTest, ConstantsInHeadAndBody) {
+  Program p = MustProgram("G(Z1,1,Z2) :- .\nH(X) :- E(X,foo).");
+  const Rule& g = p.rules()[0];
+  EXPECT_TRUE(g.body.empty());
+  EXPECT_TRUE(g.head.args[0].IsVariable());
+  EXPECT_TRUE(g.head.args[1].IsConstant());
+  EXPECT_EQ(p.symbols().Name(g.head.args[1].id), "1");
+  const Rule& h = p.rules()[1];
+  EXPECT_TRUE(h.body[0].args[1].IsConstant());
+  EXPECT_EQ(p.symbols().Name(h.body[0].args[1].id), "foo");
+}
+
+TEST(ParserTest, BodylessRuleWithoutColonDash) {
+  Program p = MustProgram("Dom(X).");
+  EXPECT_TRUE(p.rules()[0].body.empty());
+  EXPECT_EQ(p.rules()[0].num_vars, 1u);
+}
+
+TEST(ParserTest, ZeroArityPredicates) {
+  Program p = MustProgram("Flag :- E(X,Y).\nOther :- Flag, !Done.");
+  EXPECT_EQ(p.predicate(*p.FindPredicate("Flag")).arity, 0u);
+  EXPECT_EQ(p.predicate(*p.FindPredicate("Done")).arity, 0u);
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  Program p = MustProgram(
+      "% leading comment\n"
+      "T(X) :- E(Y,X), % inline\n"
+      "        !T(Y).\n"
+      "// slash comment\n");
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(ParserTest, QuotedConstants) {
+  Program p = MustProgram("P(X) :- E(X, 'Hello World').");
+  EXPECT_EQ(p.symbols().Name(p.rules()[0].body[0].args[1].id),
+            "Hello World");
+}
+
+TEST(ParserTest, VariablesSharedWithinRuleOnly) {
+  Program p = MustProgram("A(X) :- E(X,X).\nB(X) :- F(X).");
+  // Both rules use variable index 0 for their own X.
+  EXPECT_EQ(p.rules()[0].num_vars, 1u);
+  EXPECT_EQ(p.rules()[1].num_vars, 1u);
+  EXPECT_EQ(p.rules()[0].body[0].args[0].id,
+            p.rules()[0].body[0].args[1].id);
+}
+
+TEST(ParserTest, ArityConflictRejected) {
+  auto r = ParseProgram("T(X) :- E(X).\nS(X,Y) :- E(X,Y).");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLineNumbers) {
+  auto r = ParseProgram("T(X) :- E(Y,X)\nU(X) :- E(X,X).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseProgram("P(X) :- E(X, 'oops).").ok());
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  const char* kSources[] = {
+      kPi1, kPi2, kPi3,
+      "G(Z1,1,Z2).",
+      "P(X,Y) :- D(X), D(Y), X != Y, !Q(X).",
+      "T(Z) :- !Q(U), !T(W).",
+  };
+  for (const char* src : kSources) {
+    Program p1 = MustProgram(src);
+    const std::string printed = p1.ToString();
+    Program p2 = MustProgram(printed, p1.shared_symbols());
+    EXPECT_EQ(printed, p2.ToString()) << "source: " << src;
+  }
+}
+
+TEST(DatabaseParserTest, FactsAndUniverse) {
+  Database db = MustDatabase(
+      "E(1,2). E(2,3).\n"
+      "V(a). Flag.\n"
+      "@universe x y.\n");
+  EXPECT_EQ((*db.GetRelation("E"))->size(), 2u);
+  EXPECT_EQ((*db.GetRelation("V"))->size(), 1u);
+  EXPECT_EQ((*db.GetRelation("Flag"))->arity(), 0u);
+  EXPECT_EQ((*db.GetRelation("Flag"))->size(), 1u);
+  // Universe: 1,2,3,a + declared x,y.
+  EXPECT_EQ(db.universe().size(), 6u);
+}
+
+TEST(DatabaseParserTest, RejectsVariablesInFacts) {
+  EXPECT_FALSE(ParseDatabase("E(X, 1).").ok());
+}
+
+TEST(DatabaseParserTest, RejectsArityDrift) {
+  EXPECT_FALSE(ParseDatabase("E(1,2). E(3).").ok());
+}
+
+// --- Program analysis. ---
+
+TEST(AnalysisTest, Pi1NotStratifiable) {
+  // T depends negatively on itself: recursion through negation.
+  const ProgramAnalysis a = AnalyzeProgram(MustProgram(kPi1));
+  EXPECT_FALSE(a.stratifiable);
+}
+
+TEST(AnalysisTest, Pi2StratifiesIntoTwoLayers) {
+  Program p = MustProgram(kPi2);
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  ASSERT_TRUE(a.stratifiable);
+  const int s1 = a.stratum[*p.FindPredicate("S1")];
+  const int s2 = a.stratum[*p.FindPredicate("S2")];
+  EXPECT_LT(s1, s2);  // S2 uses S1 negatively, so it sits strictly higher
+  EXPECT_EQ(a.num_strata, 2);
+}
+
+TEST(AnalysisTest, PositiveProgramsAreStratifiable) {
+  const ProgramAnalysis a = AnalyzeProgram(MustProgram(kPi3));
+  EXPECT_TRUE(a.stratifiable);
+  EXPECT_EQ(a.num_strata, 1);
+}
+
+TEST(AnalysisTest, ToggleRuleIsUnsafeAndUnstratifiable) {
+  Program p = MustProgram("T(Z) :- !Q(U), !T(W).");
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.stratifiable);
+  ASSERT_EQ(a.unsafe_vars.size(), 1u);
+  // All three variables Z, U, W are unsafe (active-domain semantics).
+  EXPECT_EQ(a.unsafe_vars[0].size(), 3u);
+  EXPECT_FALSE(a.AllSafe());
+  EXPECT_EQ(a.warnings.size(), 1u);
+}
+
+TEST(AnalysisTest, SafeRuleHasNoWarnings) {
+  const ProgramAnalysis a = AnalyzeProgram(MustProgram(kPi3));
+  EXPECT_TRUE(a.AllSafe());
+  EXPECT_TRUE(a.warnings.empty());
+}
+
+TEST(AnalysisTest, EqualityBindingMakesSafe) {
+  // X is bound through the equality chain X = Y, Y bound by D(Y).
+  Program p = MustProgram("P(X) :- D(Y), X = Y, !Q(X).");
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_TRUE(a.AllSafe());
+}
+
+TEST(AnalysisTest, EqualityChainClosure) {
+  Program p = MustProgram("P(X) :- D(Z), X = Y, Y = Z.");
+  const std::vector<bool> bound = BoundVariables(p.rules()[0]);
+  EXPECT_TRUE(bound[0]);  // X via Y via Z
+  EXPECT_TRUE(bound[1]);
+  EXPECT_TRUE(bound[2]);
+}
+
+TEST(AnalysisTest, NegativeEdgeRecorded) {
+  Program p = MustProgram(kPi2);
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  bool found_negative = false;
+  for (const DependencyEdge& e : a.edges) {
+    if (e.head == *p.FindPredicate("S2") &&
+        e.body == *p.FindPredicate("S1")) {
+      found_negative = e.negative;
+    }
+  }
+  // S2 uses S1 both positively and negatively; the edge is negative-
+  // dominant.
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(AnalysisTest, MutualNegationNotStratifiable) {
+  const ProgramAnalysis a = AnalyzeProgram(
+      MustProgram("A(X) :- D(X), !B(X).\nB(X) :- D(X), !A(X)."));
+  EXPECT_FALSE(a.stratifiable);
+}
+
+TEST(AnalysisTest, LongNegativeChainStratifies) {
+  const ProgramAnalysis a = AnalyzeProgram(MustProgram(
+      "A(X) :- D(X).\nB(X) :- D(X), !A(X).\nC(X) :- D(X), !B(X).\n"
+      "F(X) :- D(X), !C(X)."));
+  ASSERT_TRUE(a.stratifiable);
+  EXPECT_EQ(a.num_strata, 4);
+}
+
+}  // namespace
+}  // namespace inflog

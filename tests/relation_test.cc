@@ -1,0 +1,219 @@
+// Unit tests for src/relation: symbol table, tuples, relations, hash
+// indexes, databases.
+
+#include <gtest/gtest.h>
+
+#include "src/relation/database.h"
+#include "src/relation/index.h"
+#include "src/relation/relation.h"
+#include "src/relation/tuple.h"
+#include "src/relation/value.h"
+
+namespace inflog {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable t;
+  const Value a = t.Intern("alpha");
+  EXPECT_EQ(t.Intern("alpha"), a);
+  EXPECT_EQ(t.Name(a), "alpha");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTableTest, FindMissing) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("nope"), kNoValue);
+  t.Intern("yes");
+  EXPECT_NE(t.Find("yes"), kNoValue);
+}
+
+TEST(SymbolTableTest, InternIntUsesDecimal) {
+  SymbolTable t;
+  const Value v = t.InternInt(42);
+  EXPECT_EQ(t.Name(v), "42");
+  EXPECT_EQ(t.Intern("42"), v);
+}
+
+TEST(TupleTest, HashIsOrderSensitive) {
+  Tuple a{1, 2}, b{2, 1};
+  EXPECT_NE(HashTuple(a), HashTuple(b));
+  EXPECT_EQ(HashTuple(a), HashTuple(Tuple{1, 2}));
+}
+
+TEST(TupleTest, EqComparesContents) {
+  EXPECT_TRUE(TupleEq()(Tuple{1, 2}, Tuple{1, 2}));
+  EXPECT_FALSE(TupleEq()(Tuple{1, 2}, Tuple{1, 3}));
+  EXPECT_FALSE(TupleEq()(Tuple{1}, Tuple{1, 1}));
+}
+
+TEST(RelationTest, InsertAndContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(Tuple{1, 2}));
+  EXPECT_FALSE(r.Insert(Tuple{1, 2}));  // duplicate
+  EXPECT_TRUE(r.Insert(Tuple{2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple{1, 2}));
+  EXPECT_FALSE(r.Contains(Tuple{3, 3}));
+}
+
+TEST(RelationTest, FindReturnsInsertionOrderRow) {
+  Relation r(1);
+  r.Insert(Tuple{5});
+  r.Insert(Tuple{7});
+  r.Insert(Tuple{6});
+  EXPECT_EQ(r.Find(Tuple{5}), 0);
+  EXPECT_EQ(r.Find(Tuple{6}), 2);
+  EXPECT_EQ(r.Find(Tuple{9}), -1);
+}
+
+TEST(RelationTest, ArityZero) {
+  Relation r(0);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.Contains(Tuple{}));
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_TRUE(r.Contains(Tuple{}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, SetEqualityIgnoresOrder) {
+  Relation a(1), b(1);
+  a.Insert(Tuple{1});
+  a.Insert(Tuple{2});
+  b.Insert(Tuple{2});
+  b.Insert(Tuple{1});
+  EXPECT_EQ(a, b);
+  b.Insert(Tuple{3});
+  EXPECT_NE(a, b);
+}
+
+TEST(RelationTest, SubsetChecks) {
+  Relation a(1), b(1);
+  a.Insert(Tuple{1});
+  b.Insert(Tuple{1});
+  b.Insert(Tuple{2});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(RelationTest, InsertAllCountsNew) {
+  Relation a(1), b(1);
+  a.Insert(Tuple{1});
+  b.Insert(Tuple{1});
+  b.Insert(Tuple{2});
+  b.Insert(Tuple{3});
+  EXPECT_EQ(a.InsertAll(b), 2u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(RelationTest, VersionBumpsOnlyOnNewTuples) {
+  Relation r(1);
+  const uint64_t v0 = r.version();
+  r.Insert(Tuple{1});
+  const uint64_t v1 = r.version();
+  EXPECT_GT(v1, v0);
+  r.Insert(Tuple{1});
+  EXPECT_EQ(r.version(), v1);
+}
+
+TEST(RelationTest, SortedTuplesCanonical) {
+  Relation r(2);
+  r.Insert(Tuple{3, 1});
+  r.Insert(Tuple{1, 2});
+  r.Insert(Tuple{1, 1});
+  auto rows = r.SortedTuples();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (Tuple{1, 1}));
+  EXPECT_EQ(rows[1], (Tuple{1, 2}));
+  EXPECT_EQ(rows[2], (Tuple{3, 1}));
+}
+
+TEST(RelationTest, ManyTuplesStressHashing) {
+  Relation r(2);
+  for (Value i = 0; i < 50; ++i) {
+    for (Value j = 0; j < 50; ++j) {
+      EXPECT_TRUE(r.Insert(Tuple{i, j}));
+    }
+  }
+  EXPECT_EQ(r.size(), 2500u);
+  for (Value i = 0; i < 50; ++i) {
+    EXPECT_TRUE(r.Contains(Tuple{i, i}));
+  }
+  EXPECT_FALSE(r.Contains(Tuple{50, 0}));
+}
+
+TEST(HashIndexTest, LookupByColumn) {
+  Relation r(2);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 10});
+  HashIndex idx(r, {0});
+  EXPECT_EQ(idx.Lookup(Tuple{1}).size(), 2u);
+  EXPECT_EQ(idx.Lookup(Tuple{2}).size(), 1u);
+  EXPECT_EQ(idx.Lookup(Tuple{3}).size(), 0u);
+}
+
+TEST(HashIndexTest, CompositeKey) {
+  Relation r(3);
+  r.Insert(Tuple{1, 2, 3});
+  r.Insert(Tuple{1, 2, 4});
+  r.Insert(Tuple{1, 3, 3});
+  HashIndex idx(r, {0, 1});
+  EXPECT_EQ(idx.Lookup(Tuple{1, 2}).size(), 2u);
+  EXPECT_EQ(idx.Lookup(Tuple{1, 3}).size(), 1u);
+}
+
+TEST(HashIndexTest, RecordsBuildVersion) {
+  Relation r(1);
+  r.Insert(Tuple{1});
+  HashIndex idx(r, {0});
+  EXPECT_EQ(idx.built_at_version(), r.version());
+  r.Insert(Tuple{2});
+  EXPECT_NE(idx.built_at_version(), r.version());
+}
+
+TEST(DatabaseTest, AddFactDeclaresAndFillsUniverse) {
+  Database db;
+  const Value a = db.symbols().Intern("a");
+  const Value b = db.symbols().Intern("b");
+  ASSERT_TRUE(db.AddFact("E", Tuple{a, b}).ok());
+  EXPECT_TRUE(db.HasRelation("E"));
+  EXPECT_TRUE(db.InUniverse(a));
+  EXPECT_TRUE(db.InUniverse(b));
+  EXPECT_EQ(db.universe().size(), 2u);
+}
+
+TEST(DatabaseTest, ArityMismatchRejected) {
+  Database db;
+  const Value a = db.symbols().Intern("a");
+  ASSERT_TRUE(db.AddFact("E", Tuple{a, a}).ok());
+  EXPECT_FALSE(db.AddFact("E", Tuple{a}).ok());
+  EXPECT_FALSE(db.DeclareRelation("E", 3).ok());
+  EXPECT_TRUE(db.DeclareRelation("E", 2).ok());  // same arity: no-op
+}
+
+TEST(DatabaseTest, GetRelationMissing) {
+  Database db;
+  EXPECT_FALSE(db.GetRelation("nope").ok());
+  EXPECT_EQ(db.GetRelation("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, UniverseDeclarationWithoutFacts) {
+  Database db;
+  db.AddUniverseSymbol("lonely");
+  EXPECT_EQ(db.universe().size(), 1u);
+  db.AddUniverseSymbol("lonely");
+  EXPECT_EQ(db.universe().size(), 1u);  // idempotent
+}
+
+TEST(DatabaseTest, SharedSymbolTable) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Database db(symbols);
+  const Value x = symbols->Intern("x");
+  ASSERT_TRUE(db.AddFact("V", Tuple{x}).ok());
+  EXPECT_EQ(db.symbols().Find("x"), x);
+}
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,166 @@
+// Robustness and reference-model property tests:
+//   * Relation against a std::set reference model under random operation
+//     sequences;
+//   * the parser against mutated and truncated inputs (must return error
+//     Statuses, never crash, and valid prefixes must keep parsing);
+//   * solver determinism across repeated runs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ast/parser.h"
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/eval/inflationary.h"
+#include "src/relation/relation.h"
+#include "src/sat/solver.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+class RelationModelCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationModelCheck, MatchesSetSemantics) {
+  Rng rng(GetParam() * 127 + 1);
+  const size_t arity = 1 + rng.Uniform(3);
+  Relation relation(arity);
+  std::set<Tuple> reference;
+  for (int op = 0; op < 500; ++op) {
+    Tuple t(arity);
+    for (size_t i = 0; i < arity; ++i) {
+      t[i] = static_cast<Value>(rng.Uniform(6));
+    }
+    switch (rng.Uniform(3)) {
+      case 0: {
+        const bool inserted_rel = relation.Insert(t);
+        const bool inserted_ref = reference.insert(t).second;
+        EXPECT_EQ(inserted_rel, inserted_ref);
+        break;
+      }
+      case 1:
+        EXPECT_EQ(relation.Contains(t), reference.count(t) > 0);
+        break;
+      default: {
+        const int64_t row = relation.Find(t);
+        EXPECT_EQ(row >= 0, reference.count(t) > 0);
+        if (row >= 0) {
+          TupleView found = relation.Row(row);
+          EXPECT_TRUE(std::equal(found.begin(), found.end(), t.begin()));
+        }
+        break;
+      }
+    }
+    EXPECT_EQ(relation.size(), reference.size());
+  }
+  // Canonical order matches the set's order.
+  auto sorted = relation.SortedTuples();
+  EXPECT_TRUE(std::equal(sorted.begin(), sorted.end(), reference.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationModelCheck, ::testing::Range(0, 8));
+
+class ParserRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserRobustness, MutatedInputsFailGracefully) {
+  // Mutate a valid program by deleting, duplicating, or swapping
+  // characters; the parser must return ok or an error Status — never
+  // crash, hang, or CHECK-fail.
+  const std::string base =
+      "S1(X,Y) :- E(X,Y).\n"
+      "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+      "S3(X,Y,Xs,Ys) :- E(X,Y), !S2(Xs,Ys), X != Ys.\n";
+  Rng rng(GetParam() * 997 + 31);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = base;
+    const int mutations = 1 + static_cast<int>(rng.Uniform(4));
+    for (int m = 0; m < mutations; ++m) {
+      if (text.empty()) break;
+      const size_t pos = rng.Uniform(text.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          text.erase(pos, 1);
+          break;
+        case 1:
+          text.insert(pos, 1, text[rng.Uniform(text.size())]);
+          break;
+        default:
+          text[pos] = "(),.:-!=XYZabc01"[rng.Uniform(16)];
+          break;
+      }
+    }
+    auto result = ParseProgram(text);
+    if (result.ok()) {
+      // A successfully parsed mutant must round-trip through the printer.
+      const std::string printed = result->ToString();
+      auto reparsed = ParseProgram(printed, result->shared_symbols());
+      EXPECT_TRUE(reparsed.ok()) << "print/parse divergence on:\n" << text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRobustness, ::testing::Range(0, 6));
+
+TEST(ParserRobustnessTest, TruncationsOfValidProgram) {
+  const std::string base =
+      "T(X) :- E(Y,X), !T(Y).\nS(X,Y) :- E(X,Y), X != Y.\n";
+  for (size_t len = 0; len <= base.size(); ++len) {
+    auto result = ParseProgram(base.substr(0, len));
+    // Must terminate with a definite answer at every prefix.
+    if (result.ok()) {
+      EXPECT_LE(result->rules().size(), 2u);
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(SolverDeterminismTest, RepeatedRunsAgree) {
+  // Same formula, fresh solvers: identical verdicts and (since the
+  // heuristics are deterministic) identical models.
+  Rng rng(2024);
+  sat::Cnf cnf;
+  for (int i = 0; i < 12; ++i) cnf.NewVar();
+  for (int c = 0; c < 40; ++c) {
+    sat::Clause clause;
+    while (clause.size() < 3) {
+      const sat::Var v = static_cast<sat::Var>(rng.Uniform(12));
+      bool dup = false;
+      for (const sat::Lit& l : clause) dup |= l.var() == v;
+      if (!dup) clause.push_back(sat::Lit(v, rng.Bernoulli(0.5)));
+    }
+    cnf.AddClause(clause);
+  }
+  sat::Solver a, b;
+  a.AddCnf(cnf);
+  b.AddCnf(cnf);
+  const auto ra = a.Solve();
+  const auto rb = b.Solve();
+  ASSERT_EQ(ra, rb);
+  if (ra == sat::SolveResult::kSat) {
+    EXPECT_EQ(a.Model(), b.Model());
+  }
+}
+
+TEST(EvaluationDeterminismTest, RepeatedRunsProduceIdenticalStages) {
+  Rng rng(99);
+  const Digraph g = RandomDigraph(6, 0.3, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = testing::MustProgram(
+      "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).\n"
+      "T(X) :- E(Y,X), !T(Y).\n",
+      symbols);
+  Database db = testing::DbFromGraph(g, symbols);
+  auto first = EvalInflationary(p, db);
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 3; ++run) {
+    auto again = EvalInflationary(p, db);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->state, first->state);
+    EXPECT_EQ(again->stage_sizes, first->stage_sizes);
+  }
+}
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,228 @@
+// Tests for the well-founded and stable-model semantics and their
+// relationships to the paper's fixpoints: stable ⊆ supported (= fixpoints
+// of Θ), WFS total = stratified on stratified programs, and the classic
+// behaviors on the §2 cycle families.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/eval/stable.h"
+#include "src/eval/stratified.h"
+#include "src/eval/wellfounded.h"
+#include "src/fixpoint/analysis.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::CanonStates;
+using testing::DbFromGraph;
+using testing::IdbRelation;
+using testing::MustProgram;
+using testing::UnarySet;
+
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+
+// --- Well-founded semantics. ---
+
+TEST(WellFoundedTest, TotalOnPathAndEqualsUniqueFixpoint) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(PathGraph(6), symbols);
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok()) << wf.status().ToString();
+  EXPECT_TRUE(wf->total);
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, wf->true_state, "T")),
+            (std::set<std::string>{"1", "3", "5"}));
+}
+
+TEST(WellFoundedTest, UndefinedOnCycles) {
+  for (size_t n : {3u, 4u, 5u, 6u}) {
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kPi1, symbols);
+    Database db = DbFromGraph(CycleGraph(n), symbols);
+    auto wf = EvalWellFounded(p, db);
+    ASSERT_TRUE(wf.ok());
+    // On any cycle, every T(v) is undefined: nothing is forced either
+    // way, whether the fixpoint count is 0 (odd) or 2 (even).
+    EXPECT_FALSE(wf->total) << "n=" << n;
+    EXPECT_EQ(IdbRelation(p, wf->true_state, "T").size(), 0u);
+    EXPECT_EQ(IdbRelation(p, wf->undefined_state, "T").size(), n);
+  }
+}
+
+TEST(WellFoundedTest, ToggleIsUndefinedEverywhere) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(Z) :- !T(W).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_FALSE(wf->total);
+  EXPECT_EQ(IdbRelation(p, wf->undefined_state, "T").size(), 3u);
+}
+
+TEST(WellFoundedTest, MixedPathIntoCycle) {
+  // A path feeding into a cycle: the path prefix is determined, the
+  // cycle stays undefined.
+  Digraph g(5);  // 0→1→2→3→4→2 (cycle 2,3,4)
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 2);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(g, symbols);
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok());
+  // T(1) is true (0 has no predecessor, so T(0) false, so T(1) true).
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, wf->true_state, "T")),
+            (std::set<std::string>{"1"}));
+  // 2,3,4 sit on an odd cycle with an extra determined feed; vertex 2 has
+  // predecessors 1 (T true) and 4 (undefined) — T(2) stays undefined.
+  EXPECT_EQ(UnarySet(*symbols, IdbRelation(p, wf->undefined_state, "T")),
+            (std::set<std::string>{"2", "3", "4"}));
+}
+
+TEST(WellFoundedTest, TotalAndEqualToStratifiedOnStratifiedPrograms) {
+  constexpr char kStratified[] =
+      "Reach(X,Y) :- E(X,Y).\n"
+      "Reach(X,Y) :- E(X,Z), Reach(Z,Y).\n"
+      "Blocked(X,Y) :- E(Y,X), !Reach(X,Y).\n";
+  for (int seed : {1, 2, 3, 4}) {
+    Rng rng(seed * 77);
+    const Digraph g = RandomDigraph(5, 0.35, &rng);
+    auto symbols = std::make_shared<SymbolTable>();
+    Program p = MustProgram(kStratified, symbols);
+    Database db = DbFromGraph(g, symbols);
+    auto wf = EvalWellFounded(p, db);
+    auto strat = EvalStratified(p, db);
+    ASSERT_TRUE(wf.ok() && strat.ok());
+    EXPECT_TRUE(wf->total) << "seed " << seed;
+    EXPECT_EQ(wf->true_state, strat->state) << "seed " << seed;
+  }
+}
+
+TEST(WellFoundedTest, PositiveProgramIsTotalLeastModel) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(
+      "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).", symbols);
+  Database db = DbFromGraph(CycleGraph(4), symbols);
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok());
+  EXPECT_TRUE(wf->total);
+  EXPECT_EQ(IdbRelation(p, wf->true_state, "S").size(), 16u);
+}
+
+// --- Stable models. ---
+
+TEST(StableTest, EvenCycleHasTwoStableModels) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(CycleGraph(4), symbols);
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok()) << stable.status().ToString();
+  EXPECT_EQ(stable->models.size(), 2u);
+  // Here the supported and stable models coincide.
+  auto analyzer = FixpointAnalyzer::Create(&p, &db);
+  ASSERT_TRUE(analyzer.ok());
+  auto fixpoints = analyzer->EnumerateFixpoints();
+  ASSERT_TRUE(fixpoints.ok());
+  EXPECT_EQ(CanonStates(p, stable->models), CanonStates(p, *fixpoints));
+}
+
+TEST(StableTest, OddCycleHasNone) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kPi1, symbols);
+  Database db = DbFromGraph(CycleGraph(5), symbols);
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok());
+  EXPECT_TRUE(stable->models.empty());
+}
+
+TEST(StableTest, SelfSupportIsSupportedButNotStable) {
+  // S(x) ← S(x): 2^|A| supported models (fixpoints), exactly one stable
+  // model (∅) — the canonical separation.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("S(X) :- S(X).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok());
+  ASSERT_EQ(stable->models.size(), 1u);
+  EXPECT_EQ(stable->models[0].TotalTuples(), 0u);
+  EXPECT_EQ(stable->supported_examined, 8u);
+}
+
+TEST(StableTest, ToggleHasNoStableModel) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(Z) :- !T(W).", symbols);
+  Database db = DbFromGraph(PathGraph(3), symbols);
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok());
+  EXPECT_TRUE(stable->models.empty());
+  EXPECT_EQ(stable->supported_examined, 0u);  // not even supported models
+}
+
+TEST(StableTest, UniqueStableOnStratifiedEqualsStratified) {
+  constexpr char kStratified[] =
+      "Reach(X,Y) :- E(X,Y).\n"
+      "Reach(X,Y) :- E(X,Z), Reach(Z,Y).\n"
+      "Blocked(X,Y) :- E(Y,X), !Reach(X,Y).\n";
+  Rng rng(99);
+  const Digraph g = RandomDigraph(4, 0.4, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kStratified, symbols);
+  Database db = DbFromGraph(g, symbols);
+  auto stable = EnumerateStableModels(p, db);
+  auto strat = EvalStratified(p, db);
+  ASSERT_TRUE(stable.ok() && strat.ok());
+  ASSERT_EQ(stable->models.size(), 1u);
+  EXPECT_EQ(stable->models[0], strat->state);
+}
+
+class StableVsFixpoints : public ::testing::TestWithParam<int> {};
+
+TEST_P(StableVsFixpoints, StableModelsAreFixpointsAndRespectWfs) {
+  const int seed = GetParam();
+  Rng rng(seed * 41 + 9);
+  const Digraph g = RandomDigraph(3 + rng.Uniform(3), 0.35, &rng);
+  constexpr char kMixed[] =
+      "T(X) :- E(Y,X), !T(Y).\n"
+      "S(X) :- E(X,Y), !T(X).\n";
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(kMixed, symbols);
+  Database db = DbFromGraph(g, symbols);
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok());
+  auto analyzer = FixpointAnalyzer::Create(&p, &db);
+  ASSERT_TRUE(analyzer.ok());
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok());
+  for (const IdbState& model : stable->models) {
+    // Stable ⊆ supported (= fixpoints of Θ).
+    auto is_fixpoint = analyzer->VerifyFixpoint(model);
+    ASSERT_TRUE(is_fixpoint.ok());
+    EXPECT_TRUE(*is_fixpoint);
+    // WFS-true atoms hold in every stable model; WFS-false atoms in none.
+    EXPECT_TRUE(wf->true_state.IsSubsetOf(model));
+    for (size_t i = 0; i < model.relations.size(); ++i) {
+      for (size_t r = 0; r < model.relations[i].size(); ++r) {
+        TupleView t = model.relations[i].Row(r);
+        const bool wf_true = wf->true_state.relations[i].Contains(t);
+        const bool wf_undef = wf->undefined_state.relations[i].Contains(t);
+        EXPECT_TRUE(wf_true || wf_undef)
+            << "stable model contains a WFS-false atom";
+      }
+    }
+  }
+  // If the WFS is total, its true set is the unique stable model.
+  if (wf->total) {
+    ASSERT_EQ(stable->models.size(), 1u);
+    EXPECT_EQ(stable->models[0], wf->true_state);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StableVsFixpoints, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,195 @@
+// Cross-semantics property sweeps on randomized inputs:
+//   * π_COL fixpoints are in bijection with proper 3-colorings, so the
+//     fixpoint count equals the chromatic count P(G,3) — checked against
+//     a brute-force coloring counter;
+//   * on random stratified programs, stratified = well-founded (total) =
+//     the unique stable model, and the inflationary semantics contains
+//     the stratified one stage-wise for the positive stratum;
+//   * the inflationary semantics is insensitive to rule order (Θ is a
+//     set-level operator).
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/base/strings.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/stable.h"
+#include "src/eval/stratified.h"
+#include "src/eval/wellfounded.h"
+#include "src/fixpoint/analysis.h"
+#include "src/reductions/three_coloring.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::DbFromGraph;
+using testing::MustProgram;
+
+/// Brute-force count of proper 3-colorings (edge directions ignored).
+uint64_t CountColorings(const Digraph& g) {
+  const size_t n = g.num_vertices();
+  INFLOG_CHECK(n <= 12);
+  std::vector<std::vector<bool>> adjacent(n, std::vector<bool>(n, false));
+  for (const auto& [u, v] : g.Edges()) {
+    adjacent[u][v] = adjacent[v][u] = true;
+  }
+  uint64_t count = 0;
+  std::vector<int> colors(n, 0);
+  uint64_t total = 1;
+  for (size_t i = 0; i < n; ++i) total *= 3;
+  for (uint64_t code = 0; code < total; ++code) {
+    uint64_t c = code;
+    for (size_t v = 0; v < n; ++v) {
+      colors[v] = static_cast<int>(c % 3);
+      c /= 3;
+    }
+    bool proper = true;
+    for (size_t u = 0; u < n && proper; ++u) {
+      if (adjacent[u][u]) proper = false;
+      for (size_t v = u + 1; v < n && proper; ++v) {
+        if (adjacent[u][v] && colors[u] == colors[v]) proper = false;
+      }
+    }
+    if (proper) ++count;
+  }
+  return count;
+}
+
+class ChromaticCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChromaticCount, PiColFixpointsCountProperColorings) {
+  const int seed = GetParam();
+  Digraph g(0);
+  uint64_t expected = 0;
+  switch (seed) {
+    case 0:
+      g = CycleGraph(4);
+      expected = 18;  // P(C4, 3) = 2^4 + 2
+      break;
+    case 1:
+      g = CycleGraph(5);
+      expected = 30;  // P(C5, 3) = 2^5 - 2
+      break;
+    case 2:
+      g = CompleteGraph(3);
+      expected = 6;  // 3!
+      break;
+    case 3:
+      g = PathGraph(4);
+      expected = 3 * 2 * 2 * 2;  // trees: 3·2^(n-1)
+      break;
+    default: {
+      Rng rng(seed * 101 + 7);
+      g = RandomDigraph(4 + rng.Uniform(2), 0.4, &rng);
+      expected = CountColorings(g);
+      break;
+    }
+  }
+  ASSERT_EQ(CountColorings(g), expected);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program pi_col = PiColProgram(symbols);
+  Database db = DbFromGraph(g, symbols);
+  auto analyzer = FixpointAnalyzer::Create(&pi_col, &db);
+  ASSERT_TRUE(analyzer.ok());
+  auto count = analyzer->CountFixpoints();
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, expected) << g.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, ChromaticCount, ::testing::Range(0, 9));
+
+/// Random stratified program over E/2 with three layers.
+std::string RandomStratifiedProgram(Rng* rng) {
+  // Layer 0: a positive recursion over E; layer 1: negation of layer 0;
+  // layer 2: mixes both. Shapes vary with the seed.
+  std::string text = "A(X,Y) :- E(X,Y).\n";
+  if (rng->Bernoulli(0.7)) text += "A(X,Y) :- E(X,Z), A(Z,Y).\n";
+  switch (rng->Uniform(3)) {
+    case 0:
+      text += "B(X,Y) :- E(Y,X), !A(X,Y).\n";
+      break;
+    case 1:
+      text += "B(X,X) :- E(X,Y), !A(Y,X).\n";
+      break;
+    default:
+      text += "B(X,Y) :- A(X,Y), !A(Y,X).\n";
+      break;
+  }
+  if (rng->Bernoulli(0.5)) {
+    text += "C(X) :- B(X,Y), !B(Y,X).\n";
+  } else {
+    text += "C(X) :- E(X,Y), B(Y,X).\n";
+  }
+  return text;
+}
+
+class StratifiedAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(StratifiedAgreement, StratifiedEqualsWfsEqualsUniqueStable) {
+  const int seed = GetParam();
+  Rng rng(seed * 577 + 23);
+  const std::string text = RandomStratifiedProgram(&rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = MustProgram(text, symbols);
+  ASSERT_TRUE(AnalyzeProgram(p).stratifiable) << text;
+  const Digraph g = RandomDigraph(3 + rng.Uniform(3), 0.4, &rng);
+  Database db = DbFromGraph(g, symbols);
+
+  auto strat = EvalStratified(p, db);
+  ASSERT_TRUE(strat.ok()) << text;
+  auto wf = EvalWellFounded(p, db);
+  ASSERT_TRUE(wf.ok()) << text;
+  EXPECT_TRUE(wf->total) << text;
+  EXPECT_EQ(wf->true_state, strat->state) << text;
+  auto stable = EnumerateStableModels(p, db);
+  ASSERT_TRUE(stable.ok()) << text;
+  ASSERT_EQ(stable->models.size(), 1u) << text;
+  EXPECT_EQ(stable->models[0], strat->state) << text;
+  // The stratified model is a fixpoint of Θ (the classic supportedness
+  // of the perfect model).
+  auto analyzer = FixpointAnalyzer::Create(&p, &db);
+  ASSERT_TRUE(analyzer.ok());
+  auto is_fixpoint = analyzer->VerifyFixpoint(strat->state);
+  ASSERT_TRUE(is_fixpoint.ok());
+  EXPECT_TRUE(*is_fixpoint) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StratifiedAgreement,
+                         ::testing::Range(0, 15));
+
+class RuleOrderInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleOrderInvariance, InflationaryIgnoresRuleOrder) {
+  const int seed = GetParam();
+  Rng rng(seed * 31 + 2);
+  std::vector<std::string> rules = {
+      "S(X,Y) :- E(X,Y).",
+      "S(X,Y) :- E(X,Z), S(Z,Y).",
+      "T(X) :- E(Y,X), !T(Y).",
+      "U(X) :- S(X,X), !T(X).",
+  };
+  const Digraph g = RandomDigraph(5, 0.35, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program original = MustProgram(StrJoin(rules, "\n"), symbols);
+  Database db = DbFromGraph(g, symbols);
+  auto base = EvalInflationary(original, db);
+  ASSERT_TRUE(base.ok());
+  rng.Shuffle(&rules);
+  // Reparse shuffled rules with the same symbols; IDB indexes may
+  // differ, so compare per-predicate.
+  Program shuffled = MustProgram(StrJoin(rules, "\n"), symbols);
+  auto permuted = EvalInflationary(shuffled, db);
+  ASSERT_TRUE(permuted.ok());
+  for (const char* pred : {"S", "T", "U"}) {
+    EXPECT_EQ(testing::IdbRelation(original, base->state, pred),
+              testing::IdbRelation(shuffled, permuted->state, pred))
+        << pred;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleOrderInvariance,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace inflog

@@ -1,0 +1,97 @@
+// Shared helpers for the inflog test suites.
+
+#ifndef INFLOG_TESTS_TEST_UTIL_H_
+#define INFLOG_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ast/parser.h"
+#include "src/ast/program.h"
+#include "src/eval/idb_state.h"
+#include "src/graphs/digraph.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+namespace testing {
+
+/// Parses a program or aborts (for test fixtures where failure is a bug).
+inline Program MustProgram(std::string_view text,
+                           std::shared_ptr<SymbolTable> symbols = nullptr) {
+  auto result = symbols ? ParseProgram(text, std::move(symbols))
+                        : ParseProgram(text);
+  INFLOG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Parses a database or aborts.
+inline Database MustDatabase(std::string_view text) {
+  auto result = ParseDatabase(text);
+  INFLOG_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Builds the database {E(u,v)} for a digraph, sharing `symbols`.
+inline Database DbFromGraph(const Digraph& g,
+                            std::shared_ptr<SymbolTable> symbols) {
+  Database db(std::move(symbols));
+  GraphToDatabase(g, "E", &db);
+  return db;
+}
+
+/// The relation of IDB predicate `name` within a state.
+inline const Relation& IdbRelation(const Program& program,
+                                   const IdbState& state,
+                                   std::string_view name) {
+  auto pred = program.FindPredicate(name);
+  INFLOG_CHECK(pred.ok()) << pred.status().ToString();
+  const int idb = program.predicate(*pred).idb_index;
+  INFLOG_CHECK(idb >= 0) << name << " is not an IDB predicate";
+  return state.relations[idb];
+}
+
+/// A relation's tuples as sorted vectors of symbol names — readable in
+/// test failure output.
+inline std::vector<std::vector<std::string>> TuplesOf(
+    const SymbolTable& symbols, const Relation& rel) {
+  std::vector<std::vector<std::string>> out;
+  for (const Tuple& t : rel.SortedTuples()) {
+    std::vector<std::string> row;
+    for (Value v : t) row.push_back(symbols.Name(v));
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Canonical string for a whole state (for set comparisons of states).
+inline std::string CanonState(const Program& program, const IdbState& state) {
+  return IdbStateToString(program, state);
+}
+
+/// Canonical sorted multiset of states.
+inline std::multiset<std::string> CanonStates(
+    const Program& program, const std::vector<IdbState>& states) {
+  std::multiset<std::string> out;
+  for (const IdbState& s : states) out.insert(CanonState(program, s));
+  return out;
+}
+
+/// Set of unary-relation members as names, e.g. {"1","3"}.
+inline std::set<std::string> UnarySet(const SymbolTable& symbols,
+                                      const Relation& rel) {
+  INFLOG_CHECK(rel.arity() == 1);
+  std::set<std::string> out;
+  for (size_t i = 0; i < rel.size(); ++i) {
+    out.insert(symbols.Name(rel.Row(i)[0]));
+  }
+  return out;
+}
+
+}  // namespace testing
+}  // namespace inflog
+
+#endif  // INFLOG_TESTS_TEST_UTIL_H_

@@ -1,0 +1,227 @@
+// Tests for the immediate consequence operator Θ (Section 2 of the paper):
+// its values on the paper's example programs and the fixpoint condition on
+// the path/cycle families.
+
+#include <gtest/gtest.h>
+
+#include "src/eval/theta.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::DbFromGraph;
+using testing::IdbRelation;
+using testing::MustProgram;
+using testing::TuplesOf;
+using testing::UnarySet;
+
+constexpr char kPi1[] = "T(X) :- E(Y,X), !T(Y).";
+
+class ThetaFixture : public ::testing::Test {
+ protected:
+  /// Builds Θ for `program_text` over the digraph `g`.
+  void Init(std::string_view program_text, const Digraph& g) {
+    symbols_ = std::make_shared<SymbolTable>();
+    program_ = std::make_unique<Program>(MustProgram(program_text, symbols_));
+    db_ = std::make_unique<Database>(DbFromGraph(g, symbols_));
+    auto ctx = EvalContext::Create(*program_, *db_);
+    INFLOG_CHECK(ctx.ok()) << ctx.status().ToString();
+    ctx_ = std::make_unique<EvalContext>(std::move(ctx).value());
+    theta_ = std::make_unique<ThetaOperator>(ctx_.get());
+  }
+
+  /// A state with the unary relation of `pred` set to the given vertices.
+  IdbState UnaryState(std::string_view pred,
+                      const std::vector<int>& members) {
+    IdbState s = MakeEmptyIdbState(*program_);
+    const int idb = program_->predicate(*program_->FindPredicate(pred))
+                        .idb_index;
+    for (int v : members) {
+      s.relations[idb].Insert(Tuple{symbols_->Intern(std::to_string(v))});
+    }
+    return s;
+  }
+
+  std::shared_ptr<SymbolTable> symbols_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<EvalContext> ctx_;
+  std::unique_ptr<ThetaOperator> theta_;
+};
+
+TEST_F(ThetaFixture, Pi1OnEmptyState) {
+  // Θ(∅) = {x : ∃y E(y,x)} — every vertex with a predecessor.
+  Init(kPi1, PathGraph(4));  // 0→1→2→3
+  IdbState out = theta_->Apply(UnaryState("T", {}));
+  EXPECT_EQ(UnarySet(*symbols_, IdbRelation(*program_, out, "T")),
+            (std::set<std::string>{"1", "2", "3"}));
+}
+
+TEST_F(ThetaFixture, Pi1DefinitionMatchesPaper) {
+  // Θ(T) = {a : ∃y (E(y,a) ∧ ¬T(y))}.
+  Init(kPi1, PathGraph(4));
+  IdbState out = theta_->Apply(UnaryState("T", {0, 2}));
+  // Successors of non-members {1, 3}: E(1,2) gives 2, E(3,-) nothing.
+  EXPECT_EQ(UnarySet(*symbols_, IdbRelation(*program_, out, "T")),
+            (std::set<std::string>{"2"}));
+}
+
+TEST_F(ThetaFixture, Pi1UniqueFixpointOnPath) {
+  // On Lₙ the unique fixpoint is the odd 0-based positions (the paper's
+  // {2,4,...} in 1-based numbering).
+  Init(kPi1, PathGraph(5));
+  EXPECT_TRUE(theta_->IsFixpoint(UnaryState("T", {1, 3})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {0, 2, 4})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {1, 2, 3})));
+}
+
+TEST_F(ThetaFixture, Pi1OddCycleHasNoFixpointAmongCandidates) {
+  Init(kPi1, CycleGraph(3));
+  // Exhaustive: no subset of {0,1,2} is a fixpoint on C₃.
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<int> members;
+    for (int v = 0; v < 3; ++v) {
+      if (mask & (1 << v)) members.push_back(v);
+    }
+    EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", members)))
+        << "mask " << mask;
+  }
+}
+
+TEST_F(ThetaFixture, Pi1EvenCycleHasTheTwoAlternatingFixpoints) {
+  Init(kPi1, CycleGraph(4));
+  EXPECT_TRUE(theta_->IsFixpoint(UnaryState("T", {0, 2})));
+  EXPECT_TRUE(theta_->IsFixpoint(UnaryState("T", {1, 3})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {0, 1})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {0, 1, 2, 3})));
+  EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", {})));
+}
+
+TEST_F(ThetaFixture, ToggleRuleHasNoFixpoint) {
+  // T(z) ← ¬T(w) "toggles": Θ(∅) = A, Θ(A) = ∅, and no S with ∅⊊S⊊A
+  // works either (the paper's key gadget).
+  Init("T(Z) :- !T(W).", PathGraph(3));
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<int> members;
+    for (int v = 0; v < 3; ++v) {
+      if (mask & (1 << v)) members.push_back(v);
+    }
+    EXPECT_FALSE(theta_->IsFixpoint(UnaryState("T", members)));
+  }
+}
+
+TEST_F(ThetaFixture, GuardedToggleFixpointIffQFull) {
+  // T(z) ← ¬Q(u), ¬T(w): unique fixpoint (with T = ∅) iff the complement
+  // of Q is empty (proof of Theorem 1). Here Q is a database relation.
+  auto run = [&](const std::vector<int>& q_members, bool expect_fixpoint) {
+    symbols_ = std::make_shared<SymbolTable>();
+    program_ = std::make_unique<Program>(
+        MustProgram("T(Z) :- !Q(U), !T(W).", symbols_));
+    db_ = std::make_unique<Database>(DbFromGraph(PathGraph(3), symbols_));
+    for (int v : q_members) {
+      INFLOG_CHECK(
+          db_->AddFact("Q", Tuple{symbols_->Intern(std::to_string(v))})
+              .ok());
+    }
+    if (!db_->HasRelation("Q")) {
+      INFLOG_CHECK(db_->DeclareRelation("Q", 1).ok());
+    }
+    auto ctx = EvalContext::Create(*program_, *db_);
+    INFLOG_CHECK(ctx.ok());
+    ctx_ = std::make_unique<EvalContext>(std::move(ctx).value());
+    theta_ = std::make_unique<ThetaOperator>(ctx_.get());
+    EXPECT_EQ(theta_->IsFixpoint(UnaryState("T", {})), expect_fixpoint);
+  };
+  run({0, 1, 2}, true);   // Q = A: toggle disabled, T = ∅ is a fixpoint
+  run({0, 2}, false);     // Q misses 1: toggle fires
+  run({}, false);
+}
+
+TEST_F(ThetaFixture, Pi2OperatorComputesBothComponents) {
+  constexpr char kPi2[] =
+      "S1(X,Y) :- E(X,Y).\n"
+      "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+      "S2(X,Y,Z,W) :- S1(X,Y), !S1(Z,W).\n";
+  Init(kPi2, PathGraph(3));  // edges 0→1, 1→2
+  // Build S = ({(0,1)}, ∅) and apply Θ once.
+  IdbState s = MakeEmptyIdbState(*program_);
+  const int s1 = program_->predicate(*program_->FindPredicate("S1"))
+                     .idb_index;
+  s.relations[s1].Insert(
+      Tuple{symbols_->Intern("0"), symbols_->Intern("1")});
+  IdbState out = theta_->Apply(s);
+  // Θ₁(S) = E ∪ {(x,y) : E(x,z) ∧ S1(z,y)} = {(0,1),(1,2)} — no new pair
+  // from the join since S1 = {(0,1)} and E into 0 is empty.
+  auto s1_tuples = TuplesOf(*symbols_, IdbRelation(*program_, out, "S1"));
+  EXPECT_EQ(s1_tuples, (std::vector<std::vector<std::string>>{
+                           {"0", "1"}, {"1", "2"}}));
+  // Θ₂(S) = S1 × ¬S1 = {(0,1)} × (A² \ {(0,1)}): 9 − 1 = 8 quadruples.
+  EXPECT_EQ(IdbRelation(*program_, out, "S2").size(), 8u);
+}
+
+TEST_F(ThetaFixture, PositiveProgramOperatorIsMonotone) {
+  // Spot-check Tarski's premise on π₃: S ⊆ S' ⇒ Θ(S) ⊆ Θ(S').
+  constexpr char kPi3[] =
+      "S(X,Y) :- E(X,Y).\nS(X,Y) :- E(X,Z), S(Z,Y).";
+  Init(kPi3, CycleGraph(4));
+  const int idb = program_->predicate(*program_->FindPredicate("S"))
+                      .idb_index;
+  IdbState small = MakeEmptyIdbState(*program_);
+  small.relations[idb].Insert(
+      Tuple{symbols_->Intern("0"), symbols_->Intern("1")});
+  IdbState big = small;
+  big.relations[idb].Insert(
+      Tuple{symbols_->Intern("1"), symbols_->Intern("2")});
+  EXPECT_TRUE(theta_->Apply(small).IsSubsetOf(theta_->Apply(big)));
+}
+
+TEST_F(ThetaFixture, NonMonotoneWithNegation) {
+  // π₁ violates monotonicity: growing T can shrink Θ(T).
+  Init(kPi1, PathGraph(3));
+  IdbState empty = UnaryState("T", {});
+  IdbState full = UnaryState("T", {0, 1, 2});
+  EXPECT_FALSE(theta_->Apply(empty).IsSubsetOf(theta_->Apply(full)));
+}
+
+TEST_F(ThetaFixture, EqualityAndInequalityLiterals) {
+  Init("Diag(X,Y) :- E(X,Z), E(Y,W), X = Y.\n"
+       "Off(X,Y) :- E(X,Z), E(Y,W), X != Y.",
+       PathGraph(3));  // vertices with outgoing edges: 0, 1
+  IdbState out = theta_->Apply(MakeEmptyIdbState(*program_));
+  EXPECT_EQ(TuplesOf(*symbols_, IdbRelation(*program_, out, "Diag")),
+            (std::vector<std::vector<std::string>>{{"0", "0"}, {"1", "1"}}));
+  EXPECT_EQ(TuplesOf(*symbols_, IdbRelation(*program_, out, "Off")),
+            (std::vector<std::vector<std::string>>{{"0", "1"}, {"1", "0"}}));
+}
+
+TEST_F(ThetaFixture, ConstantsInHeads) {
+  // The succinct-3COL input-gate shape: a bodyless rule with a constant.
+  Init("G(X,1) :- .", PathGraph(2));
+  IdbState out = theta_->Apply(MakeEmptyIdbState(*program_));
+  // X ranges over the universe {0,1} (program constant 1 is already a
+  // vertex name here).
+  EXPECT_EQ(TuplesOf(*symbols_, IdbRelation(*program_, out, "G")),
+            (std::vector<std::vector<std::string>>{{"0", "1"}, {"1", "1"}}));
+}
+
+TEST_F(ThetaFixture, ZeroArityPredicate) {
+  Init("Flag :- E(X,Y).\nNever :- E(X,X).", PathGraph(3));
+  IdbState out = theta_->Apply(MakeEmptyIdbState(*program_));
+  EXPECT_EQ(IdbRelation(*program_, out, "Flag").size(), 1u);
+  EXPECT_EQ(IdbRelation(*program_, out, "Never").size(), 0u);
+}
+
+TEST_F(ThetaFixture, MissingEdbIsErrorByDefault) {
+  symbols_ = std::make_shared<SymbolTable>();
+  Program p = MustProgram("T(X) :- Missing(X).", symbols_);
+  Database db = DbFromGraph(PathGraph(2), symbols_);
+  EXPECT_FALSE(EvalContext::Create(p, db).ok());
+  EvalContextOptions opts;
+  opts.allow_missing_edb = true;
+  EXPECT_TRUE(EvalContext::Create(p, db, opts).ok());
+}
+
+}  // namespace
+}  // namespace inflog
