@@ -89,6 +89,31 @@ void BM_DistanceInflationary(benchmark::State& state) {
 BENCHMARK(BM_DistanceInflationary)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
+// Ablation: the same evaluation with the built-in column indexes switched
+// off, so every kMatch scans its relation. The indexed/scan ratio is the
+// measured payoff of the indexed join path on a join-heavy program.
+void BM_DistanceInflationaryScanOnly(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const Digraph g = BenchGraph(n);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram(kDistance, symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+  const size_t expected = OracleCount(g);
+  InflationaryOptions options;
+  options.context.use_join_indexes = false;
+  double rows_matched = 0;
+  for (auto _ : state) {
+    auto result = EvalInflationary(p, db, options);
+    INFLOG_CHECK(result.ok());
+    INFLOG_CHECK(result->state.relations[2].size() == expected);
+    rows_matched = static_cast<double>(result->stats.rows_matched);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["rows_matched"] = rows_matched;
+}
+BENCHMARK(BM_DistanceInflationaryScanOnly)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DistanceStratifiedReading(benchmark::State& state) {
   const size_t n = state.range(0);
   const Digraph g = BenchGraph(n);
@@ -119,6 +144,47 @@ void BM_DistanceStratifiedReading(benchmark::State& state) {
   state.counters["divergent_tuples"] = divergence;
 }
 BENCHMARK(BM_DistanceStratifiedReading)->Arg(6)->Arg(10)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+// The join core of the distance query in isolation: the synchronized TC
+// copies are where the indexed join path earns its keep, while the full
+// query's quartic carrier is enumeration-bound and hides it. Run at sizes
+// where the join input is large enough that scan cost dominates.
+constexpr char kTcCore[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n";
+
+void RunTcCore(benchmark::State& state, bool use_indexes) {
+  const size_t n = state.range(0);
+  Rng rng(n * 13 + 5);
+  const Digraph g = RandomDigraph(n, 4.0 / n, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram(kTcCore, symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+  InflationaryOptions options;
+  options.context.use_join_indexes = use_indexes;
+  double rows_matched = 0, tuples = 0;
+  for (auto _ : state) {
+    auto result = EvalInflationary(p, db, options);
+    INFLOG_CHECK(result.ok());
+    rows_matched = static_cast<double>(result->stats.rows_matched);
+    tuples = static_cast<double>(result->state.relations[0].size());
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["tc_tuples"] = tuples;
+  state.counters["rows_matched"] = rows_matched;
+}
+
+void BM_DistanceJoinCoreIndexed(benchmark::State& state) {
+  RunTcCore(state, /*use_indexes=*/true);
+}
+BENCHMARK(BM_DistanceJoinCoreIndexed)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistanceJoinCoreScanOnly(benchmark::State& state) {
+  RunTcCore(state, /*use_indexes=*/false);
+}
+BENCHMARK(BM_DistanceJoinCoreScanOnly)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DistanceBfsOracle(benchmark::State& state) {

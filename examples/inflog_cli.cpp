@@ -73,41 +73,36 @@ int main(int argc, char** argv) {
     std::cout << *description;
     return 0;
   }
-  if (semantics == "inflationary") {
-    auto result = engine.Inflationary();
-    if (!result.ok()) return Fail(result.status());
-    std::cout << "inflationary semantics (" << result->num_stages
-              << " stages):\n";
-    PrintState(engine, result->state);
-    return 0;
-  }
-  if (semantics == "stratified") {
-    auto result = engine.Stratified();
-    if (!result.ok()) return Fail(result.status());
-    std::cout << "stratified semantics (" << result->num_strata
-              << " strata):\n";
-    PrintState(engine, result->state);
-    return 0;
-  }
-  if (semantics == "wellfounded") {
-    auto result = engine.WellFounded();
-    if (!result.ok()) return Fail(result.status());
-    std::cout << "well-founded model ("
-              << (result->total ? "total" : "three-valued") << "):\n";
-    std::cout << " true atoms:\n";
-    PrintState(engine, result->true_state);
-    std::cout << " undefined atoms:\n";
-    PrintState(engine, result->undefined_state);
-    return 0;
-  }
-  if (semantics == "stable") {
-    auto result = engine.StableModels();
-    if (!result.ok()) return Fail(result.status());
-    std::cout << result->models.size() << " stable model(s) among "
-              << result->supported_examined << " supported model(s):\n";
-    for (size_t i = 0; i < result->models.size(); ++i) {
-      std::cout << " model " << i + 1 << ":\n";
-      PrintState(engine, result->models[i]);
+  // The four semantics all route through the engine's unified dispatch;
+  // the variant `detail` carries each one's specific bookkeeping.
+  if (auto kind = inflog::ParseSemanticsKind(semantics); kind.ok()) {
+    auto outcome = engine.Evaluate(*kind);
+    if (!outcome.ok()) return Fail(outcome.status());
+    if (const auto* r =
+            std::get_if<inflog::InflationaryResult>(&outcome->detail)) {
+      std::cout << "inflationary semantics (" << r->num_stages
+                << " stages):\n";
+      PrintState(engine, outcome->state());
+    } else if (const auto* r =
+                   std::get_if<inflog::StratifiedResult>(&outcome->detail)) {
+      std::cout << "stratified semantics (" << r->num_strata << " strata):\n";
+      PrintState(engine, outcome->state());
+    } else if (const auto* r =
+                   std::get_if<inflog::WellFoundedResult>(&outcome->detail)) {
+      std::cout << "well-founded model ("
+                << (r->total ? "total" : "three-valued") << "):\n";
+      std::cout << " true atoms:\n";
+      PrintState(engine, r->true_state);
+      std::cout << " undefined atoms:\n";
+      PrintState(engine, r->undefined_state);
+    } else if (const auto* r =
+                   std::get_if<inflog::StableResult>(&outcome->detail)) {
+      std::cout << r->models.size() << " stable model(s) among "
+                << r->supported_examined << " supported model(s):\n";
+      for (size_t i = 0; i < r->models.size(); ++i) {
+        std::cout << " model " << i + 1 << ":\n";
+        PrintState(engine, r->models[i]);
+      }
     }
     return 0;
   }

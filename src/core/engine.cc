@@ -4,6 +4,32 @@
 
 namespace inflog {
 
+std::string_view SemanticsKindName(SemanticsKind kind) {
+  switch (kind) {
+    case SemanticsKind::kInflationary:
+      return "inflationary";
+    case SemanticsKind::kStratified:
+      return "stratified";
+    case SemanticsKind::kWellFounded:
+      return "wellfounded";
+    case SemanticsKind::kStable:
+      return "stable";
+  }
+  INFLOG_CHECK(false) << "bad SemanticsKind";
+  return "";
+}
+
+Result<SemanticsKind> ParseSemanticsKind(std::string_view name) {
+  for (SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified,
+        SemanticsKind::kWellFounded, SemanticsKind::kStable}) {
+    if (name == SemanticsKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown semantics: ", std::string(name),
+             " (expected inflationary|stratified|wellfounded|stable)"));
+}
+
 Engine::Engine()
     : symbols_(std::make_shared<SymbolTable>()), database_(symbols_) {}
 
@@ -64,6 +90,58 @@ Result<std::string> Engine::Describe() const {
     out += StrCat("warning: ", warning, "\n");
   }
   return out;
+}
+
+const IdbState& EvalOutcome::state() const {
+  switch (kind) {
+    case SemanticsKind::kInflationary:
+      return std::get<InflationaryResult>(detail).state;
+    case SemanticsKind::kStratified:
+      return std::get<StratifiedResult>(detail).state;
+    case SemanticsKind::kWellFounded:
+      return std::get<WellFoundedResult>(detail).true_state;
+    case SemanticsKind::kStable: {
+      const std::vector<IdbState>& models =
+          std::get<StableResult>(detail).models;
+      static const IdbState kNoModel;
+      return models.empty() ? kNoModel : models.front();
+    }
+  }
+  INFLOG_CHECK(false) << "bad SemanticsKind";
+  static const IdbState kUnreachable;
+  return kUnreachable;
+}
+
+Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
+                                     const EvalOptions& options) const {
+  EvalOutcome out;
+  out.kind = kind;
+  switch (kind) {
+    case SemanticsKind::kInflationary: {
+      INFLOG_ASSIGN_OR_RETURN(InflationaryResult r,
+                              Inflationary(options.inflationary));
+      out.detail = std::move(r);
+      return out;
+    }
+    case SemanticsKind::kStratified: {
+      INFLOG_ASSIGN_OR_RETURN(StratifiedResult r,
+                              Stratified(options.stratified));
+      out.detail = std::move(r);
+      return out;
+    }
+    case SemanticsKind::kWellFounded: {
+      INFLOG_ASSIGN_OR_RETURN(WellFoundedResult r,
+                              WellFounded(options.wellfounded));
+      out.detail = std::move(r);
+      return out;
+    }
+    case SemanticsKind::kStable: {
+      INFLOG_ASSIGN_OR_RETURN(StableResult r, StableModels(options.stable));
+      out.detail = std::move(r);
+      return out;
+    }
+  }
+  return Status::InvalidArgument("bad SemanticsKind");
 }
 
 Result<InflationaryResult> Engine::Inflationary(

@@ -23,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <variant>
 
 #include "src/ast/analysis.h"
 #include "src/ast/parser.h"
@@ -36,6 +37,44 @@
 #include "src/relation/database.h"
 
 namespace inflog {
+
+/// The four semantics the engine can evaluate a program under.
+enum class SemanticsKind {
+  kInflationary,  ///< Θ^∞ — the paper's proposal; total and PTIME.
+  kStratified,    ///< Stratum-by-stratum least fixpoints; partial.
+  kWellFounded,   ///< Three-valued alternating fixpoint; total.
+  kStable,        ///< Gelfond–Lifschitz answer sets; 0..2^k models.
+};
+
+/// Canonical lowercase name ("inflationary", ...), for CLIs and logs.
+std::string_view SemanticsKindName(SemanticsKind kind);
+
+/// Parses a SemanticsKindName back; InvalidArgument on unknown names.
+Result<SemanticsKind> ParseSemanticsKind(std::string_view name);
+
+/// Options for the unified Evaluate entry point; only the member matching
+/// the requested kind is consulted.
+struct EvalOptions {
+  InflationaryOptions inflationary;
+  StratifiedOptions stratified;
+  GrounderOptions wellfounded;
+  StableOptions stable;
+};
+
+/// Result of the unified Evaluate entry point: the full semantics-specific
+/// result plus a uniform view of the canonical two-valued answer.
+struct EvalOutcome {
+  SemanticsKind kind;
+  std::variant<InflationaryResult, StratifiedResult, WellFoundedResult,
+               StableResult>
+      detail;
+
+  /// The "true" part of the answer: Θ^∞ (inflationary), the stratified
+  /// model, the well-founded true atoms, or the first stable model found
+  /// (a relation-less empty state when there is none). Borrowed from
+  /// `detail`: valid while this outcome is alive.
+  const IdbState& state() const;
+};
 
 /// Facade over the parsing, evaluation and analysis pipeline.
 class Engine {
@@ -71,6 +110,12 @@ class Engine {
   Result<std::string> Describe() const;
 
   // --- Semantics (Section 4 and baselines). ---
+
+  /// Unified dispatch over the four semantics. Callers that don't care
+  /// which semantics runs (CLIs, benches, sweep harnesses) program against
+  /// this; the typed entry points below remain for callers that do.
+  Result<EvalOutcome> Evaluate(SemanticsKind kind,
+                               const EvalOptions& options = {}) const;
 
   /// Inflationary DATALOG: the paper's proposal. Total and PTIME.
   Result<InflationaryResult> Inflationary(

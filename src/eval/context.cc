@@ -31,6 +31,7 @@ Result<EvalContext> EvalContext::CreateWithFixed(
 }
 
 Status EvalContext::Bind(const EvalContextOptions& options) {
+  use_join_indexes_ = options.use_join_indexes;
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);
@@ -92,22 +93,6 @@ const Relation& EvalContext::Resolve(uint32_t pred,
 bool EvalContext::IsDynamic(uint32_t pred) const {
   INFLOG_DCHECK(pred < bindings_.size());
   return bindings_[pred].kind == PredBinding::Kind::kDynamicIdb;
-}
-
-const HashIndex& EvalContext::GetIndex(uint32_t pred,
-                                       const std::vector<size_t>& key_cols,
-                                       const IdbState& state) const {
-  const Relation& rel = Resolve(pred, state);
-  auto key = std::make_pair(pred, key_cols);
-  auto it = index_cache_.find(key);
-  if (it != index_cache_.end() && it->second.relation == &rel &&
-      it->second.version == rel.version()) {
-    return *it->second.index;
-  }
-  CachedIndex entry{&rel, rel.version(),
-                    std::make_unique<HashIndex>(rel, key_cols)};
-  auto [pos, unused] = index_cache_.insert_or_assign(key, std::move(entry));
-  return *pos->second.index;
 }
 
 }  // namespace inflog

@@ -1,5 +1,7 @@
 // EvalContext: binds a program's predicates to concrete relations for one
-// evaluation run, and owns the join-index cache.
+// evaluation run. Join lookups are served by the relations' own built-in
+// per-column indexes (see Relation::EqualRows); the context only decides
+// whether the executor may use them (use_join_indexes).
 //
 // Resolution per predicate:
 //   * EDB predicates read the database relation of the same name (error at
@@ -28,7 +30,6 @@
 #include "src/base/result.h"
 #include "src/eval/idb_state.h"
 #include "src/relation/database.h"
-#include "src/relation/index.h"
 
 namespace inflog {
 
@@ -37,6 +38,11 @@ struct EvalContextOptions {
   /// If true, EDB predicates missing from the database are bound to empty
   /// relations instead of failing.
   bool allow_missing_edb = false;
+  /// If true, kMatch ops with bound columns are served by the relations'
+  /// built-in per-column indexes; if false, every match is a scan. The
+  /// scan path is kept as the ablation baseline (bench E7) and as the
+  /// oracle for index-correctness tests.
+  bool use_join_indexes = true;
 };
 
 /// Per-run binding of predicates to relations plus the index cache.
@@ -67,11 +73,9 @@ class EvalContext {
   const Program& program() const { return *program_; }
   const Database& database() const { return *database_; }
 
-  /// Returns a (possibly cached) hash index over `key_cols` of the relation
-  /// predicate `pred` resolves to. Rebuilds if the relation has grown since
-  /// the cached index was built.
-  const HashIndex& GetIndex(uint32_t pred, const std::vector<size_t>& key_cols,
-                            const IdbState& state) const;
+  /// True iff kMatch ops should use the relations' built-in column
+  /// indexes (EvalContextOptions::use_join_indexes).
+  bool use_join_indexes() const { return use_join_indexes_; }
 
  private:
   EvalContext(const Program& program, const Database& database)
@@ -92,18 +96,9 @@ class EvalContext {
   std::vector<bool> dynamic_idb_;       // by idb_index
   const IdbState* fixed_state_ = nullptr;
   std::vector<Value> universe_;
+  bool use_join_indexes_ = true;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
-
-  struct CachedIndex {
-    const Relation* relation;
-    uint64_t version;
-    std::unique_ptr<HashIndex> index;
-  };
-  // (pred, key columns) -> cached index. Mutable: building an index does
-  // not change observable evaluation results.
-  mutable std::map<std::pair<uint32_t, std::vector<size_t>>, CachedIndex>
-      index_cache_;
 };
 
 }  // namespace inflog

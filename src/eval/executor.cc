@@ -122,13 +122,26 @@ class Interpreter {
       for (size_t r = begin; r < end; ++r) try_row(rel.Row(r));
       return;
     }
-    if (!op.key_cols.empty()) {
+    if (!op.key_cols.empty() && ctx_.use_join_indexes()) {
+      // Probe the relation's built-in index on each bound column and keep
+      // the shortest posting list; MatchRow re-checks the other columns.
+      // With several bound columns that are each low-cardinality this can
+      // approach a scan (never exceed one) where a composite key would
+      // stay exact — if that shows up in a workload, intersect the two
+      // shortest posting lists before falling back to per-row checks.
       ++stats_->index_lookups;
-      const HashIndex& index = ctx_.GetIndex(op.predicate, op.key_cols,
-                                             state_);
-      scratch_.clear();
-      for (size_t col : op.key_cols) scratch_.push_back(TermValue(op.args[col]));
-      for (uint32_t r : index.Lookup(scratch_)) try_row(rel.Row(r));
+      std::span<const uint32_t> best;
+      bool have_best = false;
+      for (size_t col : op.key_cols) {
+        const std::span<const uint32_t> rows =
+            rel.EqualRows(col, TermValue(op.args[col]));
+        if (!have_best || rows.size() < best.size()) {
+          best = rows;
+          have_best = true;
+        }
+        if (best.empty()) break;
+      }
+      for (uint32_t r : best) try_row(rel.Row(r));
       return;
     }
     for (size_t r = 0; r < rel.size(); ++r) try_row(rel.Row(r));

@@ -1,0 +1,162 @@
+#include "src/eval/fixpoint_driver.h"
+
+#include <numeric>
+
+#include "src/base/logging.h"
+
+namespace inflog {
+
+FixpointDriver::Outcome FixpointDriver::Iterate(const Options& options,
+                                                const StepFn& step) {
+  Outcome out;
+  while (true) {
+    if (options.max_stages != 0 && out.num_stages >= options.max_stages) {
+      return out;  // converged stays false
+    }
+    if (step(out.num_stages) == 0) {
+      out.converged = true;
+      return out;
+    }
+    ++out.num_stages;
+  }
+}
+
+RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
+                                             const Options& options,
+                                             IdbState* state)
+    : ctx_(ctx), state_(state), use_deltas_(options.use_deltas) {
+  const Program& program = ctx.program();
+  const size_t num_idb = program.idb_predicates().size();
+  INFLOG_CHECK(state->relations.size() == num_idb);
+
+  std::vector<size_t> rules = options.rule_subset;
+  if (rules.empty()) {
+    rules.resize(program.rules().size());
+    std::iota(rules.begin(), rules.end(), 0);
+  }
+
+  // Dynamic mask mirrors the context's classification.
+  std::vector<bool> dynamic(num_idb, false);
+  for (size_t i = 0; i < num_idb; ++i) {
+    dynamic[i] = ctx.IsDynamic(program.idb_predicates()[i]);
+  }
+
+  // Compile plans: a full plan per rule (stage 1), and one delta plan per
+  // (rule, dynamic positive literal) for later stages.
+  compiled_.reserve(rules.size());
+  for (size_t r : rules) {
+    const Rule& rule = program.rules()[r];
+    const int idb = program.predicate(rule.head.predicate).idb_index;
+    INFLOG_CHECK(idb >= 0 && dynamic[idb])
+        << "fixpoint rule subset must have dynamic head predicates";
+    CompiledRule c{r, idb, PlanRule(program, r, dynamic, -1), {}};
+    if (use_deltas_) {
+      for (int lit : DeltaCandidates(program, rule, dynamic)) {
+        c.deltas.push_back(PlanRule(program, r, dynamic, lit));
+      }
+    }
+    compiled_.push_back(std::move(c));
+  }
+
+  delta_ranges_.assign(num_idb, {0, 0});
+  stage_sizes_.resize(num_idb);
+}
+
+size_t RelationalConsequence::Step(size_t stage) {
+  const Program& program = ctx_.program();
+  const size_t num_idb = program.idb_predicates().size();
+
+  // Derivations are buffered per stage and merged afterwards, so every
+  // stage reads a consistent Sⁿ (and so relations are never mutated while
+  // scanned).
+  std::vector<Relation> buffers;
+  buffers.reserve(num_idb);
+  for (uint32_t pred : program.idb_predicates()) {
+    buffers.emplace_back(program.predicate(pred).arity);
+  }
+
+  if (stage == 0 || !use_deltas_) {
+    for (const CompiledRule& c : compiled_) {
+      ExecutePlan(ctx_, c.full, *state_, nullptr, &buffers[c.head_idb],
+                  &stats_);
+    }
+  } else {
+    for (const CompiledRule& c : compiled_) {
+      for (const RulePlan& plan : c.deltas) {
+        ExecutePlan(ctx_, plan, *state_, &delta_ranges_,
+                    &buffers[c.head_idb], &stats_);
+      }
+    }
+  }
+
+  // Merge the stage's derivations; the appended row ranges become the next
+  // deltas.
+  size_t added = 0;
+  for (size_t i = 0; i < num_idb; ++i) {
+    const size_t before = state_->relations[i].size();
+    added += state_->relations[i].InsertAll(buffers[i]);
+    delta_ranges_[i] = {before, state_->relations[i].size()};
+  }
+  if (added > 0) {
+    ++stats_.stages;
+    for (size_t i = 0; i < num_idb; ++i) {
+      stage_sizes_[i].push_back(state_->relations[i].size());
+    }
+  }
+  return added;
+}
+
+GroundConsequence::GroundConsequence(const GroundProgram& ground,
+                                     const std::vector<bool>& assumed_true)
+    : ground_(ground) {
+  const size_t num_atoms = ground.atoms.size();
+  INFLOG_CHECK(assumed_true.size() == num_atoms);
+  constexpr uint32_t kDead = static_cast<uint32_t>(-1);
+
+  missing_.resize(ground.rules.size());
+  watchers_.resize(num_atoms);
+  model_.assign(num_atoms, false);
+
+  for (uint32_t r = 0; r < ground.rules.size(); ++r) {
+    const GroundRule& rule = ground.rules[r];
+    const GroundBody& body = ground.RuleBody(rule);
+    bool dead = false;
+    for (uint32_t n : body.neg) {
+      if (assumed_true[n]) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      missing_[r] = kDead;
+      continue;
+    }
+    missing_[r] = static_cast<uint32_t>(body.pos.size());
+    for (uint32_t p : body.pos) watchers_[p].push_back(r);
+    if (body.pos.empty() && !model_[rule.head]) {
+      model_[rule.head] = true;
+      frontier_.push_back(rule.head);
+    }
+  }
+}
+
+size_t GroundConsequence::Step(size_t /*stage*/) {
+  std::vector<uint32_t> next;
+  for (uint32_t atom : frontier_) {
+    for (uint32_t r : watchers_[atom]) {
+      INFLOG_DCHECK(missing_[r] != static_cast<uint32_t>(-1) &&
+                    missing_[r] > 0);
+      if (--missing_[r] == 0) {
+        const uint32_t head = ground_.rules[r].head;
+        if (!model_[head]) {
+          model_[head] = true;
+          next.push_back(head);
+        }
+      }
+    }
+  }
+  frontier_ = std::move(next);
+  return frontier_.size();
+}
+
+}  // namespace inflog

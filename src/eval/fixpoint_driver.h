@@ -1,0 +1,147 @@
+// FixpointDriver: the single operator-iteration core behind every
+// semantics in the library.
+//
+// The paper's semantics all arise by iterating an immediate-consequence
+// operator to a fixpoint — inflationary DATALOG¬ iterates Θ̂(S) = S ∪ Θ(S)
+// over IDB relations, the stratified semantics runs the same iteration
+// stratum by stratum, the well-founded semantics alternates the reduct
+// operator, and the stable-model check closes a positive ground residue
+// under immediate consequence. This file factors that shared shape into
+// one driver plus the two concrete consequence operators:
+//
+//   * FixpointDriver::Iterate — the stage loop: call a step function until
+//     it reports no growth (or a stage cap is hit), counting productive
+//     stages. Every fixpoint computation in the library runs through it.
+//   * RelationalConsequence — Θ̂ over an IdbState: compiled rule plans
+//     (full plans for stage 1, one delta plan per dynamic positive literal
+//     for later stages), per-stage derivation buffers, buffer merge, and
+//     the delta row ranges handed to the executor.
+//   * GroundConsequence — the immediate-consequence operator of a positive
+//     ground program (a Gelfond–Lifschitz reduct), propagated with
+//     rule-body counters so total work stays linear in program size.
+//
+// Per-semantics files (inflationary.cc, stratified.cc, wellfounded.cc,
+// stable.cc) parameterize these; none of them owns a stage/delta loop.
+
+#ifndef INFLOG_EVAL_FIXPOINT_DRIVER_H_
+#define INFLOG_EVAL_FIXPOINT_DRIVER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+#include "src/ground/ground_program.h"
+
+namespace inflog {
+
+/// The shared stage loop.
+class FixpointDriver {
+ public:
+  struct Options {
+    /// Stop after this many productive stages (0 = run to the fixpoint).
+    size_t max_stages = 0;
+  };
+
+  struct Outcome {
+    /// Number of productive stages (stages that added at least one fact);
+    /// the n₀ with S^{n₀} = S^{n₀+1} of Section 4.
+    size_t num_stages = 0;
+    /// True iff the run reached the fixpoint (false only when max_stages
+    /// cut it short).
+    bool converged = false;
+  };
+
+  /// One application of the inflationary step: grow the state in place and
+  /// return the number of new facts. `stage` is the 0-based index of the
+  /// stage about to run.
+  using StepFn = std::function<size_t(size_t stage)>;
+
+  /// Iterates `step` until it returns 0 (converged) or `max_stages`
+  /// productive stages have run.
+  static Outcome Iterate(const Options& options, const StepFn& step);
+};
+
+/// Θ̂ over an IdbState: the relational immediate-consequence operator with
+/// semi-naive (delta) stages and per-stage buffering. Grows `*state` in
+/// place (append-only); one instance drives one fixpoint run.
+class RelationalConsequence {
+ public:
+  struct Options {
+    /// Rules to evaluate (indices into program.rules()); empty = all.
+    std::vector<size_t> rule_subset;
+    /// If false, recompute full Θ every stage (the naive driver; used as a
+    /// cross-check oracle and as the ablation baseline in bench E6).
+    bool use_deltas = true;
+  };
+
+  /// Compiles the rule plans. Rules whose head predicate is not dynamic in
+  /// `ctx` must not be part of the subset. `ctx` and `state` must outlive
+  /// the operator.
+  RelationalConsequence(const EvalContext& ctx, const Options& options,
+                        IdbState* state);
+
+  /// Runs one stage: executes the plans (full plans at stage 0 or when
+  /// deltas are off, delta plans otherwise) into fresh buffers, merges the
+  /// buffers into the state, and exposes the appended row ranges as the
+  /// next stage's deltas. Returns the number of new tuples.
+  size_t Step(size_t stage);
+
+  /// stage_sizes[idb_index][k] = relation size after productive stage k+1.
+  /// The stage of a tuple at row r is the first k with
+  /// r < stage_sizes[idb][k].
+  const std::vector<std::vector<size_t>>& stage_sizes() const {
+    return stage_sizes_;
+  }
+
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct CompiledRule {
+    size_t rule_index;
+    int head_idb;
+    RulePlan full;
+    std::vector<RulePlan> deltas;
+  };
+
+  const EvalContext& ctx_;
+  IdbState* state_;
+  bool use_deltas_;
+  std::vector<CompiledRule> compiled_;
+  DeltaRanges delta_ranges_;
+  std::vector<std::vector<size_t>> stage_sizes_;
+  EvalStats stats_;
+};
+
+/// The immediate-consequence operator of a positive ground program — the
+/// residue of a Gelfond–Lifschitz reduct P^I. Construction discards the
+/// rules killed by `assumed_true` and fires the body-less rules; each Step
+/// propagates the previous stage's newly derived atoms through per-rule
+/// prerequisite counters, so a whole fixpoint run costs O(program size).
+class GroundConsequence {
+ public:
+  GroundConsequence(const GroundProgram& ground,
+                    const std::vector<bool>& assumed_true);
+
+  /// Fires every rule whose last prerequisite was derived in the previous
+  /// stage; returns the number of newly true atoms.
+  size_t Step(size_t stage);
+
+  /// Truth by atom id (the least model once Iterate has converged).
+  const std::vector<bool>& model() const { return model_; }
+  std::vector<bool> TakeModel() && { return std::move(model_); }
+
+ private:
+  const GroundProgram& ground_;
+  // Per surviving rule: number of positive prerequisites not yet derived.
+  std::vector<uint32_t> missing_;
+  // For each atom, the surviving rules in whose positive body it appears.
+  std::vector<std::vector<uint32_t>> watchers_;
+  std::vector<bool> model_;
+  std::vector<uint32_t> frontier_;  // atoms derived in the previous stage
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_FIXPOINT_DRIVER_H_

@@ -1,60 +1,15 @@
 #include "src/eval/reduct.h"
 
-#include <deque>
-
-#include "src/base/logging.h"
+#include "src/eval/fixpoint_driver.h"
 
 namespace inflog {
 
 std::vector<bool> LeastModelOfReduct(const GroundProgram& ground,
                                      const std::vector<bool>& assumed_true) {
-  const size_t num_atoms = ground.atoms.size();
-  INFLOG_CHECK(assumed_true.size() == num_atoms);
-
-  // Per surviving rule: number of unsatisfied positive prerequisites.
-  // Rules killed by the reduct get a sentinel count.
-  constexpr uint32_t kDead = static_cast<uint32_t>(-1);
-  std::vector<uint32_t> missing(ground.rules.size());
-  // For each atom, the surviving rules in whose positive body it appears.
-  std::vector<std::vector<uint32_t>> watchers(num_atoms);
-  std::vector<bool> model(num_atoms, false);
-  std::deque<uint32_t> queue;
-
-  auto fire = [&](uint32_t atom) {
-    if (!model[atom]) {
-      model[atom] = true;
-      queue.push_back(atom);
-    }
-  };
-
-  for (uint32_t r = 0; r < ground.rules.size(); ++r) {
-    const GroundRule& rule = ground.rules[r];
-    const GroundBody& body = ground.RuleBody(rule);
-    bool dead = false;
-    for (uint32_t n : body.neg) {
-      if (assumed_true[n]) {
-        dead = true;
-        break;
-      }
-    }
-    if (dead) {
-      missing[r] = kDead;
-      continue;
-    }
-    missing[r] = static_cast<uint32_t>(body.pos.size());
-    for (uint32_t p : body.pos) watchers[p].push_back(r);
-    if (body.pos.empty()) fire(rule.head);
-  }
-
-  while (!queue.empty()) {
-    const uint32_t atom = queue.front();
-    queue.pop_front();
-    for (uint32_t r : watchers[atom]) {
-      INFLOG_DCHECK(missing[r] != kDead && missing[r] > 0);
-      if (--missing[r] == 0) fire(ground.rules[r].head);
-    }
-  }
-  return model;
+  GroundConsequence consequence(ground, assumed_true);
+  FixpointDriver::Iterate(
+      {}, [&](size_t stage) { return consequence.Step(stage); });
+  return std::move(consequence).TakeModel();
 }
 
 }  // namespace inflog

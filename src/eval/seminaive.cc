@@ -1,108 +1,28 @@
 #include "src/eval/seminaive.h"
 
-#include <numeric>
-
-#include "src/base/logging.h"
+#include "src/eval/fixpoint_driver.h"
 
 namespace inflog {
 
 SemiNaiveOutcome RunSemiNaive(const EvalContext& ctx,
                               const SemiNaiveOptions& options,
                               IdbState* state) {
-  const Program& program = ctx.program();
-  const size_t num_idb = program.idb_predicates().size();
-  INFLOG_CHECK(state->relations.size() == num_idb);
+  RelationalConsequence::Options theta_options;
+  theta_options.rule_subset = options.rule_subset;
+  theta_options.use_deltas = options.use_deltas;
+  RelationalConsequence theta(ctx, theta_options, state);
 
-  std::vector<size_t> rules = options.rule_subset;
-  if (rules.empty()) {
-    rules.resize(program.rules().size());
-    std::iota(rules.begin(), rules.end(), 0);
-  }
-
-  // Dynamic mask mirrors the context's classification.
-  std::vector<bool> dynamic(num_idb, false);
-  for (size_t i = 0; i < num_idb; ++i) {
-    dynamic[i] = ctx.IsDynamic(program.idb_predicates()[i]);
-  }
-
-  // Compile plans: a full plan per rule (stage 1), and one delta plan per
-  // (rule, dynamic positive literal) for later stages.
-  struct CompiledRule {
-    size_t rule_index;
-    int head_idb;
-    RulePlan full;
-    std::vector<RulePlan> deltas;
-  };
-  std::vector<CompiledRule> compiled;
-  compiled.reserve(rules.size());
-  for (size_t r : rules) {
-    const Rule& rule = program.rules()[r];
-    const int idb = program.predicate(rule.head.predicate).idb_index;
-    INFLOG_CHECK(idb >= 0 && dynamic[idb])
-        << "semi-naive rule subset must have dynamic head predicates";
-    CompiledRule c{r, idb, PlanRule(program, r, dynamic, -1), {}};
-    if (options.use_deltas) {
-      for (int lit : DeltaCandidates(program, rule, dynamic)) {
-        c.deltas.push_back(PlanRule(program, r, dynamic, lit));
-      }
-    }
-    compiled.push_back(std::move(c));
-  }
+  FixpointDriver::Options driver_options;
+  driver_options.max_stages = options.max_stages;
+  const FixpointDriver::Outcome outcome = FixpointDriver::Iterate(
+      driver_options, [&](size_t stage) { return theta.Step(stage); });
 
   SemiNaiveOutcome out;
-  out.stage_sizes.resize(num_idb);
-
-  // Derivations are buffered per stage and merged afterwards, so every
-  // stage reads a consistent Sⁿ (and so relations are never mutated while
-  // scanned).
-  auto make_buffers = [&]() {
-    std::vector<Relation> buffers;
-    buffers.reserve(num_idb);
-    for (uint32_t pred : program.idb_predicates()) {
-      buffers.emplace_back(program.predicate(pred).arity);
-    }
-    return buffers;
-  };
-
-  DeltaRanges deltas(num_idb, {0, 0});
-  bool first_stage = true;
-  while (true) {
-    if (options.max_stages != 0 && out.num_stages >= options.max_stages) {
-      return out;  // converged stays false
-    }
-    std::vector<Relation> buffers = make_buffers();
-    if (first_stage || !options.use_deltas) {
-      for (const CompiledRule& c : compiled) {
-        ExecutePlan(ctx, c.full, *state, nullptr, &buffers[c.head_idb],
-                    &out.stats);
-      }
-    } else {
-      for (const CompiledRule& c : compiled) {
-        for (const RulePlan& plan : c.deltas) {
-          ExecutePlan(ctx, plan, *state, &deltas, &buffers[c.head_idb],
-                      &out.stats);
-        }
-      }
-    }
-    first_stage = false;
-    // Merge the stage's derivations; the appended row ranges become the
-    // next deltas.
-    size_t added = 0;
-    for (size_t i = 0; i < num_idb; ++i) {
-      const size_t before = state->relations[i].size();
-      added += state->relations[i].InsertAll(buffers[i]);
-      deltas[i] = {before, state->relations[i].size()};
-    }
-    if (added == 0) {
-      out.converged = true;
-      return out;
-    }
-    ++out.num_stages;
-    ++out.stats.stages;
-    for (size_t i = 0; i < num_idb; ++i) {
-      out.stage_sizes[i].push_back(state->relations[i].size());
-    }
-  }
+  out.num_stages = outcome.num_stages;
+  out.converged = outcome.converged;
+  out.stage_sizes = theta.stage_sizes();
+  out.stats = theta.stats();
+  return out;
 }
 
 }  // namespace inflog

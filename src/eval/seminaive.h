@@ -1,4 +1,5 @@
-// The shared semi-naive stage loop.
+// The semi-naive entry point: a thin wrapper over the shared fixpoint
+// core (FixpointDriver + RelationalConsequence in fixpoint_driver.h).
 //
 // Drives the inflationary iteration S⁰ = ∅, Sⁿ⁺¹ = Sⁿ ∪ Θ(Sⁿ) for a subset
 // of rules, with a subset of the IDB predicates designated dynamic. Used by

@@ -1,5 +1,6 @@
 #include "src/eval/wellfounded.h"
 
+#include "src/eval/fixpoint_driver.h"
 #include "src/eval/reduct.h"
 
 namespace inflog {
@@ -12,15 +13,22 @@ Result<WellFoundedResult> EvalWellFounded(const Program& program,
                           GroundProgramFor(program, database, options));
   const size_t num_atoms = out.ground.atoms.size();
 
+  // Van Gelder's alternating iteration U_{k+1} = S(S(U_k)) through the
+  // shared driver; each step reports how many atoms U gained (U is
+  // ⊆-increasing, so 0 new atoms means the alternation has converged).
   std::vector<bool> under(num_atoms, false);  // U: definitely true
   std::vector<bool> over;                     // V: possibly true
-  while (true) {
+  FixpointDriver::Iterate({}, [&](size_t) -> size_t {
     ++out.rounds;
     over = LeastModelOfReduct(out.ground, under);
     std::vector<bool> next_under = LeastModelOfReduct(out.ground, over);
-    if (next_under == under) break;
+    size_t gained = 0;
+    for (size_t a = 0; a < num_atoms; ++a) {
+      if (next_under[a] != under[a]) ++gained;
+    }
     under = std::move(next_under);
-  }
+    return gained;
+  });
 
   out.truth.assign(num_atoms, 0);
   out.true_state = out.ground.DecodeState(program, under);

@@ -3,19 +3,67 @@
 #include <algorithm>
 
 namespace inflog {
+namespace {
+
+/// Smallest power of two ≥ n (and ≥ 16).
+size_t SlotCapacityFor(size_t n) {
+  size_t cap = 16;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      size_(other.size_),
+      data_(other.data_),
+      row_hash_(other.row_hash_),
+      slots_(other.slots_),
+      version_(other.version_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  size_ = other.size_;
+  data_ = other.data_;
+  row_hash_ = other.row_hash_;
+  slots_ = other.slots_;
+  version_ = other.version_;
+  col_indexes_.clear();
+  return *this;
+}
+
+void Relation::Rehash(size_t new_capacity) {
+  INFLOG_DCHECK((new_capacity & (new_capacity - 1)) == 0);
+  slots_.assign(new_capacity, kEmptySlot);
+  const size_t mask = new_capacity - 1;
+  for (uint32_t row = 0; row < size_; ++row) {
+    size_t slot = row_hash_[row] & mask;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    slots_[slot] = row;
+  }
+}
 
 bool Relation::Insert(TupleView tuple) {
   INFLOG_DCHECK(tuple.size() == arity_)
       << "arity mismatch: " << tuple.size() << " vs " << arity_;
-  const size_t hash = HashTuple(tuple);
-  std::vector<uint32_t>& bucket = buckets_[hash];
-  for (uint32_t row : bucket) {
-    if (TupleEq()(Row(row), tuple)) return false;
+  // Grow at 7/8 load so probe chains stay short.
+  if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
+    Rehash(SlotCapacityFor((size_ + 1) * 2));
   }
-  const uint32_t row = static_cast<uint32_t>(size_);
+  const size_t hash = HashTuple(tuple);
+  const size_t mask = slots_.size() - 1;
+  size_t slot = hash & mask;
+  while (slots_[slot] != kEmptySlot) {
+    const uint32_t row = slots_[slot];
+    if (row_hash_[row] == hash && TupleEq()(Row(row), tuple)) return false;
+    slot = (slot + 1) & mask;
+  }
+  slots_[slot] = static_cast<uint32_t>(size_);
   data_.insert(data_.end(), tuple.begin(), tuple.end());
+  row_hash_.push_back(hash);
   ++size_;
-  bucket.push_back(row);
   ++version_;
   return true;
 }
@@ -26,12 +74,32 @@ bool Relation::Contains(TupleView tuple) const {
 
 int64_t Relation::Find(TupleView tuple) const {
   INFLOG_DCHECK(tuple.size() == arity_);
-  auto it = buckets_.find(HashTuple(tuple));
-  if (it == buckets_.end()) return -1;
-  for (uint32_t row : it->second) {
-    if (TupleEq()(Row(row), tuple)) return row;
+  if (slots_.empty()) return -1;
+  const size_t hash = HashTuple(tuple);
+  const size_t mask = slots_.size() - 1;
+  size_t slot = hash & mask;
+  while (slots_[slot] != kEmptySlot) {
+    const uint32_t row = slots_[slot];
+    if (row_hash_[row] == hash && TupleEq()(Row(row), tuple)) return row;
+    slot = (slot + 1) & mask;
   }
   return -1;
+}
+
+std::span<const uint32_t> Relation::EqualRows(size_t col, Value value) const {
+  INFLOG_DCHECK(col < arity_) << "index column out of range";
+  if (col_indexes_.size() != arity_) col_indexes_.resize(arity_);
+  std::unique_ptr<ColumnIndex>& index = col_indexes_[col];
+  if (index == nullptr) index = std::make_unique<ColumnIndex>();
+  // Append-only: fold in just the rows added since the last call.
+  for (size_t row = index->rows_indexed; row < size_; ++row) {
+    index->postings[data_[row * arity_ + col]].push_back(
+        static_cast<uint32_t>(row));
+  }
+  index->rows_indexed = size_;
+  auto it = index->postings.find(value);
+  if (it == index->postings.end()) return {};
+  return std::span<const uint32_t>(it->second.data(), it->second.size());
 }
 
 size_t Relation::InsertAll(const Relation& other) {

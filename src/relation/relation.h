@@ -1,16 +1,27 @@
 // Relation: an append-only set of equal-arity tuples.
 //
-// Rows live in one flat row-major buffer; membership is tracked by a hash
-// table from tuple hash to row ids (collisions resolved by comparing row
-// contents). Rows are never removed or modified once inserted, which keeps
-// row ids stable and makes the inflationary evaluator's stage bookkeeping
-// (contiguous row ranges per stage) trivial. A monotonically increasing
-// version number lets callers (e.g. the join index cache) detect growth.
+// Rows live in one flat row-major buffer; membership is tracked by a flat
+// open-addressing hash table of row ids (linear probing, power-of-two
+// capacity, no tombstones — rows are never removed). Per-row tuple hashes
+// are cached so probes compare one integer before touching row data.
+//
+// Each column additionally carries a lazily built secondary index (hash of
+// column value → row ids) used by the join executor for equi-lookups. The
+// indexes are maintained incrementally: because the relation is
+// append-only, an index is brought up to date by scanning only the rows
+// appended since it was last touched. A monotonically increasing version
+// number lets external callers detect growth.
+//
+// Rows are never removed or modified once inserted, which keeps row ids
+// stable and makes the fixpoint driver's stage bookkeeping (contiguous row
+// ranges per stage) trivial.
 
 #ifndef INFLOG_RELATION_RELATION_H_
 #define INFLOG_RELATION_RELATION_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +38,13 @@ class Relation {
   /// relation is either empty ("false") or contains the empty tuple
   /// ("true").
   explicit Relation(size_t arity) : arity_(arity) {}
+
+  // Copies transfer rows but not the lazily built column indexes (the copy
+  // rebuilds its own on first use); moves transfer everything.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   /// The number of columns.
   size_t arity() const { return arity_; }
@@ -55,6 +73,13 @@ class Relation {
     return TupleView(data_.data() + i * arity_, arity_);
   }
 
+  /// Ids of the rows whose column `col` equals `value`, served from the
+  /// built-in secondary index (built on first use for each column, then
+  /// extended incrementally as the relation grows). The span stays valid
+  /// while the relation does not grow; after an Insert/InsertAll the next
+  /// EqualRows call on the same column may reallocate it.
+  std::span<const uint32_t> EqualRows(size_t col, Value value) const;
+
   /// Inserts every tuple of `other` (same arity); returns the number of
   /// tuples that were new.
   size_t InsertAll(const Relation& other);
@@ -66,7 +91,7 @@ class Relation {
   bool operator==(const Relation& other) const;
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
-  /// Bumped on every successful insertion; lets index caches detect growth.
+  /// Bumped on every successful insertion; lets callers detect growth.
   uint64_t version() const { return version_; }
 
   /// Rows in a canonical (lexicographically sorted) order, for printing and
@@ -77,13 +102,29 @@ class Relation {
   std::string ToString(const SymbolTable& symbols) const;
 
  private:
+  /// Slot content marking an empty open-addressing slot.
+  static constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
+
+  /// Doubles the slot array and reinserts every row id.
+  void Rehash(size_t new_capacity);
+
+  /// Secondary index over one column: value → ids of rows holding it.
+  /// `rows_indexed` is how many leading rows have been folded in; the
+  /// relation being append-only, catching up means scanning the suffix.
+  struct ColumnIndex {
+    std::unordered_map<Value, std::vector<uint32_t>> postings;
+    size_t rows_indexed = 0;
+  };
+
   size_t arity_;
   size_t size_ = 0;
   std::vector<Value> data_;
-  // Tuple hash -> row ids with that hash. Row contents are compared on
-  // lookup, so hash collisions are handled correctly.
-  std::unordered_map<size_t, std::vector<uint32_t>> buckets_;
+  std::vector<size_t> row_hash_;   // per-row tuple hash (probe fast path)
+  std::vector<uint32_t> slots_;    // open-addressing table of row ids
   uint64_t version_ = 0;
+  // Lazily created per-column indexes. Mutable: bringing an index up to
+  // date does not change the relation's observable value.
+  mutable std::vector<std::unique_ptr<ColumnIndex>> col_indexes_;
 };
 
 }  // namespace inflog

@@ -1,10 +1,9 @@
-// Unit tests for src/relation: symbol table, tuples, relations, hash
-// indexes, databases.
+// Unit tests for src/relation: symbol table, tuples, relations, built-in
+// column indexes, databases.
 
 #include <gtest/gtest.h>
 
 #include "src/relation/database.h"
-#include "src/relation/index.h"
 #include "src/relation/relation.h"
 #include "src/relation/tuple.h"
 #include "src/relation/value.h"
@@ -143,34 +142,64 @@ TEST(RelationTest, ManyTuplesStressHashing) {
   EXPECT_FALSE(r.Contains(Tuple{50, 0}));
 }
 
-TEST(HashIndexTest, LookupByColumn) {
+TEST(ColumnIndexTest, EqualRowsByColumn) {
   Relation r(2);
   r.Insert(Tuple{1, 10});
   r.Insert(Tuple{1, 11});
   r.Insert(Tuple{2, 10});
-  HashIndex idx(r, {0});
-  EXPECT_EQ(idx.Lookup(Tuple{1}).size(), 2u);
-  EXPECT_EQ(idx.Lookup(Tuple{2}).size(), 1u);
-  EXPECT_EQ(idx.Lookup(Tuple{3}).size(), 0u);
+  EXPECT_EQ(r.EqualRows(0, 1).size(), 2u);
+  EXPECT_EQ(r.EqualRows(0, 2).size(), 1u);
+  EXPECT_EQ(r.EqualRows(0, 3).size(), 0u);
+  EXPECT_EQ(r.EqualRows(1, 10).size(), 2u);
+  EXPECT_EQ(r.EqualRows(1, 11).size(), 1u);
 }
 
-TEST(HashIndexTest, CompositeKey) {
-  Relation r(3);
-  r.Insert(Tuple{1, 2, 3});
-  r.Insert(Tuple{1, 2, 4});
-  r.Insert(Tuple{1, 3, 3});
-  HashIndex idx(r, {0, 1});
-  EXPECT_EQ(idx.Lookup(Tuple{1, 2}).size(), 2u);
-  EXPECT_EQ(idx.Lookup(Tuple{1, 3}).size(), 1u);
+TEST(ColumnIndexTest, RowIdsAreInsertionOrder) {
+  Relation r(2);
+  r.Insert(Tuple{7, 1});
+  r.Insert(Tuple{8, 1});
+  r.Insert(Tuple{7, 2});
+  auto rows = r.EqualRows(0, 7);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
 }
 
-TEST(HashIndexTest, RecordsBuildVersion) {
+TEST(ColumnIndexTest, ExtendsAfterGrowth) {
+  Relation r(2);
+  r.Insert(Tuple{1, 10});
+  EXPECT_EQ(r.EqualRows(0, 1).size(), 1u);  // builds the index
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 10});
+  EXPECT_EQ(r.EqualRows(0, 1).size(), 2u);  // catches up incrementally
+  EXPECT_EQ(r.EqualRows(0, 2).size(), 1u);
+}
+
+TEST(ColumnIndexTest, CopyDropsIndexButKeepsRows) {
   Relation r(1);
-  r.Insert(Tuple{1});
-  HashIndex idx(r, {0});
-  EXPECT_EQ(idx.built_at_version(), r.version());
-  r.Insert(Tuple{2});
-  EXPECT_NE(idx.built_at_version(), r.version());
+  r.Insert(Tuple{4});
+  EXPECT_EQ(r.EqualRows(0, 4).size(), 1u);
+  Relation copy = r;
+  EXPECT_EQ(copy.size(), 1u);
+  EXPECT_TRUE(copy.Contains(Tuple{4}));
+  EXPECT_EQ(copy.EqualRows(0, 4).size(), 1u);  // rebuilt lazily
+  copy.Insert(Tuple{5});
+  EXPECT_EQ(copy.EqualRows(0, 5).size(), 1u);
+  EXPECT_EQ(r.size(), 1u);  // original untouched
+}
+
+TEST(ColumnIndexTest, AgreesWithScanOnDenseData) {
+  Relation r(2);
+  for (Value i = 0; i < 40; ++i) {
+    for (Value j = 0; j < 10; ++j) r.Insert(Tuple{i % 7, i * 10 + j});
+  }
+  for (Value v = 0; v < 8; ++v) {
+    size_t scan = 0;
+    for (size_t row = 0; row < r.size(); ++row) {
+      if (r.Row(row)[0] == v) ++scan;
+    }
+    EXPECT_EQ(r.EqualRows(0, v).size(), scan) << "column value " << v;
+  }
 }
 
 TEST(DatabaseTest, AddFactDeclaresAndFillsUniverse) {
