@@ -1,0 +1,94 @@
+// E9 — parallel scaling of the fixpoint stage.
+//
+// Series:
+//   * BM_ParallelJoinCore — the E7 distance-query join core (synchronized
+//     transitive closure on a random digraph, 256 vertices) evaluated with
+//     the partitioned parallel stage at 1/2/4/8 threads. threads=1 is the
+//     exact serial path (no pool is even constructed), so the time ratio
+//     t(1)/t(N) is the measured stage-parallelism speedup.
+//   * BM_ParallelDistanceFull — the full Proposition 2 distance query at a
+//     smaller size, same thread sweep, showing how the enumeration-heavy
+//     carrier limits scaling relative to the join core.
+//
+// Every iteration cross-checks the parallel result against a serial
+// baseline computed once at setup — a wrong merge order would change row
+// ids and tuple counts, and the bench would abort rather than publish a
+// bogus speedup.
+//
+// Shape expected (on a machine with ≥4 cores): near-linear scaling of the
+// join core to 4 threads (the acceptance bar is ≥2.5x at 4 threads),
+// tapering as the per-stage merge (serial by design, for determinism)
+// grows relative to the join work. On a single-core container the sweep
+// degenerates to flat — the `threads` counter in the JSON output keeps
+// such runs distinguishable in the trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/eval/inflationary.h"
+
+namespace inflog {
+namespace {
+
+// The join core of E7: two synchronized TC copies over one random digraph.
+constexpr char kTcCore[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n";
+
+constexpr char kDistance[] =
+    "S1(X,Y) :- E(X,Y).\n"
+    "S1(X,Y) :- E(X,Z), S1(Z,Y).\n"
+    "S2(X,Y) :- E(X,Y).\n"
+    "S2(X,Y) :- E(X,Z), S2(Z,Y).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Y), !S2(Xs,Ys).\n"
+    "S3(X,Y,Xs,Ys) :- E(X,Z), S1(Z,Y), !S2(Xs,Ys).\n";
+
+void RunThreadSweep(benchmark::State& state, const char* program_text,
+                    size_t n, double degree) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  Rng rng(n * 13 + 5);  // same seed family as E7's join core
+  const Digraph g = RandomDigraph(n, degree / n, &rng);
+  auto symbols = std::make_shared<SymbolTable>();
+  Program p = bench::MustProgram(program_text, symbols);
+  Database db = bench::DbFromGraph(g, symbols);
+
+  // Serial baseline once; every timed iteration must reproduce it.
+  InflationaryOptions serial;
+  serial.context.num_threads = 1;
+  auto baseline = EvalInflationary(p, db, serial);
+  INFLOG_CHECK(baseline.ok());
+
+  InflationaryOptions options;
+  options.context.num_threads = threads;
+  double tuples = 0, stages = 0, tasks = 0;
+  for (auto _ : state) {
+    auto result = EvalInflationary(p, db, options);
+    INFLOG_CHECK(result.ok());
+    INFLOG_CHECK(result->state == baseline->state)
+        << "parallel state diverged from serial at threads=" << threads;
+    INFLOG_CHECK(result->stage_sizes == baseline->stage_sizes);
+    tuples = static_cast<double>(result->state.TotalTuples());
+    stages = static_cast<double>(result->num_stages);
+    tasks = static_cast<double>(result->stats.parallel_tasks);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["tuples"] = tuples;
+  state.counters["stages"] = stages;
+  state.counters["parallel_tasks"] = tasks;
+}
+
+void BM_ParallelJoinCore(benchmark::State& state) {
+  RunThreadSweep(state, kTcCore, /*n=*/256, /*degree=*/4.0);
+}
+BENCHMARK(BM_ParallelJoinCore)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelDistanceFull(benchmark::State& state) {
+  RunThreadSweep(state, kDistance, /*n=*/24, /*degree=*/1.8);
+}
+BENCHMARK(BM_ParallelDistanceFull)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace inflog

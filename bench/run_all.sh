@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E8) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E9) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
-#   {"bench":"e7_distance_query","context":{...},"benchmarks":[...]}
+#   {"bench":"e7_distance_query","threads":8,"context":{...},
+#    "benchmarks":[...]}
+#
+# `threads` records the evaluation thread count the bench binaries were
+# run with. The benches default to num_threads=1 (E1..E8 are serial; E9
+# sweeps its own per-series thread counts, carried in its `threads`
+# *counter*), so the field defaults to 1 — set INFLOG_THREADS=N only when
+# actually running a build/flag combination that evaluates with N threads.
 #
 # Usage:
 #   bench/run_all.sh [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
@@ -27,9 +34,18 @@ if [ ! -d "$build_dir" ]; then
   exit 1
 fi
 
+threads="${INFLOG_THREADS:-1}"
+case "$threads" in
+  ''|*[!0-9]*)
+    echo "error: INFLOG_THREADS must be a non-negative integer," \
+      "got '$threads'" >&2
+    exit 1
+    ;;
+esac
+
 found=0
 status=0
-for bin in "$build_dir"/e[1-8]_*; do
+for bin in "$build_dir"/e[1-9]_*; do
   [ -x "$bin" ] || continue
   found=1
   name="$(basename "$bin")"
@@ -41,11 +57,13 @@ for bin in "$build_dir"/e[1-8]_*; do
   if [ -z "$out" ]; then
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
-    printf '{"bench":"%s","context":null,"benchmarks":[]}\n' "$name"
+    printf '{"bench":"%s","threads":%s,"context":null,"benchmarks":[]}\n' \
+      "$name" "$threads"
     continue
   fi
-  jq -c --arg bench "$name" \
-    '{bench: $bench, context: .context, benchmarks: .benchmarks}' <<<"$out"
+  jq -c --arg bench "$name" --argjson threads "$threads" \
+    '{bench: $bench, threads: $threads, context: .context,
+      benchmarks: .benchmarks}' <<<"$out"
 done
 
 if [ "$found" -eq 0 ]; then

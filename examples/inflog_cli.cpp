@@ -2,20 +2,27 @@
 // under a chosen semantics — the downstream-user entry point.
 //
 // Usage:
-//   inflog_cli PROGRAM.dlog DATABASE.facts [SEMANTICS]
+//   inflog_cli [--threads=N] PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
 //   inflationary (default) | stratified | wellfounded | stable |
 //   fixpoints | analyze
 //
+// --threads=N runs the relational fixpoint stages on N threads (results
+// are deterministic and identical for every N). The default is the
+// machine's hardware concurrency; --threads=1 is the serial baseline.
+//
 // Examples (data files ship in examples/data/):
 //   inflog_cli data/pi1.dlog data/path6.facts fixpoints
-//   inflog_cli data/distance.dlog data/shortcut.facts inflationary
+//   inflog_cli --threads=4 data/distance.dlog data/shortcut.facts
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/core/engine.h"
 
@@ -50,20 +57,53 @@ void PrintState(const inflog::Engine& engine, const inflog::IdbState& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  // 0 = hardware concurrency (the default); 1 = the serial baseline.
+  size_t num_threads = 0;
+  std::vector<std::string> args;
+  auto parse_threads = [&](const std::string& value) {
+    constexpr long kMaxThreads = 1024;
+    errno = 0;
+    char* end = nullptr;
+    const long n = std::strtol(value.c_str(), &end, 10);
+    if (value.empty() || end != value.c_str() + value.size() || n < 0 ||
+        errno == ERANGE || n > kMaxThreads) {
+      std::cerr << "error: --threads expects an integer in [0, "
+                << kMaxThreads << "], got '" << value << "'\n";
+      return false;
+    }
+    num_threads = static_cast<size_t>(n);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      if (!parse_threads(arg.substr(10))) return 2;
+      continue;
+    }
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --threads requires a value\n";
+        return 2;
+      }
+      if (!parse_threads(argv[++i])) return 2;
+      continue;
+    }
+    args.push_back(arg);
+  }
+  if (args.size() < 2) {
     std::cerr << "usage: " << argv[0]
-              << " PROGRAM.dlog DATABASE.facts "
+              << " [--threads=N] PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
     return 2;
   }
-  const std::string semantics = argc > 3 ? argv[3] : "inflationary";
+  const std::string semantics = args.size() > 2 ? args[2] : "inflationary";
 
   inflog::Engine engine;
-  auto program_text = ReadFile(argv[1]);
+  auto program_text = ReadFile(args[0]);
   if (!program_text.ok()) return Fail(program_text.status());
   if (auto s = engine.LoadProgramText(*program_text); !s.ok()) return Fail(s);
-  auto db_text = ReadFile(argv[2]);
+  auto db_text = ReadFile(args[1]);
   if (!db_text.ok()) return Fail(db_text.status());
   if (auto s = engine.LoadDatabaseText(*db_text); !s.ok()) return Fail(s);
 
@@ -76,7 +116,9 @@ int main(int argc, char** argv) {
   // The four semantics all route through the engine's unified dispatch;
   // the variant `detail` carries each one's specific bookkeeping.
   if (auto kind = inflog::ParseSemanticsKind(semantics); kind.ok()) {
-    auto outcome = engine.Evaluate(*kind);
+    inflog::EvalOptions options;
+    options.num_threads = num_threads;
+    auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (const auto* r =
             std::get_if<inflog::InflationaryResult>(&outcome->detail)) {

@@ -118,14 +118,16 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
   out.kind = kind;
   switch (kind) {
     case SemanticsKind::kInflationary: {
-      INFLOG_ASSIGN_OR_RETURN(InflationaryResult r,
-                              Inflationary(options.inflationary));
+      InflationaryOptions opts = options.inflationary;
+      opts.context.num_threads = options.num_threads;
+      INFLOG_ASSIGN_OR_RETURN(InflationaryResult r, Inflationary(opts));
       out.detail = std::move(r);
       return out;
     }
     case SemanticsKind::kStratified: {
-      INFLOG_ASSIGN_OR_RETURN(StratifiedResult r,
-                              Stratified(options.stratified));
+      StratifiedOptions opts = options.stratified;
+      opts.context.num_threads = options.num_threads;
+      INFLOG_ASSIGN_OR_RETURN(StratifiedResult r, Stratified(opts));
       out.detail = std::move(r);
       return out;
     }

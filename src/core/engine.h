@@ -53,8 +53,14 @@ std::string_view SemanticsKindName(SemanticsKind kind);
 Result<SemanticsKind> ParseSemanticsKind(std::string_view name);
 
 /// Options for the unified Evaluate entry point; only the member matching
-/// the requested kind is consulted.
+/// the requested kind is consulted (plus the cross-cutting num_threads).
 struct EvalOptions {
+  /// Worker threads for the relational fixpoint stages (1 = the exact
+  /// serial path, 0 = hardware concurrency). Authoritative for Evaluate():
+  /// it overrides the per-semantics context options below. The grounded
+  /// pipelines (well-founded, stable) are unaffected — their results never
+  /// depend on it.
+  size_t num_threads = 1;
   InflationaryOptions inflationary;
   StratifiedOptions stratified;
   GrounderOptions wellfounded;

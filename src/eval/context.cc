@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "src/base/strings.h"
+#include "src/base/thread_pool.h"
 
 namespace inflog {
 
@@ -32,6 +33,8 @@ Result<EvalContext> EvalContext::CreateWithFixed(
 
 Status EvalContext::Bind(const EvalContextOptions& options) {
   use_join_indexes_ = options.use_join_indexes;
+  num_threads_ = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                          : options.num_threads;
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);

@@ -43,6 +43,13 @@ struct EvalContextOptions {
   /// scan path is kept as the ablation baseline (bench E7) and as the
   /// oracle for index-correctness tests.
   bool use_join_indexes = true;
+  /// Worker threads for relational fixpoint stages. 1 (the default) runs
+  /// the exact serial path; 0 means hardware concurrency; N > 1 partitions
+  /// each stage into (rule plan × delta-row slice) tasks over a
+  /// base::ThreadPool with a worker-ordered merge, so results, stage
+  /// sizes, and stats are bit-identical to the serial run
+  /// (tests/parallel_determinism_test.cc holds this).
+  size_t num_threads = 1;
 };
 
 /// Per-run binding of predicates to relations plus the index cache.
@@ -77,6 +84,10 @@ class EvalContext {
   /// indexes (EvalContextOptions::use_join_indexes).
   bool use_join_indexes() const { return use_join_indexes_; }
 
+  /// Resolved thread count for fixpoint stages (≥ 1; an option of 0 has
+  /// already been replaced by the hardware concurrency).
+  size_t num_threads() const { return num_threads_; }
+
  private:
   EvalContext(const Program& program, const Database& database)
       : program_(&program), database_(&database) {}
@@ -97,6 +108,7 @@ class EvalContext {
   const IdbState* fixed_state_ = nullptr;
   std::vector<Value> universe_;
   bool use_join_indexes_ = true;
+  size_t num_threads_ = 1;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
 };

@@ -1,5 +1,8 @@
 #include "src/eval/executor.h"
 
+#include <algorithm>
+#include <iterator>
+
 #include "src/base/logging.h"
 
 namespace inflog {
@@ -22,6 +25,11 @@ class Interpreter {
         stats_(stats) {
     bindings_.assign(rule_.num_vars, kNoValue);
     head_tuple_.resize(rule_.head.args.size());
+    // One scratch slot per op depth: a kMatch at depth d recurses only
+    // into depths > d, so slot d is never reused while a row of d is
+    // being expanded — the buffers live for the whole run instead of
+    // being heap-allocated per row match.
+    match_scratch_.resize(plan.ops.size());
   }
 
   void Run() {
@@ -108,7 +116,8 @@ class Interpreter {
 
   void StepMatch(const PlanOp& op, size_t op_index) {
     const Relation& rel = ctx_.Resolve(op.predicate, state_);
-    std::vector<uint32_t> trail;
+    std::vector<uint32_t>& trail = match_scratch_[op_index].trail;
+    trail.clear();
     auto try_row = [&](TupleView row) {
       if (MatchRow(op, row, &trail)) {
         Step(op_index + 1);
@@ -124,24 +133,43 @@ class Interpreter {
     }
     if (!op.key_cols.empty() && ctx_.use_join_indexes()) {
       // Probe the relation's built-in index on each bound column and keep
-      // the shortest posting list; MatchRow re-checks the other columns.
-      // With several bound columns that are each low-cardinality this can
-      // approach a scan (never exceed one) where a composite key would
-      // stay exact — if that shows up in a workload, intersect the two
-      // shortest posting lists before falling back to per-row checks.
+      // the two shortest posting lists. With a single bound column the
+      // shortest list is iterated directly; with ≥2 the two shortest are
+      // intersected first (both are in ascending row order), so several
+      // low-cardinality columns no longer degrade toward a scan of the
+      // shortest list. MatchRow re-checks any remaining columns.
       ++stats_->index_lookups;
-      std::span<const uint32_t> best;
-      bool have_best = false;
+      std::span<const uint32_t> best, second;
+      bool have_best = false, have_second = false;
       for (size_t col : op.key_cols) {
         const std::span<const uint32_t> rows =
             rel.EqualRows(col, TermValue(op.args[col]));
         if (!have_best || rows.size() < best.size()) {
+          second = best;
+          have_second = have_best;
           best = rows;
           have_best = true;
+        } else if (!have_second || rows.size() < second.size()) {
+          second = rows;
+          have_second = true;
         }
         if (best.empty()) break;
       }
-      for (uint32_t r : best) try_row(rel.Row(r));
+      // The merge walk costs O(|best| + |second|); only pay it when the
+      // lists are comparable — against a much longer second list, probing
+      // the short list row by row is cheaper than walking both.
+      constexpr size_t kMaxIntersectionSkew = 16;
+      if (have_second && !best.empty() &&
+          second.size() <= best.size() * kMaxIntersectionSkew) {
+        ++stats_->intersections;
+        std::vector<uint32_t>& rows = match_scratch_[op_index].rows;
+        rows.clear();
+        std::set_intersection(best.begin(), best.end(), second.begin(),
+                              second.end(), std::back_inserter(rows));
+        for (uint32_t r : rows) try_row(rel.Row(r));
+      } else {
+        for (uint32_t r : best) try_row(rel.Row(r));
+      }
       return;
     }
     for (size_t r = 0; r < rel.size(); ++r) try_row(rel.Row(r));
@@ -165,6 +193,13 @@ class Interpreter {
   std::vector<Value> bindings_;
   Tuple head_tuple_;
   Tuple scratch_;
+  /// Per-op-depth reusable buffers for kMatch: the binding-undo trail and
+  /// the posting-list intersection output.
+  struct MatchScratch {
+    std::vector<uint32_t> trail;
+    std::vector<uint32_t> rows;
+  };
+  std::vector<MatchScratch> match_scratch_;
 };
 
 }  // namespace

@@ -19,16 +19,21 @@ struct EvalStats {
   uint64_t new_tuples = 0;     ///< Head tuples that were new in the output.
   uint64_t rows_matched = 0;   ///< Rows tested by kMatch ops.
   uint64_t index_lookups = 0;  ///< kMatch ops served by a hash index.
+  uint64_t intersections = 0;  ///< Index lookups that intersected two
+                               ///< posting lists (≥2 bound key columns).
   uint64_t enumerations = 0;   ///< Universe elements tried by kEnumerate.
   uint64_t stages = 0;         ///< Iteration stages run (filled by drivers).
+  uint64_t parallel_tasks = 0;  ///< Stage tasks run on a thread pool.
 
   void Add(const EvalStats& other) {
     derivations += other.derivations;
     new_tuples += other.new_tuples;
     rows_matched += other.rows_matched;
     index_lookups += other.index_lookups;
+    intersections += other.intersections;
     enumerations += other.enumerations;
     stages += other.stages;
+    parallel_tasks += other.parallel_tasks;
   }
 };
 

@@ -1,5 +1,6 @@
 #include "src/eval/fixpoint_driver.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "src/base/logging.h"
@@ -21,10 +22,35 @@ FixpointDriver::Outcome FixpointDriver::Iterate(const Options& options,
   }
 }
 
+namespace {
+
+/// The idb_index of the predicate a delta plan's delta-scan op reads.
+int DeltaScanIdb(const Program& program, const RulePlan& plan) {
+  for (const PlanOp& op : plan.ops) {
+    if (op.kind == PlanOp::Kind::kMatch && op.is_delta_scan) {
+      return program.predicate(op.predicate).idb_index;
+    }
+  }
+  // A never_fires plan may have no ops; slicing then degenerates to one
+  // empty task.
+  return -1;
+}
+
+/// Minimum delta rows worth a task of their own; below this the slicing
+/// overhead (staging relation + merge) outweighs the parallelism.
+constexpr size_t kMinSliceRows = 64;
+
+}  // namespace
+
 RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
                                              const Options& options,
                                              IdbState* state)
-    : ctx_(ctx), state_(state), use_deltas_(options.use_deltas) {
+    : ctx_(ctx),
+      state_(state),
+      use_deltas_(options.use_deltas),
+      num_threads_(ctx.num_threads()),
+      pool_slot_(options.pool_cache != nullptr ? options.pool_cache
+                                               : &own_pool_) {
   const Program& program = ctx.program();
   const size_t num_idb = program.idb_predicates().size();
   INFLOG_CHECK(state->relations.size() == num_idb);
@@ -52,7 +78,9 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
     CompiledRule c{r, idb, PlanRule(program, r, dynamic, -1), {}};
     if (use_deltas_) {
       for (int lit : DeltaCandidates(program, rule, dynamic)) {
-        c.deltas.push_back(PlanRule(program, r, dynamic, lit));
+        RulePlan plan = PlanRule(program, r, dynamic, lit);
+        const int delta_idb = DeltaScanIdb(program, plan);
+        c.deltas.push_back(DeltaPlan{std::move(plan), delta_idb});
       }
     }
     compiled_.push_back(std::move(c));
@@ -60,6 +88,150 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
 
   delta_ranges_.assign(num_idb, {0, 0});
   stage_sizes_.resize(num_idb);
+}
+
+void RelationalConsequence::RunStageSerial(bool full_pass,
+                                           std::vector<Relation>* buffers) {
+  if (full_pass) {
+    for (const CompiledRule& c : compiled_) {
+      ExecutePlan(ctx_, c.full, *state_, nullptr, &(*buffers)[c.head_idb],
+                  &stats_);
+    }
+  } else {
+    for (const CompiledRule& c : compiled_) {
+      for (const DeltaPlan& d : c.deltas) {
+        ExecutePlan(ctx_, d.plan, *state_, &delta_ranges_,
+                    &(*buffers)[c.head_idb], &stats_);
+      }
+    }
+  }
+}
+
+void RelationalConsequence::FinalizeStageIndexes(bool full_pass) const {
+  auto touch = [&](const RulePlan& plan) {
+    for (const PlanOp& op : plan.ops) {
+      if (op.kind != PlanOp::Kind::kMatch || op.is_delta_scan ||
+          op.key_cols.empty()) {
+        continue;
+      }
+      const Relation& rel = ctx_.Resolve(op.predicate, *state_);
+      for (size_t col : op.key_cols) rel.EnsureIndexed(col);
+    }
+  };
+  for (const CompiledRule& c : compiled_) {
+    if (full_pass) {
+      touch(c.full);
+    } else {
+      for (const DeltaPlan& d : c.deltas) touch(d.plan);
+    }
+  }
+}
+
+void RelationalConsequence::RunStageParallel(bool full_pass,
+                                             std::vector<Relation>* buffers) {
+  // Small stages aren't worth the fan-out (staging relations + pool
+  // wakeups): below one slice's worth of input rows, take the serial path
+  // — it computes the identical result, so the cutoff is invisible to
+  // callers. The work proxy is deterministic and thread-count independent.
+  size_t work = 0;
+  if (full_pass) {
+    for (const CompiledRule& c : compiled_) {
+      for (const PlanOp& op : c.full.ops) {
+        if (op.kind == PlanOp::Kind::kMatch) {
+          work += ctx_.Resolve(op.predicate, *state_).size();
+        }
+      }
+    }
+  } else {
+    for (const auto& [begin, end] : delta_ranges_) work += end - begin;
+  }
+  if (work < kMinSliceRows) {
+    RunStageSerial(full_pass, buffers);
+    return;
+  }
+  if (*pool_slot_ == nullptr) {
+    // Spawned lazily so runs whose stages all fall under the cutoff (e.g.
+    // many small strata) never pay thread creation. The calling thread
+    // participates in ParallelFor, so N threads total means N-1 workers.
+    *pool_slot_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+  }
+  ThreadPool& pool = **pool_slot_;
+
+  // During the fan-out every worker reads the frozen Sⁿ concurrently, so
+  // first finalize each column index the plans can probe; after this no
+  // relation read mutates anything (Relation::EnsureIndexed contract).
+  if (ctx_.use_join_indexes()) FinalizeStageIndexes(full_pass);
+
+  // Partition the stage: full passes split per rule plan, delta passes per
+  // (delta plan × delta-row slice). Task order — rules in program order,
+  // then plan order, then ascending row slices — is exactly the serial
+  // execution order; the ordered merge below relies on that.
+  std::vector<StageTask> tasks;
+  if (full_pass) {
+    for (const CompiledRule& c : compiled_) {
+      tasks.push_back(StageTask{&c.full, c.head_idb});
+    }
+  } else {
+    for (const CompiledRule& c : compiled_) {
+      for (const DeltaPlan& d : c.deltas) {
+        StageTask task{&d.plan, c.head_idb};
+        const auto [begin, end] =
+            d.delta_idb >= 0 ? delta_ranges_[d.delta_idb]
+                             : std::pair<size_t, size_t>{0, 0};
+        const size_t rows = end - begin;
+        // Aim for a few slices per thread so claim-order load imbalance
+        // evens out, but never slices smaller than kMinSliceRows.
+        size_t slices = std::min(num_threads_ * 4, rows / kMinSliceRows);
+        if (slices <= 1 || d.delta_idb < 0) {
+          task.slice_idb = d.delta_idb;
+          task.slice = {begin, end};
+          tasks.push_back(task);
+          continue;
+        }
+        for (size_t s = 0; s < slices; ++s) {
+          task.slice_idb = d.delta_idb;
+          task.slice = {begin + rows * s / slices,
+                        begin + rows * (s + 1) / slices};
+          tasks.push_back(task);
+        }
+      }
+    }
+  }
+
+  // Per-task staging: each task owns one output relation and one stats
+  // block, so workers never share a mutable object.
+  std::vector<Relation> outs;
+  outs.reserve(tasks.size());
+  for (const StageTask& t : tasks) {
+    outs.emplace_back((*buffers)[t.head_idb].arity());
+  }
+  std::vector<EvalStats> task_stats(tasks.size());
+
+  pool.ParallelFor(tasks.size(), [&](size_t i) {
+    const StageTask& t = tasks[i];
+    if (t.slice_idb >= 0) {
+      DeltaRanges local = delta_ranges_;
+      local[t.slice_idb] = t.slice;
+      ExecutePlan(ctx_, *t.plan, *state_, &local, &outs[i], &task_stats[i]);
+    } else {
+      ExecutePlan(ctx_, *t.plan, *state_,
+                  full_pass ? nullptr : &delta_ranges_, &outs[i],
+                  &task_stats[i]);
+    }
+  });
+
+  // Worker-ordered merge: task order is serial order, so the sequence of
+  // first appearances in `buffers` — and therefore row ids, stage sizes,
+  // and every downstream stage — is identical to the serial run.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const size_t merged_new =
+        (*buffers)[tasks[i].head_idb].InsertAll(outs[i]);
+    // A tuple derived by two tasks is new in both stagings but was counted
+    // once serially; the merge count restores the serial new_tuples.
+    task_stats[i].new_tuples = merged_new;
+    stats_.Add(task_stats[i]);
+  }
+  stats_.parallel_tasks += tasks.size();
 }
 
 size_t RelationalConsequence::Step(size_t stage) {
@@ -75,18 +247,11 @@ size_t RelationalConsequence::Step(size_t stage) {
     buffers.emplace_back(program.predicate(pred).arity);
   }
 
-  if (stage == 0 || !use_deltas_) {
-    for (const CompiledRule& c : compiled_) {
-      ExecutePlan(ctx_, c.full, *state_, nullptr, &buffers[c.head_idb],
-                  &stats_);
-    }
+  const bool full_pass = stage == 0 || !use_deltas_;
+  if (num_threads_ <= 1) {
+    RunStageSerial(full_pass, &buffers);
   } else {
-    for (const CompiledRule& c : compiled_) {
-      for (const RulePlan& plan : c.deltas) {
-        ExecutePlan(ctx_, plan, *state_, &delta_ranges_,
-                    &buffers[c.head_idb], &stats_);
-      }
-    }
+    RunStageParallel(full_pass, &buffers);
   }
 
   // Merge the stage's derivations; the appended row ranges become the next

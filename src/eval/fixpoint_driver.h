@@ -28,8 +28,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/eval/context.h"
 #include "src/eval/executor.h"
 #include "src/ground/ground_program.h"
@@ -66,6 +69,18 @@ class FixpointDriver {
 /// Θ̂ over an IdbState: the relational immediate-consequence operator with
 /// semi-naive (delta) stages and per-stage buffering. Grows `*state` in
 /// place (append-only); one instance drives one fixpoint run.
+///
+/// Parallel stages (EvalContextOptions::num_threads > 1): every stage is a
+/// pure join over the frozen previous state Sⁿ, so the stage's work is
+/// split into (rule plan × delta-row slice) tasks that run on a
+/// base::ThreadPool, each writing into its own staging Relation. The
+/// staging buffers are then merged single-threaded in task order — which
+/// is the serial execution order — so relations, stage_sizes(), and stats
+/// (apart from the parallel_tasks counter, which records the fan-out
+/// itself) are bit-identical to the num_threads == 1 run. Before fan-out,
+/// the
+/// stage finalizes every column index its plans will probe
+/// (Relation::EnsureIndexed), making all reads during the stage lock-free.
 class RelationalConsequence {
  public:
   struct Options {
@@ -74,6 +89,12 @@ class RelationalConsequence {
     /// If false, recompute full Θ every stage (the naive driver; used as a
     /// cross-check oracle and as the ablation baseline in bench E6).
     bool use_deltas = true;
+    /// Optional caller-owned pool slot shared across several consequence
+    /// operators (the stratified evaluator reuses one pool across strata
+    /// instead of spawning threads per stratum). The slot is filled lazily
+    /// by the first stage that fans out; when null the operator keeps its
+    /// own private slot. Must outlive the operator.
+    std::unique_ptr<ThreadPool>* pool_cache = nullptr;
   };
 
   /// Compiles the rule plans. Rules whose head predicate is not dynamic in
@@ -98,12 +119,40 @@ class RelationalConsequence {
   const EvalStats& stats() const { return stats_; }
 
  private:
+  struct DeltaPlan {
+    RulePlan plan;
+    /// idb_index of the predicate whose delta rows the plan scans (used to
+    /// slice the scan range across parallel tasks).
+    int delta_idb;
+  };
+
   struct CompiledRule {
     size_t rule_index;
     int head_idb;
     RulePlan full;
-    std::vector<RulePlan> deltas;
+    std::vector<DeltaPlan> deltas;
   };
+
+  /// One unit of parallel stage work: a plan, optionally restricted to a
+  /// slice of its delta predicate's rows.
+  struct StageTask {
+    const RulePlan* plan;
+    int head_idb;
+    int slice_idb = -1;  ///< Delta predicate being sliced, or -1.
+    std::pair<size_t, size_t> slice{0, 0};
+  };
+
+  /// Executes the stage's plans serially, straight into `buffers` (the
+  /// exact num_threads == 1 path).
+  void RunStageSerial(bool full_pass, std::vector<Relation>* buffers);
+
+  /// Partitions the stage into tasks, runs them on pool_ into per-task
+  /// staging relations, and merges those into `buffers` in task order.
+  void RunStageParallel(bool full_pass, std::vector<Relation>* buffers);
+
+  /// Brings every column index the stage's plans will probe up to date,
+  /// so all relation reads during the parallel stage are lock-free.
+  void FinalizeStageIndexes(bool full_pass) const;
 
   const EvalContext& ctx_;
   IdbState* state_;
@@ -112,6 +161,13 @@ class RelationalConsequence {
   DeltaRanges delta_ranges_;
   std::vector<std::vector<size_t>> stage_sizes_;
   EvalStats stats_;
+  size_t num_threads_ = 1;
+  /// Points at Options::pool_cache when provided, else at own_pool_. The
+  /// slot is filled lazily by the first stage that actually fans out; it
+  /// stays null when num_threads_ == 1 or every stage is under the serial
+  /// cutoff.
+  std::unique_ptr<ThreadPool>* pool_slot_ = nullptr;
+  std::unique_ptr<ThreadPool> own_pool_;
 };
 
 /// The immediate-consequence operator of a positive ground program — the

@@ -10,6 +10,7 @@ SemiNaiveOutcome RunSemiNaive(const EvalContext& ctx,
   RelationalConsequence::Options theta_options;
   theta_options.rule_subset = options.rule_subset;
   theta_options.use_deltas = options.use_deltas;
+  theta_options.pool_cache = options.pool_cache;
   RelationalConsequence theta(ctx, theta_options, state);
 
   FixpointDriver::Options driver_options;

@@ -24,8 +24,10 @@
 #define INFLOG_EVAL_SEMINAIVE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/eval/context.h"
 #include "src/eval/executor.h"
 
@@ -40,6 +42,9 @@ struct SemiNaiveOptions {
   /// If false, recompute full Θ every stage (the naive driver; used as a
   /// cross-check oracle and as the ablation baseline in bench E6).
   bool use_deltas = true;
+  /// Optional caller-owned pool slot shared across runs (see
+  /// RelationalConsequence::Options::pool_cache).
+  std::unique_ptr<ThreadPool>* pool_cache = nullptr;
 };
 
 /// Output of a semi-naive run.

@@ -18,10 +18,14 @@ Result<StratifiedResult> EvalStratified(const Program& program,
   result.state = MakeEmptyIdbState(program);
 
   const size_t num_idb = program.idb_predicates().size();
+  // One pool shared across strata (filled lazily by the first stratum
+  // whose stages fan out), so threads are spawned at most once per run.
+  std::unique_ptr<ThreadPool> pool;
   for (int stratum = 0; stratum < analysis.num_strata; ++stratum) {
     // Rules whose head lives in this stratum.
     SemiNaiveOptions sn;
     sn.use_deltas = options.use_seminaive;
+    sn.pool_cache = &pool;
     for (size_t r = 0; r < program.rules().size(); ++r) {
       if (analysis.stratum[program.rules()[r].head.predicate] == stratum) {
         sn.rule_subset.push_back(r);

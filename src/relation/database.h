@@ -72,9 +72,10 @@ class Database {
   /// The relation named `name`, or NotFound.
   Result<const Relation*> GetRelation(std::string_view name) const;
 
-  /// True iff a relation named `name` has been declared.
+  /// True iff a relation named `name` has been declared. Heterogeneous
+  /// lookup: never allocates.
   bool HasRelation(std::string_view name) const {
-    return relations_.find(std::string(name)) != relations_.end();
+    return relations_.find(name) != relations_.end();
   }
 
   /// All declared relation names in lexicographic order.

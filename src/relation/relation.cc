@@ -86,19 +86,28 @@ int64_t Relation::Find(TupleView tuple) const {
   return -1;
 }
 
-std::span<const uint32_t> Relation::EqualRows(size_t col, Value value) const {
+void Relation::EnsureIndexed(size_t col) const {
   INFLOG_DCHECK(col < arity_) << "index column out of range";
   if (col_indexes_.size() != arity_) col_indexes_.resize(arity_);
   std::unique_ptr<ColumnIndex>& index = col_indexes_[col];
   if (index == nullptr) index = std::make_unique<ColumnIndex>();
+  // When the index is current, this is a pure read — concurrent callers on
+  // a frozen relation never write (the guard below is what makes the
+  // parallel stage's lock-free reads data-race-free).
+  if (index->rows_indexed == size_) return;
   // Append-only: fold in just the rows added since the last call.
   for (size_t row = index->rows_indexed; row < size_; ++row) {
     index->postings[data_[row * arity_ + col]].push_back(
         static_cast<uint32_t>(row));
   }
   index->rows_indexed = size_;
-  auto it = index->postings.find(value);
-  if (it == index->postings.end()) return {};
+}
+
+std::span<const uint32_t> Relation::EqualRows(size_t col, Value value) const {
+  EnsureIndexed(col);
+  const ColumnIndex& index = *col_indexes_[col];
+  auto it = index.postings.find(value);
+  if (it == index.postings.end()) return {};
   return std::span<const uint32_t>(it->second.data(), it->second.size());
 }
 

@@ -12,6 +12,14 @@
 // appended since it was last touched. A monotonically increasing version
 // number lets external callers detect growth.
 //
+// Thread-safety: const methods are safe to call concurrently EXCEPT that
+// EqualRows catches a stale column index up first (a write). Callers that
+// share a frozen relation across threads — the parallel fixpoint stage —
+// must call EnsureIndexed(col) for every column they will probe before
+// fanning out; after that, concurrent EqualRows calls on those columns are
+// lock-free pure reads until the next insertion. Any mutation requires
+// exclusive access, as usual.
+//
 // Rows are never removed or modified once inserted, which keeps row ids
 // stable and makes the fixpoint driver's stage bookkeeping (contiguous row
 // ranges per stage) trivial.
@@ -73,12 +81,19 @@ class Relation {
     return TupleView(data_.data() + i * arity_, arity_);
   }
 
-  /// Ids of the rows whose column `col` equals `value`, served from the
-  /// built-in secondary index (built on first use for each column, then
-  /// extended incrementally as the relation grows). The span stays valid
-  /// while the relation does not grow; after an Insert/InsertAll the next
-  /// EqualRows call on the same column may reallocate it.
+  /// Ids of the rows whose column `col` equals `value`, in ascending row
+  /// (= insertion) order, served from the built-in secondary index (built
+  /// on first use for each column, then extended incrementally as the
+  /// relation grows). The span stays valid while the relation does not
+  /// grow; after an Insert/InsertAll the next EqualRows call on the same
+  /// column may reallocate it.
   std::span<const uint32_t> EqualRows(size_t col, Value value) const;
+
+  /// Brings column `col`'s index fully up to date now. Once every probed
+  /// column is indexed, concurrent EqualRows calls are data-race-free
+  /// until the next insertion; the parallel fixpoint stage calls this for
+  /// all key columns of a stage's plans before dispatching tasks.
+  void EnsureIndexed(size_t col) const;
 
   /// Inserts every tuple of `other` (same arity); returns the number of
   /// tuples that were new.

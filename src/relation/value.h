@@ -8,6 +8,7 @@
 #define INFLOG_RELATION_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -23,6 +24,16 @@ using Value = uint32_t;
 /// Sentinel for "no value" (used by binding environments).
 inline constexpr Value kNoValue = static_cast<Value>(-1);
 
+/// Transparent string hasher: lets unordered containers keyed by
+/// std::string answer string_view lookups without materializing a
+/// temporary std::string (C++20 heterogeneous lookup).
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 /// Bidirectional mapping between external names and dense Value ids.
 ///
 /// A single SymbolTable is shared by a database and the programs evaluated
@@ -32,9 +43,10 @@ class SymbolTable {
  public:
   SymbolTable() = default;
 
-  /// Returns the id for `name`, interning it if new.
+  /// Returns the id for `name`, interning it if new. Only the new-symbol
+  /// path allocates; repeat interning is a heterogeneous lookup.
   Value Intern(std::string_view name) {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
     const Value id = static_cast<Value>(names_.size());
     names_.emplace_back(name);
@@ -46,8 +58,9 @@ class SymbolTable {
   Value InternInt(int64_t n) { return Intern(std::to_string(n)); }
 
   /// Returns the id for `name` or kNoValue if it was never interned.
+  /// Never allocates.
   Value Find(std::string_view name) const {
-    auto it = ids_.find(std::string(name));
+    auto it = ids_.find(name);
     return it == ids_.end() ? kNoValue : it->second;
   }
 
@@ -62,7 +75,9 @@ class SymbolTable {
 
  private:
   std::vector<std::string> names_;
-  std::unordered_map<std::string, Value> ids_;
+  // Transparent hash + equality so Find/Intern look up string_views
+  // directly against the owned std::string keys.
+  std::unordered_map<std::string, Value, StringHash, std::equal_to<>> ids_;
 };
 
 }  // namespace inflog

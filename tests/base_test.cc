@@ -1,11 +1,17 @@
-// Unit tests for src/base: Status/Result, strings, deterministic RNG.
+// Unit tests for src/base: Status/Result, strings, deterministic RNG,
+// and the ThreadPool behind the parallel fixpoint stage.
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/base/rng.h"
 #include "src/base/status.h"
 #include "src/base/strings.h"
+#include "src/base/thread_pool.h"
 
 namespace inflog {
 namespace {
@@ -149,6 +155,71 @@ TEST(RngTest, ShufflePermutes) {
   auto sorted = v;
   std::sort(sorted.begin(), sorted.end());
   EXPECT_EQ(sorted, original);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForBarriersBeforeReturning) {
+  // After ParallelFor returns, every task's writes must be visible to the
+  // caller — the fixpoint stage merges immediately afterwards.
+  ThreadPool pool(4);
+  std::vector<size_t> out(257, 0);
+  pool.ParallelFor(out.size(), [&](size_t i) { out[i] = i * i; });
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleIterationLoops) {
+  ThreadPool pool(2);
+  size_t calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  pool.ParallelFor(1, [&](size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 0u);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsDetachedTasks) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 1; i <= 10; ++i) {
+      pool.Submit([&sum, i] { sum.fetch_add(i); });
+    }
+    // The destructor drains the queue before joining.
+  }
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ThreadPoolTest, ManyLoopsReuseTheSameWorkers) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.ParallelFor(17, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1700u);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,264 @@
+// Parallel-determinism tests: the partitioned fixpoint stage against the
+// serial path.
+//
+// EvalContextOptions::num_threads > 1 splits every stage into (rule plan ×
+// delta-row slice) tasks over a base::ThreadPool with a worker-ordered
+// merge. That merge order is the serial execution order, so relations
+// (including row ids), stage counts, stage_sizes, and the executor stats
+// must all be bit-identical to num_threads == 1 — for every thread count,
+// on every semantics. These tests hold that invariant on the randomized
+// programs of index_correctness_test.cc.
+//
+// Data-race coverage: build with ThreadSanitizer and run this binary (and
+// the relation/executor tests) —
+//
+//   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+//     -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+//     -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
+//   cmake --build build-tsan -j && \
+//     ctest --test-dir build-tsan -R 'Parallel|Relation|Executor' \
+//       --output-on-failure
+//
+// The CI workflow runs the same job (see .github/workflows/ci.yml).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/engine.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/stratified.h"
+#include "src/graphs/digraph.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+const size_t kThreadCounts[] = {2, 4, 8};
+
+/// A database of random facts over `num_symbols` constants for the EDB
+/// relations A/2, B/2, C/2, D/2 and S/1 (mirrors index_correctness_test).
+Database RandomFactDb(uint64_t seed, size_t num_symbols, size_t num_facts) {
+  Database db;
+  Rng rng(seed);
+  auto sym = [&](uint64_t i) { return std::to_string(i); };
+  for (size_t i = 0; i < num_symbols; ++i) db.AddUniverseSymbol(sym(i));
+  const std::vector<std::string> rels = {"A", "B", "C", "D"};
+  for (size_t f = 0; f < num_facts; ++f) {
+    const std::string& rel = rels[rng.Uniform(rels.size())];
+    INFLOG_CHECK(db.AddFactNamed(rel, {sym(rng.Uniform(num_symbols)),
+                                       sym(rng.Uniform(num_symbols))})
+                     .ok());
+  }
+  for (size_t i = 0; i < num_symbols; ++i) {
+    if (rng.Bernoulli(0.4)) INFLOG_CHECK(db.AddFactNamed("S", {sym(i)}).ok());
+  }
+  for (const std::string& rel : rels) {
+    INFLOG_CHECK(db.DeclareRelation(rel, 2).ok());
+  }
+  INFLOG_CHECK(db.DeclareRelation("S", 1).ok());
+  return db;
+}
+
+/// Join-heavy rules with negation — single- and multi-column keys all
+/// appear in the compiled plans, so both the index-intersection path and
+/// the slicing path are exercised.
+constexpr char kJoinProgram[] =
+    "J(X,Z) :- A(X,Y), B(Y,Z).\n"
+    "K(X,W) :- J(X,Z), C(Z,W), !D(X,W).\n"
+    "L(X) :- K(X,X).\n"
+    "M(X,Y) :- J(X,Y), J(Y,X), !L(X).\n";
+
+/// Row-by-row equality: parallel runs must reproduce the serial insertion
+/// order, not just the same set (stage bookkeeping reads off row ids).
+void ExpectSameRows(const IdbState& serial, const IdbState& parallel) {
+  ASSERT_EQ(serial.relations.size(), parallel.relations.size());
+  for (size_t i = 0; i < serial.relations.size(); ++i) {
+    const Relation& s = serial.relations[i];
+    const Relation& p = parallel.relations[i];
+    ASSERT_EQ(s.size(), p.size()) << "relation " << i;
+    for (size_t r = 0; r < s.size(); ++r) {
+      ASSERT_TRUE(TupleEq()(s.Row(r), p.Row(r)))
+          << "relation " << i << " row " << r << " differs";
+    }
+  }
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelDeterminism, InflationaryMatchesSerialBitForBit) {
+  Database db = RandomFactDb(7000 + GetParam(), 14, 120);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : kThreadCounts) {
+    InflationaryOptions par_opts;
+    par_opts.context.num_threads = threads;
+    auto parallel = EvalInflationary(program, db, par_opts);
+    ASSERT_TRUE(parallel.ok());
+
+    ExpectSameRows(serial->state, parallel->state);
+    EXPECT_EQ(serial->num_stages, parallel->num_stages) << threads;
+    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << threads;
+    // The stage partition must not change what the executor does, only
+    // where it runs: every counter except the fan-out bookkeeping agrees.
+    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
+    EXPECT_EQ(serial->stats.new_tuples, parallel->stats.new_tuples);
+    EXPECT_EQ(serial->stats.rows_matched, parallel->stats.rows_matched);
+    EXPECT_EQ(serial->stats.index_lookups, parallel->stats.index_lookups);
+    EXPECT_EQ(serial->stats.intersections, parallel->stats.intersections);
+    EXPECT_EQ(serial->stats.enumerations, parallel->stats.enumerations);
+    EXPECT_EQ(serial->stats.parallel_tasks, 0u);
+    EXPECT_GT(parallel->stats.parallel_tasks, 0u);
+  }
+}
+
+TEST_P(ParallelDeterminism, NaiveDriverMatchesSerial) {
+  // use_seminaive=false takes the full-plan (per-rule task) partition at
+  // every stage instead of delta slicing.
+  Database db = RandomFactDb(7100 + GetParam(), 12, 100);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.use_seminaive = false;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : kThreadCounts) {
+    InflationaryOptions par_opts;
+    par_opts.use_seminaive = false;
+    par_opts.context.num_threads = threads;
+    auto parallel = EvalInflationary(program, db, par_opts);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameRows(serial->state, parallel->state);
+    EXPECT_EQ(serial->num_stages, parallel->num_stages);
+    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes);
+    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
+  }
+}
+
+TEST_P(ParallelDeterminism, TransitiveClosureManyStagesManySlices) {
+  // Larger delta ranges so stages genuinely split into several row slices.
+  Rng rng(8000 + GetParam());
+  const size_t n = 48;
+  const Digraph g = RandomDigraph(n, 3.0 / n, &rng);
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  Program program = testing::MustProgram(
+      "T(X,Y) :- E(X,Y).\n"
+      "T(X,Z) :- T(X,Y), E(Y,Z).\n",
+      db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : kThreadCounts) {
+    InflationaryOptions par_opts;
+    par_opts.context.num_threads = threads;
+    auto parallel = EvalInflationary(program, db, par_opts);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameRows(serial->state, parallel->state);
+    EXPECT_EQ(serial->num_stages, parallel->num_stages);
+    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes);
+    EXPECT_EQ(serial->stats.rows_matched, parallel->stats.rows_matched);
+  }
+}
+
+/// Random facts for A/2 and S/1 as parser text, so engines (which own
+/// their symbol table) can load them directly.
+std::string RandomFactText(uint64_t seed, size_t num_symbols,
+                           size_t num_facts) {
+  Rng rng(seed);
+  // Guarantee both EDB relations exist whatever the seed draws.
+  std::string text = "S(0).\n";
+  for (size_t f = 0; f < num_facts; ++f) {
+    text += "A(" + std::to_string(rng.Uniform(num_symbols)) + "," +
+            std::to_string(rng.Uniform(num_symbols)) + ").\n";
+  }
+  for (size_t i = 0; i < num_symbols; ++i) {
+    if (rng.Bernoulli(0.4)) text += "S(" + std::to_string(i) + ").\n";
+  }
+  return text;
+}
+
+TEST_P(ParallelDeterminism, AllFourSemanticsThroughEngine) {
+  // The unified entry point: every semantics must answer identically for
+  // every thread count (well-founded and stable run the grounded pipeline,
+  // where num_threads is inert by design — asserted all the same).
+  const std::string program_text =
+      "R(X) :- S(X).\n"
+      "R(Y) :- R(X), A(X,Y).\n"
+      "U(X,Y) :- A(X,Y), !R(X).\n";
+  const std::string fact_text = RandomFactText(7300 + GetParam(), 8, 24);
+  for (SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified,
+        SemanticsKind::kWellFounded, SemanticsKind::kStable}) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadProgramText(program_text).ok());
+    ASSERT_TRUE(engine.LoadDatabaseText(fact_text).ok());
+
+    EvalOptions serial_opts;
+    serial_opts.num_threads = 1;
+    auto serial = engine.Evaluate(kind, serial_opts);
+    ASSERT_TRUE(serial.ok()) << SemanticsKindName(kind);
+
+    for (size_t threads : kThreadCounts) {
+      EvalOptions par_opts;
+      par_opts.num_threads = threads;
+      auto parallel = engine.Evaluate(kind, par_opts);
+      ASSERT_TRUE(parallel.ok()) << SemanticsKindName(kind);
+      ExpectSameRows(serial->state(), parallel->state());
+      if (kind == SemanticsKind::kStable) {
+        const auto& sm = std::get<StableResult>(serial->detail);
+        const auto& pm = std::get<StableResult>(parallel->detail);
+        ASSERT_EQ(sm.models.size(), pm.models.size());
+        for (size_t m = 0; m < sm.models.size(); ++m) {
+          EXPECT_EQ(sm.models[m], pm.models[m]) << "stable model " << m;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, StratifiedMatchesSerial) {
+  Rng rng(9000 + GetParam());
+  const size_t n = 16;
+  const Digraph g = RandomDigraph(n, 2.0 / n, &rng);
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  ASSERT_TRUE(db.AddFactNamed("S", {"0"}).ok());
+  Program program = testing::MustProgram(
+      "R(X) :- S(X).\n"
+      "R(Y) :- R(X), E(X,Y).\n"
+      "U(X,Y) :- E(X,Y), !R(X).\n",
+      db.shared_symbols());
+
+  StratifiedOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalStratified(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  for (size_t threads : kThreadCounts) {
+    StratifiedOptions par_opts;
+    par_opts.context.num_threads = threads;
+    auto parallel = EvalStratified(program, db, par_opts);
+    ASSERT_TRUE(parallel.ok());
+    ExpectSameRows(serial->state, parallel->state);
+    EXPECT_EQ(serial->num_strata, parallel->num_strata);
+    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace inflog
