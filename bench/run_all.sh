@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E9) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E10) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
-#   {"bench":"e7_distance_query","threads":8,"context":{...},
+#   {"bench":"e7_distance_query","threads":8,"shards":1,"context":{...},
 #    "benchmarks":[...]}
 #
-# `threads` records the evaluation thread count the bench binaries were
-# run with. The benches default to num_threads=1 (E1..E8 are serial; E9
-# sweeps its own per-series thread counts, carried in its `threads`
-# *counter*), so the field defaults to 1 — set INFLOG_THREADS=N only when
-# actually running a build/flag combination that evaluates with N threads.
+# `threads` and `shards` record the evaluation thread and relation-shard
+# counts the bench binaries were run with. The benches default to
+# num_threads=1 / num_shards=1 (E1..E8 are serial and unsharded; E9
+# sweeps thread counts and E10 sweeps (threads, shards) per series,
+# carried in their *counters*), so both fields default to 1 — set
+# INFLOG_THREADS=N / INFLOG_SHARDS=S only when actually running a
+# build/flag combination that evaluates with those values.
 #
 # Usage:
 #   bench/run_all.sh [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
@@ -43,9 +45,18 @@ case "$threads" in
     ;;
 esac
 
+shards="${INFLOG_SHARDS:-1}"
+case "$shards" in
+  ''|*[!0-9]*)
+    echo "error: INFLOG_SHARDS must be a non-negative integer," \
+      "got '$shards'" >&2
+    exit 1
+    ;;
+esac
+
 found=0
 status=0
-for bin in "$build_dir"/e[1-9]_*; do
+for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
   [ -x "$bin" ] || continue
   found=1
   name="$(basename "$bin")"
@@ -57,13 +68,15 @@ for bin in "$build_dir"/e[1-9]_*; do
   if [ -z "$out" ]; then
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
-    printf '{"bench":"%s","threads":%s,"context":null,"benchmarks":[]}\n' \
-      "$name" "$threads"
+    printf \
+      '{"bench":"%s","threads":%s,"shards":%s,"context":null,"benchmarks":[]}\n' \
+      "$name" "$threads" "$shards"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
-    '{bench: $bench, threads: $threads, context: .context,
-      benchmarks: .benchmarks}' <<<"$out"
+    --argjson shards "$shards" \
+    '{bench: $bench, threads: $threads, shards: $shards,
+      context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 
 if [ "$found" -eq 0 ]; then

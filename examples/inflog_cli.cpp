@@ -2,19 +2,27 @@
 // under a chosen semantics — the downstream-user entry point.
 //
 // Usage:
-//   inflog_cli [--threads=N] PROGRAM.dlog DATABASE.facts [SEMANTICS]
+//   inflog_cli [--threads=N] [--shards=S] [--stats] PROGRAM.dlog
+//     DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
 //   inflationary (default) | stratified | wellfounded | stable |
 //   fixpoints | analyze
 //
-// --threads=N runs the relational fixpoint stages on N threads (results
-// are deterministic and identical for every N). The default is the
-// machine's hardware concurrency; --threads=1 is the serial baseline.
+// --threads=N runs the relational fixpoint stages on N threads (default:
+// hardware concurrency; --threads=1 is the serial baseline). --shards=S
+// hash-shards the IDB relations S ways — S a power of two ≤ 64 — so the
+// stage merge parallelizes shard-wise (default 0 = auto: one shard per
+// thread; --shards=1 is the unsharded layout). Results are deterministic
+// and identical for every (threads, shards) combination. --stats prints
+// the executor counters (index probes, posting-list intersections, rows
+// matched, ...) after the result, so bench numbers can be explained from
+// the CLI; for modes without a relational fixpoint run it says so.
 //
 // Examples (data files ship in examples/data/):
 //   inflog_cli data/pi1.dlog data/path6.facts fixpoints
-//   inflog_cli --threads=4 data/distance.dlog data/shortcut.facts
+//   inflog_cli --threads=4 --shards=8 data/distance.dlog data/shortcut.facts
+//   inflog_cli --stats data/pi1.dlog data/path6.facts
 
 #include <cerrno>
 #include <cstdlib>
@@ -59,40 +67,68 @@ void PrintState(const inflog::Engine& engine, const inflog::IdbState& state) {
 int main(int argc, char** argv) {
   // 0 = hardware concurrency (the default); 1 = the serial baseline.
   size_t num_threads = 0;
+  // 0 = auto (one shard per resolved thread); 1 = the unsharded layout.
+  size_t num_shards = 0;
+  bool print_stats = false;
   std::vector<std::string> args;
-  auto parse_threads = [&](const std::string& value) {
-    constexpr long kMaxThreads = 1024;
+  auto parse_count = [](const char* flag, const std::string& value,
+                        long max, size_t* out) {
     errno = 0;
     char* end = nullptr;
     const long n = std::strtol(value.c_str(), &end, 10);
     if (value.empty() || end != value.c_str() + value.size() || n < 0 ||
-        errno == ERANGE || n > kMaxThreads) {
-      std::cerr << "error: --threads expects an integer in [0, "
-                << kMaxThreads << "], got '" << value << "'\n";
+        errno == ERANGE || n > max) {
+      std::cerr << "error: " << flag << " expects an integer in [0, "
+                << max << "], got '" << value << "'\n";
       return false;
     }
-    num_threads = static_cast<size_t>(n);
+    *out = static_cast<size_t>(n);
     return true;
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--threads=", 0) == 0) {
-      if (!parse_threads(arg.substr(10))) return 2;
-      continue;
-    }
-    if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        std::cerr << "error: --threads requires a value\n";
-        return 2;
+    auto flag_value = [&](const char* flag, long max, size_t* out) -> int {
+      const std::string eq = std::string(flag) + "=";
+      if (arg.rfind(eq, 0) == 0) {
+        return parse_count(flag, arg.substr(eq.size()), max, out) ? 1 : -1;
       }
-      if (!parse_threads(argv[++i])) return 2;
+      if (arg == flag) {
+        if (i + 1 >= argc) {
+          std::cerr << "error: " << flag << " requires a value\n";
+          return -1;
+        }
+        return parse_count(flag, argv[++i], max, out) ? 1 : -1;
+      }
+      return 0;
+    };
+    if (arg == "--stats") {
+      print_stats = true;
       continue;
     }
+    int handled = flag_value("--threads", 1024, &num_threads);
+    if (handled == 0) {
+      // The evaluator clamps shard counts to kMaxShards; reject higher
+      // values here instead of silently running a different sweep point.
+      handled = flag_value(
+          "--shards",
+          static_cast<long>(inflog::EvalContextOptions::kMaxShards),
+          &num_shards);
+    }
+    if (handled < 0) return 2;
+    if (handled > 0) continue;
     args.push_back(arg);
+  }
+  if (num_shards != 0 && (num_shards & (num_shards - 1)) != 0) {
+    // The evaluator rounds shard counts up to a power of two; reject the
+    // request here rather than silently running a different sweep point.
+    std::cerr << "error: --shards must be 0 (auto) or a power of two, got "
+              << num_shards << "\n";
+    return 2;
   }
   if (args.size() < 2) {
     std::cerr << "usage: " << argv[0]
-              << " [--threads=N] PROGRAM.dlog DATABASE.facts "
+              << " [--threads=N] [--shards=S] [--stats] PROGRAM.dlog "
+                 "DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
     return 2;
@@ -107,10 +143,19 @@ int main(int argc, char** argv) {
   if (!db_text.ok()) return Fail(db_text.status());
   if (auto s = engine.LoadDatabaseText(*db_text); !s.ok()) return Fail(s);
 
+  // The executor counters only exist for the relational-fixpoint
+  // semantics; everywhere else --stats says so instead of vanishing.
+  auto stats_not_applicable = [&](const std::string& mode) {
+    if (print_stats) {
+      std::cout << "stats: n/a (" << mode
+                << " does not run the relational fixpoint executor)\n";
+    }
+  };
   if (semantics == "analyze") {
     auto description = engine.Describe();
     if (!description.ok()) return Fail(description.status());
     std::cout << *description;
+    stats_not_applicable("analyze");
     return 0;
   }
   // The four semantics all route through the engine's unified dispatch;
@@ -118,6 +163,7 @@ int main(int argc, char** argv) {
   if (auto kind = inflog::ParseSemanticsKind(semantics); kind.ok()) {
     inflog::EvalOptions options;
     options.num_threads = num_threads;
+    options.num_shards = num_shards;
     auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (const auto* r =
@@ -146,6 +192,23 @@ int main(int argc, char** argv) {
         PrintState(engine, r->models[i]);
       }
     }
+    if (print_stats) {
+      if (const inflog::EvalStats* s = outcome->stats()) {
+        std::cout << "stats:\n"
+                  << "  stages           " << s->stages << "\n"
+                  << "  derivations      " << s->derivations << "\n"
+                  << "  new_tuples       " << s->new_tuples << "\n"
+                  << "  rows_matched     " << s->rows_matched << "\n"
+                  << "  index_probes     " << s->index_lookups << "\n"
+                  << "  intersections    " << s->intersections << "\n"
+                  << "  enumerations     " << s->enumerations << "\n"
+                  << "  parallel_tasks   " << s->parallel_tasks << "\n";
+      } else {
+        std::cout << "stats: n/a (the " << semantics
+                  << " semantics runs the grounded pipeline, which "
+                     "bypasses the relational executor)\n";
+      }
+    }
     return 0;
   }
   if (semantics == "fixpoints") {
@@ -163,6 +226,7 @@ int main(int argc, char** argv) {
     if (!least.ok()) return Fail(least.status());
     std::cout << "least fixpoint exists: "
               << (least->has_least ? "yes" : "no") << "\n";
+    stats_not_applicable("fixpoints");
     return 0;
   }
   std::cerr << "unknown semantics: " << semantics << "\n";

@@ -112,6 +112,19 @@ const IdbState& EvalOutcome::state() const {
   return kUnreachable;
 }
 
+const EvalStats* EvalOutcome::stats() const {
+  switch (kind) {
+    case SemanticsKind::kInflationary:
+      return &std::get<InflationaryResult>(detail).stats;
+    case SemanticsKind::kStratified:
+      return &std::get<StratifiedResult>(detail).stats;
+    case SemanticsKind::kWellFounded:
+    case SemanticsKind::kStable:
+      return nullptr;  // grounded pipelines bypass the executor
+  }
+  return nullptr;
+}
+
 Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
                                      const EvalOptions& options) const {
   EvalOutcome out;
@@ -120,6 +133,7 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
     case SemanticsKind::kInflationary: {
       InflationaryOptions opts = options.inflationary;
       opts.context.num_threads = options.num_threads;
+      opts.context.num_shards = options.num_shards;
       INFLOG_ASSIGN_OR_RETURN(InflationaryResult r, Inflationary(opts));
       out.detail = std::move(r);
       return out;
@@ -127,6 +141,7 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
     case SemanticsKind::kStratified: {
       StratifiedOptions opts = options.stratified;
       opts.context.num_threads = options.num_threads;
+      opts.context.num_shards = options.num_shards;
       INFLOG_ASSIGN_OR_RETURN(StratifiedResult r, Stratified(opts));
       out.detail = std::move(r);
       return out;

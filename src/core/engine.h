@@ -61,6 +61,11 @@ struct EvalOptions {
   /// pipelines (well-founded, stable) are unaffected — their results never
   /// depend on it.
   size_t num_threads = 1;
+  /// Hash shards per IDB relation for the relational fixpoint stages
+  /// (1 = unsharded, 0 = auto: one shard per resolved thread).
+  /// Authoritative for Evaluate(), like num_threads; results are
+  /// identical for every (threads, shards) combination.
+  size_t num_shards = 1;
   InflationaryOptions inflationary;
   StratifiedOptions stratified;
   GrounderOptions wellfounded;
@@ -80,6 +85,11 @@ struct EvalOutcome {
   /// (a relation-less empty state when there is none). Borrowed from
   /// `detail`: valid while this outcome is alive.
   const IdbState& state() const;
+
+  /// The executor counters of the run, or nullptr for the grounded
+  /// pipelines (well-founded, stable), which do not run the relational
+  /// executor. Borrowed from `detail`.
+  const EvalStats* stats() const;
 };
 
 /// Facade over the parsing, evaluation and analysis pipeline.

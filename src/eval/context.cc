@@ -1,5 +1,6 @@
 #include "src/eval/context.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/base/strings.h"
@@ -31,10 +32,25 @@ Result<EvalContext> EvalContext::CreateWithFixed(
   return ctx;
 }
 
+size_t ResolvedNumThreads(const EvalContextOptions& options) {
+  return options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
+                                  : options.num_threads;
+}
+
+size_t ResolvedNumShards(const EvalContextOptions& options) {
+  const size_t shards =
+      options.num_shards == 0 ? ResolvedNumThreads(options)
+                              : options.num_shards;
+  // Same rounding the Relation constructor applies (ShardBitsFor), so
+  // the resolved count always equals the relations' actual shard count.
+  return size_t{1} << ShardBitsFor(
+             std::min(shards, EvalContextOptions::kMaxShards));
+}
+
 Status EvalContext::Bind(const EvalContextOptions& options) {
   use_join_indexes_ = options.use_join_indexes;
-  num_threads_ = options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
-                                          : options.num_threads;
+  num_threads_ = ResolvedNumThreads(options);
+  num_shards_ = ResolvedNumShards(options);
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);

@@ -45,12 +45,32 @@ struct EvalContextOptions {
   bool use_join_indexes = true;
   /// Worker threads for relational fixpoint stages. 1 (the default) runs
   /// the exact serial path; 0 means hardware concurrency; N > 1 partitions
-  /// each stage into (rule plan × delta-row slice) tasks over a
+  /// each stage into (rule plan × delta slice) tasks over a
   /// base::ThreadPool with a worker-ordered merge, so results, stage
   /// sizes, and stats are bit-identical to the serial run
   /// (tests/parallel_determinism_test.cc holds this).
   size_t num_threads = 1;
+  /// Hash shards per dynamic IDB relation (rounded up to a power of two,
+  /// clamped to kMaxShards). 1 (the default) is the unsharded layout; 0
+  /// picks the smallest power of two ≥ the resolved thread count, so the
+  /// shard-parallel stage merge has one shard per worker. Results, stage
+  /// sizes, and stats are identical for every (threads, shards)
+  /// combination.
+  size_t num_shards = 1;
+
+  /// Upper bound on the shard count (keeps per-probe shard loops cheap).
+  static constexpr size_t kMaxShards = 64;
 };
+
+/// `options.num_threads` with 0 resolved to the hardware concurrency.
+size_t ResolvedNumThreads(const EvalContextOptions& options);
+
+/// `options.num_shards` resolved: 0 becomes the smallest power of two ≥
+/// ResolvedNumThreads(options); any value is rounded up to a power of two
+/// and clamped to kMaxShards. Callers that build IdbStates before an
+/// EvalContext exists (the stratified evaluator) use this to match the
+/// context's layout.
+size_t ResolvedNumShards(const EvalContextOptions& options);
 
 /// Per-run binding of predicates to relations plus the index cache.
 class EvalContext {
@@ -88,6 +108,11 @@ class EvalContext {
   /// already been replaced by the hardware concurrency).
   size_t num_threads() const { return num_threads_; }
 
+  /// Resolved shard count for dynamic IDB relations (a power of two ≥ 1);
+  /// states evaluated under this context must be built with it
+  /// (MakeEmptyIdbState(program, num_shards())).
+  size_t num_shards() const { return num_shards_; }
+
  private:
   EvalContext(const Program& program, const Database& database)
       : program_(&program), database_(&database) {}
@@ -109,6 +134,7 @@ class EvalContext {
   std::vector<Value> universe_;
   bool use_join_indexes_ = true;
   size_t num_threads_ = 1;
+  size_t num_shards_ = 1;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
 };

@@ -116,7 +116,9 @@ class Interpreter {
 
   void StepMatch(const PlanOp& op, size_t op_index) {
     const Relation& rel = ctx_.Resolve(op.predicate, state_);
-    std::vector<uint32_t>& trail = match_scratch_[op_index].trail;
+    const size_t num_shards = rel.num_shards();
+    MatchScratch& scratch = match_scratch_[op_index];
+    std::vector<uint32_t>& trail = scratch.trail;
     trail.clear();
     auto try_row = [&](TupleView row) {
       if (MatchRow(op, row, &trail)) {
@@ -127,52 +129,85 @@ class Interpreter {
     if (op.is_delta_scan) {
       INFLOG_DCHECK(deltas_ != nullptr) << "delta plan without delta ranges";
       const PredicateInfo& info = ctx_.program().predicate(op.predicate);
-      const auto [begin, end] = (*deltas_)[info.idb_index];
-      for (size_t r = begin; r < end; ++r) try_row(rel.Row(r));
+      const std::vector<ShardRange>& ranges = (*deltas_)[info.idb_index];
+      INFLOG_DCHECK(ranges.size() == num_shards);
+      for (size_t s = 0; s < num_shards; ++s) {
+        const Relation::ShardView view = rel.shard(s);
+        for (size_t r = ranges[s].first; r < ranges[s].second; ++r) {
+          try_row(view.Row(r));
+        }
+      }
       return;
     }
     if (!op.key_cols.empty() && ctx_.use_join_indexes()) {
       // Probe the relation's built-in index on each bound column and keep
       // the two shortest posting lists. With a single bound column the
       // shortest list is iterated directly; with ≥2 the two shortest are
-      // intersected first (both are in ascending row order), so several
-      // low-cardinality columns no longer degrade toward a scan of the
-      // shortest list. MatchRow re-checks any remaining columns.
+      // intersected first, so several low-cardinality columns no longer
+      // degrade toward a scan of the shortest list. MatchRow re-checks any
+      // remaining columns. The best/second choice and the skew cutoff use
+      // counts summed over shards, so which columns drive the probe — and
+      // every stat below — is independent of the shard count; only the
+      // per-shard walk order reflects the sharding.
       ++stats_->index_lookups;
-      std::span<const uint32_t> best, second;
+      scratch.spans.resize(op.key_cols.size() * num_shards);
+      size_t best_total = 0, second_total = 0;
+      size_t best_off = 0, second_off = 0;
       bool have_best = false, have_second = false;
-      for (size_t col : op.key_cols) {
-        const std::span<const uint32_t> rows =
-            rel.EqualRows(col, TermValue(op.args[col]));
-        if (!have_best || rows.size() < best.size()) {
-          second = best;
+      for (size_t ci = 0; ci < op.key_cols.size(); ++ci) {
+        const size_t col = op.key_cols[ci];
+        const size_t off = ci * num_shards;
+        const size_t total = rel.EqualRowsPerShard(
+            col, TermValue(op.args[col]), &scratch.spans[off]);
+        if (!have_best || total < best_total) {
+          second_total = best_total;
+          second_off = best_off;
           have_second = have_best;
-          best = rows;
+          best_total = total;
+          best_off = off;
           have_best = true;
-        } else if (!have_second || rows.size() < second.size()) {
-          second = rows;
+        } else if (!have_second || total < second_total) {
+          second_total = total;
+          second_off = off;
           have_second = true;
         }
-        if (best.empty()) break;
+        if (best_total == 0) break;
       }
       // The merge walk costs O(|best| + |second|); only pay it when the
       // lists are comparable — against a much longer second list, probing
       // the short list row by row is cheaper than walking both.
       constexpr size_t kMaxIntersectionSkew = 16;
-      if (have_second && !best.empty() &&
-          second.size() <= best.size() * kMaxIntersectionSkew) {
+      if (have_second && best_total > 0 &&
+          second_total <= best_total * kMaxIntersectionSkew) {
         ++stats_->intersections;
-        std::vector<uint32_t>& rows = match_scratch_[op_index].rows;
-        rows.clear();
-        std::set_intersection(best.begin(), best.end(), second.begin(),
-                              second.end(), std::back_inserter(rows));
-        for (uint32_t r : rows) try_row(rel.Row(r));
-      } else {
-        for (uint32_t r : best) try_row(rel.Row(r));
+        std::vector<uint32_t>& rows = scratch.rows;
+        for (size_t s = 0; s < num_shards; ++s) {
+          // Both lists are in ascending local-row order within the shard;
+          // the shard partitions agree, so the per-shard intersections
+          // union to exactly the global one.
+          const std::span<const uint32_t> a = scratch.spans[best_off + s];
+          const std::span<const uint32_t> b = scratch.spans[second_off + s];
+          if (a.empty() || b.empty()) continue;
+          rows.clear();
+          std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(rows));
+          const Relation::ShardView view = rel.shard(s);
+          for (uint32_t r : rows) try_row(view.Row(r));
+        }
+      } else if (have_best && best_total > 0) {
+        for (size_t s = 0; s < num_shards; ++s) {
+          const Relation::ShardView view = rel.shard(s);
+          for (uint32_t r : scratch.spans[best_off + s]) {
+            try_row(view.Row(r));
+          }
+        }
       }
       return;
     }
-    for (size_t r = 0; r < rel.size(); ++r) try_row(rel.Row(r));
+    for (size_t s = 0; s < num_shards; ++s) {
+      const Relation::ShardView view = rel.shard(s);
+      for (size_t r = 0; r < view.size(); ++r) try_row(view.Row(r));
+    }
   }
 
   void Emit() {
@@ -193,11 +228,13 @@ class Interpreter {
   std::vector<Value> bindings_;
   Tuple head_tuple_;
   Tuple scratch_;
-  /// Per-op-depth reusable buffers for kMatch: the binding-undo trail and
-  /// the posting-list intersection output.
+  /// Per-op-depth reusable buffers for kMatch: the binding-undo trail,
+  /// the posting-list intersection output, and the per-(key column,
+  /// shard) posting spans of the current probe.
   struct MatchScratch {
     std::vector<uint32_t> trail;
     std::vector<uint32_t> rows;
+    std::vector<std::span<const uint32_t>> spans;
   };
   std::vector<MatchScratch> match_scratch_;
 };

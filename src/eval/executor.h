@@ -37,9 +37,15 @@ struct EvalStats {
   }
 };
 
-/// Row ranges [begin, end) per dynamic IDB predicate (by idb_index) holding
-/// the tuples added in the previous stage. Used by delta-scan ops.
-using DeltaRanges = std::vector<std::pair<size_t, size_t>>;
+/// One shard's appended local-row range [begin, end).
+using ShardRange = std::pair<size_t, size_t>;
+
+/// Per dynamic IDB predicate (by idb_index), the per-shard local-row
+/// ranges holding the tuples added in the previous stage (indexed by the
+/// relation's shard; inner size == Relation::num_shards()). Used by
+/// delta-scan ops, and sliced along shard boundaries by the parallel
+/// stage fan-out.
+using DeltaRanges = std::vector<std::vector<ShardRange>>;
 
 /// Executes `plan` reading predicate values through `ctx`/`state`, inserting
 /// derived head tuples into `out` (which must have the head's arity).

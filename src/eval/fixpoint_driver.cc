@@ -40,6 +40,53 @@ int DeltaScanIdb(const Program& program, const RulePlan& plan) {
 /// overhead (staging relation + merge) outweighs the parallelism.
 constexpr size_t kMinSliceRows = 64;
 
+/// Cuts one predicate's per-shard delta ranges into about `desired`
+/// slices, each itself a per-shard range vector. Slices align to shard
+/// boundaries — whole shards are grouped until a slice holds ~1/desired
+/// of the rows — except that a shard holding more than two targets'
+/// worth of rows is split by rows, so a skewed hash cannot starve the
+/// fan-out. Deterministic in (ranges, desired) only.
+std::vector<std::vector<ShardRange>> SliceDeltaRanges(
+    const std::vector<ShardRange>& ranges, size_t desired) {
+  const size_t num_shards = ranges.size();
+  size_t rows = 0;
+  for (const auto& [b, e] : ranges) rows += e - b;
+  std::vector<std::vector<ShardRange>> out;
+  if (rows == 0 || desired <= 1) {
+    out.push_back(ranges);
+    return out;
+  }
+  const size_t target = (rows + desired - 1) / desired;
+  std::vector<ShardRange> cur(num_shards, {0, 0});
+  size_t acc = 0;
+  auto flush = [&] {
+    if (acc == 0) return;
+    out.push_back(cur);
+    cur.assign(num_shards, {0, 0});
+    acc = 0;
+  };
+  for (size_t s = 0; s < num_shards; ++s) {
+    const auto [b, e] = ranges[s];
+    const size_t n = e - b;
+    if (n == 0) continue;
+    if (n > 2 * target) {
+      flush();
+      const size_t pieces = (n + target - 1) / target;
+      for (size_t k = 0; k < pieces; ++k) {
+        cur[s] = {b + n * k / pieces, b + n * (k + 1) / pieces};
+        acc = cur[s].second - cur[s].first;
+        flush();
+      }
+      continue;
+    }
+    cur[s] = ranges[s];
+    acc += n;
+    if (acc >= target) flush();
+  }
+  flush();
+  return out;
+}
+
 }  // namespace
 
 RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
@@ -86,8 +133,17 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
     compiled_.push_back(std::move(c));
   }
 
-  delta_ranges_.assign(num_idb, {0, 0});
+  // All dynamic relations must agree on one shard count so staging
+  // relations and the state partition every tuple set identically.
+  num_shards_ = num_idb > 0 ? state->relations[0].num_shards() : 1;
+  for (const Relation& rel : state->relations) {
+    INFLOG_CHECK(rel.num_shards() == num_shards_)
+        << "IDB relations must share one shard count";
+  }
+  delta_ranges_.assign(num_idb,
+                       std::vector<ShardRange>(num_shards_, {0, 0}));
   stage_sizes_.resize(num_idb);
+  stage_shard_sizes_.resize(num_idb);
 }
 
 void RelationalConsequence::RunStageSerial(bool full_pass,
@@ -132,7 +188,8 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // Small stages aren't worth the fan-out (staging relations + pool
   // wakeups): below one slice's worth of input rows, take the serial path
   // — it computes the identical result, so the cutoff is invisible to
-  // callers. The work proxy is deterministic and thread-count independent.
+  // callers. The work proxy is deterministic and independent of the
+  // thread and shard counts.
   size_t work = 0;
   if (full_pass) {
     for (const CompiledRule& c : compiled_) {
@@ -143,7 +200,9 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
       }
     }
   } else {
-    for (const auto& [begin, end] : delta_ranges_) work += end - begin;
+    for (const auto& ranges : delta_ranges_) {
+      for (const auto& [begin, end] : ranges) work += end - begin;
+    }
   }
   if (work < kMinSliceRows) {
     RunStageSerial(full_pass, buffers);
@@ -162,70 +221,89 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // relation read mutates anything (Relation::EnsureIndexed contract).
   if (ctx_.use_join_indexes()) FinalizeStageIndexes(full_pass);
 
-  // Partition the stage: full passes split per rule plan, delta passes per
-  // (delta plan × delta-row slice). Task order — rules in program order,
-  // then plan order, then ascending row slices — is exactly the serial
-  // execution order; the ordered merge below relies on that.
+  // Partition the stage: full passes split per rule plan, delta passes
+  // per (delta plan × delta slice), the slices cut from the per-shard
+  // delta ranges so the fan-out partitions along shard boundaries. Task
+  // order — rules in program order, then plan order, then ascending
+  // slices — is exactly the serial execution order; the ordered
+  // shard-wise merge below relies on that.
   std::vector<StageTask> tasks;
+  // Per-sliced-task delta ranges, precomputed here (serially) so the
+  // workers read them in place instead of deep-copying DeltaRanges on
+  // the hot fan-out path.
+  std::vector<DeltaRanges> sliced_ranges;
   if (full_pass) {
     for (const CompiledRule& c : compiled_) {
-      tasks.push_back(StageTask{&c.full, c.head_idb});
+      tasks.push_back(StageTask{&c.full, c.head_idb, -1});
     }
   } else {
     for (const CompiledRule& c : compiled_) {
       for (const DeltaPlan& d : c.deltas) {
-        StageTask task{&d.plan, c.head_idb};
-        const auto [begin, end] =
-            d.delta_idb >= 0 ? delta_ranges_[d.delta_idb]
-                             : std::pair<size_t, size_t>{0, 0};
-        const size_t rows = end - begin;
-        // Aim for a few slices per thread so claim-order load imbalance
-        // evens out, but never slices smaller than kMinSliceRows.
-        size_t slices = std::min(num_threads_ * 4, rows / kMinSliceRows);
-        if (slices <= 1 || d.delta_idb < 0) {
-          task.slice_idb = d.delta_idb;
-          task.slice = {begin, end};
-          tasks.push_back(task);
+        if (d.delta_idb < 0) {
+          tasks.push_back(StageTask{&d.plan, c.head_idb, -1});
           continue;
         }
-        for (size_t s = 0; s < slices; ++s) {
-          task.slice_idb = d.delta_idb;
-          task.slice = {begin + rows * s / slices,
-                        begin + rows * (s + 1) / slices};
-          tasks.push_back(task);
+        const std::vector<ShardRange>& ranges = delta_ranges_[d.delta_idb];
+        size_t rows = 0;
+        for (const auto& [begin, end] : ranges) rows += end - begin;
+        // Aim for a few slices per thread so claim-order load imbalance
+        // evens out, but never slices smaller than kMinSliceRows.
+        const size_t desired =
+            std::min(num_threads_ * 4, rows / kMinSliceRows);
+        for (std::vector<ShardRange>& slice :
+             SliceDeltaRanges(ranges, desired)) {
+          DeltaRanges local = delta_ranges_;
+          local[d.delta_idb] = std::move(slice);
+          tasks.push_back(StageTask{&d.plan, c.head_idb,
+                                    static_cast<int>(sliced_ranges.size())});
+          sliced_ranges.push_back(std::move(local));
         }
       }
     }
   }
 
-  // Per-task staging: each task owns one output relation and one stats
-  // block, so workers never share a mutable object.
+  // Per-task staging: each task owns one sharded output relation and one
+  // stats block, so workers never share a mutable object.
   std::vector<Relation> outs;
   outs.reserve(tasks.size());
   for (const StageTask& t : tasks) {
-    outs.emplace_back((*buffers)[t.head_idb].arity());
+    const Relation& buffer = (*buffers)[t.head_idb];
+    outs.emplace_back(buffer.arity(), buffer.num_shards());
   }
   std::vector<EvalStats> task_stats(tasks.size());
 
   pool.ParallelFor(tasks.size(), [&](size_t i) {
     const StageTask& t = tasks[i];
-    if (t.slice_idb >= 0) {
-      DeltaRanges local = delta_ranges_;
-      local[t.slice_idb] = t.slice;
-      ExecutePlan(ctx_, *t.plan, *state_, &local, &outs[i], &task_stats[i]);
-    } else {
-      ExecutePlan(ctx_, *t.plan, *state_,
-                  full_pass ? nullptr : &delta_ranges_, &outs[i],
-                  &task_stats[i]);
-    }
+    const DeltaRanges* deltas =
+        full_pass ? nullptr
+                  : (t.sliced >= 0 ? &sliced_ranges[t.sliced]
+                                   : &delta_ranges_);
+    ExecutePlan(ctx_, *t.plan, *state_, deltas, &outs[i], &task_stats[i]);
   });
 
-  // Worker-ordered merge: task order is serial order, so the sequence of
-  // first appearances in `buffers` — and therefore row ids, stage sizes,
-  // and every downstream stage — is identical to the serial run.
+  // Shard-wise ordered merge: each worker owns one shard of every buffer
+  // and folds the task outputs in task order — the serial execution
+  // order — so the per-shard sequence of first appearances in `buffers`
+  // (and therefore row ids, stage sizes, and every downstream stage) is
+  // identical to the serial run, while no two workers ever write the
+  // same shard and no serial merge runs.
+  std::vector<size_t> merged(tasks.size() * num_shards_, 0);
+  auto merge_shard = [&](size_t s) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      merged[i * num_shards_ + s] =
+          (*buffers)[tasks[i].head_idb].MergeShardFrom(outs[i], s);
+    }
+  };
+  if (num_shards_ > 1) {
+    pool.ParallelFor(num_shards_, merge_shard);
+  } else {
+    merge_shard(0);
+  }
   for (size_t i = 0; i < tasks.size(); ++i) {
-    const size_t merged_new =
-        (*buffers)[tasks[i].head_idb].InsertAll(outs[i]);
+    size_t merged_new = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      merged_new += merged[i * num_shards_ + s];
+    }
     // A tuple derived by two tasks is new in both stagings but was counted
     // once serially; the merge count restores the serial new_tuples.
     task_stats[i].new_tuples = merged_new;
@@ -234,17 +312,48 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   stats_.parallel_tasks += tasks.size();
 }
 
+size_t RelationalConsequence::MergeStageBuffers(
+    const std::vector<Relation>& buffers) {
+  size_t batch = 0;
+  for (const Relation& buffer : buffers) batch += buffer.size();
+  std::vector<size_t> added(num_shards_, 0);
+  auto merge_shard = [&](size_t s) {
+    size_t add = 0;
+    for (size_t i = 0; i < buffers.size(); ++i) {
+      Relation& rel = state_->relations[i];
+      const size_t before = rel.ShardSize(s);
+      add += rel.MergeShardFrom(buffers[i], s);
+      delta_ranges_[i][s] = {before, rel.ShardSize(s)};
+    }
+    added[s] = add;
+  };
+  // Shard-parallel whenever a pool is already running and the batch is
+  // worth a wakeup; the serial fallback runs the same per-shard merges in
+  // shard order, so the state (per-shard insertion order included) is
+  // identical either way.
+  if (num_threads_ > 1 && num_shards_ > 1 && *pool_slot_ != nullptr &&
+      batch >= kMinSliceRows) {
+    (*pool_slot_)->ParallelFor(num_shards_, merge_shard);
+  } else {
+    for (size_t s = 0; s < num_shards_; ++s) merge_shard(s);
+  }
+  size_t total = 0;
+  for (size_t a : added) total += a;
+  return total;
+}
+
 size_t RelationalConsequence::Step(size_t stage) {
   const Program& program = ctx_.program();
   const size_t num_idb = program.idb_predicates().size();
 
   // Derivations are buffered per stage and merged afterwards, so every
   // stage reads a consistent Sⁿ (and so relations are never mutated while
-  // scanned).
+  // scanned). Buffers share the state's shard count so the merge can go
+  // shard by shard.
   std::vector<Relation> buffers;
   buffers.reserve(num_idb);
   for (uint32_t pred : program.idb_predicates()) {
-    buffers.emplace_back(program.predicate(pred).arity);
+    buffers.emplace_back(program.predicate(pred).arity, num_shards_);
   }
 
   const bool full_pass = stage == 0 || !use_deltas_;
@@ -254,18 +363,19 @@ size_t RelationalConsequence::Step(size_t stage) {
     RunStageParallel(full_pass, &buffers);
   }
 
-  // Merge the stage's derivations; the appended row ranges become the next
-  // deltas.
-  size_t added = 0;
-  for (size_t i = 0; i < num_idb; ++i) {
-    const size_t before = state_->relations[i].size();
-    added += state_->relations[i].InsertAll(buffers[i]);
-    delta_ranges_[i] = {before, state_->relations[i].size()};
-  }
+  // Merge the stage's derivations; the appended per-shard row ranges
+  // become the next deltas.
+  const size_t added = MergeStageBuffers(buffers);
   if (added > 0) {
     ++stats_.stages;
     for (size_t i = 0; i < num_idb; ++i) {
-      stage_sizes_[i].push_back(state_->relations[i].size());
+      const Relation& rel = state_->relations[i];
+      stage_sizes_[i].push_back(rel.size());
+      std::vector<size_t> per_shard(num_shards_);
+      for (size_t s = 0; s < num_shards_; ++s) {
+        per_shard[s] = rel.ShardSize(s);
+      }
+      stage_shard_sizes_[i].push_back(std::move(per_shard));
     }
   }
   return added;

@@ -68,19 +68,27 @@ class FixpointDriver {
 
 /// Θ̂ over an IdbState: the relational immediate-consequence operator with
 /// semi-naive (delta) stages and per-stage buffering. Grows `*state` in
-/// place (append-only); one instance drives one fixpoint run.
+/// place (append-only); one instance drives one fixpoint run. The state's
+/// relations may be hash-sharded (EvalContextOptions::num_shards); all of
+/// them must share one shard count, and staging relations are created
+/// with the same count so the shard partitions agree everywhere.
 ///
 /// Parallel stages (EvalContextOptions::num_threads > 1): every stage is a
 /// pure join over the frozen previous state Sⁿ, so the stage's work is
-/// split into (rule plan × delta-row slice) tasks that run on a
-/// base::ThreadPool, each writing into its own staging Relation. The
-/// staging buffers are then merged single-threaded in task order — which
-/// is the serial execution order — so relations, stage_sizes(), and stats
-/// (apart from the parallel_tasks counter, which records the fan-out
-/// itself) are bit-identical to the num_threads == 1 run. Before fan-out,
-/// the
-/// stage finalizes every column index its plans will probe
-/// (Relation::EnsureIndexed), making all reads during the stage lock-free.
+/// split into (rule plan × delta slice) tasks that run on a
+/// base::ThreadPool, each writing into its own sharded staging Relation;
+/// delta slices follow the per-shard delta ranges, so the fan-out
+/// partitions along shard boundaries. Both merges — task stagings into
+/// the stage buffers, stage buffers into the state — are shard-wise
+/// ParallelFors: each worker owns one shard across all relations and
+/// folds the task outputs in task order, so no two workers ever write the
+/// same shard and no serial merge runs on the hot path. Task order being
+/// the serial execution order, relations (per-shard row ids included),
+/// stage_sizes(), and stats (apart from the parallel_tasks counter, which
+/// records the fan-out itself) are bit-identical to the num_threads == 1
+/// run at every shard count. Before fan-out, the stage finalizes every
+/// column index its plans will probe (Relation::EnsureIndexed), making
+/// all reads during the stage lock-free.
 class RelationalConsequence {
  public:
   struct Options {
@@ -110,10 +118,17 @@ class RelationalConsequence {
   size_t Step(size_t stage);
 
   /// stage_sizes[idb_index][k] = relation size after productive stage k+1.
-  /// The stage of a tuple at row r is the first k with
-  /// r < stage_sizes[idb][k].
   const std::vector<std::vector<size_t>>& stage_sizes() const {
     return stage_sizes_;
+  }
+
+  /// stage_shard_sizes[idb_index][k][s] = rows in shard s after productive
+  /// stage k+1. The stage of a tuple at RowRef (s, r) is the first k with
+  /// r < stage_shard_sizes[idb][k][s] — the sharded form of the old
+  /// global-row-id rule.
+  const std::vector<std::vector<std::vector<size_t>>>& stage_shard_sizes()
+      const {
+    return stage_shard_sizes_;
   }
 
   const EvalStats& stats() const { return stats_; }
@@ -134,12 +149,13 @@ class RelationalConsequence {
   };
 
   /// One unit of parallel stage work: a plan, optionally restricted to a
-  /// slice of its delta predicate's rows.
+  /// slice of its delta predicate's rows. Sliced tasks carry an index
+  /// into the stage's precomputed per-task delta ranges (built serially
+  /// at partition time, so workers never copy DeltaRanges).
   struct StageTask {
     const RulePlan* plan;
     int head_idb;
-    int slice_idb = -1;  ///< Delta predicate being sliced, or -1.
-    std::pair<size_t, size_t> slice{0, 0};
+    int sliced = -1;  ///< Index into the stage's sliced ranges, or -1.
   };
 
   /// Executes the stage's plans serially, straight into `buffers` (the
@@ -147,8 +163,16 @@ class RelationalConsequence {
   void RunStageSerial(bool full_pass, std::vector<Relation>* buffers);
 
   /// Partitions the stage into tasks, runs them on pool_ into per-task
-  /// staging relations, and merges those into `buffers` in task order.
+  /// sharded staging relations, and folds those into `buffers` with a
+  /// shard-wise ParallelFor (each worker owns one shard, task order
+  /// within the shard).
   void RunStageParallel(bool full_pass, std::vector<Relation>* buffers);
+
+  /// Merges the stage buffers into the state and refreshes the per-shard
+  /// delta ranges; shard-parallel when a pool is running and the batch is
+  /// big enough, serial otherwise — identical output either way. Returns
+  /// the number of new tuples.
+  size_t MergeStageBuffers(const std::vector<Relation>& buffers);
 
   /// Brings every column index the stage's plans will probe up to date,
   /// so all relation reads during the parallel stage are lock-free.
@@ -160,8 +184,10 @@ class RelationalConsequence {
   std::vector<CompiledRule> compiled_;
   DeltaRanges delta_ranges_;
   std::vector<std::vector<size_t>> stage_sizes_;
+  std::vector<std::vector<std::vector<size_t>>> stage_shard_sizes_;
   EvalStats stats_;
   size_t num_threads_ = 1;
+  size_t num_shards_ = 1;
   /// Points at Options::pool_cache when provided, else at own_pool_. The
   /// slot is filled lazily by the first stage that actually fans out; it
   /// stays null when num_threads_ == 1 or every stage is under the serial

@@ -4,11 +4,11 @@
 
 namespace inflog {
 
-IdbState MakeEmptyIdbState(const Program& program) {
+IdbState MakeEmptyIdbState(const Program& program, size_t num_shards) {
   IdbState state;
   state.relations.reserve(program.idb_predicates().size());
   for (uint32_t pred : program.idb_predicates()) {
-    state.relations.emplace_back(program.predicate(pred).arity);
+    state.relations.emplace_back(program.predicate(pred).arity, num_shards);
   }
   return state;
 }

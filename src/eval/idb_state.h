@@ -45,8 +45,10 @@ struct IdbState {
 };
 
 /// An empty state with one relation per IDB predicate of `program`, with
-/// matching arities.
-IdbState MakeEmptyIdbState(const Program& program);
+/// matching arities, each hash-sharded `num_shards` ways (1 = the
+/// unsharded layout; pass EvalContext::num_shards() to match the context
+/// a fixpoint run will evaluate under).
+IdbState MakeEmptyIdbState(const Program& program, size_t num_shards = 1);
 
 /// Coordinatewise intersection of two states (used by the least-fixpoint
 /// test of Theorem 3).

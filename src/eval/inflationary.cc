@@ -5,11 +5,13 @@ namespace inflog {
 size_t InflationaryResult::TupleStage(size_t idb_index,
                                       TupleView tuple) const {
   INFLOG_CHECK(idb_index < state.relations.size());
-  const int64_t row = state.relations[idb_index].Find(tuple);
-  if (row < 0) return 0;
-  const std::vector<size_t>& sizes = stage_sizes[idb_index];
-  for (size_t k = 0; k < sizes.size(); ++k) {
-    if (static_cast<size_t>(row) < sizes[k]) return k + 1;
+  Relation::RowRef ref;
+  if (!state.relations[idb_index].FindRef(tuple, &ref)) return 0;
+  // Shards are append-only, so the tuple entered at the first stage whose
+  // recorded shard size covers its local row id.
+  const auto& by_stage = stage_shard_sizes[idb_index];
+  for (size_t k = 0; k < by_stage.size(); ++k) {
+    if (ref.row < by_stage[k][ref.shard]) return k + 1;
   }
   INFLOG_CHECK(false) << "row beyond recorded stages";
   return 0;
@@ -22,7 +24,7 @@ Result<InflationaryResult> EvalInflationary(
       EvalContext ctx, EvalContext::Create(program, database,
                                            options.context));
   InflationaryResult result;
-  result.state = MakeEmptyIdbState(program);
+  result.state = MakeEmptyIdbState(program, ctx.num_shards());
   SemiNaiveOptions sn;
   sn.max_stages = options.max_stages;
   sn.use_deltas = options.use_seminaive;
@@ -30,6 +32,7 @@ Result<InflationaryResult> EvalInflationary(
   result.num_stages = outcome.num_stages;
   result.converged = outcome.converged;
   result.stage_sizes = std::move(outcome.stage_sizes);
+  result.stage_shard_sizes = std::move(outcome.stage_shard_sizes);
   result.stats = outcome.stats;
   return result;
 }

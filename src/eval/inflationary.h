@@ -38,6 +38,9 @@ struct InflationaryResult {
   bool converged = false;
   /// stage_sizes[idb_index][k] = relation size after stage k+1.
   std::vector<std::vector<size_t>> stage_sizes;
+  /// Per-shard breakdown of stage_sizes (see SemiNaiveOutcome); the
+  /// bookkeeping TupleStage reads row addresses against.
+  std::vector<std::vector<std::vector<size_t>>> stage_shard_sizes;
   EvalStats stats;
 
   /// The 1-based stage at which `tuple` entered relation `idb_index`, or 0

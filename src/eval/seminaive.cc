@@ -22,6 +22,7 @@ SemiNaiveOutcome RunSemiNaive(const EvalContext& ctx,
   out.num_stages = outcome.num_stages;
   out.converged = outcome.converged;
   out.stage_sizes = theta.stage_sizes();
+  out.stage_shard_sizes = theta.stage_shard_sizes();
   out.stats = theta.stats();
   return out;
 }

@@ -55,9 +55,13 @@ struct SemiNaiveOutcome {
   /// True iff the run reached the inductive fixpoint (false only when
   /// max_stages cut it short).
   bool converged = false;
-  /// stage_sizes[idb_index][k] = relation size after stage k+1. The stage
-  /// of a tuple at row r is the first k with r < stage_sizes[idb][k].
+  /// stage_sizes[idb_index][k] = relation size after stage k+1.
   std::vector<std::vector<size_t>> stage_sizes;
+  /// stage_shard_sizes[idb_index][k][s] = rows in shard s after stage
+  /// k+1. The stage of a tuple at Relation::RowRef (s, r) is the first k
+  /// with r < stage_shard_sizes[idb][k][s]; for unsharded relations shard
+  /// 0's entry is the old global rule.
+  std::vector<std::vector<std::vector<size_t>>> stage_shard_sizes;
   EvalStats stats;
 };
 

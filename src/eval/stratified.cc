@@ -15,7 +15,11 @@ Result<StratifiedResult> EvalStratified(const Program& program,
   }
   StratifiedResult result;
   result.num_strata = analysis.num_strata;
-  result.state = MakeEmptyIdbState(program);
+  // The state outlives the per-stratum contexts, so its shard layout is
+  // resolved from the options up front (every stratum's context resolves
+  // to the same count).
+  result.state =
+      MakeEmptyIdbState(program, ResolvedNumShards(options.context));
 
   const size_t num_idb = program.idb_predicates().size();
   // One pool shared across strata (filled lazily by the first stratum

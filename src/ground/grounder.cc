@@ -226,11 +226,14 @@ class RuleGrounder {
       case GroundOp::Kind::kMatchEdb: {
         const Relation& rel = *op.relation;
         std::vector<uint32_t> trail;
-        for (size_t r = 0; r < rel.size(); ++r) {
-          if (MatchRow(op.args, rel.Row(r), &trail)) {
-            INFLOG_RETURN_IF_ERROR(Step(op_index + 1));
-            for (uint32_t v : trail) bindings_[v] = kNoValue;
-            trail.clear();
+        for (size_t s = 0; s < rel.num_shards(); ++s) {
+          const Relation::ShardView view = rel.shard(s);
+          for (size_t r = 0; r < view.size(); ++r) {
+            if (MatchRow(op.args, view.Row(r), &trail)) {
+              INFLOG_RETURN_IF_ERROR(Step(op_index + 1));
+              for (uint32_t v : trail) bindings_[v] = kNoValue;
+              trail.clear();
+            }
           }
         }
         return Status::OK();

@@ -50,6 +50,39 @@ Status Database::AddFactNamed(std::string_view relation,
   return AddFact(relation, tuple);
 }
 
+Status Database::MergeFrom(const Database& other) {
+  if (&other == this) return Status::OK();
+  const bool same_symbols = other.symbols_ == symbols_;
+  if (same_symbols) {
+    for (Value v : other.universe_) AddUniverseValue(v);
+  } else {
+    for (Value v : other.universe_) {
+      AddUniverseValue(symbols_->Intern(other.symbols_->Name(v)));
+    }
+  }
+  for (const auto& [name, rel] : other.relations_) {
+    INFLOG_RETURN_IF_ERROR(DeclareRelation(name, rel.arity()));
+    Relation& dst = relations_.find(name)->second;
+    if (same_symbols) {
+      dst.InsertAll(rel);
+      continue;
+    }
+    // Re-intern tuple values name-by-name into this table.
+    Tuple tuple(rel.arity());
+    for (size_t s = 0; s < rel.num_shards(); ++s) {
+      const Relation::ShardView view = rel.shard(s);
+      for (size_t r = 0; r < view.size(); ++r) {
+        const TupleView row = view.Row(r);
+        for (size_t i = 0; i < row.size(); ++i) {
+          tuple[i] = symbols_->Intern(other.symbols_->Name(row[i]));
+        }
+        dst.Insert(tuple);
+      }
+    }
+  }
+  return Status::OK();
+}
+
 Result<const Relation*> Database::GetRelation(std::string_view name) const {
   auto it = relations_.find(name);
   if (it == relations_.end()) {

@@ -69,6 +69,14 @@ class Database {
   Status AddFactNamed(std::string_view relation,
                       const std::vector<std::string>& constants);
 
+  /// Merges `other` into this database: its universe values, relation
+  /// declarations (created on first sight), and facts. A relation present
+  /// in both with different arities is an error (this database is left
+  /// partially merged in that case — snapshot first if that matters).
+  /// The databases may use different symbol tables; values are then
+  /// re-interned by name.
+  Status MergeFrom(const Database& other);
+
   /// The relation named `name`, or NotFound.
   Result<const Relation*> GetRelation(std::string_view name) const;
 

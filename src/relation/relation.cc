@@ -14,131 +14,211 @@ size_t SlotCapacityFor(size_t n) {
 
 }  // namespace
 
-Relation::Relation(const Relation& other)
-    : arity_(other.arity_),
-      size_(other.size_),
-      data_(other.data_),
-      row_hash_(other.row_hash_),
-      slots_(other.slots_),
-      version_(other.version_) {}
-
-Relation& Relation::operator=(const Relation& other) {
-  if (this == &other) return *this;
-  arity_ = other.arity_;
-  size_ = other.size_;
-  data_ = other.data_;
-  row_hash_ = other.row_hash_;
-  slots_ = other.slots_;
-  version_ = other.version_;
-  col_indexes_.clear();
-  return *this;
+Relation::Relation(size_t arity, size_t num_shards)
+    : arity_(arity),
+      shard_bits_(ShardBitsFor(num_shards == 0 ? 1 : num_shards)) {
+  shards_.resize(size_t{1} << shard_bits_);
 }
 
-void Relation::Rehash(size_t new_capacity) {
+void Relation::RehashShard(Shard* shard, size_t new_capacity) {
   INFLOG_DCHECK((new_capacity & (new_capacity - 1)) == 0);
-  slots_.assign(new_capacity, kEmptySlot);
+  shard->slots.assign(new_capacity, kEmptySlot);
   const size_t mask = new_capacity - 1;
-  for (uint32_t row = 0; row < size_; ++row) {
-    size_t slot = row_hash_[row] & mask;
-    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & mask;
-    slots_[slot] = row;
+  for (uint32_t row = 0; row < shard->size; ++row) {
+    size_t slot = shard->row_hash[row] & mask;
+    while (shard->slots[slot] != kEmptySlot) slot = (slot + 1) & mask;
+    shard->slots[slot] = row;
   }
+}
+
+bool Relation::InsertIntoShard(Shard* shard, TupleView tuple, size_t hash) {
+  // Grow at 7/8 load so probe chains stay short.
+  if (shard->slots.empty() ||
+      (shard->size + 1) * 8 > shard->slots.size() * 7) {
+    RehashShard(shard, SlotCapacityFor((shard->size + 1) * 2));
+  }
+  const size_t mask = shard->slots.size() - 1;
+  size_t slot = hash & mask;
+  while (shard->slots[slot] != kEmptySlot) {
+    const uint32_t row = shard->slots[slot];
+    if (shard->row_hash[row] == hash &&
+        TupleEq()(TupleView(shard->data.data() + size_t{row} * arity_,
+                            arity_),
+                  tuple)) {
+      return false;
+    }
+    slot = (slot + 1) & mask;
+  }
+  shard->slots[slot] = static_cast<uint32_t>(shard->size);
+  shard->data.insert(shard->data.end(), tuple.begin(), tuple.end());
+  shard->row_hash.push_back(hash);
+  ++shard->size;
+  return true;
 }
 
 bool Relation::Insert(TupleView tuple) {
   INFLOG_DCHECK(tuple.size() == arity_)
       << "arity mismatch: " << tuple.size() << " vs " << arity_;
-  // Grow at 7/8 load so probe chains stay short.
-  if (slots_.empty() || (size_ + 1) * 8 > slots_.size() * 7) {
-    Rehash(SlotCapacityFor((size_ + 1) * 2));
-  }
   const size_t hash = HashTuple(tuple);
-  const size_t mask = slots_.size() - 1;
-  size_t slot = hash & mask;
-  while (slots_[slot] != kEmptySlot) {
-    const uint32_t row = slots_[slot];
-    if (row_hash_[row] == hash && TupleEq()(Row(row), tuple)) return false;
-    slot = (slot + 1) & mask;
-  }
-  slots_[slot] = static_cast<uint32_t>(size_);
-  data_.insert(data_.end(), tuple.begin(), tuple.end());
-  row_hash_.push_back(hash);
-  ++size_;
-  ++version_;
-  return true;
+  return InsertIntoShard(&shards_[ShardOf(hash)], tuple, hash);
 }
 
 bool Relation::Contains(TupleView tuple) const {
-  return Find(tuple) >= 0;
+  RowRef ref;
+  return FindRef(tuple, &ref);
+}
+
+bool Relation::FindRef(TupleView tuple, RowRef* ref) const {
+  INFLOG_DCHECK(tuple.size() == arity_);
+  const size_t hash = HashTuple(tuple);
+  const Shard& shard = shards_[ShardOf(hash)];
+  if (shard.slots.empty()) return false;
+  const size_t mask = shard.slots.size() - 1;
+  size_t slot = hash & mask;
+  while (shard.slots[slot] != kEmptySlot) {
+    const uint32_t row = shard.slots[slot];
+    if (shard.row_hash[row] == hash &&
+        TupleEq()(TupleView(shard.data.data() + size_t{row} * arity_,
+                            arity_),
+                  tuple)) {
+      ref->shard = ShardOf(hash);
+      ref->row = row;
+      return true;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return false;
 }
 
 int64_t Relation::Find(TupleView tuple) const {
-  INFLOG_DCHECK(tuple.size() == arity_);
-  if (slots_.empty()) return -1;
-  const size_t hash = HashTuple(tuple);
-  const size_t mask = slots_.size() - 1;
-  size_t slot = hash & mask;
-  while (slots_[slot] != kEmptySlot) {
-    const uint32_t row = slots_[slot];
-    if (row_hash_[row] == hash && TupleEq()(Row(row), tuple)) return row;
-    slot = (slot + 1) & mask;
-  }
-  return -1;
+  RowRef ref;
+  if (!FindRef(tuple, &ref)) return -1;
+  size_t offset = 0;
+  for (uint32_t s = 0; s < ref.shard; ++s) offset += shards_[s].size;
+  return static_cast<int64_t>(offset + ref.row);
 }
 
-void Relation::EnsureIndexed(size_t col) const {
+TupleView Relation::Row(size_t i) const {
+  for (const Shard& shard : shards_) {
+    if (i < shard.size) {
+      return TupleView(shard.data.data() + i * arity_, arity_);
+    }
+    i -= shard.size;
+  }
+  INFLOG_CHECK(false) << "row index out of range";
+  return {};
+}
+
+const Relation::ColumnIndex& Relation::ShardIndex(const Shard& shard,
+                                                  size_t col) const {
   INFLOG_DCHECK(col < arity_) << "index column out of range";
-  if (col_indexes_.size() != arity_) col_indexes_.resize(arity_);
-  std::unique_ptr<ColumnIndex>& index = col_indexes_[col];
+  if (shard.col_indexes.size() != arity_) shard.col_indexes.resize(arity_);
+  std::unique_ptr<ColumnIndex>& index = shard.col_indexes[col];
   if (index == nullptr) index = std::make_unique<ColumnIndex>();
   // When the index is current, this is a pure read — concurrent callers on
   // a frozen relation never write (the guard below is what makes the
   // parallel stage's lock-free reads data-race-free).
-  if (index->rows_indexed == size_) return;
+  if (index->rows_indexed == shard.size) return *index;
   // Append-only: fold in just the rows added since the last call.
-  for (size_t row = index->rows_indexed; row < size_; ++row) {
-    index->postings[data_[row * arity_ + col]].push_back(
+  for (size_t row = index->rows_indexed; row < shard.size; ++row) {
+    index->postings[shard.data[row * arity_ + col]].push_back(
         static_cast<uint32_t>(row));
   }
-  index->rows_indexed = size_;
+  index->rows_indexed = shard.size;
+  return *index;
+}
+
+void Relation::EnsureIndexed(size_t col) const {
+  for (const Shard& shard : shards_) ShardIndex(shard, col);
 }
 
 std::span<const uint32_t> Relation::EqualRows(size_t col, Value value) const {
-  EnsureIndexed(col);
-  const ColumnIndex& index = *col_indexes_[col];
+  // Always-on check: compiling this out would silently return only shard
+  // 0's postings on a sharded relation (dropped join rows, no crash).
+  // The call is not hot — the executor probes via EqualRowsPerShard.
+  INFLOG_CHECK(shards_.size() == 1)
+      << "EqualRows is single-shard only; use EqualRowsPerShard";
+  const ColumnIndex& index = ShardIndex(shards_[0], col);
   auto it = index.postings.find(value);
   if (it == index.postings.end()) return {};
   return std::span<const uint32_t>(it->second.data(), it->second.size());
 }
 
+size_t Relation::EqualRowsPerShard(size_t col, Value value,
+                                   std::span<const uint32_t>* spans) const {
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ColumnIndex& index = ShardIndex(shards_[s], col);
+    auto it = index.postings.find(value);
+    if (it == index.postings.end()) {
+      spans[s] = {};
+      continue;
+    }
+    spans[s] =
+        std::span<const uint32_t>(it->second.data(), it->second.size());
+    total += it->second.size();
+  }
+  return total;
+}
+
 size_t Relation::InsertAll(const Relation& other) {
   INFLOG_DCHECK(other.arity_ == arity_);
+  if (&other == this) return 0;  // self-union adds nothing (and iterating
+                                 // a relation while growing it is UB)
   size_t added = 0;
-  for (size_t i = 0; i < other.size(); ++i) {
-    if (Insert(other.Row(i))) ++added;
+  for (const Shard& src : other.shards_) {
+    for (size_t row = 0; row < src.size; ++row) {
+      // Tuple hashes are shard-count independent; reuse the source cache.
+      const size_t hash = src.row_hash[row];
+      const TupleView tuple(src.data.data() + row * arity_, arity_);
+      if (InsertIntoShard(&shards_[ShardOf(hash)], tuple, hash)) ++added;
+    }
+  }
+  return added;
+}
+
+size_t Relation::MergeShardFrom(const Relation& other, size_t s) {
+  INFLOG_DCHECK(other.arity_ == arity_);
+  INFLOG_DCHECK(other.shards_.size() == shards_.size())
+      << "shard-wise merge requires matching shard counts";
+  INFLOG_DCHECK(&other != this);
+  const Shard& src = other.shards_[s];
+  Shard& dst = shards_[s];
+  size_t added = 0;
+  for (size_t row = 0; row < src.size; ++row) {
+    const TupleView tuple(src.data.data() + row * arity_, arity_);
+    if (InsertIntoShard(&dst, tuple, src.row_hash[row])) ++added;
   }
   return added;
 }
 
 bool Relation::IsSubsetOf(const Relation& other) const {
   if (arity_ != other.arity_) return false;
-  if (size_ > other.size_) return false;
-  for (size_t i = 0; i < size_; ++i) {
-    if (!other.Contains(Row(i))) return false;
+  if (size() > other.size()) return false;
+  for (const Shard& shard : shards_) {
+    for (size_t row = 0; row < shard.size; ++row) {
+      if (!other.Contains(
+              TupleView(shard.data.data() + row * arity_, arity_))) {
+        return false;
+      }
+    }
   }
   return true;
 }
 
 bool Relation::operator==(const Relation& other) const {
-  return arity_ == other.arity_ && size_ == other.size_ && IsSubsetOf(other);
+  return arity_ == other.arity_ && size() == other.size() &&
+         IsSubsetOf(other);
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> rows;
-  rows.reserve(size_);
-  for (size_t i = 0; i < size_; ++i) {
-    TupleView row = Row(i);
-    rows.emplace_back(row.begin(), row.end());
+  rows.reserve(size());
+  for (const Shard& shard : shards_) {
+    for (size_t row = 0; row < shard.size; ++row) {
+      const Value* begin = shard.data.data() + row * arity_;
+      rows.emplace_back(begin, begin + arity_);
+    }
   }
   std::sort(rows.begin(), rows.end());
   return rows;

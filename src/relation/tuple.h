@@ -32,6 +32,25 @@ inline size_t HashTuple(TupleView tuple) {
   return static_cast<size_t>(h);
 }
 
+/// Number of shard-index bits for a relation with `num_shards` shards
+/// (num_shards is rounded up to a power of two by the Relation ctor).
+inline uint32_t ShardBitsFor(size_t num_shards) {
+  uint32_t bits = 0;
+  while ((size_t{1} << bits) < num_shards) ++bits;
+  return bits;
+}
+
+/// The shard a tuple with hash `hash` belongs to, out of 2^shard_bits.
+/// Uses the top bits of a Fibonacci remix so the shard choice is
+/// independent of the low bits that open-addressing slots consume; stable
+/// across platforms (all arithmetic is explicit 64-bit).
+inline uint32_t ShardOfHash(size_t hash, uint32_t shard_bits) {
+  if (shard_bits == 0) return 0;
+  const uint64_t mixed =
+      static_cast<uint64_t>(hash) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<uint32_t>(mixed >> (64 - shard_bits));
+}
+
 /// Transparent hash functor for Tuple/TupleView keys.
 struct TupleHash {
   using is_transparent = void;

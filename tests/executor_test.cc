@@ -155,7 +155,8 @@ TEST_F(ExecutorFixture, DeltaScanRestrictsToRange) {
       DeltaCandidates(*program_, program_->rules()[0], all_dynamic);
   ASSERT_EQ(candidates.size(), 1u);
   RulePlan plan = PlanRule(*program_, 0, all_dynamic, candidates[0]);
-  DeltaRanges deltas{{s.size() - 1, s.size()}};  // only (3,4) is "new"
+  // Only (3,4) is "new" (one shard — per-shard ranges with one entry).
+  DeltaRanges deltas{{{s.size() - 1, s.size()}}};
   Relation out(2);
   EvalStats stats;
   ExecutePlan(*ctx_, plan, state, &deltas, &out, &stats);

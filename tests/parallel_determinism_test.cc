@@ -1,13 +1,23 @@
-// Parallel-determinism tests: the partitioned fixpoint stage against the
-// serial path.
+// Parallel-determinism tests: the partitioned, shard-merged fixpoint
+// stage against the serial path.
 //
-// EvalContextOptions::num_threads > 1 splits every stage into (rule plan ×
-// delta-row slice) tasks over a base::ThreadPool with a worker-ordered
-// merge. That merge order is the serial execution order, so relations
-// (including row ids), stage counts, stage_sizes, and the executor stats
-// must all be bit-identical to num_threads == 1 — for every thread count,
-// on every semantics. These tests hold that invariant on the randomized
-// programs of index_correctness_test.cc.
+// EvalContextOptions::num_threads > 1 splits every stage into (rule plan
+// × delta slice) tasks over a base::ThreadPool; num_shards > 1
+// hash-shards the IDB relations so both stage merges (task stagings into
+// stage buffers, stage buffers into the state) run as shard-wise
+// ParallelFors with no serial merge. The ordered shard-wise merge
+// reproduces the serial execution order within every shard, so:
+//
+//   * for a fixed shard count, relations are bit-identical — row ids
+//     included — across every thread count;
+//   * across shard counts, the relations are equal as sets (sharding
+//     changes only where a row lives), and stage counts, stage_sizes,
+//     per-tuple stages (TupleStage) and every executor stat except the
+//     fan-out bookkeeping (parallel_tasks) are bit-identical.
+//
+// These tests hold both invariants over {1,2,4,8} threads × {1,2,8}
+// shards on all four semantics, on the randomized programs of
+// index_correctness_test.cc.
 //
 // Data-race coverage: build with ThreadSanitizer and run this binary (and
 // the relation/executor tests) —
@@ -36,7 +46,8 @@
 namespace inflog {
 namespace {
 
-const size_t kThreadCounts[] = {2, 4, 8};
+const size_t kThreadCounts[] = {1, 2, 4, 8};
+const size_t kShardCounts[] = {1, 2, 8};
 
 /// A database of random facts over `num_symbols` constants for the EDB
 /// relations A/2, B/2, C/2, D/2 and S/1 (mirrors index_correctness_test).
@@ -63,27 +74,61 @@ Database RandomFactDb(uint64_t seed, size_t num_symbols, size_t num_facts) {
 }
 
 /// Join-heavy rules with negation — single- and multi-column keys all
-/// appear in the compiled plans, so both the index-intersection path and
-/// the slicing path are exercised.
+/// appear in the compiled plans, so the index-intersection path and the
+/// slicing path are both exercised.
 constexpr char kJoinProgram[] =
     "J(X,Z) :- A(X,Y), B(Y,Z).\n"
     "K(X,W) :- J(X,Z), C(Z,W), !D(X,W).\n"
     "L(X) :- K(X,X).\n"
     "M(X,Y) :- J(X,Y), J(Y,X), !L(X).\n";
 
-/// Row-by-row equality: parallel runs must reproduce the serial insertion
-/// order, not just the same set (stage bookkeeping reads off row ids).
-void ExpectSameRows(const IdbState& serial, const IdbState& parallel) {
-  ASSERT_EQ(serial.relations.size(), parallel.relations.size());
-  for (size_t i = 0; i < serial.relations.size(); ++i) {
-    const Relation& s = serial.relations[i];
-    const Relation& p = parallel.relations[i];
-    ASSERT_EQ(s.size(), p.size()) << "relation " << i;
-    for (size_t r = 0; r < s.size(); ++r) {
-      ASSERT_TRUE(TupleEq()(s.Row(r), p.Row(r)))
+/// Row-by-row equality: for a fixed shard count, every thread count must
+/// reproduce the reference's per-shard insertion order, not just the same
+/// set (stage bookkeeping reads off per-shard row ids). Row(i) linearizes
+/// shards in shard-major order, so global row-for-row equality between
+/// equal-shard-count states is exactly per-shard row identity.
+void ExpectSameRows(const IdbState& reference, const IdbState& candidate) {
+  ASSERT_EQ(reference.relations.size(), candidate.relations.size());
+  for (size_t i = 0; i < reference.relations.size(); ++i) {
+    const Relation& a = reference.relations[i];
+    const Relation& b = candidate.relations[i];
+    ASSERT_EQ(a.num_shards(), b.num_shards()) << "relation " << i;
+    ASSERT_EQ(a.size(), b.size()) << "relation " << i;
+    for (size_t r = 0; r < a.size(); ++r) {
+      ASSERT_TRUE(TupleEq()(a.Row(r), b.Row(r)))
           << "relation " << i << " row " << r << " differs";
     }
   }
+}
+
+/// Set equality plus canonical order: the cross-shard-count invariant
+/// (sharding moves rows between shards but cannot change the set).
+void ExpectSameSets(const IdbState& reference, const IdbState& candidate) {
+  ASSERT_EQ(reference.relations.size(), candidate.relations.size());
+  for (size_t i = 0; i < reference.relations.size(); ++i) {
+    EXPECT_EQ(reference.relations[i].SortedTuples(),
+              candidate.relations[i].SortedTuples())
+        << "relation " << i;
+  }
+}
+
+/// Every counter except parallel_tasks (which records the fan-out itself,
+/// so it necessarily varies with the thread/shard configuration) must be
+/// identical: the partition decides where work runs, never what runs.
+void ExpectSameStats(const EvalStats& reference, const EvalStats& candidate,
+                     const std::string& config) {
+  EXPECT_EQ(reference.stages, candidate.stages) << config;
+  EXPECT_EQ(reference.derivations, candidate.derivations) << config;
+  EXPECT_EQ(reference.new_tuples, candidate.new_tuples) << config;
+  EXPECT_EQ(reference.rows_matched, candidate.rows_matched) << config;
+  EXPECT_EQ(reference.index_lookups, candidate.index_lookups) << config;
+  EXPECT_EQ(reference.intersections, candidate.intersections) << config;
+  EXPECT_EQ(reference.enumerations, candidate.enumerations) << config;
+}
+
+std::string ConfigName(size_t threads, size_t shards) {
+  return "threads=" + std::to_string(threads) +
+         " shards=" + std::to_string(shards);
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<int> {};
@@ -94,28 +139,49 @@ TEST_P(ParallelDeterminism, InflationaryMatchesSerialBitForBit) {
 
   InflationaryOptions serial_opts;
   serial_opts.context.num_threads = 1;
+  serial_opts.context.num_shards = 1;
   auto serial = EvalInflationary(program, db, serial_opts);
   ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->stats.parallel_tasks, 0u);
 
-  for (size_t threads : kThreadCounts) {
-    InflationaryOptions par_opts;
-    par_opts.context.num_threads = threads;
-    auto parallel = EvalInflationary(program, db, par_opts);
-    ASSERT_TRUE(parallel.ok());
+  for (size_t shards : kShardCounts) {
+    // Per-shard-count reference: the threads=1 run at this shard count.
+    // Every thread count must then match it row for row.
+    InflationaryOptions ref_opts;
+    ref_opts.context.num_threads = 1;
+    ref_opts.context.num_shards = shards;
+    auto reference = EvalInflationary(program, db, ref_opts);
+    ASSERT_TRUE(reference.ok());
+    ExpectSameSets(serial->state, reference->state);
 
-    ExpectSameRows(serial->state, parallel->state);
-    EXPECT_EQ(serial->num_stages, parallel->num_stages) << threads;
-    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << threads;
-    // The stage partition must not change what the executor does, only
-    // where it runs: every counter except the fan-out bookkeeping agrees.
-    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
-    EXPECT_EQ(serial->stats.new_tuples, parallel->stats.new_tuples);
-    EXPECT_EQ(serial->stats.rows_matched, parallel->stats.rows_matched);
-    EXPECT_EQ(serial->stats.index_lookups, parallel->stats.index_lookups);
-    EXPECT_EQ(serial->stats.intersections, parallel->stats.intersections);
-    EXPECT_EQ(serial->stats.enumerations, parallel->stats.enumerations);
-    EXPECT_EQ(serial->stats.parallel_tasks, 0u);
-    EXPECT_GT(parallel->stats.parallel_tasks, 0u);
+    for (size_t threads : kThreadCounts) {
+      const std::string config = ConfigName(threads, shards);
+      InflationaryOptions par_opts;
+      par_opts.context.num_threads = threads;
+      par_opts.context.num_shards = shards;
+      auto parallel = EvalInflationary(program, db, par_opts);
+      ASSERT_TRUE(parallel.ok()) << config;
+
+      ExpectSameRows(reference->state, parallel->state);
+      ExpectSameSets(serial->state, parallel->state);
+      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+      ExpectSameStats(serial->stats, parallel->stats, config);
+      if (threads > 1) {
+        EXPECT_GT(parallel->stats.parallel_tasks, 0u) << config;
+      } else {
+        EXPECT_EQ(parallel->stats.parallel_tasks, 0u) << config;
+      }
+
+      // The stage at which each tuple entered — the semantics Proposition
+      // 2 reads distances off — is configuration-invariant too.
+      for (size_t i = 0; i < serial->state.relations.size(); ++i) {
+        for (const Tuple& t : serial->state.relations[i].SortedTuples()) {
+          EXPECT_EQ(serial->TupleStage(i, t), parallel->TupleStage(i, t))
+              << config << " relation " << i;
+        }
+      }
+    }
   }
 }
 
@@ -131,21 +197,28 @@ TEST_P(ParallelDeterminism, NaiveDriverMatchesSerial) {
   auto serial = EvalInflationary(program, db, serial_opts);
   ASSERT_TRUE(serial.ok());
 
-  for (size_t threads : kThreadCounts) {
-    InflationaryOptions par_opts;
-    par_opts.use_seminaive = false;
-    par_opts.context.num_threads = threads;
-    auto parallel = EvalInflationary(program, db, par_opts);
-    ASSERT_TRUE(parallel.ok());
-    ExpectSameRows(serial->state, parallel->state);
-    EXPECT_EQ(serial->num_stages, parallel->num_stages);
-    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes);
-    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
+  for (size_t shards : kShardCounts) {
+    for (size_t threads : kThreadCounts) {
+      const std::string config = ConfigName(threads, shards);
+      InflationaryOptions par_opts;
+      par_opts.use_seminaive = false;
+      par_opts.context.num_threads = threads;
+      par_opts.context.num_shards = shards;
+      auto parallel = EvalInflationary(program, db, par_opts);
+      ASSERT_TRUE(parallel.ok()) << config;
+      ExpectSameSets(serial->state, parallel->state);
+      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+      EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations)
+          << config;
+    }
   }
 }
 
 TEST_P(ParallelDeterminism, TransitiveClosureManyStagesManySlices) {
-  // Larger delta ranges so stages genuinely split into several row slices.
+  // Larger delta ranges so stages genuinely split into several slices —
+  // and, at 2/8 shards, into shard-aligned slices with a shard-parallel
+  // merge on every stage.
   Rng rng(8000 + GetParam());
   const size_t n = 48;
   const Digraph g = RandomDigraph(n, 3.0 / n, &rng);
@@ -161,15 +234,19 @@ TEST_P(ParallelDeterminism, TransitiveClosureManyStagesManySlices) {
   auto serial = EvalInflationary(program, db, serial_opts);
   ASSERT_TRUE(serial.ok());
 
-  for (size_t threads : kThreadCounts) {
-    InflationaryOptions par_opts;
-    par_opts.context.num_threads = threads;
-    auto parallel = EvalInflationary(program, db, par_opts);
-    ASSERT_TRUE(parallel.ok());
-    ExpectSameRows(serial->state, parallel->state);
-    EXPECT_EQ(serial->num_stages, parallel->num_stages);
-    EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes);
-    EXPECT_EQ(serial->stats.rows_matched, parallel->stats.rows_matched);
+  for (size_t shards : kShardCounts) {
+    for (size_t threads : kThreadCounts) {
+      const std::string config = ConfigName(threads, shards);
+      InflationaryOptions par_opts;
+      par_opts.context.num_threads = threads;
+      par_opts.context.num_shards = shards;
+      auto parallel = EvalInflationary(program, db, par_opts);
+      ASSERT_TRUE(parallel.ok()) << config;
+      ExpectSameSets(serial->state, parallel->state);
+      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+      ExpectSameStats(serial->stats, parallel->stats, config);
+    }
   }
 }
 
@@ -192,8 +269,9 @@ std::string RandomFactText(uint64_t seed, size_t num_symbols,
 
 TEST_P(ParallelDeterminism, AllFourSemanticsThroughEngine) {
   // The unified entry point: every semantics must answer identically for
-  // every thread count (well-founded and stable run the grounded pipeline,
-  // where num_threads is inert by design — asserted all the same).
+  // every (threads, shards) combination (well-founded and stable run the
+  // grounded pipeline, where both knobs are inert by design — asserted
+  // all the same).
   const std::string program_text =
       "R(X) :- S(X).\n"
       "R(Y) :- R(X), A(X,Y).\n"
@@ -208,21 +286,32 @@ TEST_P(ParallelDeterminism, AllFourSemanticsThroughEngine) {
 
     EvalOptions serial_opts;
     serial_opts.num_threads = 1;
+    serial_opts.num_shards = 1;
     auto serial = engine.Evaluate(kind, serial_opts);
     ASSERT_TRUE(serial.ok()) << SemanticsKindName(kind);
 
-    for (size_t threads : kThreadCounts) {
-      EvalOptions par_opts;
-      par_opts.num_threads = threads;
-      auto parallel = engine.Evaluate(kind, par_opts);
-      ASSERT_TRUE(parallel.ok()) << SemanticsKindName(kind);
-      ExpectSameRows(serial->state(), parallel->state());
-      if (kind == SemanticsKind::kStable) {
-        const auto& sm = std::get<StableResult>(serial->detail);
-        const auto& pm = std::get<StableResult>(parallel->detail);
-        ASSERT_EQ(sm.models.size(), pm.models.size());
-        for (size_t m = 0; m < sm.models.size(); ++m) {
-          EXPECT_EQ(sm.models[m], pm.models[m]) << "stable model " << m;
+    for (size_t shards : kShardCounts) {
+      for (size_t threads : kThreadCounts) {
+        const std::string config =
+            std::string(SemanticsKindName(kind)) + " " +
+            ConfigName(threads, shards);
+        EvalOptions par_opts;
+        par_opts.num_threads = threads;
+        par_opts.num_shards = shards;
+        auto parallel = engine.Evaluate(kind, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
+        ExpectSameSets(serial->state(), parallel->state());
+        if (serial->stats() != nullptr) {
+          ExpectSameStats(*serial->stats(), *parallel->stats(), config);
+        }
+        if (kind == SemanticsKind::kStable) {
+          const auto& sm = std::get<StableResult>(serial->detail);
+          const auto& pm = std::get<StableResult>(parallel->detail);
+          ASSERT_EQ(sm.models.size(), pm.models.size()) << config;
+          for (size_t m = 0; m < sm.models.size(); ++m) {
+            EXPECT_EQ(sm.models[m], pm.models[m])
+                << config << " stable model " << m;
+          }
         }
       }
     }
@@ -247,14 +336,42 @@ TEST_P(ParallelDeterminism, StratifiedMatchesSerial) {
   auto serial = EvalStratified(program, db, serial_opts);
   ASSERT_TRUE(serial.ok());
 
-  for (size_t threads : kThreadCounts) {
-    StratifiedOptions par_opts;
-    par_opts.context.num_threads = threads;
-    auto parallel = EvalStratified(program, db, par_opts);
-    ASSERT_TRUE(parallel.ok());
-    ExpectSameRows(serial->state, parallel->state);
-    EXPECT_EQ(serial->num_strata, parallel->num_strata);
-    EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations);
+  for (size_t shards : kShardCounts) {
+    for (size_t threads : kThreadCounts) {
+      const std::string config = ConfigName(threads, shards);
+      StratifiedOptions par_opts;
+      par_opts.context.num_threads = threads;
+      par_opts.context.num_shards = shards;
+      auto parallel = EvalStratified(program, db, par_opts);
+      ASSERT_TRUE(parallel.ok()) << config;
+      ExpectSameSets(serial->state, parallel->state);
+      EXPECT_EQ(serial->num_strata, parallel->num_strata) << config;
+      ExpectSameStats(serial->stats, parallel->stats, config);
+    }
+  }
+}
+
+TEST_P(ParallelDeterminism, AutoShardsMatchExplicit) {
+  // num_shards = 0 resolves to one shard per resolved thread; whatever it
+  // picks, results must equal the unsharded serial run.
+  Database db = RandomFactDb(7600 + GetParam(), 10, 80);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  InflationaryOptions auto_opts;
+  auto_opts.context.num_threads = 4;
+  auto_opts.context.num_shards = 0;  // auto
+  auto parallel = EvalInflationary(program, db, auto_opts);
+  ASSERT_TRUE(parallel.ok());
+  ExpectSameSets(serial->state, parallel->state);
+  EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes);
+  ExpectSameStats(serial->stats, parallel->stats, "auto shards");
+  for (const Relation& rel : parallel->state.relations) {
+    EXPECT_EQ(rel.num_shards(), 4u);
   }
 }
 

@@ -202,6 +202,225 @@ TEST(ColumnIndexTest, AgreesWithScanOnDenseData) {
   }
 }
 
+// --- Sharded relations -----------------------------------------------------
+
+/// Oracle: count of rows with column `col` equal to `v`, by full scan
+/// through the shard views.
+size_t ScanCount(const Relation& r, size_t col, Value v) {
+  size_t count = 0;
+  for (size_t s = 0; s < r.num_shards(); ++s) {
+    const Relation::ShardView view = r.shard(s);
+    for (size_t row = 0; row < view.size(); ++row) {
+      if (view.Row(row)[col] == v) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(ShardedRelationTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(Relation(2, 0).num_shards(), 1u);
+  EXPECT_EQ(Relation(2, 1).num_shards(), 1u);
+  EXPECT_EQ(Relation(2, 3).num_shards(), 4u);
+  EXPECT_EQ(Relation(2, 8).num_shards(), 8u);
+}
+
+TEST(ShardedRelationTest, SetBehaviorIsShardCountInvariant) {
+  Relation one(2, 1), four(2, 4), eight(2, 8);
+  for (Value i = 0; i < 40; ++i) {
+    const Tuple t{i % 11, i % 7};
+    const bool fresh = one.Insert(t);
+    EXPECT_EQ(four.Insert(t), fresh);
+    EXPECT_EQ(eight.Insert(t), fresh);
+  }
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(four, eight);
+  EXPECT_EQ(one.SortedTuples(), four.SortedTuples());
+  EXPECT_EQ(one.SortedTuples(), eight.SortedTuples());
+  EXPECT_TRUE(four.Contains(Tuple{3, 3}));
+  EXPECT_FALSE(four.Contains(Tuple{12, 0}));
+}
+
+TEST(ShardedRelationTest, ShardViewsPartitionRowsByHash) {
+  Relation r(2, 8);
+  for (Value i = 0; i < 100; ++i) r.Insert(Tuple{i, i + 1});
+  size_t total = 0;
+  for (size_t s = 0; s < r.num_shards(); ++s) {
+    const Relation::ShardView view = r.shard(s);
+    EXPECT_EQ(view.size(), r.ShardSize(s));
+    total += view.size();
+    for (size_t row = 0; row < view.size(); ++row) {
+      // Every row sits in the shard its tuple hash names.
+      EXPECT_EQ(ShardOfHash(HashTuple(view.Row(row)), ShardBitsFor(8)), s);
+    }
+  }
+  EXPECT_EQ(total, r.size());
+  // With 100 rows over 8 shards the hash should populate several shards.
+  size_t populated = 0;
+  for (size_t s = 0; s < r.num_shards(); ++s) {
+    if (r.ShardSize(s) > 0) ++populated;
+  }
+  EXPECT_GT(populated, 4u);
+}
+
+TEST(ShardedRelationTest, FindRefRoundTripsAndFindLinearizes) {
+  Relation r(1, 4);
+  for (Value i = 0; i < 30; ++i) r.Insert(Tuple{i});
+  for (Value i = 0; i < 30; ++i) {
+    Relation::RowRef ref;
+    ASSERT_TRUE(r.FindRef(Tuple{i}, &ref));
+    EXPECT_EQ(r.RowAt(ref)[0], i);
+    const int64_t global = r.Find(Tuple{i});
+    ASSERT_GE(global, 0);
+    EXPECT_EQ(r.Row(static_cast<size_t>(global))[0], i);
+  }
+  Relation::RowRef ref;
+  EXPECT_FALSE(r.FindRef(Tuple{99}, &ref));
+  EXPECT_EQ(r.Find(Tuple{99}), -1);
+}
+
+TEST(ShardedRelationTest, EqualRowsPerShardMatchesScan) {
+  Relation r(2, 8);
+  for (Value i = 0; i < 60; ++i) r.Insert(Tuple{i % 5, i});
+  std::vector<std::span<const uint32_t>> spans(r.num_shards());
+  for (Value v = 0; v < 6; ++v) {
+    const size_t total = r.EqualRowsPerShard(0, v, spans.data());
+    EXPECT_EQ(total, ScanCount(r, 0, v)) << "value " << v;
+    size_t from_spans = 0;
+    for (size_t s = 0; s < r.num_shards(); ++s) {
+      const Relation::ShardView view = r.shard(s);
+      uint32_t prev = 0;
+      for (size_t k = 0; k < spans[s].size(); ++k) {
+        const uint32_t row = spans[s][k];
+        if (k > 0) {
+          EXPECT_GT(row, prev);  // ascending local order
+        }
+        prev = row;
+        EXPECT_EQ(view.Row(row)[0], v);
+        ++from_spans;
+      }
+    }
+    EXPECT_EQ(from_spans, total);
+  }
+}
+
+TEST(ShardedRelationTest, MergeShardFromEqualsInsertAll) {
+  Relation src(2, 4);
+  for (Value i = 0; i < 50; ++i) src.Insert(Tuple{i % 13, i % 9});
+  Relation via_insert_all(2, 4), via_shards(2, 4);
+  // Pre-populate both destinations identically so the merge sees dups.
+  for (Value i = 0; i < 10; ++i) {
+    via_insert_all.Insert(Tuple{i, i});
+    via_shards.Insert(Tuple{i, i});
+  }
+  const size_t added_all = via_insert_all.InsertAll(src);
+  size_t added_shards = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    added_shards += via_shards.MergeShardFrom(src, s);
+  }
+  EXPECT_EQ(added_all, added_shards);
+  EXPECT_EQ(via_insert_all, via_shards);
+  // Shard-wise merge preserves the per-shard layout exactly.
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(via_insert_all.ShardSize(s), via_shards.ShardSize(s));
+  }
+}
+
+TEST(ShardedRelationTest, InsertAllAcrossShardCounts) {
+  Relation src(2, 8);
+  for (Value i = 0; i < 40; ++i) src.Insert(Tuple{i, i % 3});
+  Relation dst(2, 1);
+  EXPECT_EQ(dst.InsertAll(src), 40u);
+  EXPECT_EQ(dst, src);
+  Relation back(2, 2);
+  EXPECT_EQ(back.InsertAll(dst), 40u);
+  EXPECT_EQ(back, src);
+}
+
+TEST(ShardedRelationTest, CopyDropsIndexesKeepsShards) {
+  Relation r(2, 4);
+  for (Value i = 0; i < 20; ++i) r.Insert(Tuple{i % 4, i});
+  r.EnsureIndexed(0);
+  Relation copy = r;
+  EXPECT_EQ(copy.num_shards(), 4u);
+  EXPECT_EQ(copy, r);
+  std::vector<std::span<const uint32_t>> spans(copy.num_shards());
+  EXPECT_EQ(copy.EqualRowsPerShard(0, 2, spans.data()),
+            ScanCount(copy, 0, 2));  // rebuilt lazily
+  copy.Insert(Tuple{100, 100});
+  EXPECT_EQ(r.size(), 20u);  // original untouched
+}
+
+// --- InsertAll under rehash + incremental index extension ------------------
+// (regression coverage for the bulk-insert edge cases: duplicate-heavy
+// batches that force open-addressing rehashes and index catch-up in the
+// same call, and the formerly undefined self-insert.)
+
+TEST(RelationInsertAllStressTest, SelfInsertIsNoop) {
+  Relation r(2, 2);
+  for (Value i = 0; i < 100; ++i) r.Insert(Tuple{i, i});
+  // Inserting a relation into itself used to iterate rows while growing
+  // the underlying buffers (reallocation UB); it is now a guarded no-op.
+  EXPECT_EQ(r.InsertAll(r), 0u);
+  EXPECT_EQ(r.size(), 100u);
+}
+
+TEST(RelationInsertAllStressTest, DuplicateHeavyBulkInsertWithRehash) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    Relation r(2, shards);
+    // Seed a few rows and build column 0's index so the bulk insert must
+    // extend it incrementally afterwards.
+    for (Value i = 0; i < 10; ++i) r.Insert(Tuple{i % 3, i});
+    r.EnsureIndexed(0);
+
+    // A duplicate-heavy batch (every tuple appears 4 times) far larger
+    // than the seeded capacity: inserting it forces several slot-array
+    // rehashes while the column index lags behind.
+    Relation batch(2, shards == 1 ? 4 : 1);  // mismatched shard layouts too
+    size_t distinct_new = 0;
+    for (Value round = 0; round < 4; ++round) {
+      for (Value i = 0; i < 600; ++i) {
+        if (batch.Insert(Tuple{i % 3, i}) && i >= 10) ++distinct_new;
+      }
+    }
+    const size_t added = r.InsertAll(batch);
+    EXPECT_EQ(added, distinct_new) << "shards=" << shards;
+    EXPECT_EQ(r.size(), 600u) << "shards=" << shards;
+
+    // Membership, postings and canonical order must all agree with a
+    // fresh scan after the rehash + index catch-up.
+    std::vector<std::span<const uint32_t>> spans(r.num_shards());
+    for (Value v = 0; v < 4; ++v) {
+      EXPECT_EQ(r.EqualRowsPerShard(0, v, spans.data()), ScanCount(r, 0, v))
+          << "shards=" << shards << " value " << v;
+    }
+    for (Value i = 0; i < 600; ++i) {
+      EXPECT_TRUE(r.Contains(Tuple{i % 3, i})) << "shards=" << shards;
+    }
+    // Re-inserting the whole batch is pure duplicates.
+    EXPECT_EQ(r.InsertAll(batch), 0u) << "shards=" << shards;
+  }
+}
+
+TEST(RelationInsertAllStressTest, InterleavedGrowthKeepsIndexCurrent) {
+  // Alternate index reads and bulk inserts so every EqualRowsPerShard
+  // call extends the postings by exactly the suffix appended since the
+  // previous call — across rehashes.
+  Relation r(1, 2);
+  std::vector<std::span<const uint32_t>> spans(r.num_shards());
+  for (Value round = 0; round < 6; ++round) {
+    Relation batch(1, 2);
+    for (Value i = 0; i < 64; ++i) {
+      batch.Insert(Tuple{round * 64 + i});
+      batch.Insert(Tuple{round * 64 + i});  // in-batch duplicate
+    }
+    EXPECT_EQ(r.InsertAll(batch), 64u);
+    for (Value probe = 0; probe <= round; ++probe) {
+      EXPECT_EQ(r.EqualRowsPerShard(0, probe * 64, spans.data()), 1u);
+    }
+  }
+  EXPECT_EQ(r.size(), 6u * 64u);
+}
+
 TEST(DatabaseTest, AddFactDeclaresAndFillsUniverse) {
   Database db;
   const Value a = db.symbols().Intern("a");
