@@ -1,23 +1,32 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E10) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E11) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
-#   {"bench":"e7_distance_query","threads":8,"shards":1,"context":{...},
-#    "benchmarks":[...]}
+#   {"bench":"e7_distance_query","threads":8,"shards":1,
+#    "scheduler":"static","context":{...},"benchmarks":[...]}
 #
-# `threads` and `shards` record the evaluation thread and relation-shard
-# counts the bench binaries were run with. The benches default to
-# num_threads=1 / num_shards=1 (E1..E8 are serial and unsharded; E9
-# sweeps thread counts and E10 sweeps (threads, shards) per series,
-# carried in their *counters*), so both fields default to 1 — set
-# INFLOG_THREADS=N / INFLOG_SHARDS=S only when actually running a
-# build/flag combination that evaluates with those values.
+# `threads`, `shards`, and `scheduler` record the evaluation thread
+# count, relation-shard count, and stage scheduler the bench binaries
+# were run with. The benches default to num_threads=1 / num_shards=1 /
+# the static scheduler (E1..E8 are serial and unsharded; E9 sweeps
+# thread counts, E10 sweeps (threads, shards), and E11 sweeps (threads,
+# scheduler) per series, carried in their *counters*), so the fields
+# default to 1/1/static — set INFLOG_THREADS=N / INFLOG_SHARDS=S /
+# INFLOG_SCHEDULER=stealing only when actually running a build/flag
+# combination that evaluates with those values.
 #
 # Usage:
-#   bench/run_all.sh [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
+#   bench/run_all.sh [--smoke] [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
+#
+# --smoke runs every series for a single short repetition
+# (--benchmark_min_time=0.01): a cheap CI-sized sweep whose only job is
+# to prove each bench binary still builds, runs, and passes its built-in
+# serial cross-checks. Timing numbers from a smoke run are NOT
+# trajectory material.
 #
 # Examples:
 #   bench/run_all.sh                           # default build dir ./build
+#   bench/run_all.sh --smoke build             # CI smoke sweep
 #   bench/run_all.sh build --benchmark_min_time=0.05   # quicker sweep
 #   bench/run_all.sh build --benchmark_filter=JoinCore # one series
 #
@@ -27,6 +36,12 @@
 # Requires jq (used only to compact the benchmark JSON onto one line).
 
 set -euo pipefail
+
+smoke=0
+if [ "${1:-}" = "--smoke" ]; then
+  smoke=1
+  shift
+fi
 
 build_dir="${1:-build}"
 if [ $# -gt 0 ]; then shift; fi
@@ -54,13 +69,28 @@ case "$shards" in
     ;;
 esac
 
+scheduler="${INFLOG_SCHEDULER:-static}"
+case "$scheduler" in
+  static|stealing) ;;
+  *)
+    echo "error: INFLOG_SCHEDULER must be 'static' or 'stealing'," \
+      "got '$scheduler'" >&2
+    exit 1
+    ;;
+esac
+
+smoke_args=()
+if [ "$smoke" -eq 1 ]; then
+  smoke_args=(--benchmark_min_time=0.01)
+fi
+
 found=0
 status=0
 for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
   [ -x "$bin" ] || continue
   found=1
   name="$(basename "$bin")"
-  if ! out="$("$bin" --benchmark_format=json "$@" 2>/dev/null)"; then
+  if ! out="$("$bin" --benchmark_format=json ${smoke_args[@]+"${smoke_args[@]}"} "$@" 2>/dev/null)"; then
     echo "error: $name failed (bad flags or crashed)" >&2
     status=1
     continue
@@ -69,13 +99,14 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
     printf \
-      '{"bench":"%s","threads":%s,"shards":%s,"context":null,"benchmarks":[]}\n' \
-      "$name" "$threads" "$shards"
+      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","context":null,"benchmarks":[]}\n' \
+      "$name" "$threads" "$shards" "$scheduler"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
-    --argjson shards "$shards" \
+    --argjson shards "$shards" --arg scheduler "$scheduler" \
     '{bench: $bench, threads: $threads, shards: $shards,
+      scheduler: $scheduler,
       context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 

@@ -2,8 +2,9 @@
 // under a chosen semantics — the downstream-user entry point.
 //
 // Usage:
-//   inflog_cli [--threads=N] [--shards=S] [--stats] PROGRAM.dlog
-//     DATABASE.facts [SEMANTICS]
+//   inflog_cli [--threads=N] [--shards=S] [--scheduler=static|stealing]
+//     [--min-slice-rows=R] [--reject-unsafe-negation] [--stats]
+//     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
 //   inflationary (default) | stratified | wellfounded | stable |
@@ -13,16 +14,25 @@
 // hardware concurrency; --threads=1 is the serial baseline). --shards=S
 // hash-shards the IDB relations S ways — S a power of two ≤ 64 — so the
 // stage merge parallelizes shard-wise (default 0 = auto: one shard per
-// thread; --shards=1 is the unsharded layout). Results are deterministic
-// and identical for every (threads, shards) combination. --stats prints
-// the executor counters (index probes, posting-list intersections, rows
-// matched, ...) after the result, so bench numbers can be explained from
-// the CLI; for modes without a relational fixpoint run it says so.
+// thread; --shards=1 is the unsharded layout). --scheduler picks how
+// parallel stages partition their delta rows: static (default; up-front
+// equal-row slices) or stealing (per-worker deques with dynamic chunk
+// splitting — faster on skewed stages, see bench E11). --min-slice-rows=R
+// tunes the serial cutoff / slice granularity (0 = default 64). Results
+// are deterministic and identical for every (threads, shards, scheduler,
+// min-slice-rows) combination. --reject-unsafe-negation fails instead of
+// evaluating rules whose negated literal has a variable bound by no
+// positive body literal (by default such rules get the paper's
+// active-domain reading). --stats prints the executor counters (index
+// probes, posting-list intersections, rows matched, steals, slice
+// histogram, ...) after the result, so bench numbers can be explained
+// from the CLI; for modes without a relational fixpoint run it says so.
 //
 // Examples (data files ship in examples/data/):
 //   inflog_cli data/pi1.dlog data/path6.facts fixpoints
 //   inflog_cli --threads=4 --shards=8 data/distance.dlog data/shortcut.facts
-//   inflog_cli --stats data/pi1.dlog data/path6.facts
+//   inflog_cli --threads=8 --scheduler=stealing --stats \
+//     data/distance.dlog data/shortcut.facts
 
 #include <cerrno>
 #include <cstdlib>
@@ -69,6 +79,10 @@ int main(int argc, char** argv) {
   size_t num_threads = 0;
   // 0 = auto (one shard per resolved thread); 1 = the unsharded layout.
   size_t num_shards = 0;
+  // 0 = the evaluator default (64 rows).
+  size_t min_slice_rows = 0;
+  inflog::StageScheduler scheduler = inflog::StageScheduler::kStatic;
+  bool reject_unsafe_negation = false;
   bool print_stats = false;
   std::vector<std::string> args;
   auto parse_count = [](const char* flag, const std::string& value,
@@ -105,6 +119,29 @@ int main(int argc, char** argv) {
       print_stats = true;
       continue;
     }
+    if (arg == "--reject-unsafe-negation") {
+      reject_unsafe_negation = true;
+      continue;
+    }
+    if (arg == "--scheduler" || arg.rfind("--scheduler=", 0) == 0) {
+      std::string value;
+      if (arg == "--scheduler") {  // the two-token form, like --threads N
+        if (i + 1 >= argc) {
+          std::cerr << "error: --scheduler requires a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(sizeof("--scheduler=") - 1);
+      }
+      auto parsed = inflog::ParseStageScheduler(value);
+      if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.status().ToString() << "\n";
+        return 2;
+      }
+      scheduler = *parsed;
+      continue;
+    }
     int handled = flag_value("--threads", 1024, &num_threads);
     if (handled == 0) {
       // The evaluator clamps shard counts to kMaxShards; reject higher
@@ -113,6 +150,9 @@ int main(int argc, char** argv) {
           "--shards",
           static_cast<long>(inflog::EvalContextOptions::kMaxShards),
           &num_shards);
+    }
+    if (handled == 0) {
+      handled = flag_value("--min-slice-rows", 1 << 20, &min_slice_rows);
     }
     if (handled < 0) return 2;
     if (handled > 0) continue;
@@ -127,8 +167,9 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 2) {
     std::cerr << "usage: " << argv[0]
-              << " [--threads=N] [--shards=S] [--stats] PROGRAM.dlog "
-                 "DATABASE.facts "
+              << " [--threads=N] [--shards=S] [--scheduler=static|stealing] "
+                 "[--min-slice-rows=R] [--reject-unsafe-negation] [--stats] "
+                 "PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
     return 2;
@@ -164,6 +205,9 @@ int main(int argc, char** argv) {
     inflog::EvalOptions options;
     options.num_threads = num_threads;
     options.num_shards = num_shards;
+    options.scheduler = scheduler;
+    options.min_slice_rows = min_slice_rows;
+    options.reject_unsafe_negation = reject_unsafe_negation;
     auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (const auto* r =
@@ -202,7 +246,19 @@ int main(int argc, char** argv) {
                   << "  index_probes     " << s->index_lookups << "\n"
                   << "  intersections    " << s->intersections << "\n"
                   << "  enumerations     " << s->enumerations << "\n"
-                  << "  parallel_tasks   " << s->parallel_tasks << "\n";
+                  << "  parallel_tasks   " << s->parallel_tasks << "\n"
+                  << "  steals           " << s->steals << "\n"
+                  << "  splits           " << s->splits << "\n"
+                  << "  slices           " << s->slices << "\n";
+        // Executed-slice size distribution, log2 buckets; only the
+        // populated ones, so serial runs print a single empty line.
+        std::cout << "  slice_hist      ";
+        for (size_t b = 0; b < inflog::EvalStats::kSliceHistBuckets; ++b) {
+          if (s->slice_hist[b] == 0) continue;
+          const uint64_t lo = b == 0 ? 0 : (uint64_t{1} << b);
+          std::cout << " [" << lo << "+]=" << s->slice_hist[b];
+        }
+        std::cout << "\n";
       } else {
         std::cout << "stats: n/a (the " << semantics
                   << " semantics runs the grounded pipeline, which "

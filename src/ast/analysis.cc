@@ -40,6 +40,31 @@ std::vector<bool> BoundVariables(const Rule& rule) {
   return bound;
 }
 
+namespace {
+
+/// The variables of `rule` that occur in a negated body literal but are
+/// not range-restricted, in ascending variable order. The single source
+/// of truth behind both the AnalyzeProgram diagnostics and the
+/// CheckNegationSafety hard error — the two must never disagree on what
+/// counts as negation-unsafe.
+std::vector<uint32_t> NegationUnsafeVars(const Rule& rule,
+                                         const std::vector<bool>& bound) {
+  std::vector<bool> negated(rule.num_vars, false);
+  for (const Literal& lit : rule.body) {
+    if (lit.kind != Literal::Kind::kNegAtom) continue;
+    for (const Term& t : lit.args) {
+      if (t.IsVariable()) negated[t.id] = true;
+    }
+  }
+  std::vector<uint32_t> out;
+  for (uint32_t v = 0; v < rule.num_vars; ++v) {
+    if (negated[v] && !bound[v]) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
 ProgramAnalysis AnalyzeProgram(const Program& program) {
   ProgramAnalysis out;
   const size_t num_preds = program.num_predicates();
@@ -95,11 +120,14 @@ ProgramAnalysis AnalyzeProgram(const Program& program) {
 
   // --- Safety (range restriction) diagnostics. ---
   out.unsafe_vars.resize(program.rules().size());
+  out.negation_unsafe_vars.resize(program.rules().size());
   for (size_t r = 0; r < program.rules().size(); ++r) {
     const Rule& rule = program.rules()[r];
     const std::vector<bool> bound = BoundVariables(rule);
     // A rule is safe when every variable appearing in the head, in a
-    // negated literal, or in an inequality is range-restricted.
+    // negated literal, or in an inequality is range-restricted. Unbound
+    // variables under negation are tracked separately: they are the ones
+    // whose reading is semantics-dependent (CheckNegationSafety).
     std::vector<bool> needs(rule.num_vars, false);
     for (const Term& t : rule.head.args) {
       if (t.IsVariable()) needs[t.id] = true;
@@ -115,16 +143,46 @@ ProgramAnalysis AnalyzeProgram(const Program& program) {
     for (uint32_t v = 0; v < rule.num_vars; ++v) {
       if (needs[v] && !bound[v]) out.unsafe_vars[r].push_back(v);
     }
+    out.negation_unsafe_vars[r] = NegationUnsafeVars(rule, bound);
     if (!out.unsafe_vars[r].empty()) {
       std::vector<std::string> names;
       for (uint32_t v : out.unsafe_vars[r]) names.push_back(rule.var_names[v]);
-      out.warnings.push_back(
+      std::string warning =
           StrCat("rule `", FormatRule(program, rule), "` is unsafe: ",
                  "variable(s) ", StrJoin(names, ", "),
-                 " range over the active domain"));
+                 " range over the active domain");
+      if (!out.negation_unsafe_vars[r].empty()) {
+        std::vector<std::string> neg_names;
+        for (uint32_t v : out.negation_unsafe_vars[r]) {
+          neg_names.push_back(rule.var_names[v]);
+        }
+        warning += StrCat("; variable(s) ", StrJoin(neg_names, ", "),
+                          " occur under negation unbound, so their meaning "
+                          "is semantics-dependent");
+      }
+      out.warnings.push_back(std::move(warning));
     }
   }
   return out;
+}
+
+Status CheckNegationSafety(const Program& program) {
+  std::vector<std::string> errors;
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    const Rule& rule = program.rules()[r];
+    const std::vector<uint32_t> vars =
+        NegationUnsafeVars(rule, BoundVariables(rule));
+    if (vars.empty()) continue;
+    std::vector<std::string> names;
+    for (uint32_t v : vars) names.push_back(rule.var_names[v]);
+    errors.push_back(
+        StrCat("rule `", FormatRule(program, rule),
+               "` is negation-unsafe: variable(s) ", StrJoin(names, ", "),
+               " occur in a negated literal but are bound by no positive "
+               "body literal"));
+  }
+  if (errors.empty()) return Status::OK();
+  return Status::InvalidArgument(StrJoin(errors, "; "));
 }
 
 }  // namespace inflog

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/ast/program.h"
+#include "src/base/status.h"
 
 namespace inflog {
 
@@ -48,6 +49,16 @@ struct ProgramAnalysis {
   /// through equalities). Empty inner vectors mean the rule is safe.
   std::vector<std::vector<uint32_t>> unsafe_vars;
 
+  /// Per-rule negation safety: the subset of unsafe_vars that occurs in a
+  /// negated body literal. These are the dangerous ones — an unbound
+  /// variable under negation reads as "some universe element is absent",
+  /// and what that means differs across the four semantics (the grounded
+  /// pipelines instantiate the negated atom per universe element, the
+  /// relational executor enumerates and filters), so the paper's
+  /// active-domain reading is the only guard against surprises.
+  /// CheckNegationSafety turns a nonempty entry into a hard error.
+  std::vector<std::vector<uint32_t>> negation_unsafe_vars;
+
   /// Human-readable warnings (one per unsafe rule).
   std::vector<std::string> warnings;
 
@@ -58,10 +69,28 @@ struct ProgramAnalysis {
     }
     return true;
   }
+
+  /// True iff no rule has an unbound variable under negation.
+  bool NegationSafe() const {
+    for (const auto& v : negation_unsafe_vars) {
+      if (!v.empty()) return false;
+    }
+    return true;
+  }
 };
 
 /// Runs all analyses over `program`.
 ProgramAnalysis AnalyzeProgram(const Program& program);
+
+/// Rejects (InvalidArgument) programs with a rule whose negated literal
+/// carries a variable bound by no positive body literal (directly or
+/// through the equality closure), naming every offending rule and
+/// variable. OK when every rule is negation-safe. Head variables that are
+/// merely unsafe (range over the active domain) do not trip this check —
+/// only unbound variables under negation do. Callers opt in through
+/// EvalContextOptions / EvalOptions::reject_unsafe_negation; the default
+/// keeps the paper's active-domain reading available.
+Status CheckNegationSafety(const Program& program);
 
 /// Computes the range-restriction closure for one rule: variables bound by
 /// positive body atoms, closed under equalities with constants or bound

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
+#include <exception>
 #include <memory>
 #include <utility>
 
@@ -30,7 +32,7 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       // Finish queued work even when stopping, so ~ThreadPool never
-      // abandons a ParallelFor mid-barrier.
+      // abandons a loop mid-barrier.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -51,10 +53,39 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+namespace {
+
+/// First-exception capture shared by both loops: a flag checked before
+/// running a body (so remaining work drains without executing after a
+/// failure) plus the captured exception, written once under a mutex and
+/// rethrown on the calling thread after the barrier.
+struct FailureSlot {
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::exception_ptr eptr;
+
+  /// Records the in-flight exception if it is the first one.
+  void Capture() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!failed.exchange(true)) eptr = std::current_exception();
+  }
+
+  /// Rethrows the captured exception, if any. Call only after the
+  /// barrier: every worker that could write `eptr` has finished.
+  void Rethrow() {
+    if (failed.load(std::memory_order_acquire)) {
+      std::rethrow_exception(eptr);
+    }
+  }
+};
+
+}  // namespace
+
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& body) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Inline path: exceptions propagate to the caller naturally.
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -72,6 +103,7 @@ void ThreadPool::ParallelFor(size_t n,
     std::atomic<size_t> done{0};
     std::mutex mu;
     std::condition_variable cv;
+    FailureSlot failure;
   };
   auto loop = std::make_shared<Loop>(n, body);
 
@@ -79,7 +111,16 @@ void ThreadPool::ParallelFor(size_t n,
     while (true) {
       const size_t i = l->next.fetch_add(1);
       if (i >= l->n) return;
-      l->body(i);
+      // After a failure the remaining indices are still claimed and
+      // counted (the barrier must reach n) but their bodies are skipped:
+      // the loop's result is abandoned anyway once it throws.
+      if (!l->failure.failed.load(std::memory_order_relaxed)) {
+        try {
+          l->body(i);
+        } catch (...) {
+          l->failure.Capture();
+        }
+      }
       if (l->done.fetch_add(1) + 1 == l->n) {
         // Lock before notifying so the caller cannot miss the wakeup
         // between its predicate check and its wait.
@@ -94,8 +135,176 @@ void ThreadPool::ParallelFor(size_t n,
     Submit([loop, run] { run(loop); });
   }
   run(loop);
-  std::unique_lock<std::mutex> lock(loop->mu);
-  loop->cv.wait(lock, [&] { return loop->done.load() == n; });
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->cv.wait(lock, [&] { return loop->done.load() == n; });
+  }
+  loop->failure.Rethrow();
+}
+
+namespace {
+
+/// One splittable unit of a dynamic loop: rows [begin, end) of an item.
+struct Chunk {
+  size_t item;
+  size_t begin;
+  size_t end;
+};
+
+/// A participant's chunk deque. The owner pushes and pops at the back
+/// (LIFO keeps it working on the halves it just shed, which are hot in
+/// cache); thieves take from the front, where the oldest — and therefore
+/// largest — chunks sit. One mutex per deque: chunks are coarse, so the
+/// lock is uncontended in practice.
+struct WorkDeque {
+  std::mutex mu;
+  std::deque<Chunk> q;
+};
+
+/// Shared state of one ParallelForDynamic run.
+struct DynLoop {
+  DynLoop(const std::vector<size_t>& rows_in, size_t grain,
+          size_t num_participants, const ThreadPool::DynamicBody& b)
+      : rows(rows_in),
+        min_grain(std::max<size_t>(grain, 1)),
+        participants(num_participants),
+        body(b),
+        deques(num_participants) {}
+
+  const std::vector<size_t>& rows;
+  const size_t min_grain;
+  const size_t participants;
+  const ThreadPool::DynamicBody& body;
+  std::vector<WorkDeque> deques;
+  /// Chunks created but not yet fully processed. Splits increment it
+  /// before the parent chunk's decrement, so it cannot reach 0 while any
+  /// chunk exists; the final decrement releases the caller.
+  std::atomic<size_t> unfinished{0};
+  /// Participants currently looking for work; owners of oversized chunks
+  /// shed halves while this is nonzero.
+  std::atomic<size_t> hungry{0};
+  std::atomic<size_t> next_id{1};
+  std::atomic<uint64_t> steals{0};
+  std::atomic<uint64_t> splits{0};
+  FailureSlot failure;
+
+  bool PopOwn(size_t id, Chunk* out) {
+    WorkDeque& d = deques[id];
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.q.empty()) return false;
+    *out = d.q.back();
+    d.q.pop_back();
+    return true;
+  }
+
+  /// Scans the other deques round-robin until a chunk is stolen or the
+  /// loop drains; yields between failed sweeps rather than blocking, so
+  /// the participant holding the last work keeps running. The yield loop
+  /// trades idle CPU during the last unsplittable chunk's body for
+  /// latency: stage tails are bounded by one ≤ 2*min_grain-row chunk, so
+  /// parking on a condition variable (and paying its wakeup on every
+  /// shed) has not been worth it; revisit if profiles show long
+  /// single-chunk tails.
+  bool Steal(size_t id, Chunk* out) {
+    while (true) {
+      for (size_t k = 1; k < participants; ++k) {
+        WorkDeque& d = deques[(id + k) % participants];
+        std::lock_guard<std::mutex> lock(d.mu);
+        if (d.q.empty()) continue;
+        *out = d.q.front();
+        d.q.pop_front();
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      if (unfinished.load(std::memory_order_acquire) == 0) return false;
+      std::this_thread::yield();
+    }
+  }
+
+  /// Executes one acquired chunk, shedding its upper half back onto the
+  /// participant's own deque while the chunk is oversized (over the
+  /// per-item baseline grain, which matches the static slicer's slice
+  /// size) or while another participant is hungry — down to 2*min_grain,
+  /// below which a slice's staging overhead outweighs the parallelism.
+  void Process(size_t id, Chunk c) {
+    size_t size = c.end - c.begin;
+    const size_t baseline =
+        std::max(2 * min_grain, rows[c.item] / (4 * participants));
+    while (size > 2 * min_grain &&
+           (size > baseline ||
+            hungry.load(std::memory_order_relaxed) > 0)) {
+      const size_t mid = c.begin + size / 2;
+      unfinished.fetch_add(1, std::memory_order_relaxed);
+      {
+        WorkDeque& d = deques[id];
+        std::lock_guard<std::mutex> lock(d.mu);
+        d.q.push_back(Chunk{c.item, mid, c.end});
+      }
+      splits.fetch_add(1, std::memory_order_relaxed);
+      c.end = mid;
+      size = c.end - c.begin;
+    }
+    if (!failure.failed.load(std::memory_order_relaxed)) {
+      try {
+        body(c.item, c.begin, c.end, id);
+      } catch (...) {
+        failure.Capture();
+      }
+    }
+    unfinished.fetch_sub(1, std::memory_order_release);
+  }
+
+  /// The participant loop: drain own deque, then steal; exit when the
+  /// whole run has drained.
+  void Run(size_t id) {
+    while (true) {
+      Chunk c;
+      if (!PopOwn(id, &c)) {
+        if (unfinished.load(std::memory_order_acquire) == 0) return;
+        hungry.fetch_add(1, std::memory_order_relaxed);
+        const bool got = Steal(id, &c);
+        hungry.fetch_sub(1, std::memory_order_relaxed);
+        if (!got) return;
+      }
+      Process(id, c);
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::DynamicLoopStats ThreadPool::ParallelForDynamic(
+    const std::vector<size_t>& item_rows, size_t min_grain,
+    const DynamicBody& body) {
+  DynamicLoopStats stats;
+  const size_t n = item_rows.size();
+  if (n == 0) return stats;
+  if (workers_.empty()) {
+    // Inline path: whole items in order — the serial execution order.
+    for (size_t i = 0; i < n; ++i) body(i, 0, item_rows[i], 0);
+    return stats;
+  }
+
+  const size_t participants = workers_.size() + 1;
+  auto loop =
+      std::make_shared<DynLoop>(item_rows, min_grain, participants, body);
+  loop->unfinished.store(n, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    loop->deques[i % participants].q.push_back(Chunk{i, 0, item_rows[i]});
+  }
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    Submit([loop] {
+      loop->Run(loop->next_id.fetch_add(1, std::memory_order_relaxed));
+    });
+  }
+  loop->Run(0);
+  // The caller's Run returned only after observing unfinished == 0 with
+  // acquire order, so every body call (and its writes) has finished;
+  // straggler helpers can only observe empty deques and exit.
+  stats.steals = loop->steals.load(std::memory_order_relaxed);
+  stats.splits = loop->splits.load(std::memory_order_relaxed);
+  loop->failure.Rethrow();
+  return stats;
 }
 
 size_t ThreadPool::HardwareConcurrency() {

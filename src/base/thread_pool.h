@@ -1,27 +1,35 @@
 // ThreadPool: a fixed set of worker threads draining one FIFO task queue,
-// plus ParallelFor, the fork/join primitive the parallel fixpoint stage is
-// built on.
+// plus the two fork/join primitives the parallel fixpoint stage is built
+// on — ParallelFor (static index claiming) and ParallelForDynamic
+// (per-worker deques with work stealing and chunk splitting).
 //
 // Design constraints (see RelationalConsequence::Step):
-//   * ParallelFor(n, body) runs body(0..n-1) exactly once each and returns
-//     only when every call has finished — a full barrier, so the caller can
-//     merge per-task results immediately afterwards.
+//   * Both loops return only when every body call has finished — a full
+//     barrier, so the caller can merge per-task results immediately
+//     afterwards.
 //   * The calling thread participates in the loop, so a pool built with
-//     `extra_workers` workers gives ParallelFor a concurrency of
+//     `extra_workers` workers gives the loops a concurrency of
 //     extra_workers + 1. Total threads used for "--threads=N" is therefore
 //     a pool of N-1 workers.
-//   * Indices are claimed from a shared atomic counter, which load-balances
-//     uneven tasks; determinism is the *caller's* job (tasks must write to
-//     disjoint, index-addressed outputs and be merged in index order).
-//   * All queue operations synchronize through one mutex and ParallelFor
-//     completion through an atomic join counter, so writes made by task i
-//     happen-before the post-barrier reads of task i's output.
+//   * ParallelFor claims indices from a shared atomic counter, which
+//     load-balances uneven tasks; ParallelForDynamic additionally splits
+//     oversized chunks while other participants are hungry, so one
+//     pathologically expensive item cannot serialize the loop.
+//     Determinism is the *caller's* job in both cases (tasks must write to
+//     disjoint outputs and be merged in a deterministic key order).
+//   * All queue operations synchronize through one mutex and loop
+//     completion through atomic counters, so writes made by a body call
+//     happen-before the post-barrier reads of its output.
+//   * A body that throws does not take the process down: the first
+//     exception is captured, the barrier completes (remaining bodies may
+//     be skipped), and the exception is rethrown on the calling thread.
 
 #ifndef INFLOG_BASE_THREAD_POOL_H_
 #define INFLOG_BASE_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -34,8 +42,8 @@ namespace inflog {
 class ThreadPool {
  public:
   /// Spawns `extra_workers` worker threads. 0 is legal and spawns none:
-  /// every ParallelFor then runs inline on the calling thread, which is the
-  /// exact serial execution order.
+  /// every loop then runs inline on the calling thread, which is the exact
+  /// serial execution order.
   explicit ThreadPool(size_t extra_workers);
 
   /// Drops nothing: pending tasks are completed before the workers exit.
@@ -48,13 +56,44 @@ class ThreadPool {
   size_t num_workers() const { return workers_.size(); }
 
   /// Enqueues one task for any worker to run. With no workers the task
-  /// runs immediately on the calling thread.
+  /// runs immediately on the calling thread. The task must not throw.
   void Submit(std::function<void()> task);
 
   /// Runs body(i) for every i in [0, n), distributing indices across the
   /// workers and the calling thread; returns once all n calls finished.
-  /// Not reentrant from inside a task body.
+  /// Not reentrant from inside a task body. If a body throws, the first
+  /// exception is rethrown here after the barrier (indices not yet claimed
+  /// when the exception was captured may run no body at all).
   void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Counters of one ParallelForDynamic run.
+  struct DynamicLoopStats {
+    uint64_t steals = 0;  ///< Chunks taken from another participant.
+    uint64_t splits = 0;  ///< Chunk halves shed back for others to steal.
+  };
+
+  /// Body of a dynamic loop: process rows [begin, end) of item `item`.
+  /// `worker` identifies the executing participant (0 = the calling
+  /// thread, 1..num_workers() = pool workers), so bodies can write to
+  /// per-participant outputs without locks. Items declared with 0 rows are
+  /// atomic: they get exactly one body(item, 0, 0, worker) call.
+  using DynamicBody = std::function<void(size_t item, size_t begin,
+                                         size_t end, size_t worker)>;
+
+  /// Work-stealing loop over splittable items. `item_rows[i]` is the row
+  /// count of item i; the loop covers every row of every item exactly once
+  /// with body calls over disjoint, ascending ranges, in unspecified
+  /// order and distribution. Scheduling: every participant owns a deque
+  /// (initial chunks are dealt round-robin in item order), pops its own
+  /// work LIFO, and steals FIFO from others when empty; an acquired chunk
+  /// sheds its upper half back onto the owner's deque while it exceeds
+  /// both 2*min_grain and the per-item baseline grain, or while another
+  /// participant is hungry — so skewed items split exactly as finely as
+  /// the observed imbalance demands and no finer. Full barrier; first
+  /// body exception is rethrown on the calling thread after the barrier.
+  DynamicLoopStats ParallelForDynamic(const std::vector<size_t>& item_rows,
+                                      size_t min_grain,
+                                      const DynamicBody& body);
 
   /// std::thread::hardware_concurrency() with a floor of 1 (the standard
   /// allows it to report 0 when unknown).

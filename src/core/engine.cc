@@ -127,6 +127,13 @@ const EvalStats* EvalOutcome::stats() const {
 
 Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
                                      const EvalOptions& options) const {
+  if (options.reject_unsafe_negation) {
+    // Checked here for every semantics: the grounded pipelines never
+    // build an EvalContext, so they would otherwise accept such rules
+    // silently (the relational pipelines re-check through their context).
+    INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+    INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*p));
+  }
   EvalOutcome out;
   out.kind = kind;
   switch (kind) {
@@ -134,6 +141,9 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       InflationaryOptions opts = options.inflationary;
       opts.context.num_threads = options.num_threads;
       opts.context.num_shards = options.num_shards;
+      opts.context.scheduler = options.scheduler;
+      opts.context.min_slice_rows = options.min_slice_rows;
+      opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
       INFLOG_ASSIGN_OR_RETURN(InflationaryResult r, Inflationary(opts));
       out.detail = std::move(r);
       return out;
@@ -142,6 +152,9 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       StratifiedOptions opts = options.stratified;
       opts.context.num_threads = options.num_threads;
       opts.context.num_shards = options.num_shards;
+      opts.context.scheduler = options.scheduler;
+      opts.context.min_slice_rows = options.min_slice_rows;
+      opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
       INFLOG_ASSIGN_OR_RETURN(StratifiedResult r, Stratified(opts));
       out.detail = std::move(r);
       return out;

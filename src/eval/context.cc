@@ -3,10 +3,32 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "src/ast/analysis.h"
 #include "src/base/strings.h"
 #include "src/base/thread_pool.h"
 
 namespace inflog {
+
+std::string_view StageSchedulerName(StageScheduler scheduler) {
+  switch (scheduler) {
+    case StageScheduler::kStatic:
+      return "static";
+    case StageScheduler::kStealing:
+      return "stealing";
+  }
+  INFLOG_CHECK(false) << "bad StageScheduler";
+  return "";
+}
+
+Result<StageScheduler> ParseStageScheduler(std::string_view name) {
+  for (StageScheduler s :
+       {StageScheduler::kStatic, StageScheduler::kStealing}) {
+    if (name == StageSchedulerName(s)) return s;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown stage scheduler: ", std::string(name),
+             " (expected static|stealing)"));
+}
 
 Result<EvalContext> EvalContext::Create(const Program& program,
                                         const Database& database,
@@ -47,10 +69,21 @@ size_t ResolvedNumShards(const EvalContextOptions& options) {
              std::min(shards, EvalContextOptions::kMaxShards));
 }
 
+size_t ResolvedMinSliceRows(const EvalContextOptions& options) {
+  return options.min_slice_rows == 0
+             ? EvalContextOptions::kDefaultMinSliceRows
+             : options.min_slice_rows;
+}
+
 Status EvalContext::Bind(const EvalContextOptions& options) {
+  if (options.reject_unsafe_negation) {
+    INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*program_));
+  }
   use_join_indexes_ = options.use_join_indexes;
   num_threads_ = ResolvedNumThreads(options);
   num_shards_ = ResolvedNumShards(options);
+  scheduler_ = options.scheduler;
+  min_slice_rows_ = ResolvedMinSliceRows(options);
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);

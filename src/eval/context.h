@@ -24,6 +24,7 @@
 
 #include <map>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "src/ast/program.h"
@@ -32,6 +33,28 @@
 #include "src/relation/database.h"
 
 namespace inflog {
+
+/// How a parallel fixpoint stage partitions its delta rows across the
+/// thread pool. Both schedulers produce bit-identical relations, stage
+/// sizes, and executor stats (tests/parallel_determinism_test.cc).
+enum class StageScheduler {
+  /// Cut the per-shard delta ranges into equal-row slices up front (about
+  /// four per thread) and claim them from a shared counter. Cheap and
+  /// predictable, but a slice whose rows hide most of the stage's join
+  /// work serializes the stage on one thread.
+  kStatic,
+  /// Work stealing: one chunk per delta plan, dealt to per-worker deques;
+  /// idle workers steal, and oversized chunks split in half while anyone
+  /// is hungry (down to 2 × min_slice_rows), so pathologically skewed
+  /// stages keep every worker busy (ThreadPool::ParallelForDynamic).
+  kStealing,
+};
+
+/// Canonical lowercase name ("static" / "stealing"), for CLIs and logs.
+std::string_view StageSchedulerName(StageScheduler scheduler);
+
+/// Parses a StageSchedulerName back; InvalidArgument on unknown names.
+Result<StageScheduler> ParseStageScheduler(std::string_view name);
 
 /// Options controlling predicate binding.
 struct EvalContextOptions {
@@ -57,9 +80,27 @@ struct EvalContextOptions {
   /// sizes, and stats are identical for every (threads, shards)
   /// combination.
   size_t num_shards = 1;
+  /// How parallel stages partition their delta rows (inert when
+  /// num_threads == 1). kStatic is the predictable default; kStealing
+  /// adapts to skewed stages. Results are identical either way.
+  StageScheduler scheduler = StageScheduler::kStatic;
+  /// Minimum delta rows worth a stage task of their own: stages with
+  /// fewer total input rows run serially, static slices never go below
+  /// it, and the stealing scheduler stops splitting chunks at twice this
+  /// size. 0 picks kDefaultMinSliceRows. Results are identical for every
+  /// value; this only moves the parallelism/overhead tradeoff.
+  size_t min_slice_rows = 0;
+  /// If true, binding fails (InvalidArgument) when any rule carries a
+  /// negated literal over a variable bound by no positive body literal
+  /// (CheckNegationSafety in src/ast/analysis.h). Off by default: the
+  /// paper's own programs use such rules under the active-domain
+  /// reading, where every free variable ranges over the universe.
+  bool reject_unsafe_negation = false;
 
   /// Upper bound on the shard count (keeps per-probe shard loops cheap).
   static constexpr size_t kMaxShards = 64;
+  /// Default for min_slice_rows (the pre-tunable hard constant).
+  static constexpr size_t kDefaultMinSliceRows = 64;
 };
 
 /// `options.num_threads` with 0 resolved to the hardware concurrency.
@@ -71,6 +112,9 @@ size_t ResolvedNumThreads(const EvalContextOptions& options);
 /// EvalContext exists (the stratified evaluator) use this to match the
 /// context's layout.
 size_t ResolvedNumShards(const EvalContextOptions& options);
+
+/// `options.min_slice_rows` with 0 resolved to kDefaultMinSliceRows.
+size_t ResolvedMinSliceRows(const EvalContextOptions& options);
 
 /// Per-run binding of predicates to relations plus the index cache.
 class EvalContext {
@@ -113,6 +157,13 @@ class EvalContext {
   /// (MakeEmptyIdbState(program, num_shards())).
   size_t num_shards() const { return num_shards_; }
 
+  /// The stage scheduler for parallel fixpoint stages.
+  StageScheduler scheduler() const { return scheduler_; }
+
+  /// Resolved minimum slice size (≥ 1; an option of 0 has already been
+  /// replaced by EvalContextOptions::kDefaultMinSliceRows).
+  size_t min_slice_rows() const { return min_slice_rows_; }
+
  private:
   EvalContext(const Program& program, const Database& database)
       : program_(&program), database_(&database) {}
@@ -135,6 +186,8 @@ class EvalContext {
   bool use_join_indexes_ = true;
   size_t num_threads_ = 1;
   size_t num_shards_ = 1;
+  StageScheduler scheduler_ = StageScheduler::kStatic;
+  size_t min_slice_rows_ = EvalContextOptions::kDefaultMinSliceRows;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
 };

@@ -4,6 +4,7 @@
 #ifndef INFLOG_EVAL_EXECUTOR_H_
 #define INFLOG_EVAL_EXECUTOR_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -14,6 +15,13 @@ namespace inflog {
 
 /// Counters accumulated across executions; cheap to keep, useful for the
 /// naive-vs-semi-naive ablation benchmarks.
+///
+/// The first block (derivations .. stages) describes *what* was computed
+/// and is bit-identical across every (threads, shards, scheduler,
+/// min_slice_rows) configuration; the executor block (parallel_tasks ..
+/// slice_hist) describes *how* the work was partitioned and necessarily
+/// varies with the configuration (and, for the stealing scheduler, with
+/// run-to-run timing).
 struct EvalStats {
   uint64_t derivations = 0;    ///< Head tuples produced (with duplicates).
   uint64_t new_tuples = 0;     ///< Head tuples that were new in the output.
@@ -24,6 +32,26 @@ struct EvalStats {
   uint64_t enumerations = 0;   ///< Universe elements tried by kEnumerate.
   uint64_t stages = 0;         ///< Iteration stages run (filled by drivers).
   uint64_t parallel_tasks = 0;  ///< Stage tasks run on a thread pool.
+  uint64_t steals = 0;          ///< Chunks a worker took from another's
+                                ///< deque (stealing scheduler only).
+  uint64_t splits = 0;          ///< Chunk halves shed for stealing.
+  uint64_t slices = 0;          ///< Delta slices executed (both
+                                ///< schedulers; full-plan tasks excluded).
+  /// Histogram of executed delta-slice sizes: bucket k counts slices with
+  /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
+  static constexpr size_t kSliceHistBuckets = 17;
+  std::array<uint64_t, kSliceHistBuckets> slice_hist{};
+
+  /// Counts one executed delta slice of `rows` rows.
+  void RecordSlice(uint64_t rows) {
+    ++slices;
+    size_t bucket = 0;
+    while ((uint64_t{2} << bucket) <= rows &&
+           bucket + 1 < kSliceHistBuckets) {
+      ++bucket;
+    }
+    slice_hist[bucket] += 1;
+  }
 
   void Add(const EvalStats& other) {
     derivations += other.derivations;
@@ -34,6 +62,12 @@ struct EvalStats {
     enumerations += other.enumerations;
     stages += other.stages;
     parallel_tasks += other.parallel_tasks;
+    steals += other.steals;
+    splits += other.splits;
+    slices += other.slices;
+    for (size_t i = 0; i < kSliceHistBuckets; ++i) {
+      slice_hist[i] += other.slice_hist[i];
+    }
   }
 };
 

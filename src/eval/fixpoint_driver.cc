@@ -36,10 +36,6 @@ int DeltaScanIdb(const Program& program, const RulePlan& plan) {
   return -1;
 }
 
-/// Minimum delta rows worth a task of their own; below this the slicing
-/// overhead (staging relation + merge) outweighs the parallelism.
-constexpr size_t kMinSliceRows = 64;
-
 /// Cuts one predicate's per-shard delta ranges into about `desired`
 /// slices, each itself a per-shard range vector. Slices align to shard
 /// boundaries — whole shards are grouped until a slice holds ~1/desired
@@ -87,6 +83,26 @@ std::vector<std::vector<ShardRange>> SliceDeltaRanges(
   return out;
 }
 
+/// Projects the linearized row window [begin, end) — shards concatenated
+/// in shard order, the delta-scan walk order — back onto per-shard
+/// ranges. Pure function of (base, begin, end): however the stealing
+/// scheduler happened to cut a delta chunk, the rows it covers are
+/// determined by its window alone.
+std::vector<ShardRange> ProjectDeltaWindow(
+    const std::vector<ShardRange>& base, size_t begin, size_t end) {
+  std::vector<ShardRange> out(base.size(), {0, 0});
+  size_t offset = 0;
+  for (size_t s = 0; s < base.size(); ++s) {
+    const auto [b, e] = base[s];
+    const size_t n = e - b;
+    const size_t lo = std::min(n, begin > offset ? begin - offset : 0);
+    const size_t hi = std::min(n, end > offset ? end - offset : 0);
+    if (hi > lo) out[s] = {b + lo, b + hi};
+    offset += n;
+  }
+  return out;
+}
+
 }  // namespace
 
 RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
@@ -96,6 +112,8 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
       state_(state),
       use_deltas_(options.use_deltas),
       num_threads_(ctx.num_threads()),
+      scheduler_(ctx.scheduler()),
+      min_slice_rows_(ctx.min_slice_rows()),
       pool_slot_(options.pool_cache != nullptr ? options.pool_cache
                                                : &own_pool_) {
   const Program& program = ctx.program();
@@ -189,7 +207,7 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // wakeups): below one slice's worth of input rows, take the serial path
   // — it computes the identical result, so the cutoff is invisible to
   // callers. The work proxy is deterministic and independent of the
-  // thread and shard counts.
+  // thread count, shard count, and scheduler.
   size_t work = 0;
   if (full_pass) {
     for (const CompiledRule& c : compiled_) {
@@ -204,14 +222,15 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
       for (const auto& [begin, end] : ranges) work += end - begin;
     }
   }
-  if (work < kMinSliceRows) {
+  if (work < min_slice_rows_) {
     RunStageSerial(full_pass, buffers);
     return;
   }
   if (*pool_slot_ == nullptr) {
     // Spawned lazily so runs whose stages all fall under the cutoff (e.g.
     // many small strata) never pay thread creation. The calling thread
-    // participates in ParallelFor, so N threads total means N-1 workers.
+    // participates in the pool's loops, so N threads total means N-1
+    // workers.
     *pool_slot_ = std::make_unique<ThreadPool>(num_threads_ - 1);
   }
   ThreadPool& pool = **pool_slot_;
@@ -221,6 +240,16 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // relation read mutates anything (Relation::EnsureIndexed contract).
   if (ctx_.use_join_indexes()) FinalizeStageIndexes(full_pass);
 
+  if (scheduler_ == StageScheduler::kStealing) {
+    RunStageStealing(full_pass, buffers, pool);
+  } else {
+    RunStageStatic(full_pass, buffers, pool);
+  }
+}
+
+void RelationalConsequence::RunStageStatic(bool full_pass,
+                                           std::vector<Relation>* buffers,
+                                           ThreadPool& pool) {
   // Partition the stage: full passes split per rule plan, delta passes
   // per (delta plan × delta slice), the slices cut from the per-shard
   // delta ranges so the fan-out partitions along shard boundaries. Task
@@ -247,11 +276,14 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
         size_t rows = 0;
         for (const auto& [begin, end] : ranges) rows += end - begin;
         // Aim for a few slices per thread so claim-order load imbalance
-        // evens out, but never slices smaller than kMinSliceRows.
+        // evens out, but never slices smaller than min_slice_rows_.
         const size_t desired =
-            std::min(num_threads_ * 4, rows / kMinSliceRows);
+            std::min(num_threads_ * 4, rows / min_slice_rows_);
         for (std::vector<ShardRange>& slice :
              SliceDeltaRanges(ranges, desired)) {
+          size_t slice_rows = 0;
+          for (const auto& [begin, end] : slice) slice_rows += end - begin;
+          stats_.RecordSlice(slice_rows);
           DeltaRanges local = delta_ranges_;
           local[d.delta_idb] = std::move(slice);
           tasks.push_back(StageTask{&d.plan, c.head_idb,
@@ -281,17 +313,141 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
     ExecutePlan(ctx_, *t.plan, *state_, deltas, &outs[i], &task_stats[i]);
   });
 
+  // Fold the per-task stagings in task order — the serial execution
+  // order, which the ordered shard-wise merge relies on.
+  std::vector<StagedOutput> ordered;
+  ordered.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    ordered.push_back(StagedOutput{tasks[i].head_idb, &outs[i],
+                                   &task_stats[i]});
+  }
+  FoldStagedOutputs(ordered, buffers, pool);
+}
+
+void RelationalConsequence::RunStageStealing(
+    bool full_pass, std::vector<Relation>* buffers, ThreadPool& pool) {
+  // One splittable item per plan, in serial execution order: rules in
+  // program order, then plan order. Delta plans carry their predicate's
+  // whole delta range (ParallelForDynamic splits it on demand); full
+  // plans and delta plans with no delta scan are atomic (0 rows).
+  struct StealItem {
+    const RulePlan* plan;
+    int head_idb;
+    int delta_idb;  ///< < 0: atomic — execute the whole plan.
+  };
+  std::vector<StealItem> items;
+  std::vector<size_t> item_rows;
+  if (full_pass) {
+    for (const CompiledRule& c : compiled_) {
+      items.push_back(StealItem{&c.full, c.head_idb, -1});
+      item_rows.push_back(0);
+    }
+  } else {
+    for (const CompiledRule& c : compiled_) {
+      for (const DeltaPlan& d : c.deltas) {
+        if (d.delta_idb < 0) {
+          items.push_back(StealItem{&d.plan, c.head_idb, -1});
+          item_rows.push_back(0);
+          continue;
+        }
+        size_t rows = 0;
+        for (const auto& [begin, end] : delta_ranges_[d.delta_idb]) {
+          rows += end - begin;
+        }
+        items.push_back(StealItem{&d.plan, c.head_idb, d.delta_idb});
+        item_rows.push_back(rows);
+      }
+    }
+  }
+
+  // Each executed chunk stages into its own sharded relation. The set of
+  // chunks depends on steal timing, but a chunk's (item, begin) key fully
+  // determines the delta rows it covered, so sorting the records by that
+  // key reconstructs the serial execution order whatever the partition
+  // was. Records are per-participant, so workers never share a vector.
+  struct ChunkRecord {
+    size_t item;
+    size_t begin;
+    size_t rows;
+    Relation out;
+    EvalStats stats;
+  };
+  std::vector<std::vector<ChunkRecord>> records(pool.num_workers() + 1);
+  // Chunks are cut dynamically, so their restricted DeltaRanges cannot
+  // be precomputed serially as on the static path. Instead each worker
+  // keeps one scratch copy of the full ranges (made on its first chunk)
+  // and per chunk overwrites — then restores — only the sliced
+  // predicate's entry, so the hot fan-out path never deep-copies the
+  // whole DeltaRanges per chunk.
+  std::vector<DeltaRanges> scratch(pool.num_workers() + 1);
+
+  const ThreadPool::DynamicLoopStats dyn = pool.ParallelForDynamic(
+      item_rows, min_slice_rows_,
+      [&](size_t i, size_t begin, size_t end, size_t worker) {
+        const StealItem& item = items[i];
+        ChunkRecord rec{i, begin, end - begin,
+                        Relation((*buffers)[item.head_idb].arity(),
+                                 num_shards_),
+                        EvalStats()};
+        const DeltaRanges* deltas = nullptr;
+        if (!full_pass) {
+          if (item.delta_idb >= 0) {
+            DeltaRanges& local = scratch[worker];
+            if (local.empty()) local = delta_ranges_;
+            local[item.delta_idb] = ProjectDeltaWindow(
+                delta_ranges_[item.delta_idb], begin, end);
+            deltas = &local;
+          } else {
+            deltas = &delta_ranges_;
+          }
+        }
+        ExecutePlan(ctx_, *item.plan, *state_, deltas, &rec.out,
+                    &rec.stats);
+        if (!full_pass && item.delta_idb >= 0) {
+          // Restore the invariant scratch[worker] == delta_ranges_.
+          scratch[worker][item.delta_idb] = delta_ranges_[item.delta_idb];
+        }
+        records[worker].push_back(std::move(rec));
+      });
+
+  // Deterministic fold order: ascending (plan, first delta row). Stealing
+  // reordered which worker ran which rows, never which rows exist or how
+  // they fold.
+  std::vector<ChunkRecord*> chunks;
+  for (std::vector<ChunkRecord>& worker_records : records) {
+    for (ChunkRecord& rec : worker_records) chunks.push_back(&rec);
+  }
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkRecord* a, const ChunkRecord* b) {
+              return a->item != b->item ? a->item < b->item
+                                        : a->begin < b->begin;
+            });
+  std::vector<StagedOutput> ordered;
+  ordered.reserve(chunks.size());
+  for (ChunkRecord* rec : chunks) {
+    if (items[rec->item].delta_idb >= 0) rec->stats.RecordSlice(rec->rows);
+    ordered.push_back(StagedOutput{items[rec->item].head_idb, &rec->out,
+                                   &rec->stats});
+  }
+  FoldStagedOutputs(ordered, buffers, pool);
+  stats_.steals += dyn.steals;
+  stats_.splits += dyn.splits;
+}
+
+void RelationalConsequence::FoldStagedOutputs(
+    const std::vector<StagedOutput>& ordered, std::vector<Relation>* buffers,
+    ThreadPool& pool) {
   // Shard-wise ordered merge: each worker owns one shard of every buffer
-  // and folds the task outputs in task order — the serial execution
-  // order — so the per-shard sequence of first appearances in `buffers`
-  // (and therefore row ids, stage sizes, and every downstream stage) is
-  // identical to the serial run, while no two workers ever write the
-  // same shard and no serial merge runs.
-  std::vector<size_t> merged(tasks.size() * num_shards_, 0);
+  // and folds the staged outputs in the given order — the serial
+  // execution order — so the per-shard sequence of first appearances in
+  // `buffers` (and therefore row ids, stage sizes, and every downstream
+  // stage) is identical to the serial run, while no two workers ever
+  // write the same shard and no serial merge runs.
+  std::vector<size_t> merged(ordered.size() * num_shards_, 0);
   auto merge_shard = [&](size_t s) {
-    for (size_t i = 0; i < tasks.size(); ++i) {
+    for (size_t i = 0; i < ordered.size(); ++i) {
       merged[i * num_shards_ + s] =
-          (*buffers)[tasks[i].head_idb].MergeShardFrom(outs[i], s);
+          (*buffers)[ordered[i].head_idb].MergeShardFrom(*ordered[i].out, s);
     }
   };
   if (num_shards_ > 1) {
@@ -299,17 +455,17 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   } else {
     merge_shard(0);
   }
-  for (size_t i = 0; i < tasks.size(); ++i) {
+  for (size_t i = 0; i < ordered.size(); ++i) {
     size_t merged_new = 0;
     for (size_t s = 0; s < num_shards_; ++s) {
       merged_new += merged[i * num_shards_ + s];
     }
-    // A tuple derived by two tasks is new in both stagings but was counted
-    // once serially; the merge count restores the serial new_tuples.
-    task_stats[i].new_tuples = merged_new;
-    stats_.Add(task_stats[i]);
+    // A tuple derived by two stagings is new in both but was counted once
+    // serially; the merge count restores the serial new_tuples.
+    ordered[i].stats->new_tuples = merged_new;
+    stats_.Add(*ordered[i].stats);
   }
-  stats_.parallel_tasks += tasks.size();
+  stats_.parallel_tasks += ordered.size();
 }
 
 size_t RelationalConsequence::MergeStageBuffers(
@@ -332,7 +488,7 @@ size_t RelationalConsequence::MergeStageBuffers(
   // shard order, so the state (per-shard insertion order included) is
   // identical either way.
   if (num_threads_ > 1 && num_shards_ > 1 && *pool_slot_ != nullptr &&
-      batch >= kMinSliceRows) {
+      batch >= min_slice_rows_) {
     (*pool_slot_)->ParallelFor(num_shards_, merge_shard);
   } else {
     for (size_t s = 0; s < num_shards_; ++s) merge_shard(s);

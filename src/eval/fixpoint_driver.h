@@ -76,19 +76,31 @@ class FixpointDriver {
 /// Parallel stages (EvalContextOptions::num_threads > 1): every stage is a
 /// pure join over the frozen previous state Sⁿ, so the stage's work is
 /// split into (rule plan × delta slice) tasks that run on a
-/// base::ThreadPool, each writing into its own sharded staging Relation;
-/// delta slices follow the per-shard delta ranges, so the fan-out
-/// partitions along shard boundaries. Both merges — task stagings into
-/// the stage buffers, stage buffers into the state — are shard-wise
-/// ParallelFors: each worker owns one shard across all relations and
-/// folds the task outputs in task order, so no two workers ever write the
-/// same shard and no serial merge runs on the hot path. Task order being
+/// base::ThreadPool, each writing into its own sharded staging Relation.
+/// Two schedulers cut the slices (EvalContextOptions::scheduler):
+///
+///   * kStatic slices each delta predicate's per-shard ranges up front
+///     (about four slices per thread, none below min_slice_rows) and
+///     claims them from a shared counter;
+///   * kStealing hands one chunk per delta plan to per-worker deques
+///     (ThreadPool::ParallelForDynamic); idle workers steal, and
+///     oversized chunks split in half while anyone is hungry, so a slice
+///     hiding most of the stage's join work cannot serialize the stage.
+///
+/// Both merges — task stagings into the stage buffers, stage buffers into
+/// the state — are shard-wise ParallelFors: each worker owns one shard
+/// across all relations and folds the task outputs in serial task order
+/// (for the stealing scheduler, chunk outputs sorted by their
+/// deterministic (plan, first delta row) key — stealing reorders
+/// *execution*, never the fold), so no two workers ever write the same
+/// shard and no serial merge runs on the hot path. The fold order being
 /// the serial execution order, relations (per-shard row ids included),
-/// stage_sizes(), and stats (apart from the parallel_tasks counter, which
-/// records the fan-out itself) are bit-identical to the num_threads == 1
-/// run at every shard count. Before fan-out, the stage finalizes every
-/// column index its plans will probe (Relation::EnsureIndexed), making
-/// all reads during the stage lock-free.
+/// stage_sizes(), and stats (apart from the partition bookkeeping:
+/// parallel_tasks, steals, splits, slices, slice_hist) are bit-identical
+/// to the num_threads == 1 run at every shard count under either
+/// scheduler. Before fan-out, the stage finalizes every column index its
+/// plans will probe (Relation::EnsureIndexed), making all reads during
+/// the stage lock-free.
 class RelationalConsequence {
  public:
   struct Options {
@@ -159,14 +171,48 @@ class RelationalConsequence {
   };
 
   /// Executes the stage's plans serially, straight into `buffers` (the
-  /// exact num_threads == 1 path).
+  /// exact num_threads == 1 path). Allocates no task scaffolding — no
+  /// staging relations, no pool, no slices; Step dispatches here directly
+  /// when num_threads == 1.
   void RunStageSerial(bool full_pass, std::vector<Relation>* buffers);
 
-  /// Partitions the stage into tasks, runs them on pool_ into per-task
-  /// sharded staging relations, and folds those into `buffers` with a
-  /// shard-wise ParallelFor (each worker owns one shard, task order
-  /// within the shard).
+  /// Estimates the stage's work, takes the serial path under the
+  /// min_slice_rows cutoff, and otherwise dispatches to the configured
+  /// scheduler (RunStageStatic / RunStageStealing) after finalizing the
+  /// stage's indexes.
   void RunStageParallel(bool full_pass, std::vector<Relation>* buffers);
+
+  /// The kStatic partition: cuts the delta ranges into slices up front,
+  /// runs the (plan × slice) tasks with ThreadPool::ParallelFor, and
+  /// folds the per-task stagings into `buffers` shard-wise in task order.
+  void RunStageStatic(bool full_pass, std::vector<Relation>* buffers,
+                      ThreadPool& pool);
+
+  /// The kStealing partition: one splittable chunk per delta plan on
+  /// ThreadPool::ParallelForDynamic; each executed chunk stages into its
+  /// own relation, and the chunk outputs are folded shard-wise sorted by
+  /// (plan, first delta row) — the serial execution order — so results
+  /// are bit-identical to the serial and static paths.
+  void RunStageStealing(bool full_pass, std::vector<Relation>* buffers,
+                        ThreadPool& pool);
+
+  /// One staging relation awaiting its ordered fold into the stage
+  /// buffers, with the stats block whose new_tuples the fold rewrites.
+  struct StagedOutput {
+    int head_idb;
+    Relation* out;
+    EvalStats* stats;
+  };
+
+  /// The determinism-critical fold shared by both schedulers: merges
+  /// `ordered` into `buffers` shard-wise (each worker owns one shard,
+  /// folding in the given order — which callers must make the serial
+  /// execution order), rewrites each stats block's new_tuples from the
+  /// merge counts (a tuple derived by two stagings is new in both but
+  /// was counted once serially), and accumulates everything — including
+  /// the fan-out count — into stats_.
+  void FoldStagedOutputs(const std::vector<StagedOutput>& ordered,
+                         std::vector<Relation>* buffers, ThreadPool& pool);
 
   /// Merges the stage buffers into the state and refreshes the per-shard
   /// delta ranges; shard-parallel when a pool is running and the batch is
@@ -188,6 +234,9 @@ class RelationalConsequence {
   EvalStats stats_;
   size_t num_threads_ = 1;
   size_t num_shards_ = 1;
+  StageScheduler scheduler_ = StageScheduler::kStatic;
+  /// The serial-cutoff / slicing granularity (EvalContext::min_slice_rows).
+  size_t min_slice_rows_ = EvalContextOptions::kDefaultMinSliceRows;
   /// Points at Options::pool_cache when provided, else at own_pool_. The
   /// slot is filled lazily by the first stage that actually fans out; it
   /// stays null when num_threads_ == 1 or every stage is under the serial

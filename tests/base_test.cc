@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "src/base/result.h"
@@ -220,6 +222,147 @@ TEST(ThreadPoolTest, ManyLoopsReuseTheSameWorkers) {
 
 TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
   EXPECT_GE(ThreadPool::HardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsBodyExceptionOnCaller) {
+  // A body throwing on a worker thread must not std::terminate: the first
+  // exception is captured, the barrier completes, and the exception
+  // resurfaces on the calling thread.
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         if (i == 7) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForKeepsFirstOfManyExceptions) {
+  ThreadPool pool(4);
+  // Every body throws; exactly one exception must come back, and the pool
+  // must stay usable afterwards (the barrier was kept intact).
+  EXPECT_THROW(pool.ParallelFor(
+                   100, [](size_t) { throw std::runtime_error("each"); }),
+               std::runtime_error);
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(100, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineExceptionPropagates) {
+  ThreadPool pool(0);
+  EXPECT_THROW(
+      pool.ParallelFor(3, [](size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+}
+
+/// Coverage harness for ParallelForDynamic: records every (item, row)
+/// processed and fails on gaps or overlaps.
+class DynamicCoverage {
+ public:
+  explicit DynamicCoverage(const std::vector<size_t>& rows) {
+    for (size_t r : rows) hits_.emplace_back(std::max<size_t>(r, 1));
+    for (auto& h : hits_) {
+      for (auto& c : h) c.store(0);
+    }
+  }
+
+  void Cover(size_t item, size_t begin, size_t end) {
+    atomic_calls_.fetch_add(begin == 0 && end == 0 ? 1 : 0);
+    for (size_t r = begin; r < end; ++r) hits_[item][r].fetch_add(1);
+  }
+
+  void ExpectExact(const std::vector<size_t>& rows) {
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (size_t r = 0; r < rows[i]; ++r) {
+        EXPECT_EQ(hits_[i][r].load(), 1) << "item " << i << " row " << r;
+      }
+    }
+  }
+
+  size_t atomic_calls() const { return atomic_calls_.load(); }
+
+ private:
+  std::vector<std::vector<std::atomic<int>>> hits_;
+  std::atomic<size_t> atomic_calls_{0};
+};
+
+TEST(ThreadPoolTest, ParallelForDynamicCoversEveryRowOnce) {
+  ThreadPool pool(3);
+  const std::vector<size_t> rows = {1000, 3, 0, 517, 64};
+  DynamicCoverage cov(rows);
+  pool.ParallelForDynamic(rows, /*min_grain=*/16,
+                          [&](size_t i, size_t b, size_t e, size_t w) {
+                            ASSERT_LE(w, pool.num_workers());
+                            cov.Cover(i, b, e);
+                          });
+  cov.ExpectExact(rows);
+  // The 0-row item is atomic: exactly one body(i, 0, 0) call.
+  EXPECT_EQ(cov.atomic_calls(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicZeroWorkersRunsWholeItemsInOrder) {
+  ThreadPool pool(0);
+  std::vector<std::pair<size_t, size_t>> calls;
+  const std::vector<size_t> rows = {5, 0, 2};
+  auto stats = pool.ParallelForDynamic(
+      rows, 4, [&](size_t i, size_t b, size_t e, size_t w) {
+        EXPECT_EQ(w, 0u);
+        EXPECT_EQ(b, 0u);
+        calls.emplace_back(i, e);
+      });
+  EXPECT_EQ(calls, (std::vector<std::pair<size_t, size_t>>{
+                       {0, 5}, {1, 0}, {2, 2}}));
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.splits, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicSplitsSkewedItems) {
+  // One giant item among trivial ones: the loop must split it rather than
+  // serialize on whichever worker acquired it. With workers present the
+  // baseline grain alone (rows / (4 * participants)) forces splits.
+  ThreadPool pool(3);
+  const std::vector<size_t> rows = {100000, 1, 1, 1};
+  DynamicCoverage cov(rows);
+  std::atomic<size_t> chunk_calls{0};
+  auto stats = pool.ParallelForDynamic(
+      rows, 64, [&](size_t i, size_t b, size_t e, size_t w) {
+        (void)w;
+        chunk_calls.fetch_add(1);
+        cov.Cover(i, b, e);
+      });
+  cov.ExpectExact(rows);
+  EXPECT_GT(chunk_calls.load(), 4u);
+  EXPECT_GT(stats.splits, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicRethrowsBodyException) {
+  ThreadPool pool(3);
+  const std::vector<size_t> rows = {512, 512, 512};
+  EXPECT_THROW(
+      pool.ParallelForDynamic(rows, 16,
+                              [&](size_t i, size_t b, size_t, size_t) {
+                                if (i == 1 && b == 0) {
+                                  throw std::runtime_error("chunk boom");
+                                }
+                              }),
+      std::runtime_error);
+  // Barrier held: the pool is reusable.
+  std::atomic<size_t> total{0};
+  pool.ParallelForDynamic(rows, 16,
+                          [&](size_t, size_t b, size_t e, size_t) {
+                            total.fetch_add(e - b);
+                          });
+  EXPECT_EQ(total.load(), 1536u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicEmptyIsNoop) {
+  ThreadPool pool(2);
+  size_t calls = 0;
+  auto stats = pool.ParallelForDynamic(
+      {}, 8, [&](size_t, size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+  EXPECT_EQ(stats.steals, 0u);
 }
 
 }  // namespace

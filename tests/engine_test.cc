@@ -173,6 +173,40 @@ TEST(EngineTest, AllSemanticsOnOneProgram) {
   EXPECT_EQ(stable->models[0], strat->state);
 }
 
+TEST(EngineTest, RejectUnsafeNegationGatesAllFourSemantics) {
+  // The toggle-style rule has W only under negation. By default every
+  // semantics evaluates it (active-domain reading); with
+  // reject_unsafe_negation the unified entry point refuses it up front —
+  // including for the grounded pipelines, which build no EvalContext.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText("T(X) :- E(Y,X), !T(W).").ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(1,2). E(2,3).").ok());
+  for (SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified,
+        SemanticsKind::kWellFounded, SemanticsKind::kStable}) {
+    EvalOptions lenient;
+    auto accepted = engine.Evaluate(kind, lenient);
+    if (kind != SemanticsKind::kStratified) {  // not stratifiable
+      EXPECT_TRUE(accepted.ok()) << SemanticsKindName(kind);
+    }
+    EvalOptions strict;
+    strict.reject_unsafe_negation = true;
+    auto rejected = engine.Evaluate(kind, strict);
+    ASSERT_FALSE(rejected.ok()) << SemanticsKindName(kind);
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(rejected.status().message().find("variable(s) W"),
+              std::string::npos)
+        << rejected.status().message();
+  }
+  // Negation-safe programs pass the strict mode untouched.
+  Engine safe;
+  ASSERT_TRUE(safe.LoadProgramText("T(X) :- E(Y,X), !T(Y).").ok());
+  ASSERT_TRUE(safe.LoadDatabaseText("E(1,2). E(2,3).").ok());
+  EvalOptions strict;
+  strict.reject_unsafe_negation = true;
+  EXPECT_TRUE(safe.Evaluate(SemanticsKind::kInflationary, strict).ok());
+}
+
 // --- Hamilton circuits through π_SAT (the US-typical example). ---
 
 TEST(HamiltonTest, CnfModelsAreCircuits) {

@@ -16,8 +16,13 @@
 //     fan-out bookkeeping (parallel_tasks) are bit-identical.
 //
 // These tests hold both invariants over {1,2,4,8} threads × {1,2,8}
-// shards on all four semantics, on the randomized programs of
-// index_correctness_test.cc.
+// shards × {static, stealing} stage schedulers on all four semantics, on
+// the randomized programs of index_correctness_test.cc. The stealing
+// scheduler (ThreadPool::ParallelForDynamic) may execute a stage's delta
+// rows in any order and any partition, but folds the chunk outputs by
+// their deterministic (plan, first row) key, so the same bit-identity
+// must hold — including on adversarially skewed inputs where every IDB
+// tuple hashes into one shard (HotShardSkew below).
 //
 // Data-race coverage: build with ThreadSanitizer and run this binary (and
 // the relation/executor tests) —
@@ -48,6 +53,8 @@ namespace {
 
 const size_t kThreadCounts[] = {1, 2, 4, 8};
 const size_t kShardCounts[] = {1, 2, 8};
+const StageScheduler kSchedulers[] = {StageScheduler::kStatic,
+                                      StageScheduler::kStealing};
 
 /// A database of random facts over `num_symbols` constants for the EDB
 /// relations A/2, B/2, C/2, D/2 and S/1 (mirrors index_correctness_test).
@@ -126,9 +133,11 @@ void ExpectSameStats(const EvalStats& reference, const EvalStats& candidate,
   EXPECT_EQ(reference.enumerations, candidate.enumerations) << config;
 }
 
-std::string ConfigName(size_t threads, size_t shards) {
+std::string ConfigName(size_t threads, size_t shards,
+                       StageScheduler scheduler = StageScheduler::kStatic) {
   return "threads=" + std::to_string(threads) +
-         " shards=" + std::to_string(shards);
+         " shards=" + std::to_string(shards) + " scheduler=" +
+         std::string(StageSchedulerName(scheduler));
 }
 
 class ParallelDeterminism : public ::testing::TestWithParam<int> {};
@@ -155,30 +164,40 @@ TEST_P(ParallelDeterminism, InflationaryMatchesSerialBitForBit) {
     ExpectSameSets(serial->state, reference->state);
 
     for (size_t threads : kThreadCounts) {
-      const std::string config = ConfigName(threads, shards);
-      InflationaryOptions par_opts;
-      par_opts.context.num_threads = threads;
-      par_opts.context.num_shards = shards;
-      auto parallel = EvalInflationary(program, db, par_opts);
-      ASSERT_TRUE(parallel.ok()) << config;
+      for (StageScheduler scheduler : kSchedulers) {
+        const std::string config = ConfigName(threads, shards, scheduler);
+        InflationaryOptions par_opts;
+        par_opts.context.num_threads = threads;
+        par_opts.context.num_shards = shards;
+        par_opts.context.scheduler = scheduler;
+        auto parallel = EvalInflationary(program, db, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
 
-      ExpectSameRows(reference->state, parallel->state);
-      ExpectSameSets(serial->state, parallel->state);
-      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
-      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
-      ExpectSameStats(serial->stats, parallel->stats, config);
-      if (threads > 1) {
-        EXPECT_GT(parallel->stats.parallel_tasks, 0u) << config;
-      } else {
-        EXPECT_EQ(parallel->stats.parallel_tasks, 0u) << config;
-      }
+        ExpectSameRows(reference->state, parallel->state);
+        ExpectSameSets(serial->state, parallel->state);
+        EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+        EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+        ExpectSameStats(serial->stats, parallel->stats, config);
+        if (threads > 1) {
+          EXPECT_GT(parallel->stats.parallel_tasks, 0u) << config;
+        } else {
+          EXPECT_EQ(parallel->stats.parallel_tasks, 0u) << config;
+          EXPECT_EQ(parallel->stats.slices, 0u) << config;
+        }
+        if (scheduler == StageScheduler::kStatic || threads == 1) {
+          // Stealing only: chunks can move between workers.
+          EXPECT_EQ(parallel->stats.steals, 0u) << config;
+          EXPECT_EQ(parallel->stats.splits, 0u) << config;
+        }
 
-      // The stage at which each tuple entered — the semantics Proposition
-      // 2 reads distances off — is configuration-invariant too.
-      for (size_t i = 0; i < serial->state.relations.size(); ++i) {
-        for (const Tuple& t : serial->state.relations[i].SortedTuples()) {
-          EXPECT_EQ(serial->TupleStage(i, t), parallel->TupleStage(i, t))
-              << config << " relation " << i;
+        // The stage at which each tuple entered — the semantics
+        // Proposition 2 reads distances off — is configuration-invariant
+        // too.
+        for (size_t i = 0; i < serial->state.relations.size(); ++i) {
+          for (const Tuple& t : serial->state.relations[i].SortedTuples()) {
+            EXPECT_EQ(serial->TupleStage(i, t), parallel->TupleStage(i, t))
+                << config << " relation " << i;
+          }
         }
       }
     }
@@ -199,18 +218,21 @@ TEST_P(ParallelDeterminism, NaiveDriverMatchesSerial) {
 
   for (size_t shards : kShardCounts) {
     for (size_t threads : kThreadCounts) {
-      const std::string config = ConfigName(threads, shards);
-      InflationaryOptions par_opts;
-      par_opts.use_seminaive = false;
-      par_opts.context.num_threads = threads;
-      par_opts.context.num_shards = shards;
-      auto parallel = EvalInflationary(program, db, par_opts);
-      ASSERT_TRUE(parallel.ok()) << config;
-      ExpectSameSets(serial->state, parallel->state);
-      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
-      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
-      EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations)
-          << config;
+      for (StageScheduler scheduler : kSchedulers) {
+        const std::string config = ConfigName(threads, shards, scheduler);
+        InflationaryOptions par_opts;
+        par_opts.use_seminaive = false;
+        par_opts.context.num_threads = threads;
+        par_opts.context.num_shards = shards;
+        par_opts.context.scheduler = scheduler;
+        auto parallel = EvalInflationary(program, db, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
+        ExpectSameSets(serial->state, parallel->state);
+        EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+        EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+        EXPECT_EQ(serial->stats.derivations, parallel->stats.derivations)
+            << config;
+      }
     }
   }
 }
@@ -236,16 +258,19 @@ TEST_P(ParallelDeterminism, TransitiveClosureManyStagesManySlices) {
 
   for (size_t shards : kShardCounts) {
     for (size_t threads : kThreadCounts) {
-      const std::string config = ConfigName(threads, shards);
-      InflationaryOptions par_opts;
-      par_opts.context.num_threads = threads;
-      par_opts.context.num_shards = shards;
-      auto parallel = EvalInflationary(program, db, par_opts);
-      ASSERT_TRUE(parallel.ok()) << config;
-      ExpectSameSets(serial->state, parallel->state);
-      EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
-      EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
-      ExpectSameStats(serial->stats, parallel->stats, config);
+      for (StageScheduler scheduler : kSchedulers) {
+        const std::string config = ConfigName(threads, shards, scheduler);
+        InflationaryOptions par_opts;
+        par_opts.context.num_threads = threads;
+        par_opts.context.num_shards = shards;
+        par_opts.context.scheduler = scheduler;
+        auto parallel = EvalInflationary(program, db, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
+        ExpectSameSets(serial->state, parallel->state);
+        EXPECT_EQ(serial->num_stages, parallel->num_stages) << config;
+        EXPECT_EQ(serial->stage_sizes, parallel->stage_sizes) << config;
+        ExpectSameStats(serial->stats, parallel->stats, config);
+      }
     }
   }
 }
@@ -292,25 +317,28 @@ TEST_P(ParallelDeterminism, AllFourSemanticsThroughEngine) {
 
     for (size_t shards : kShardCounts) {
       for (size_t threads : kThreadCounts) {
-        const std::string config =
-            std::string(SemanticsKindName(kind)) + " " +
-            ConfigName(threads, shards);
-        EvalOptions par_opts;
-        par_opts.num_threads = threads;
-        par_opts.num_shards = shards;
-        auto parallel = engine.Evaluate(kind, par_opts);
-        ASSERT_TRUE(parallel.ok()) << config;
-        ExpectSameSets(serial->state(), parallel->state());
-        if (serial->stats() != nullptr) {
-          ExpectSameStats(*serial->stats(), *parallel->stats(), config);
-        }
-        if (kind == SemanticsKind::kStable) {
-          const auto& sm = std::get<StableResult>(serial->detail);
-          const auto& pm = std::get<StableResult>(parallel->detail);
-          ASSERT_EQ(sm.models.size(), pm.models.size()) << config;
-          for (size_t m = 0; m < sm.models.size(); ++m) {
-            EXPECT_EQ(sm.models[m], pm.models[m])
-                << config << " stable model " << m;
+        for (StageScheduler scheduler : kSchedulers) {
+          const std::string config =
+              std::string(SemanticsKindName(kind)) + " " +
+              ConfigName(threads, shards, scheduler);
+          EvalOptions par_opts;
+          par_opts.num_threads = threads;
+          par_opts.num_shards = shards;
+          par_opts.scheduler = scheduler;
+          auto parallel = engine.Evaluate(kind, par_opts);
+          ASSERT_TRUE(parallel.ok()) << config;
+          ExpectSameSets(serial->state(), parallel->state());
+          if (serial->stats() != nullptr) {
+            ExpectSameStats(*serial->stats(), *parallel->stats(), config);
+          }
+          if (kind == SemanticsKind::kStable) {
+            const auto& sm = std::get<StableResult>(serial->detail);
+            const auto& pm = std::get<StableResult>(parallel->detail);
+            ASSERT_EQ(sm.models.size(), pm.models.size()) << config;
+            for (size_t m = 0; m < sm.models.size(); ++m) {
+              EXPECT_EQ(sm.models[m], pm.models[m])
+                  << config << " stable model " << m;
+            }
           }
         }
       }
@@ -372,6 +400,178 @@ TEST_P(ParallelDeterminism, AutoShardsMatchExplicit) {
   ExpectSameStats(serial->stats, parallel->stats, "auto shards");
   for (const Relation& rel : parallel->state.relations) {
     EXPECT_EQ(rel.num_shards(), 4u);
+  }
+}
+
+/// A program with one unary IDB predicate R whose tuples the skew tests
+/// force into a single hash shard.
+constexpr char kSkewProgram[] =
+    "R(X) :- S(X).\n"
+    "R(Y) :- R(X), A(X,Y).\n"
+    "U(X,Y) :- A(X,Y), !R(X).\n";
+
+/// "Dom(c0). Dom(c1). ..." — pins the interning order of every candidate
+/// symbol, so candidate Values (and therefore the shard of every unary
+/// tuple over them) are identical in any engine that loads the same
+/// program text plus a fact text starting with this block.
+std::string DomBlock(size_t num_candidates) {
+  std::string text;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    text += "Dom(c" + std::to_string(i) + ").\n";
+  }
+  return text;
+}
+
+/// The candidate names whose unary tuple (value) hashes into shard 0 of a
+/// 2^shard_bits-sharded relation, computed through a scout engine that
+/// interns exactly like the test engines below.
+std::vector<std::string> HotShardSymbols(size_t num_candidates,
+                                         uint32_t shard_bits) {
+  Engine scout;
+  INFLOG_CHECK(scout.LoadProgramText(kSkewProgram).ok());
+  INFLOG_CHECK(scout.LoadDatabaseText(DomBlock(num_candidates)).ok());
+  std::vector<std::string> hot;
+  for (size_t i = 0; i < num_candidates; ++i) {
+    const std::string name = "c" + std::to_string(i);
+    const Value v = scout.symbols()->Find(name);
+    INFLOG_CHECK(v != kNoValue);
+    const Tuple tuple{v};
+    if (ShardOfHash(HashTuple(tuple), shard_bits) == 0) hot.push_back(name);
+  }
+  return hot;
+}
+
+TEST_P(ParallelDeterminism, HotShardSkewStealingMatchesSerial) {
+  // Adversarial skew: every R tuple hashes into shard 0, so at 8 shards
+  // the per-shard delta histogram is maximally skewed — the exact case
+  // the stealing scheduler exists for. All four semantics must still
+  // answer bit-identically to serial across the full sweep.
+  const size_t kCandidates = 160;
+  const std::vector<std::string> hot = HotShardSymbols(kCandidates, 3);
+  ASSERT_GE(hot.size(), 8u);  // ~1/8 of candidates expected
+
+  // A chain through every hot symbol (many stages) plus random extra
+  // edges (wide deltas), seeded from the chain head.
+  Rng rng(7900 + GetParam());
+  std::string facts = DomBlock(kCandidates);
+  facts += "S(" + hot[0] + ").\n";
+  for (size_t i = 0; i + 1 < hot.size(); ++i) {
+    facts += "A(" + hot[i] + "," + hot[i + 1] + ").\n";
+  }
+  for (size_t k = 0; k < 2 * hot.size(); ++k) {
+    facts += "A(" + hot[rng.Uniform(hot.size())] + "," +
+             hot[rng.Uniform(hot.size())] + ").\n";
+  }
+
+  for (SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified,
+        SemanticsKind::kWellFounded, SemanticsKind::kStable}) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadProgramText(kSkewProgram).ok());
+    ASSERT_TRUE(engine.LoadDatabaseText(facts).ok());
+
+    EvalOptions serial_opts;
+    serial_opts.num_threads = 1;
+    serial_opts.num_shards = 1;
+    auto serial = engine.Evaluate(kind, serial_opts);
+    ASSERT_TRUE(serial.ok()) << SemanticsKindName(kind);
+
+    if (kind == SemanticsKind::kInflationary) {
+      // Verify the adversarial claim itself: at 8 shards, R lives
+      // entirely in shard 0.
+      EvalOptions sharded_opts;
+      sharded_opts.num_threads = 1;
+      sharded_opts.num_shards = 8;
+      auto sharded = engine.Evaluate(kind, sharded_opts);
+      ASSERT_TRUE(sharded.ok());
+      auto r = engine.RelationOf(sharded->state(), "R");
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ((*r)->size(), hot.size());
+      for (size_t s = 1; s < 8; ++s) {
+        ASSERT_EQ((*r)->ShardSize(s), 0u) << "shard " << s;
+      }
+    }
+
+    for (size_t shards : kShardCounts) {
+      for (size_t threads : kThreadCounts) {
+        const std::string config =
+            std::string(SemanticsKindName(kind)) + " skew " +
+            ConfigName(threads, shards, StageScheduler::kStealing);
+        EvalOptions par_opts;
+        par_opts.num_threads = threads;
+        par_opts.num_shards = shards;
+        par_opts.scheduler = StageScheduler::kStealing;
+        // A tiny slice floor so even these small deltas genuinely fan
+        // out and split (results are invariant to it).
+        par_opts.min_slice_rows = 2;
+        auto parallel = engine.Evaluate(kind, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
+        ExpectSameSets(serial->state(), parallel->state());
+        if (serial->stats() != nullptr) {
+          ExpectSameStats(*serial->stats(), *parallel->stats(), config);
+        }
+      }
+    }
+  }
+}
+
+TEST(SerialPathTest, SerialRunsAllocateNoTaskScaffolding) {
+  // num_threads == 1 dispatches straight to the serial stage body: no
+  // tasks, no slices, no pool — whatever the scheduler and cutoff say —
+  // and the stats are identical across every such configuration.
+  Database db = RandomFactDb(4242, 12, 150);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions base;
+  base.context.num_threads = 1;
+  auto reference = EvalInflationary(program, db, base);
+  ASSERT_TRUE(reference.ok());
+
+  for (StageScheduler scheduler : kSchedulers) {
+    for (size_t min_slice : {size_t{1}, size_t{16}, size_t{1 << 20}}) {
+      const std::string config =
+          "serial scheduler=" +
+          std::string(StageSchedulerName(scheduler)) +
+          " min_slice_rows=" + std::to_string(min_slice);
+      InflationaryOptions opts;
+      opts.context.num_threads = 1;
+      opts.context.scheduler = scheduler;
+      opts.context.min_slice_rows = min_slice;
+      auto serial = EvalInflationary(program, db, opts);
+      ASSERT_TRUE(serial.ok()) << config;
+      EXPECT_EQ(serial->stats.parallel_tasks, 0u) << config;
+      EXPECT_EQ(serial->stats.slices, 0u) << config;
+      EXPECT_EQ(serial->stats.steals, 0u) << config;
+      EXPECT_EQ(serial->stats.splits, 0u) << config;
+      ExpectSameRows(reference->state, serial->state);
+      EXPECT_EQ(reference->stage_sizes, serial->stage_sizes) << config;
+      ExpectSameStats(reference->stats, serial->stats, config);
+    }
+  }
+}
+
+TEST(SerialPathTest, CutoffFallbackMatchesSerialExactly) {
+  // With the cutoff above every stage's work, a multi-threaded run takes
+  // the serial body per stage: identical results and zero fan-out stats.
+  Database db = RandomFactDb(4243, 12, 150);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions base;
+  base.context.num_threads = 1;
+  auto reference = EvalInflationary(program, db, base);
+  ASSERT_TRUE(reference.ok());
+
+  for (StageScheduler scheduler : kSchedulers) {
+    InflationaryOptions opts;
+    opts.context.num_threads = 4;
+    opts.context.scheduler = scheduler;
+    opts.context.min_slice_rows = 1 << 20;
+    auto capped = EvalInflationary(program, db, opts);
+    ASSERT_TRUE(capped.ok());
+    EXPECT_EQ(capped->stats.parallel_tasks, 0u);
+    EXPECT_EQ(capped->stats.slices, 0u);
+    ExpectSameRows(reference->state, capped->state);
+    ExpectSameStats(reference->stats, capped->stats, "capped cutoff");
   }
 }
 

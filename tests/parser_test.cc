@@ -203,8 +203,57 @@ TEST(AnalysisTest, ToggleRuleIsUnsafeAndUnstratifiable) {
   ASSERT_EQ(a.unsafe_vars.size(), 1u);
   // All three variables Z, U, W are unsafe (active-domain semantics).
   EXPECT_EQ(a.unsafe_vars[0].size(), 3u);
+  // Only U and W occur under negation; the head variable Z does not.
+  ASSERT_EQ(a.negation_unsafe_vars.size(), 1u);
+  EXPECT_EQ(a.negation_unsafe_vars[0].size(), 2u);
   EXPECT_FALSE(a.AllSafe());
+  EXPECT_FALSE(a.NegationSafe());
   EXPECT_EQ(a.warnings.size(), 1u);
+}
+
+TEST(AnalysisTest, NegationSafetyCheckNamesRuleAndVariables) {
+  Program p = MustProgram("T(X) :- E(X,Y), !Q(Z).");
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.NegationSafe());
+  const Status s = CheckNegationSafety(p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The diagnostic names the offending rule and the offending variable —
+  // and only that variable (X and Y are bound by E).
+  EXPECT_NE(s.message().find("T(X) :- E(X,Y), !Q(Z)."), std::string::npos)
+      << s.message();
+  EXPECT_NE(s.message().find("variable(s) Z"), std::string::npos)
+      << s.message();
+}
+
+TEST(AnalysisTest, NegationSafetyAcceptsBoundNegation) {
+  // X is bound by a positive literal before the negated one uses it, so
+  // the rule passes even though the program is head-unsafe elsewhere.
+  Program p = MustProgram(
+      "T(X) :- E(X,Y), !Q(X).\n"
+      "H(Z) :- E(X,Y).\n");  // Z ranges over the active domain: allowed
+  const ProgramAnalysis a = AnalyzeProgram(p);
+  EXPECT_FALSE(a.AllSafe());      // the H rule is head-unsafe
+  EXPECT_TRUE(a.NegationSafe());  // but no unbound variable under negation
+  EXPECT_TRUE(CheckNegationSafety(p).ok());
+}
+
+TEST(AnalysisTest, NegationSafetyHonorsEqualityClosure) {
+  // X is bound through X = Y with Y bound by D — the same closure range
+  // restriction uses.
+  Program p = MustProgram("P(X) :- D(Y), X = Y, !Q(X).");
+  EXPECT_TRUE(CheckNegationSafety(p).ok());
+}
+
+TEST(AnalysisTest, NegationSafetyListsEveryOffendingRule) {
+  Program p = MustProgram(
+      "A(X) :- D(X).\n"
+      "B(X) :- D(X), !C(Y).\n"
+      "E(X) :- D(X), !F(Z).\n");
+  const Status s = CheckNegationSafety(p);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("variable(s) Y"), std::string::npos);
+  EXPECT_NE(s.message().find("variable(s) Z"), std::string::npos);
 }
 
 TEST(AnalysisTest, SafeRuleHasNoWarnings) {
