@@ -17,9 +17,13 @@
 // that claimed the hot slices; the stealing scheduler
 // (--scheduler=stealing, ThreadPool::ParallelForDynamic) splits exactly
 // those chunks while the other workers are hungry and keeps everyone
-// busy. The acceptance target is a ≥1.5× stealing-over-static speedup at
-// 8 threads on this workload — on a machine with ≥8 cores; like E9/E10,
-// a single-core container shows only the scheduling overhead, and the
+// busy; the auto scheduler (the default) must detect the hub skew from
+// its posting-length estimate and flip this stage to stealing by itself
+// — the series exists to hold auto within 10% of explicit stealing here
+// (its `auto_stealing` counter shows the decision). The acceptance
+// target is a ≥1.5× stealing-over-static speedup at 8 threads on this
+// workload — on a machine with ≥8 cores; like E9/E10, a single-core
+// container shows only the scheduling overhead, and the
 // `threads`/`scheduler` counters keep such runs distinguishable in the
 // trajectory.
 //
@@ -71,9 +75,10 @@ std::vector<std::string> HotSymbols(SymbolTable* symbols, size_t count) {
 
 void BM_SkewedStageSchedulers(benchmark::State& state) {
   const size_t threads = static_cast<size_t>(state.range(0));
-  const StageScheduler scheduler = state.range(1) == 0
-                                       ? StageScheduler::kStatic
-                                       : StageScheduler::kStealing;
+  const StageScheduler scheduler =
+      state.range(1) == 0   ? StageScheduler::kStatic
+      : state.range(1) == 1 ? StageScheduler::kStealing
+                            : StageScheduler::kAuto;
   auto symbols = std::make_shared<SymbolTable>();
   Program p = bench::MustProgram(kSkewProgram, symbols);
   Database db(symbols);
@@ -123,6 +128,7 @@ void BM_SkewedStageSchedulers(benchmark::State& state) {
   options.context.num_shards = 8;
   options.context.scheduler = scheduler;
   double tuples = 0, tasks = 0, steals = 0, splits = 0, slices = 0;
+  double parks = 0, auto_static = 0, auto_stealing = 0;
   for (auto _ : state) {
     auto result = EvalInflationary(p, db, options);
     INFLOG_CHECK(result.ok());
@@ -135,6 +141,15 @@ void BM_SkewedStageSchedulers(benchmark::State& state) {
     steals = static_cast<double>(result->stats.steals);
     splits = static_cast<double>(result->stats.splits);
     slices = static_cast<double>(result->stats.slices);
+    parks = static_cast<double>(result->stats.parks);
+    auto_static = static_cast<double>(result->stats.auto_static_stages);
+    auto_stealing = static_cast<double>(result->stats.auto_stealing_stages);
+  }
+  // The whole point of auto on this workload: it must have flipped the
+  // skewed stage to stealing, not merely matched its time by accident.
+  if (scheduler == StageScheduler::kAuto && threads > 1) {
+    INFLOG_CHECK(auto_stealing >= 1)
+        << "auto scheduler failed to detect the hub skew";
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["scheduler"] = static_cast<double>(state.range(1));
@@ -145,16 +160,22 @@ void BM_SkewedStageSchedulers(benchmark::State& state) {
   state.counters["steals"] = steals;
   state.counters["splits"] = splits;
   state.counters["slices"] = slices;
+  state.counters["parks"] = parks;
+  state.counters["auto_static"] = auto_static;
+  state.counters["auto_stealing"] = auto_stealing;
 }
 
 BENCHMARK(BM_SkewedStageSchedulers)
     ->Args({1, 0})  // serial anchor
     ->Args({2, 0})
     ->Args({2, 1})
+    ->Args({2, 2})
     ->Args({4, 0})
     ->Args({4, 1})
+    ->Args({4, 2})
     ->Args({8, 0})  // static: hot slices serialize on few threads
     ->Args({8, 1})  // stealing: hot chunks split across all workers
+    ->Args({8, 2})  // auto: must flip to stealing by itself (within 10%)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -3,17 +3,21 @@
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
 #   {"bench":"e7_distance_query","threads":8,"shards":1,
-#    "scheduler":"static","context":{...},"benchmarks":[...]}
+#    "scheduler":"auto","steal_variance":1,"context":{...},
+#    "benchmarks":[...]}
 #
-# `threads`, `shards`, and `scheduler` record the evaluation thread
-# count, relation-shard count, and stage scheduler the bench binaries
-# were run with. The benches default to num_threads=1 / num_shards=1 /
-# the static scheduler (E1..E8 are serial and unsharded; E9 sweeps
-# thread counts, E10 sweeps (threads, shards), and E11 sweeps (threads,
-# scheduler) per series, carried in their *counters*), so the fields
-# default to 1/1/static — set INFLOG_THREADS=N / INFLOG_SHARDS=S /
-# INFLOG_SCHEDULER=stealing only when actually running a build/flag
-# combination that evaluates with those values.
+# `threads`, `shards`, `scheduler`, and `steal_variance` record the
+# evaluation thread count, relation-shard count, stage scheduler, and
+# auto-scheduler flip threshold the bench binaries were run with. The
+# benches default to num_threads=1 / num_shards=1 / the auto scheduler
+# (the library default, which at CV threshold 1.0 picks static or
+# stealing per stage; E1..E8 are serial and unsharded; E9 sweeps thread
+# counts, E10 sweeps (threads, shards), and E11 sweeps (threads,
+# scheduler incl. auto) per series, carried in their *counters*), so the
+# fields default to 1/1/auto/1 — set INFLOG_THREADS=N / INFLOG_SHARDS=S
+# / INFLOG_SCHEDULER=static|stealing|auto / INFLOG_STEAL_VARIANCE=V only
+# when actually running a build/flag combination that evaluates with
+# those values.
 #
 # Usage:
 #   bench/run_all.sh [--smoke] [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
@@ -21,8 +25,9 @@
 # --smoke runs every series for a single short repetition
 # (--benchmark_min_time=0.01): a cheap CI-sized sweep whose only job is
 # to prove each bench binary still builds, runs, and passes its built-in
-# serial cross-checks. Timing numbers from a smoke run are NOT
-# trajectory material.
+# serial cross-checks — including E11's check that --scheduler=auto (the
+# library default) flips its skewed stage to stealing. Timing numbers
+# from a smoke run are NOT trajectory material.
 #
 # Examples:
 #   bench/run_all.sh                           # default build dir ./build
@@ -69,12 +74,24 @@ case "$shards" in
     ;;
 esac
 
-scheduler="${INFLOG_SCHEDULER:-static}"
+scheduler="${INFLOG_SCHEDULER:-auto}"
 case "$scheduler" in
-  static|stealing) ;;
+  auto|static|stealing) ;;
   *)
-    echo "error: INFLOG_SCHEDULER must be 'static' or 'stealing'," \
-      "got '$scheduler'" >&2
+    echo "error: INFLOG_SCHEDULER must be 'auto', 'static' or" \
+      "'stealing', got '$scheduler'" >&2
+    exit 1
+    ;;
+esac
+
+# The auto scheduler's CV flip threshold (the library default is 1.0).
+# Must be a JSON-valid number (jq --argjson below), so a bare leading or
+# trailing dot is rejected too.
+steal_variance="${INFLOG_STEAL_VARIANCE:-1}"
+case "$steal_variance" in
+  ''|*[!0-9.]*|*.*.*|.*|*.)
+    echo "error: INFLOG_STEAL_VARIANCE must be a non-negative number," \
+      "got '$steal_variance'" >&2
     exit 1
     ;;
 esac
@@ -99,14 +116,15 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
     printf \
-      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","context":null,"benchmarks":[]}\n' \
-      "$name" "$threads" "$shards" "$scheduler"
+      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"context":null,"benchmarks":[]}\n' \
+      "$name" "$threads" "$shards" "$scheduler" "$steal_variance"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
     --argjson shards "$shards" --arg scheduler "$scheduler" \
+    --argjson steal_variance "$steal_variance" \
     '{bench: $bench, threads: $threads, shards: $shards,
-      scheduler: $scheduler,
+      scheduler: $scheduler, steal_variance: $steal_variance,
       context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 

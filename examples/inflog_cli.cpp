@@ -2,8 +2,9 @@
 // under a chosen semantics — the downstream-user entry point.
 //
 // Usage:
-//   inflog_cli [--threads=N] [--shards=S] [--scheduler=static|stealing]
-//     [--min-slice-rows=R] [--reject-unsafe-negation] [--stats]
+//   inflog_cli [--threads=N] [--shards=S]
+//     [--scheduler=auto|static|stealing] [--min-slice-rows=R]
+//     [--steal-variance=V] [--reject-unsafe-negation] [--stats]
 //     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
@@ -15,16 +16,21 @@
 // hash-shards the IDB relations S ways — S a power of two ≤ 64 — so the
 // stage merge parallelizes shard-wise (default 0 = auto: one shard per
 // thread; --shards=1 is the unsharded layout). --scheduler picks how
-// parallel stages partition their delta rows: static (default; up-front
-// equal-row slices) or stealing (per-worker deques with dynamic chunk
-// splitting — faster on skewed stages, see bench E11). --min-slice-rows=R
-// tunes the serial cutoff / slice granularity (0 = default 64). Results
-// are deterministic and identical for every (threads, shards, scheduler,
-// min-slice-rows) combination. --reject-unsafe-negation fails instead of
-// evaluating rules whose negated literal has a variable bound by no
-// positive body literal (by default such rules get the paper's
-// active-domain reading). --stats prints the executor counters (index
-// probes, posting-list intersections, rows matched, steals, slice
+// parallel stages partition their delta rows: auto (default; per stage,
+// flip to work stealing when the estimated slice-work variance is high,
+// otherwise keep the static slicer), static (up-front equal-row slices)
+// or stealing (per-worker deques with dynamic chunk splitting — faster
+// on skewed stages, see bench E11). --min-slice-rows=R tunes the serial
+// cutoff / slice granularity / tiny-plan batching threshold (0 = default
+// 64), and --steal-variance=V the auto scheduler's coefficient-of-
+// variation flip threshold (0 = default 1.0; lower steals more eagerly).
+// Results are deterministic and identical for every (threads, shards,
+// scheduler, min-slice-rows, steal-variance) combination.
+// --reject-unsafe-negation fails instead of evaluating rules whose
+// negated literal has a variable bound by no positive body literal (by
+// default such rules get the paper's active-domain reading). --stats
+// prints the executor counters (index probes, posting-list
+// intersections, rows matched, steals, auto-scheduler decisions, slice
 // histogram, ...) after the result, so bench numbers can be explained
 // from the CLI; for modes without a relational fixpoint run it says so.
 //
@@ -35,6 +41,7 @@
 //     data/distance.dlog data/shortcut.facts
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -81,7 +88,9 @@ int main(int argc, char** argv) {
   size_t num_shards = 0;
   // 0 = the evaluator default (64 rows).
   size_t min_slice_rows = 0;
-  inflog::StageScheduler scheduler = inflog::StageScheduler::kStatic;
+  // 0 = the evaluator default (CV 1.0); only read by --scheduler=auto.
+  double steal_variance = 0;
+  inflog::StageScheduler scheduler = inflog::StageScheduler::kAuto;
   bool reject_unsafe_negation = false;
   bool print_stats = false;
   std::vector<std::string> args;
@@ -142,6 +151,30 @@ int main(int argc, char** argv) {
       scheduler = *parsed;
       continue;
     }
+    if (arg == "--steal-variance" || arg.rfind("--steal-variance=", 0) == 0) {
+      std::string value;
+      if (arg == "--steal-variance") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --steal-variance requires a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(sizeof("--steal-variance=") - 1);
+      }
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || !std::isfinite(v) || v < 0) {
+        std::cerr << "error: --steal-variance expects a non-negative "
+                     "number, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      steal_variance = v;
+      continue;
+    }
     int handled = flag_value("--threads", 1024, &num_threads);
     if (handled == 0) {
       // The evaluator clamps shard counts to kMaxShards; reject higher
@@ -167,8 +200,9 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 2) {
     std::cerr << "usage: " << argv[0]
-              << " [--threads=N] [--shards=S] [--scheduler=static|stealing] "
-                 "[--min-slice-rows=R] [--reject-unsafe-negation] [--stats] "
+              << " [--threads=N] [--shards=S] "
+                 "[--scheduler=auto|static|stealing] [--min-slice-rows=R] "
+                 "[--steal-variance=V] [--reject-unsafe-negation] [--stats] "
                  "PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
@@ -207,6 +241,7 @@ int main(int argc, char** argv) {
     options.num_shards = num_shards;
     options.scheduler = scheduler;
     options.min_slice_rows = min_slice_rows;
+    options.steal_variance = steal_variance;
     options.reject_unsafe_negation = reject_unsafe_negation;
     auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
@@ -249,7 +284,12 @@ int main(int argc, char** argv) {
                   << "  parallel_tasks   " << s->parallel_tasks << "\n"
                   << "  steals           " << s->steals << "\n"
                   << "  splits           " << s->splits << "\n"
-                  << "  slices           " << s->slices << "\n";
+                  << "  parks            " << s->parks << "\n"
+                  << "  slices           " << s->slices << "\n"
+                  << "  batched_plans    " << s->batched_plans << "\n"
+                  << "  auto_static      " << s->auto_static_stages << "\n"
+                  << "  auto_stealing    " << s->auto_stealing_stages
+                  << "\n";
         // Executed-slice size distribution, log2 buckets; only the
         // populated ones, so serial runs print a single empty line.
         std::cout << "  slice_hist      ";

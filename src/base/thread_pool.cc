@@ -186,7 +186,31 @@ struct DynLoop {
   std::atomic<size_t> next_id{1};
   std::atomic<uint64_t> steals{0};
   std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> parks{0};
+  /// Bumped whenever work appears (a shed half) or the loop drains; a
+  /// hungry participant whose steal sweep found nothing parks until it
+  /// changes, instead of spinning through yield.
+  std::atomic<uint64_t> work_version{0};
+  /// Participants currently blocked in Steal's park; publishers skip the
+  /// park mutex entirely while it is zero.
+  std::atomic<size_t> parked{0};
+  std::mutex park_mu;
+  std::condition_variable park_cv;
   FailureSlot failure;
+
+  /// Publishes a work/drain event to parked participants. The version
+  /// bump happens first, so a participant that re-checks it before
+  /// blocking never sleeps through this event; the mutex is only taken
+  /// when someone is actually parked (see Steal for the ordering
+  /// argument — the seq_cst version/parked pair makes the unlocked
+  /// fast path safe).
+  void Publish() {
+    work_version.fetch_add(1);
+    if (parked.load() > 0) {
+      std::lock_guard<std::mutex> lock(park_mu);
+      park_cv.notify_all();
+    }
+  }
 
   bool PopOwn(size_t id, Chunk* out) {
     WorkDeque& d = deques[id];
@@ -198,15 +222,19 @@ struct DynLoop {
   }
 
   /// Scans the other deques round-robin until a chunk is stolen or the
-  /// loop drains; yields between failed sweeps rather than blocking, so
-  /// the participant holding the last work keeps running. The yield loop
-  /// trades idle CPU during the last unsplittable chunk's body for
-  /// latency: stage tails are bounded by one ≤ 2*min_grain-row chunk, so
-  /// parking on a condition variable (and paying its wakeup on every
-  /// shed) has not been worth it; revisit if profiles show long
-  /// single-chunk tails.
+  /// loop drains; between failed sweeps the participant parks on the
+  /// loop's condition variable instead of spinning, so the tail of a
+  /// stage with one long unsplittable chunk costs no idle CPU (profiles
+  /// of oversubscribed runs showed the old yield loop competing with the
+  /// one participant that still had work). Wakeups come from Publish():
+  /// every shed half and the final chunk completion bump `work_version`
+  /// first, so the version snapshot taken before the sweep makes the
+  /// unlocked publish path race-free — if the publisher's bump is not
+  /// visible to the wait predicate, its `parked` read (later in seq_cst
+  /// order) sees this participant registered and takes the locked path.
   bool Steal(size_t id, Chunk* out) {
     while (true) {
+      const uint64_t version = work_version.load();
       for (size_t k = 1; k < participants; ++k) {
         WorkDeque& d = deques[(id + k) % participants];
         std::lock_guard<std::mutex> lock(d.mu);
@@ -217,7 +245,17 @@ struct DynLoop {
         return true;
       }
       if (unfinished.load(std::memory_order_acquire) == 0) return false;
-      std::this_thread::yield();
+      std::unique_lock<std::mutex> lock(park_mu);
+      auto ready = [&] {
+        return work_version.load() != version ||
+               unfinished.load(std::memory_order_acquire) == 0;
+      };
+      if (!ready()) {
+        parked.fetch_add(1);
+        parks.fetch_add(1, std::memory_order_relaxed);
+        park_cv.wait(lock, ready);
+        parked.fetch_sub(1);
+      }
     }
   }
 
@@ -241,6 +279,7 @@ struct DynLoop {
         d.q.push_back(Chunk{c.item, mid, c.end});
       }
       splits.fetch_add(1, std::memory_order_relaxed);
+      Publish();  // a parked participant can steal the shed half
       c.end = mid;
       size = c.end - c.begin;
     }
@@ -251,7 +290,9 @@ struct DynLoop {
         failure.Capture();
       }
     }
-    unfinished.fetch_sub(1, std::memory_order_release);
+    if (unfinished.fetch_sub(1, std::memory_order_release) == 1) {
+      Publish();  // loop drained: release any parked participants
+    }
   }
 
   /// The participant loop: drain own deque, then steal; exit when the
@@ -303,6 +344,7 @@ ThreadPool::DynamicLoopStats ThreadPool::ParallelForDynamic(
   // straggler helpers can only observe empty deques and exit.
   stats.steals = loop->steals.load(std::memory_order_relaxed);
   stats.splits = loop->splits.load(std::memory_order_relaxed);
+  stats.parks = loop->parks.load(std::memory_order_relaxed);
   loop->failure.Rethrow();
   return stats;
 }

@@ -70,6 +70,8 @@ class ThreadPool {
   struct DynamicLoopStats {
     uint64_t steals = 0;  ///< Chunks taken from another participant.
     uint64_t splits = 0;  ///< Chunk halves shed back for others to steal.
+    uint64_t parks = 0;   ///< Times a hungry participant blocked on the
+                          ///< loop's condition variable awaiting work.
   };
 
   /// Body of a dynamic loop: process rows [begin, end) of item `item`.
@@ -89,8 +91,12 @@ class ThreadPool {
   /// sheds its upper half back onto the owner's deque while it exceeds
   /// both 2*min_grain and the per-item baseline grain, or while another
   /// participant is hungry — so skewed items split exactly as finely as
-  /// the observed imbalance demands and no finer. Full barrier; first
-  /// body exception is rethrown on the calling thread after the barrier.
+  /// the observed imbalance demands and no finer. A participant whose
+  /// steal sweep finds every deque empty parks on a condition variable
+  /// (counted in DynamicLoopStats::parks) until a shed half or the loop's
+  /// completion wakes it, so long single-chunk stage tails burn no CPU
+  /// spinning. Full barrier; first body exception is rethrown on the
+  /// calling thread after the barrier.
   DynamicLoopStats ParallelForDynamic(const std::vector<size_t>& item_rows,
                                       size_t min_grain,
                                       const DynamicBody& body);

@@ -143,6 +143,7 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       opts.context.num_shards = options.num_shards;
       opts.context.scheduler = options.scheduler;
       opts.context.min_slice_rows = options.min_slice_rows;
+      opts.context.steal_variance = options.steal_variance;
       opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
       INFLOG_ASSIGN_OR_RETURN(InflationaryResult r, Inflationary(opts));
       out.detail = std::move(r);
@@ -154,6 +155,7 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       opts.context.num_shards = options.num_shards;
       opts.context.scheduler = options.scheduler;
       opts.context.min_slice_rows = options.min_slice_rows;
+      opts.context.steal_variance = options.steal_variance;
       opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
       INFLOG_ASSIGN_OR_RETURN(StratifiedResult r, Stratified(opts));
       out.detail = std::move(r);

@@ -15,19 +15,21 @@ std::string_view StageSchedulerName(StageScheduler scheduler) {
       return "static";
     case StageScheduler::kStealing:
       return "stealing";
+    case StageScheduler::kAuto:
+      return "auto";
   }
   INFLOG_CHECK(false) << "bad StageScheduler";
   return "";
 }
 
 Result<StageScheduler> ParseStageScheduler(std::string_view name) {
-  for (StageScheduler s :
-       {StageScheduler::kStatic, StageScheduler::kStealing}) {
+  for (StageScheduler s : {StageScheduler::kAuto, StageScheduler::kStatic,
+                           StageScheduler::kStealing}) {
     if (name == StageSchedulerName(s)) return s;
   }
   return Status::InvalidArgument(
       StrCat("unknown stage scheduler: ", std::string(name),
-             " (expected static|stealing)"));
+             " (expected auto|static|stealing)"));
 }
 
 Result<EvalContext> EvalContext::Create(const Program& program,
@@ -75,6 +77,12 @@ size_t ResolvedMinSliceRows(const EvalContextOptions& options) {
              : options.min_slice_rows;
 }
 
+double ResolvedStealVariance(const EvalContextOptions& options) {
+  return options.steal_variance == 0
+             ? EvalContextOptions::kDefaultStealVariance
+             : options.steal_variance;
+}
+
 Status EvalContext::Bind(const EvalContextOptions& options) {
   if (options.reject_unsafe_negation) {
     INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*program_));
@@ -84,6 +92,7 @@ Status EvalContext::Bind(const EvalContextOptions& options) {
   num_shards_ = ResolvedNumShards(options);
   scheduler_ = options.scheduler;
   min_slice_rows_ = ResolvedMinSliceRows(options);
+  steal_variance_ = ResolvedStealVariance(options);
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);

@@ -35,7 +35,7 @@
 namespace inflog {
 
 /// How a parallel fixpoint stage partitions its delta rows across the
-/// thread pool. Both schedulers produce bit-identical relations, stage
+/// thread pool. All schedulers produce bit-identical relations, stage
 /// sizes, and executor stats (tests/parallel_determinism_test.cc).
 enum class StageScheduler {
   /// Cut the per-shard delta ranges into equal-row slices up front (about
@@ -48,9 +48,18 @@ enum class StageScheduler {
   /// is hungry (down to 2 × min_slice_rows), so pathologically skewed
   /// stages keep every worker busy (ThreadPool::ParallelForDynamic).
   kStealing,
+  /// Per-stage choice between the two (the default): before fan-out the
+  /// stage estimates each static task's join work (delta rows weighted by
+  /// the probed posting-list lengths, sampled) and flips to kStealing
+  /// only when the estimates' coefficient of variation exceeds
+  /// EvalContextOptions::steal_variance — skewed stages get the stealing
+  /// machinery, uniform ones skip its overhead. The decisions are
+  /// surfaced as EvalStats::auto_{static,stealing}_stages.
+  kAuto,
 };
 
-/// Canonical lowercase name ("static" / "stealing"), for CLIs and logs.
+/// Canonical lowercase name ("auto" / "static" / "stealing"), for CLIs
+/// and logs.
 std::string_view StageSchedulerName(StageScheduler scheduler);
 
 /// Parses a StageSchedulerName back; InvalidArgument on unknown names.
@@ -81,15 +90,25 @@ struct EvalContextOptions {
   /// combination.
   size_t num_shards = 1;
   /// How parallel stages partition their delta rows (inert when
-  /// num_threads == 1). kStatic is the predictable default; kStealing
-  /// adapts to skewed stages. Results are identical either way.
-  StageScheduler scheduler = StageScheduler::kStatic;
+  /// num_threads == 1). kAuto (the default) picks per stage between the
+  /// static slicer and work stealing from the estimated slice-work
+  /// variance; the explicit kinds pin one machinery. Results are
+  /// identical under every choice.
+  StageScheduler scheduler = StageScheduler::kAuto;
   /// Minimum delta rows worth a stage task of their own: stages with
   /// fewer total input rows run serially, static slices never go below
-  /// it, and the stealing scheduler stops splitting chunks at twice this
-  /// size. 0 picks kDefaultMinSliceRows. Results are identical for every
+  /// it, the stealing scheduler stops splitting chunks at twice this
+  /// size, and delta plans with fewer rows are batched together into one
+  /// task. 0 picks kDefaultMinSliceRows. Results are identical for every
   /// value; this only moves the parallelism/overhead tradeoff.
   size_t min_slice_rows = 0;
+  /// kAuto's flip threshold: a stage switches to work stealing when the
+  /// coefficient of variation (stddev / mean) of its estimated per-task
+  /// work exceeds this. Lower values steal more eagerly; raise it if the
+  /// estimates misfire on a workload whose skew the static slicer
+  /// handles fine. 0 picks kDefaultStealVariance; inert for the explicit
+  /// schedulers. Results are identical for every value.
+  double steal_variance = 0;
   /// If true, binding fails (InvalidArgument) when any rule carries a
   /// negated literal over a variable bound by no positive body literal
   /// (CheckNegationSafety in src/ast/analysis.h). Off by default: the
@@ -101,6 +120,11 @@ struct EvalContextOptions {
   static constexpr size_t kMaxShards = 64;
   /// Default for min_slice_rows (the pre-tunable hard constant).
   static constexpr size_t kDefaultMinSliceRows = 64;
+  /// Default for steal_variance: at CV 1.0 the work hidden in the
+  /// outlier tasks rivals the whole rest of the stage, the point where
+  /// stealing's chunk staging pays for itself (bench E11 sits far above,
+  /// uniform stages far below).
+  static constexpr double kDefaultStealVariance = 1.0;
 };
 
 /// `options.num_threads` with 0 resolved to the hardware concurrency.
@@ -115,6 +139,9 @@ size_t ResolvedNumShards(const EvalContextOptions& options);
 
 /// `options.min_slice_rows` with 0 resolved to kDefaultMinSliceRows.
 size_t ResolvedMinSliceRows(const EvalContextOptions& options);
+
+/// `options.steal_variance` with 0 resolved to kDefaultStealVariance.
+double ResolvedStealVariance(const EvalContextOptions& options);
 
 /// Per-run binding of predicates to relations plus the index cache.
 class EvalContext {
@@ -164,6 +191,10 @@ class EvalContext {
   /// replaced by EvalContextOptions::kDefaultMinSliceRows).
   size_t min_slice_rows() const { return min_slice_rows_; }
 
+  /// Resolved auto-scheduler flip threshold (> 0; an option of 0 has
+  /// already been replaced by EvalContextOptions::kDefaultStealVariance).
+  double steal_variance() const { return steal_variance_; }
+
  private:
   EvalContext(const Program& program, const Database& database)
       : program_(&program), database_(&database) {}
@@ -186,8 +217,9 @@ class EvalContext {
   bool use_join_indexes_ = true;
   size_t num_threads_ = 1;
   size_t num_shards_ = 1;
-  StageScheduler scheduler_ = StageScheduler::kStatic;
+  StageScheduler scheduler_ = StageScheduler::kAuto;
   size_t min_slice_rows_ = EvalContextOptions::kDefaultMinSliceRows;
+  double steal_variance_ = EvalContextOptions::kDefaultStealVariance;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
 };

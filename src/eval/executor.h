@@ -35,8 +35,17 @@ struct EvalStats {
   uint64_t steals = 0;          ///< Chunks a worker took from another's
                                 ///< deque (stealing scheduler only).
   uint64_t splits = 0;          ///< Chunk halves shed for stealing.
+  uint64_t parks = 0;           ///< Hungry stealing workers that blocked
+                                ///< on the loop's condition variable.
   uint64_t slices = 0;          ///< Delta slices executed (both
                                 ///< schedulers; full-plan tasks excluded).
+  uint64_t auto_static_stages = 0;    ///< Parallel stages the auto
+                                      ///< scheduler ran with the static
+                                      ///< slicer.
+  uint64_t auto_stealing_stages = 0;  ///< Parallel stages the auto
+                                      ///< scheduler flipped to stealing.
+  uint64_t batched_plans = 0;   ///< Tiny delta plans that shared a stage
+                                ///< task with at least one other plan.
   /// Histogram of executed delta-slice sizes: bucket k counts slices with
   /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
   static constexpr size_t kSliceHistBuckets = 17;
@@ -64,7 +73,11 @@ struct EvalStats {
     parallel_tasks += other.parallel_tasks;
     steals += other.steals;
     splits += other.splits;
+    parks += other.parks;
     slices += other.slices;
+    auto_static_stages += other.auto_static_stages;
+    auto_stealing_stages += other.auto_stealing_stages;
+    batched_plans += other.batched_plans;
     for (size_t i = 0; i < kSliceHistBuckets; ++i) {
       slice_hist[i] += other.slice_hist[i];
     }
@@ -87,6 +100,37 @@ using DeltaRanges = std::vector<std::vector<ShardRange>>;
 void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
                  const IdbState& state, const DeltaRanges* deltas,
                  Relation* out, EvalStats* stats);
+
+/// Sampled per-row work estimate of one delta plan, used by the auto
+/// stage scheduler (StageScheduler::kAuto) to predict how unevenly the
+/// static partition's tasks would be loaded.
+struct DeltaWorkEstimate {
+  /// Total delta rows the plan scans (shards linearized in shard order,
+  /// the delta-scan walk order — the same linearization the schedulers
+  /// slice).
+  size_t rows = 0;
+  /// Sampling stride: sample i describes delta row i * stride and stands
+  /// for the stride rows starting there.
+  size_t stride = 1;
+  /// Estimated join work of each sampled row: 1 + the shortest
+  /// posting-list length the first index probe after the delta scan
+  /// would iterate for that row's key values. Empty when the plan gives
+  /// the estimator no per-row signal (no index probe keyed by delta-bound
+  /// variables, or indexes disabled); rows are then assumed uniform.
+  std::vector<uint64_t> sample_cost;
+};
+
+/// Estimates `plan`'s per-row join work over the delta rows in
+/// `delta_ranges` (the plan's delta predicate), probing at most
+/// `max_samples` rows. Reads posting-list *lengths* only — cheap relative
+/// to executing the plan — and touches no EvalStats, so running it never
+/// perturbs the determinism-checked counters. Caller must have finalized
+/// the probed indexes (Relation::EnsureIndexed) when running concurrently.
+DeltaWorkEstimate EstimateDeltaWork(const EvalContext& ctx,
+                                    const RulePlan& plan,
+                                    const IdbState& state,
+                                    const std::vector<ShardRange>& delta_ranges,
+                                    size_t max_samples);
 
 }  // namespace inflog
 

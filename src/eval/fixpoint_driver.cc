@@ -1,6 +1,7 @@
 #include "src/eval/fixpoint_driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/base/logging.h"
@@ -114,6 +115,7 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
       num_threads_(ctx.num_threads()),
       scheduler_(ctx.scheduler()),
       min_slice_rows_(ctx.min_slice_rows()),
+      steal_variance_(ctx.steal_variance()),
       pool_slot_(options.pool_cache != nullptr ? options.pool_cache
                                                : &own_pool_) {
   const Program& program = ctx.program();
@@ -240,22 +242,159 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // relation read mutates anything (Relation::EnsureIndexed contract).
   if (ctx_.use_join_indexes()) FinalizeStageIndexes(full_pass);
 
-  if (scheduler_ == StageScheduler::kStealing) {
-    RunStageStealing(full_pass, buffers, pool);
+  std::vector<DeltaUnit> units;
+  if (!full_pass) units = PartitionDeltaUnits();
+
+  StageScheduler scheduler = scheduler_;
+  if (scheduler == StageScheduler::kAuto) {
+    // Full passes run one atomic task per rule — there is no slice for
+    // stealing to re-cut — so only delta stages consult the imbalance
+    // estimate. Either way both machineries fold by the same
+    // deterministic key, so the choice is invisible outside the
+    // bookkeeping counters.
+    scheduler =
+        (!full_pass && EstimateStaticImbalance(units) > steal_variance_)
+            ? StageScheduler::kStealing
+            : StageScheduler::kStatic;
+    if (scheduler == StageScheduler::kStealing) {
+      ++stats_.auto_stealing_stages;
+    } else {
+      ++stats_.auto_static_stages;
+    }
+  }
+  if (scheduler == StageScheduler::kStealing) {
+    RunStageStealing(full_pass, units, buffers, pool);
   } else {
-    RunStageStatic(full_pass, buffers, pool);
+    RunStageStatic(full_pass, units, buffers, pool);
   }
 }
 
-void RelationalConsequence::RunStageStatic(bool full_pass,
-                                           std::vector<Relation>* buffers,
-                                           ThreadPool& pool) {
-  // Partition the stage: full passes split per rule plan, delta passes
-  // per (delta plan × delta slice), the slices cut from the per-shard
-  // delta ranges so the fan-out partitions along shard boundaries. Task
-  // order — rules in program order, then plan order, then ascending
-  // slices — is exactly the serial execution order; the ordered
-  // shard-wise merge below relies on that.
+std::vector<RelationalConsequence::DeltaUnit>
+RelationalConsequence::PartitionDeltaUnits() {
+  std::vector<DeltaUnit> units;
+  DeltaUnit pending;  // batch being accumulated
+  size_t pending_rows = 0;
+  auto flush = [&] {
+    if (pending.batch.empty()) return;
+    if (pending.batch.size() >= 2) {
+      stats_.batched_plans += pending.batch.size();
+    }
+    units.push_back(std::move(pending));
+    pending = DeltaUnit();
+    pending_rows = 0;
+  };
+  for (const CompiledRule& c : compiled_) {
+    for (const DeltaPlan& d : c.deltas) {
+      size_t rows = 0;
+      if (d.delta_idb >= 0) {
+        for (const auto& [begin, end] : delta_ranges_[d.delta_idb]) {
+          rows += end - begin;
+        }
+      }
+      if (d.delta_idb >= 0 && rows >= min_slice_rows_) {
+        flush();
+        DeltaUnit u;
+        u.plan = &d.plan;
+        u.head_idb = c.head_idb;
+        u.delta_idb = d.delta_idb;
+        u.rows = rows;
+        u.heads.push_back(c.head_idb);
+        units.push_back(std::move(u));
+        continue;
+      }
+      // Tiny (or delta-less) plan: share a task with its neighbours so
+      // rule-heavy programs don't pay one staging relation per nearly
+      // empty plan. Batches stay contiguous in plan order — the ordered
+      // fold depends on it.
+      pending.batch.push_back(BatchEntry{&d.plan, c.head_idb, rows});
+      bool seen = false;
+      for (int h : pending.heads) seen = seen || h == c.head_idb;
+      if (!seen) pending.heads.push_back(c.head_idb);
+      if (d.delta_idb >= 0) stats_.RecordSlice(rows);
+      pending_rows += rows;
+      if (pending_rows >= min_slice_rows_) flush();
+    }
+  }
+  flush();
+  return units;
+}
+
+double RelationalConsequence::EstimateStaticImbalance(
+    const std::vector<DeltaUnit>& units) const {
+  // Number of delta rows EstimateDeltaWork may probe per plan. The whole
+  // estimate costs at most one posting-length lookup per sampled row —
+  // a fraction of the join that follows — and a stride this dense still
+  // catches hub windows much smaller than a slice.
+  constexpr size_t kMaxWorkSamples = 2048;
+
+  // Stealing can only re-cut sliceable units; a stage made purely of
+  // atomic batches runs the same tasks under either machinery, so
+  // report it balanced and skip the estimation entirely.
+  bool sliceable = false;
+  for (const DeltaUnit& u : units) sliceable = sliceable || u.batch.empty();
+  if (!sliceable) return 0.0;
+
+  // Pool the estimated work of every task the static partition would
+  // create: one value per batch, one per up-front slice of each big
+  // plan. The per-row signal is the posting-list length of the plan's
+  // first index probe; plans giving no such signal fall back to row
+  // counts — exactly the proxy the static slicer itself balances, so
+  // they report a perfectly balanced contribution. Zero-work batches
+  // (runs of never-fires / empty-delta plans) are skipped: they are
+  // near-free tasks under either scheduler, and counting them would
+  // only drag the mean down and inflate the CV.
+  std::vector<double> work;
+  for (const DeltaUnit& u : units) {
+    if (!u.batch.empty()) {
+      double rows = 0;
+      for (const BatchEntry& e : u.batch) rows += static_cast<double>(e.rows);
+      if (rows > 0) work.push_back(rows);
+      continue;
+    }
+    const size_t desired = std::max<size_t>(
+        1, std::min(num_threads_ * 4, u.rows / min_slice_rows_));
+    const DeltaWorkEstimate est = EstimateDeltaWork(
+        ctx_, *u.plan, *state_, delta_ranges_[u.delta_idb], kMaxWorkSamples);
+    std::vector<double> slice(desired, 0.0);
+    if (est.sample_cost.empty()) {
+      for (size_t w = 0; w < desired; ++w) {
+        slice[w] = static_cast<double>(u.rows * (w + 1) / desired -
+                                       u.rows * w / desired);
+      }
+    } else {
+      for (size_t i = 0; i < est.sample_cost.size(); ++i) {
+        const size_t row = i * est.stride;
+        slice[row * desired / u.rows] +=
+            static_cast<double>(est.sample_cost[i] * est.stride);
+      }
+    }
+    for (double v : slice) work.push_back(v);
+  }
+  if (work.size() < 2) return 0.0;
+  double sum = 0;
+  for (double v : work) sum += v;
+  const double mean = sum / static_cast<double>(work.size());
+  if (mean <= 0) return 0.0;
+  double var = 0;
+  for (double v : work) var += (v - mean) * (v - mean);
+  return std::sqrt(var / static_cast<double>(work.size())) / mean;
+}
+
+void RelationalConsequence::RunStageStatic(
+    bool full_pass, const std::vector<DeltaUnit>& units,
+    std::vector<Relation>* buffers, ThreadPool& pool) {
+  // Partition the stage: full passes split per rule plan; delta passes
+  // take the shared units — one task per batch, and per (big plan ×
+  // delta slice) with the slices cut from the per-shard delta ranges so
+  // the fan-out partitions along shard boundaries. Task order — units in
+  // program order, then ascending slices — is exactly the serial
+  // execution order; the ordered shard-wise merge below relies on that.
+  struct StageTask {
+    const RulePlan* plan = nullptr;    ///< Single-plan task.
+    int head_idb = -1;
+    int sliced = -1;                   ///< Index into sliced ranges, or -1.
+    const DeltaUnit* batch = nullptr;  ///< Batch task (overrides plan).
+  };
   std::vector<StageTask> tasks;
   // Per-sliced-task delta ranges, precomputed here (serially) so the
   // workers read them in place instead of deep-copying DeltaRanges on
@@ -263,114 +402,136 @@ void RelationalConsequence::RunStageStatic(bool full_pass,
   std::vector<DeltaRanges> sliced_ranges;
   if (full_pass) {
     for (const CompiledRule& c : compiled_) {
-      tasks.push_back(StageTask{&c.full, c.head_idb, -1});
+      tasks.push_back(StageTask{&c.full, c.head_idb, -1, nullptr});
     }
   } else {
-    for (const CompiledRule& c : compiled_) {
-      for (const DeltaPlan& d : c.deltas) {
-        if (d.delta_idb < 0) {
-          tasks.push_back(StageTask{&d.plan, c.head_idb, -1});
-          continue;
-        }
-        const std::vector<ShardRange>& ranges = delta_ranges_[d.delta_idb];
-        size_t rows = 0;
-        for (const auto& [begin, end] : ranges) rows += end - begin;
-        // Aim for a few slices per thread so claim-order load imbalance
-        // evens out, but never slices smaller than min_slice_rows_.
-        const size_t desired =
-            std::min(num_threads_ * 4, rows / min_slice_rows_);
-        for (std::vector<ShardRange>& slice :
-             SliceDeltaRanges(ranges, desired)) {
-          size_t slice_rows = 0;
-          for (const auto& [begin, end] : slice) slice_rows += end - begin;
-          stats_.RecordSlice(slice_rows);
-          DeltaRanges local = delta_ranges_;
-          local[d.delta_idb] = std::move(slice);
-          tasks.push_back(StageTask{&d.plan, c.head_idb,
-                                    static_cast<int>(sliced_ranges.size())});
-          sliced_ranges.push_back(std::move(local));
-        }
+    for (const DeltaUnit& u : units) {
+      if (!u.batch.empty()) {
+        tasks.push_back(StageTask{nullptr, -1, -1, &u});
+        continue;
+      }
+      const std::vector<ShardRange>& ranges = delta_ranges_[u.delta_idb];
+      // Aim for a few slices per thread so claim-order load imbalance
+      // evens out, but never slices smaller than min_slice_rows_.
+      const size_t desired =
+          std::min(num_threads_ * 4, u.rows / min_slice_rows_);
+      for (std::vector<ShardRange>& slice :
+           SliceDeltaRanges(ranges, desired)) {
+        size_t slice_rows = 0;
+        for (const auto& [begin, end] : slice) slice_rows += end - begin;
+        stats_.RecordSlice(slice_rows);
+        DeltaRanges local = delta_ranges_;
+        local[u.delta_idb] = std::move(slice);
+        tasks.push_back(StageTask{u.plan, u.head_idb,
+                                  static_cast<int>(sliced_ranges.size()),
+                                  nullptr});
+        sliced_ranges.push_back(std::move(local));
       }
     }
   }
 
-  // Per-task staging: each task owns one sharded output relation and one
-  // stats block, so workers never share a mutable object.
-  std::vector<Relation> outs;
-  outs.reserve(tasks.size());
-  for (const StageTask& t : tasks) {
-    const Relation& buffer = (*buffers)[t.head_idb];
-    outs.emplace_back(buffer.arity(), buffer.num_shards());
+  // Per-task staging: one sharded output relation and stats block per
+  // head the task stages into (single-plan tasks exactly one, batch
+  // tasks one per distinct head), so workers never share a mutable
+  // object and a batch never interleaves two heads in one relation.
+  std::vector<std::vector<Relation>> outs(tasks.size());
+  std::vector<std::vector<EvalStats>> task_stats(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const StageTask& t = tasks[i];
+    const size_t num_heads = t.batch != nullptr ? t.batch->heads.size() : 1;
+    outs[i].reserve(num_heads);
+    for (size_t slot = 0; slot < num_heads; ++slot) {
+      const int head = t.batch != nullptr ? t.batch->heads[slot] : t.head_idb;
+      const Relation& buffer = (*buffers)[head];
+      outs[i].emplace_back(buffer.arity(), buffer.num_shards());
+    }
+    task_stats[i].resize(num_heads);
   }
-  std::vector<EvalStats> task_stats(tasks.size());
 
   pool.ParallelFor(tasks.size(), [&](size_t i) {
     const StageTask& t = tasks[i];
+    if (t.batch != nullptr) {
+      // Batched tiny plans run back to back over their full (small)
+      // delta ranges, each staging into its head's slot.
+      for (const BatchEntry& e : t.batch->batch) {
+        size_t slot = 0;
+        while (t.batch->heads[slot] != e.head_idb) ++slot;
+        ExecutePlan(ctx_, *e.plan, *state_, &delta_ranges_, &outs[i][slot],
+                    &task_stats[i][slot]);
+      }
+      return;
+    }
     const DeltaRanges* deltas =
         full_pass ? nullptr
                   : (t.sliced >= 0 ? &sliced_ranges[t.sliced]
                                    : &delta_ranges_);
-    ExecutePlan(ctx_, *t.plan, *state_, deltas, &outs[i], &task_stats[i]);
+    ExecutePlan(ctx_, *t.plan, *state_, deltas, &outs[i][0],
+                &task_stats[i][0]);
   });
 
   // Fold the per-task stagings in task order — the serial execution
-  // order, which the ordered shard-wise merge relies on.
+  // order, which the ordered shard-wise merge relies on. A batch's heads
+  // fold in first-appearance order; per buffer that is still the serial
+  // insertion order, because each head's staging received its batch
+  // plans' rows in plan order.
   std::vector<StagedOutput> ordered;
   ordered.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) {
-    ordered.push_back(StagedOutput{tasks[i].head_idb, &outs[i],
-                                   &task_stats[i]});
+    const StageTask& t = tasks[i];
+    const size_t num_heads = t.batch != nullptr ? t.batch->heads.size() : 1;
+    for (size_t slot = 0; slot < num_heads; ++slot) {
+      const int head = t.batch != nullptr ? t.batch->heads[slot] : t.head_idb;
+      ordered.push_back(StagedOutput{head, &outs[i][slot],
+                                     &task_stats[i][slot]});
+    }
   }
   FoldStagedOutputs(ordered, buffers, pool);
 }
 
 void RelationalConsequence::RunStageStealing(
-    bool full_pass, std::vector<Relation>* buffers, ThreadPool& pool) {
-  // One splittable item per plan, in serial execution order: rules in
-  // program order, then plan order. Delta plans carry their predicate's
-  // whole delta range (ParallelForDynamic splits it on demand); full
-  // plans and delta plans with no delta scan are atomic (0 rows).
+    bool full_pass, const std::vector<DeltaUnit>& units,
+    std::vector<Relation>* buffers, ThreadPool& pool) {
+  // One item per unit, in serial execution order. Big delta plans carry
+  // their predicate's whole delta range (ParallelForDynamic splits it on
+  // demand); batches and full plans are atomic (0 rows — exactly one
+  // body call).
   struct StealItem {
-    const RulePlan* plan;
-    int head_idb;
-    int delta_idb;  ///< < 0: atomic — execute the whole plan.
+    const RulePlan* plan = nullptr;
+    int head_idb = -1;
+    int delta_idb = -1;                ///< < 0: atomic.
+    const DeltaUnit* batch = nullptr;  ///< Batch item (overrides plan).
   };
   std::vector<StealItem> items;
   std::vector<size_t> item_rows;
   if (full_pass) {
     for (const CompiledRule& c : compiled_) {
-      items.push_back(StealItem{&c.full, c.head_idb, -1});
+      items.push_back(StealItem{&c.full, c.head_idb, -1, nullptr});
       item_rows.push_back(0);
     }
   } else {
-    for (const CompiledRule& c : compiled_) {
-      for (const DeltaPlan& d : c.deltas) {
-        if (d.delta_idb < 0) {
-          items.push_back(StealItem{&d.plan, c.head_idb, -1});
-          item_rows.push_back(0);
-          continue;
-        }
-        size_t rows = 0;
-        for (const auto& [begin, end] : delta_ranges_[d.delta_idb]) {
-          rows += end - begin;
-        }
-        items.push_back(StealItem{&d.plan, c.head_idb, d.delta_idb});
-        item_rows.push_back(rows);
+    for (const DeltaUnit& u : units) {
+      if (!u.batch.empty()) {
+        items.push_back(StealItem{nullptr, -1, -1, &u});
+        item_rows.push_back(0);
+      } else {
+        items.push_back(StealItem{u.plan, u.head_idb, u.delta_idb, nullptr});
+        item_rows.push_back(u.rows);
       }
     }
   }
 
-  // Each executed chunk stages into its own sharded relation. The set of
-  // chunks depends on steal timing, but a chunk's (item, begin) key fully
-  // determines the delta rows it covered, so sorting the records by that
-  // key reconstructs the serial execution order whatever the partition
-  // was. Records are per-participant, so workers never share a vector.
+  // Each executed chunk stages into its own sharded relation(s) — one
+  // per head for batch items. The set of chunks depends on steal timing,
+  // but a chunk's (item, begin) key fully determines the delta rows it
+  // covered, so sorting the records by that key reconstructs the serial
+  // execution order whatever the partition was. Records are
+  // per-participant, so workers never share a vector.
   struct ChunkRecord {
     size_t item;
     size_t begin;
     size_t rows;
-    Relation out;
-    EvalStats stats;
+    std::vector<Relation> outs;    // parallel to the item's heads
+    std::vector<EvalStats> stats;
   };
   std::vector<std::vector<ChunkRecord>> records(pool.num_workers() + 1);
   // Chunks are cut dynamically, so their restricted DeltaRanges cannot
@@ -385,10 +546,26 @@ void RelationalConsequence::RunStageStealing(
       item_rows, min_slice_rows_,
       [&](size_t i, size_t begin, size_t end, size_t worker) {
         const StealItem& item = items[i];
-        ChunkRecord rec{i, begin, end - begin,
-                        Relation((*buffers)[item.head_idb].arity(),
-                                 num_shards_),
-                        EvalStats()};
+        ChunkRecord rec{i, begin, end - begin, {}, {}};
+        if (item.batch != nullptr) {
+          const DeltaUnit& u = *item.batch;
+          rec.outs.reserve(u.heads.size());
+          for (int head : u.heads) {
+            rec.outs.emplace_back((*buffers)[head].arity(), num_shards_);
+          }
+          rec.stats.resize(u.heads.size());
+          for (const BatchEntry& e : u.batch) {
+            size_t slot = 0;
+            while (u.heads[slot] != e.head_idb) ++slot;
+            ExecutePlan(ctx_, *e.plan, *state_, &delta_ranges_,
+                        &rec.outs[slot], &rec.stats[slot]);
+          }
+          records[worker].push_back(std::move(rec));
+          return;
+        }
+        rec.outs.emplace_back((*buffers)[item.head_idb].arity(),
+                              num_shards_);
+        rec.stats.resize(1);
         const DeltaRanges* deltas = nullptr;
         if (!full_pass) {
           if (item.delta_idb >= 0) {
@@ -401,8 +578,8 @@ void RelationalConsequence::RunStageStealing(
             deltas = &delta_ranges_;
           }
         }
-        ExecutePlan(ctx_, *item.plan, *state_, deltas, &rec.out,
-                    &rec.stats);
+        ExecutePlan(ctx_, *item.plan, *state_, deltas, &rec.outs[0],
+                    &rec.stats[0]);
         if (!full_pass && item.delta_idb >= 0) {
           // Restore the invariant scratch[worker] == delta_ranges_.
           scratch[worker][item.delta_idb] = delta_ranges_[item.delta_idb];
@@ -410,7 +587,7 @@ void RelationalConsequence::RunStageStealing(
         records[worker].push_back(std::move(rec));
       });
 
-  // Deterministic fold order: ascending (plan, first delta row). Stealing
+  // Deterministic fold order: ascending (unit, first delta row). Stealing
   // reordered which worker ran which rows, never which rows exist or how
   // they fold.
   std::vector<ChunkRecord*> chunks;
@@ -425,13 +602,23 @@ void RelationalConsequence::RunStageStealing(
   std::vector<StagedOutput> ordered;
   ordered.reserve(chunks.size());
   for (ChunkRecord* rec : chunks) {
-    if (items[rec->item].delta_idb >= 0) rec->stats.RecordSlice(rec->rows);
-    ordered.push_back(StagedOutput{items[rec->item].head_idb, &rec->out,
-                                   &rec->stats});
+    const StealItem& item = items[rec->item];
+    if (item.batch != nullptr) {
+      // Batched plans recorded their slices at partition time.
+      for (size_t slot = 0; slot < item.batch->heads.size(); ++slot) {
+        ordered.push_back(StagedOutput{item.batch->heads[slot],
+                                       &rec->outs[slot], &rec->stats[slot]});
+      }
+      continue;
+    }
+    if (item.delta_idb >= 0) rec->stats[0].RecordSlice(rec->rows);
+    ordered.push_back(StagedOutput{item.head_idb, &rec->outs[0],
+                                   &rec->stats[0]});
   }
   FoldStagedOutputs(ordered, buffers, pool);
   stats_.steals += dyn.steals;
   stats_.splits += dyn.splits;
+  stats_.parks += dyn.parks;
 }
 
 void RelationalConsequence::FoldStagedOutputs(

@@ -77,7 +77,14 @@ class FixpointDriver {
 /// pure join over the frozen previous state Sⁿ, so the stage's work is
 /// split into (rule plan × delta slice) tasks that run on a
 /// base::ThreadPool, each writing into its own sharded staging Relation.
-/// Two schedulers cut the slices (EvalContextOptions::scheduler):
+/// Before either scheduler runs, the stage's delta plans are partitioned
+/// into units: plans whose delta is at least min_slice_rows rows stand
+/// alone (and get sliced or stolen), while consecutive smaller plans are
+/// batched into one unit sharing a single task — rule-heavy programs no
+/// longer pay one staging relation per nearly empty plan
+/// (EvalStats::batched_plans counts them). Two schedulers then cut the
+/// work, with a third mode choosing between them per stage
+/// (EvalContextOptions::scheduler):
 ///
 ///   * kStatic slices each delta predicate's per-shard ranges up front
 ///     (about four slices per thread, none below min_slice_rows) and
@@ -85,7 +92,15 @@ class FixpointDriver {
 ///   * kStealing hands one chunk per delta plan to per-worker deques
 ///     (ThreadPool::ParallelForDynamic); idle workers steal, and
 ///     oversized chunks split in half while anyone is hungry, so a slice
-///     hiding most of the stage's join work cannot serialize the stage.
+///     hiding most of the stage's join work cannot serialize the stage;
+///   * kAuto (the default) estimates each static task's work up front —
+///     delta rows weighted by the posting-list lengths the plan's first
+///     index probe would walk (EstimateDeltaWork, sampled) — and flips
+///     the stage to kStealing only when the estimates' coefficient of
+///     variation exceeds EvalContextOptions::steal_variance, so skewed
+///     stages get the stealing machinery and uniform ones skip its
+///     overhead (EvalStats::auto_{static,stealing}_stages record the
+///     decisions).
 ///
 /// Both merges — task stagings into the stage buffers, stage buffers into
 /// the state — are shard-wise ParallelFors: each worker owns one shard
@@ -160,14 +175,29 @@ class RelationalConsequence {
     std::vector<DeltaPlan> deltas;
   };
 
-  /// One unit of parallel stage work: a plan, optionally restricted to a
-  /// slice of its delta predicate's rows. Sliced tasks carry an index
-  /// into the stage's precomputed per-task delta ranges (built serially
-  /// at partition time, so workers never copy DeltaRanges).
-  struct StageTask {
+  /// One plan of a batched delta unit.
+  struct BatchEntry {
     const RulePlan* plan;
     int head_idb;
-    int sliced = -1;  ///< Index into the stage's sliced ranges, or -1.
+    size_t rows;  ///< The plan's delta rows (0 for plans with no delta).
+  };
+
+  /// One schedulable unit of a delta stage, shared by both parallel
+  /// schedulers: either a single plan whose delta is big enough to slice
+  /// or steal (batch empty), or a contiguous run of tiny plans executed
+  /// back to back inside one task. Units appear in serial execution
+  /// order (rules in program order, then plan order), which the ordered
+  /// fold relies on.
+  struct DeltaUnit {
+    const RulePlan* plan = nullptr;  ///< Single-plan unit iff batch empty.
+    int head_idb = -1;
+    int delta_idb = -1;
+    size_t rows = 0;
+    std::vector<BatchEntry> batch;
+    /// Distinct head_idbs this unit stages into, in first-appearance
+    /// order — one staging relation and stats block per entry, so a
+    /// batch never interleaves two heads in one relation.
+    std::vector<int> heads;
   };
 
   /// Executes the stage's plans serially, straight into `buffers` (the
@@ -177,24 +207,41 @@ class RelationalConsequence {
   void RunStageSerial(bool full_pass, std::vector<Relation>* buffers);
 
   /// Estimates the stage's work, takes the serial path under the
-  /// min_slice_rows cutoff, and otherwise dispatches to the configured
-  /// scheduler (RunStageStatic / RunStageStealing) after finalizing the
-  /// stage's indexes.
+  /// min_slice_rows cutoff, and otherwise partitions the delta plans
+  /// into units, resolves kAuto from the estimated static-task imbalance,
+  /// and dispatches to RunStageStatic / RunStageStealing after finalizing
+  /// the stage's indexes.
   void RunStageParallel(bool full_pass, std::vector<Relation>* buffers);
 
-  /// The kStatic partition: cuts the delta ranges into slices up front,
-  /// runs the (plan × slice) tasks with ThreadPool::ParallelFor, and
-  /// folds the per-task stagings into `buffers` shard-wise in task order.
-  void RunStageStatic(bool full_pass, std::vector<Relation>* buffers,
-                      ThreadPool& pool);
+  /// Cuts the stage's delta plans into DeltaUnits: plans with at least
+  /// min_slice_rows delta rows stand alone; consecutive smaller plans
+  /// accumulate into batches that flush once they hold min_slice_rows
+  /// rows. Records the batching bookkeeping (batched_plans, slices for
+  /// the batched plans) into stats_.
+  std::vector<DeltaUnit> PartitionDeltaUnits();
 
-  /// The kStealing partition: one splittable chunk per delta plan on
-  /// ThreadPool::ParallelForDynamic; each executed chunk stages into its
-  /// own relation, and the chunk outputs are folded shard-wise sorted by
-  /// (plan, first delta row) — the serial execution order — so results
-  /// are bit-identical to the serial and static paths.
-  void RunStageStealing(bool full_pass, std::vector<Relation>* buffers,
-                        ThreadPool& pool);
+  /// The kAuto signal: coefficient of variation of the estimated work of
+  /// the tasks the static partition would create (batches whole; big
+  /// plans cut into their up-front slices, each weighted by the sampled
+  /// posting-list lengths of the plan's first index probe). Deterministic
+  /// in (units, state, thread count); reads no EvalStats.
+  double EstimateStaticImbalance(const std::vector<DeltaUnit>& units) const;
+
+  /// The kStatic partition: cuts the big units' delta ranges into slices
+  /// up front, runs the (unit × slice) tasks with ThreadPool::ParallelFor,
+  /// and folds the per-task stagings into `buffers` shard-wise in task
+  /// order. `units` is ignored on full passes (one task per rule plan).
+  void RunStageStatic(bool full_pass, const std::vector<DeltaUnit>& units,
+                      std::vector<Relation>* buffers, ThreadPool& pool);
+
+  /// The kStealing partition: one splittable chunk per big unit (batches
+  /// and full plans are atomic) on ThreadPool::ParallelForDynamic; each
+  /// executed chunk stages into its own relation(s), and the chunk
+  /// outputs are folded shard-wise sorted by (unit, first delta row) —
+  /// the serial execution order — so results are bit-identical to the
+  /// serial and static paths.
+  void RunStageStealing(bool full_pass, const std::vector<DeltaUnit>& units,
+                        std::vector<Relation>* buffers, ThreadPool& pool);
 
   /// One staging relation awaiting its ordered fold into the stage
   /// buffers, with the stats block whose new_tuples the fold rewrites.
@@ -234,9 +281,11 @@ class RelationalConsequence {
   EvalStats stats_;
   size_t num_threads_ = 1;
   size_t num_shards_ = 1;
-  StageScheduler scheduler_ = StageScheduler::kStatic;
+  StageScheduler scheduler_ = StageScheduler::kAuto;
   /// The serial-cutoff / slicing granularity (EvalContext::min_slice_rows).
   size_t min_slice_rows_ = EvalContextOptions::kDefaultMinSliceRows;
+  /// kAuto's flip threshold (EvalContext::steal_variance).
+  double steal_variance_ = EvalContextOptions::kDefaultStealVariance;
   /// Points at Options::pool_cache when provided, else at own_pool_. The
   /// slot is filled lazily by the first stage that actually fans out; it
   /// stays null when num_threads_ == 1 or every stage is under the serial

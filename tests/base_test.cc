@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -363,6 +365,40 @@ TEST(ThreadPoolTest, ParallelForDynamicEmptyIsNoop) {
       {}, 8, [&](size_t, size_t, size_t, size_t) { ++calls; });
   EXPECT_EQ(calls, 0u);
   EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.parks, 0u);
+}
+
+TEST(ThreadPoolTest, ParallelForDynamicParksInsteadOfSpinning) {
+  // One splittable item with slow chunks: hungry participants find every
+  // deque empty between sheds, so they park on the loop's condition
+  // variable. The regression surface is the wakeup protocol — a missed
+  // wakeup would hang this loop (a parked worker sleeping through the
+  // shed or the final drain), and a lost chunk would fail the coverage
+  // check. How often parking actually happens is timing-dependent, so
+  // the counter itself is only read, not asserted.
+  ThreadPool pool(3);
+  const std::vector<size_t> rows = {4096};
+  DynamicCoverage cov(rows);
+  auto stats = pool.ParallelForDynamic(
+      rows, /*min_grain=*/64, [&](size_t i, size_t b, size_t e, size_t w) {
+        (void)w;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        cov.Cover(i, b, e);
+      });
+  cov.ExpectExact(rows);
+  EXPECT_GE(stats.parks, 0u);
+
+  // Parked workers must also wake on the drain event itself: a loop
+  // whose only chunk never splits ends with every other participant
+  // parked until the final completion publishes.
+  std::atomic<size_t> covered{0};
+  auto tail = pool.ParallelForDynamic(
+      {100}, /*min_grain=*/4096, [&](size_t, size_t b, size_t e, size_t) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        covered.fetch_add(e - b);
+      });
+  EXPECT_EQ(covered.load(), 100u);
+  EXPECT_EQ(tail.splits, 0u);
 }
 
 }  // namespace

@@ -16,13 +16,18 @@
 //     fan-out bookkeeping (parallel_tasks) are bit-identical.
 //
 // These tests hold both invariants over {1,2,4,8} threads × {1,2,8}
-// shards × {static, stealing} stage schedulers on all four semantics, on
-// the randomized programs of index_correctness_test.cc. The stealing
-// scheduler (ThreadPool::ParallelForDynamic) may execute a stage's delta
-// rows in any order and any partition, but folds the chunk outputs by
-// their deterministic (plan, first row) key, so the same bit-identity
-// must hold — including on adversarially skewed inputs where every IDB
-// tuple hashes into one shard (HotShardSkew below).
+// shards × {static, stealing, auto} stage schedulers on all four
+// semantics, on the randomized programs of index_correctness_test.cc.
+// The stealing scheduler (ThreadPool::ParallelForDynamic) may execute a
+// stage's delta rows in any order and any partition, but folds the chunk
+// outputs by their deterministic (plan, first row) key, so the same
+// bit-identity must hold — including on adversarially skewed inputs
+// where every IDB tuple hashes into one shard (HotShardSkew below). The
+// auto scheduler picks one of the two machineries per stage from the
+// estimated slice-work variance; whichever it picks, the same fold key
+// applies, so its results must be bit-identical too (and the
+// AutoSchedulerTest cases below pin which machinery it picks on a
+// uniform and on a hub-skewed workload, via the decision counters).
 //
 // Data-race coverage: build with ThreadSanitizer and run this binary (and
 // the relation/executor tests) —
@@ -54,7 +59,8 @@ namespace {
 const size_t kThreadCounts[] = {1, 2, 4, 8};
 const size_t kShardCounts[] = {1, 2, 8};
 const StageScheduler kSchedulers[] = {StageScheduler::kStatic,
-                                      StageScheduler::kStealing};
+                                      StageScheduler::kStealing,
+                                      StageScheduler::kAuto};
 
 /// A database of random facts over `num_symbols` constants for the EDB
 /// relations A/2, B/2, C/2, D/2 and S/1 (mirrors index_correctness_test).
@@ -572,6 +578,151 @@ TEST(SerialPathTest, CutoffFallbackMatchesSerialExactly) {
     EXPECT_EQ(capped->stats.slices, 0u);
     ExpectSameRows(reference->state, capped->state);
     ExpectSameStats(reference->stats, capped->stats, "capped cutoff");
+  }
+}
+
+TEST(AutoSchedulerTest, UniformWorkloadPicksStatic) {
+  // Transitive closure over a sparse random digraph: per delta row the
+  // probed posting list is one vertex's out-degree — i.i.d. and small —
+  // so the estimated work of the static partition's slices is
+  // near-uniform and the auto scheduler must keep the static slicer on
+  // every parallel stage (stealing's chunk machinery would be pure
+  // overhead here).
+  Rng rng(424242);
+  const size_t n = 48;
+  const Digraph g = RandomDigraph(n, 3.0 / n, &rng);
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  Program program = testing::MustProgram(
+      "T(X,Y) :- E(X,Y).\n"
+      "T(X,Z) :- T(X,Y), E(Y,Z).\n",
+      db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  InflationaryOptions opts;
+  opts.context.num_threads = 4;
+  opts.context.scheduler = StageScheduler::kAuto;
+  opts.context.min_slice_rows = 16;  // low floor so stages genuinely fan out
+  auto result = EvalInflationary(program, db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.auto_static_stages, 0u);
+  EXPECT_EQ(result->stats.auto_stealing_stages, 0u);
+  // Stealing never ran, so its bookkeeping stays zero.
+  EXPECT_EQ(result->stats.steals, 0u);
+  EXPECT_EQ(result->stats.splits, 0u);
+  EXPECT_EQ(result->stats.parks, 0u);
+  ExpectSameSets(serial->state, result->state);
+  EXPECT_EQ(serial->stage_sizes, result->stage_sizes);
+  ExpectSameStats(serial->stats, result->stats, "auto uniform");
+}
+
+TEST(AutoSchedulerTest, HotShardHubSkewPicksStealing) {
+  // Miniature of bench E11: every R tuple hashes into shard 0 and a few
+  // hub rows inside the leading slice window hide most of the probe
+  // fan-out, so the estimated slice work has coefficient of variation
+  // well above the default threshold and the auto scheduler must flip
+  // the skewed stage to stealing.
+  constexpr char kProgram[] =
+      "R(Y) :- Seed(X), E0(X,Y).\n"
+      "P(X,Y) :- R(X), Big(X,Y).\n";
+  constexpr size_t kRows = 256;       // R tuples, all hashing into shard 0
+  constexpr size_t kHubWindow = 64;   // leading R rows holding the hubs
+  constexpr size_t kHubStride = 8;    // one hub per 8 rows in the window
+  constexpr size_t kHubFanout = 512;  // Big rows per hub (1 elsewhere)
+
+  Database db;
+  std::vector<std::string> hot;
+  for (size_t i = 0; hot.size() < kRows; ++i) {
+    std::string name = "h" + std::to_string(i);
+    const Value v = db.shared_symbols()->Intern(name);
+    if (ShardOfHash(HashTuple(Tuple{v}), 3) == 0) {
+      hot.push_back(std::move(name));
+    }
+  }
+  ASSERT_TRUE(db.AddFactNamed("Seed", {"s"}).ok());
+  for (const std::string& name : hot) {
+    ASSERT_TRUE(db.AddFactNamed("E0", {"s", name}).ok());
+  }
+  for (size_t i = 0; i < hot.size(); ++i) {
+    const bool hub = i < kHubWindow && i % kHubStride == 0;
+    const size_t fanout = hub ? kHubFanout : 1;
+    for (size_t j = 0; j < fanout; ++j) {
+      ASSERT_TRUE(
+          db.AddFactNamed("Big", {hot[i], "t" + std::to_string(j)}).ok());
+    }
+  }
+  Program program = testing::MustProgram(kProgram, db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+
+  InflationaryOptions opts;
+  opts.context.num_threads = 4;
+  opts.context.num_shards = 8;
+  opts.context.scheduler = StageScheduler::kAuto;
+  opts.context.min_slice_rows = 16;
+  auto result = EvalInflationary(program, db, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->stats.auto_stealing_stages, 1u);
+  ExpectSameSets(serial->state, result->state);
+  EXPECT_EQ(serial->stage_sizes, result->stage_sizes);
+  ExpectSameStats(serial->stats, result->stats, "auto skew");
+
+  // Raising the flip threshold above the workload's CV must pin the
+  // very same stage back to static — the knob is live end to end.
+  InflationaryOptions capped = opts;
+  capped.context.steal_variance = 1e9;
+  auto pinned = EvalInflationary(program, db, capped);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->stats.auto_stealing_stages, 0u);
+  EXPECT_GT(pinned->stats.auto_static_stages, 0u);
+  ExpectSameSets(serial->state, pinned->state);
+  ExpectSameStats(serial->stats, pinned->stats, "auto skew pinned");
+}
+
+TEST(AutoSchedulerTest, TinyDeltaPlansAreBatched) {
+  // A rule-heavy copy chain: from stage 2 on, most compiled delta plans
+  // scan an empty or nearly empty delta. The partition must coalesce
+  // those tiny plans into shared tasks (batched_plans) instead of paying
+  // one staging relation per plan — under every scheduler, with results
+  // still bit-identical to serial.
+  Rng rng(515151);
+  const size_t n = 24;
+  const Digraph g = RandomDigraph(n, 2.5 / n, &rng);
+  Database db;
+  GraphToDatabase(g, "E", &db);
+  std::string text = "C1(X,Y) :- E(X,Y).\n";
+  for (int k = 2; k <= 8; ++k) {
+    text += "C" + std::to_string(k) + "(X,Y) :- C" + std::to_string(k - 1) +
+            "(X,Y).\n";
+  }
+  Program program = testing::MustProgram(text, db.shared_symbols());
+
+  InflationaryOptions serial_opts;
+  serial_opts.context.num_threads = 1;
+  auto serial = EvalInflationary(program, db, serial_opts);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_EQ(serial->stats.batched_plans, 0u);  // serial path: no partition
+
+  for (StageScheduler scheduler : kSchedulers) {
+    const std::string config =
+        "batching scheduler=" + std::string(StageSchedulerName(scheduler));
+    InflationaryOptions opts;
+    opts.context.num_threads = 2;
+    opts.context.scheduler = scheduler;
+    opts.context.min_slice_rows = 8;
+    auto result = EvalInflationary(program, db, opts);
+    ASSERT_TRUE(result.ok()) << config;
+    EXPECT_GT(result->stats.batched_plans, 0u) << config;
+    ExpectSameRows(serial->state, result->state);
+    EXPECT_EQ(serial->stage_sizes, result->stage_sizes) << config;
+    ExpectSameStats(serial->stats, result->stats, config);
   }
 }
 

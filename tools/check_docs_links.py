@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fails when any tracked Markdown file contains a dead relative link.
+
+Scans every *.md file in the repository (skipping build trees and hidden
+directories), extracts inline Markdown links [text](target), and checks
+that each *relative* target resolves to an existing file or directory.
+External targets (http/https/mailto), pure in-page anchors (#...), and
+absolute paths are skipped — the job of this checker is only to keep the
+docs/ tree and the READMEs pointing at files that exist, wherever the
+repository is checked out.
+
+Usage:  tools/check_docs_links.py [repo_root]
+Exit:   0 when every relative link resolves, 1 otherwise (each dead link
+        is printed as file:line: target).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links only; reference-style links are not used in this repo.
+# The target group stops at the first ')' or whitespace, which is enough
+# for the plain-path links the docs use (no nested parentheses, no
+# titles).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {"build", "build-release", "build-tsan", ".git"}
+
+
+def iter_markdown(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        parts = set(path.relative_to(root).parts[:-1])
+        if parts & SKIP_DIRS:
+            continue
+        if any(p.startswith(".") for p in path.relative_to(root).parts[:-1]):
+            continue
+        yield path
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                continue  # http:, https:, mailto:, ...
+            if target.startswith("#") or target.startswith("/"):
+                continue  # in-page anchor / absolute path
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{lineno}: {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    errors = []
+    count = 0
+    for path in iter_markdown(root):
+        count += 1
+        errors.extend(check_file(path))
+    if errors:
+        print("dead relative links:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print(f"checked {count} Markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
