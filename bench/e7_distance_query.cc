@@ -154,7 +154,8 @@ constexpr char kTcCore[] =
     "S1(X,Y) :- E(X,Y).\n"
     "S1(X,Y) :- E(X,Z), S1(Z,Y).\n";
 
-void RunTcCore(benchmark::State& state, bool use_indexes) {
+void RunTcCore(benchmark::State& state, bool use_indexes,
+               OptimizerPasses optimizer = OptimizerPasses::All()) {
   const size_t n = state.range(0);
   Rng rng(n * 13 + 5);
   const Digraph g = RandomDigraph(n, 4.0 / n, &rng);
@@ -163,6 +164,7 @@ void RunTcCore(benchmark::State& state, bool use_indexes) {
   Database db = bench::DbFromGraph(g, symbols);
   InflationaryOptions options;
   options.context.use_join_indexes = use_indexes;
+  options.context.optimizer_passes = optimizer;
   double rows_matched = 0, tuples = 0;
   for (auto _ : state) {
     auto result = EvalInflationary(p, db, options);
@@ -185,6 +187,17 @@ void BM_DistanceJoinCoreScanOnly(benchmark::State& state) {
   RunTcCore(state, /*use_indexes=*/false);
 }
 BENCHMARK(BM_DistanceJoinCoreScanOnly)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Ablation for the CI optimizer smoke job: the same join core compiled
+// from the raw greedy plans (--optimize=none). The optimized default must
+// stay within 0.9x of this baseline — on the TC core the optimizer's job
+// is mostly to stay out of the way (the greedy order is already the
+// cost-based one), so the pair bounds the pipeline's overhead.
+void BM_DistanceJoinCoreNoOpt(benchmark::State& state) {
+  RunTcCore(state, /*use_indexes=*/true, OptimizerPasses::None());
+}
+BENCHMARK(BM_DistanceJoinCoreNoOpt)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_DistanceBfsOracle(benchmark::State& state) {

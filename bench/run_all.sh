@@ -1,23 +1,25 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E11) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E12) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
 #   {"bench":"e7_distance_query","threads":8,"shards":1,
-#    "scheduler":"auto","steal_variance":1,"context":{...},
-#    "benchmarks":[...]}
+#    "scheduler":"auto","steal_variance":1,"optimize":"all",
+#    "context":{...},"benchmarks":[...]}
 #
-# `threads`, `shards`, `scheduler`, and `steal_variance` record the
-# evaluation thread count, relation-shard count, stage scheduler, and
-# auto-scheduler flip threshold the bench binaries were run with. The
-# benches default to num_threads=1 / num_shards=1 / the auto scheduler
-# (the library default, which at CV threshold 1.0 picks static or
-# stealing per stage; E1..E8 are serial and unsharded; E9 sweeps thread
-# counts, E10 sweeps (threads, shards), and E11 sweeps (threads,
-# scheduler incl. auto) per series, carried in their *counters*), so the
-# fields default to 1/1/auto/1 — set INFLOG_THREADS=N / INFLOG_SHARDS=S
-# / INFLOG_SCHEDULER=static|stealing|auto / INFLOG_STEAL_VARIANCE=V only
-# when actually running a build/flag combination that evaluates with
-# those values.
+# `threads`, `shards`, `scheduler`, `steal_variance`, and `optimize`
+# record the evaluation thread count, relation-shard count, stage
+# scheduler, auto-scheduler flip threshold, and plan-optimizer pass
+# selection the bench binaries were run with. The benches default to
+# num_threads=1 / num_shards=1 / the auto scheduler (the library
+# default, which at CV threshold 1.0 picks static or stealing per
+# stage; E1..E8 are serial and unsharded; E9 sweeps thread counts, E10
+# sweeps (threads, shards), E11 sweeps (threads, scheduler incl. auto),
+# and E12 sweeps the optimizer pass selection per series, carried in
+# their *counters*), so the fields default to 1/1/auto/1/all — set
+# INFLOG_THREADS=N / INFLOG_SHARDS=S /
+# INFLOG_SCHEDULER=static|stealing|auto / INFLOG_STEAL_VARIANCE=V /
+# INFLOG_OPTIMIZE=all|none|dce,reorder,share only when actually running
+# a build/flag combination that evaluates with those values.
 #
 # Usage:
 #   bench/run_all.sh [--smoke] [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
@@ -96,6 +98,26 @@ case "$steal_variance" in
     ;;
 esac
 
+# The plan-optimizer pass selection ("all", "none", or a comma list of
+# dce/reorder/share — mirrors the library's --optimize flag).
+optimize="${INFLOG_OPTIMIZE:-all}"
+case "$optimize" in
+  all|none) ;;
+  *)
+    IFS=',' read -ra opt_parts <<<"$optimize"
+    for part in "${opt_parts[@]}"; do
+      case "$part" in
+        dce|reorder|share) ;;
+        *)
+          echo "error: INFLOG_OPTIMIZE must be 'all', 'none' or a comma" \
+            "list of dce/reorder/share, got '$optimize'" >&2
+          exit 1
+          ;;
+      esac
+    done
+    ;;
+esac
+
 smoke_args=()
 if [ "$smoke" -eq 1 ]; then
   smoke_args=(--benchmark_min_time=0.01)
@@ -116,16 +138,17 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
     printf \
-      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"context":null,"benchmarks":[]}\n' \
-      "$name" "$threads" "$shards" "$scheduler" "$steal_variance"
+      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"optimize":"%s","context":null,"benchmarks":[]}\n' \
+      "$name" "$threads" "$shards" "$scheduler" "$steal_variance" \
+      "$optimize"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
     --argjson shards "$shards" --arg scheduler "$scheduler" \
-    --argjson steal_variance "$steal_variance" \
+    --argjson steal_variance "$steal_variance" --arg optimize "$optimize" \
     '{bench: $bench, threads: $threads, shards: $shards,
       scheduler: $scheduler, steal_variance: $steal_variance,
-      context: .context, benchmarks: .benchmarks}' <<<"$out"
+      optimize: $optimize, context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 
 if [ "$found" -eq 0 ]; then

@@ -4,7 +4,8 @@
 // Usage:
 //   inflog_cli [--threads=N] [--shards=S]
 //     [--scheduler=auto|static|stealing] [--min-slice-rows=R]
-//     [--steal-variance=V] [--reject-unsafe-negation] [--stats]
+//     [--steal-variance=V] [--optimize=LIST] [--query=NAMES]
+//     [--reject-unsafe-negation] [--stats]
 //     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
@@ -26,6 +27,13 @@
 // variation flip threshold (0 = default 1.0; lower steals more eagerly).
 // Results are deterministic and identical for every (threads, shards,
 // scheduler, min-slice-rows, steal-variance) combination.
+// --optimize=LIST selects the plan-optimizer passes for the relational
+// pipelines (inflationary, stratified): "all" (the default), "none"
+// (today's greedy plans exactly), or a comma list of dce, reorder,
+// share. Results are identical for every selection. --query=NAMES (a
+// comma list of IDB predicates) declares the output predicates: with
+// dce enabled, rules unreachable from them are dropped, so only the
+// listed relations are specified (and printed).
 // --reject-unsafe-negation fails instead of evaluating rules whose
 // negated literal has a variable bound by no positive body literal (by
 // default such rules get the paper's active-domain reading). --stats
@@ -40,6 +48,7 @@
 //   inflog_cli --threads=8 --scheduler=stealing --stats \
 //     data/distance.dlog data/shortcut.facts
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -68,11 +77,20 @@ inflog::Result<std::string> ReadFile(const std::string& path) {
   return text.str();
 }
 
+// With --query, only the listed predicates print: the others are
+// unspecified once dead-rule elimination drops their rules.
+std::vector<std::string> g_query;
+
 void PrintState(const inflog::Engine& engine, const inflog::IdbState& state) {
   auto program = engine.program();
   INFLOG_CHECK(program.ok());
   for (uint32_t pred : (*program)->idb_predicates()) {
     const auto& info = (*program)->predicate(pred);
+    if (!g_query.empty() &&
+        std::find(g_query.begin(), g_query.end(), info.name) ==
+            g_query.end()) {
+      continue;
+    }
     std::cout << "  " << info.name << " = "
               << state.relations[info.idb_index].ToString(*engine.symbols())
               << "\n";
@@ -91,6 +109,7 @@ int main(int argc, char** argv) {
   // 0 = the evaluator default (CV 1.0); only read by --scheduler=auto.
   double steal_variance = 0;
   inflog::StageScheduler scheduler = inflog::StageScheduler::kAuto;
+  inflog::OptimizerPasses optimizer_passes = inflog::OptimizerPasses::All();
   bool reject_unsafe_negation = false;
   bool print_stats = false;
   std::vector<std::string> args;
@@ -151,6 +170,52 @@ int main(int argc, char** argv) {
       scheduler = *parsed;
       continue;
     }
+    if (arg == "--optimize" || arg.rfind("--optimize=", 0) == 0) {
+      std::string value;
+      if (arg == "--optimize") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --optimize requires a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(sizeof("--optimize=") - 1);
+      }
+      auto parsed = inflog::ParseOptimizerPasses(value);
+      if (!parsed.ok()) {
+        std::cerr << "error: " << parsed.status().ToString() << "\n";
+        return 2;
+      }
+      optimizer_passes = *parsed;
+      continue;
+    }
+    if (arg == "--query" || arg.rfind("--query=", 0) == 0) {
+      std::string value;
+      if (arg == "--query") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --query requires a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(sizeof("--query=") - 1);
+      }
+      size_t start = 0;
+      while (start <= value.size()) {
+        const size_t comma = value.find(',', start);
+        const size_t end = comma == std::string::npos ? value.size() : comma;
+        if (end > start) g_query.push_back(value.substr(start, end - start));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (g_query.empty()) {
+        std::cerr << "error: --query expects a comma list of IDB "
+                     "predicate names, got '"
+                  << value << "'\n";
+        return 2;
+      }
+      continue;
+    }
     if (arg == "--steal-variance" || arg.rfind("--steal-variance=", 0) == 0) {
       std::string value;
       if (arg == "--steal-variance") {  // two-token form
@@ -202,7 +267,9 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " [--threads=N] [--shards=S] "
                  "[--scheduler=auto|static|stealing] [--min-slice-rows=R] "
-                 "[--steal-variance=V] [--reject-unsafe-negation] [--stats] "
+                 "[--steal-variance=V] [--optimize=all|none|dce,reorder,"
+                 "share] [--query=NAMES] [--reject-unsafe-negation] "
+                 "[--stats] "
                  "PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
@@ -243,6 +310,8 @@ int main(int argc, char** argv) {
     options.min_slice_rows = min_slice_rows;
     options.steal_variance = steal_variance;
     options.reject_unsafe_negation = reject_unsafe_negation;
+    options.optimizer_passes = optimizer_passes;
+    options.output_predicates = g_query;
     auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (const auto* r =
@@ -288,7 +357,16 @@ int main(int argc, char** argv) {
                   << "  slices           " << s->slices << "\n"
                   << "  batched_plans    " << s->batched_plans << "\n"
                   << "  auto_static      " << s->auto_static_stages << "\n"
-                  << "  auto_stealing    " << s->auto_stealing_stages
+                  << "  auto_stealing    " << s->auto_stealing_stages << "\n"
+                  << "  opt_rules_eliminated " << s->opt_rules_eliminated
+                  << "\n"
+                  << "  opt_plans_reordered  " << s->opt_plans_reordered
+                  << "\n"
+                  << "  opt_subplans_shared  " << s->opt_subplans_shared
+                  << "\n"
+                  << "  opt_shared_prefixes  " << s->opt_shared_prefixes
+                  << "\n"
+                  << "  opt_shared_rows      " << s->opt_shared_rows
                   << "\n";
         // Executed-slice size distribution, log2 buckets; only the
         // populated ones, so serial runs print a single empty line.

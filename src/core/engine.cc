@@ -145,6 +145,8 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       opts.context.min_slice_rows = options.min_slice_rows;
       opts.context.steal_variance = options.steal_variance;
       opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
+      opts.context.optimizer_passes = options.optimizer_passes;
+      opts.context.output_predicates = options.output_predicates;
       INFLOG_ASSIGN_OR_RETURN(InflationaryResult r, Inflationary(opts));
       out.detail = std::move(r);
       return out;
@@ -157,6 +159,8 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       opts.context.min_slice_rows = options.min_slice_rows;
       opts.context.steal_variance = options.steal_variance;
       opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
+      opts.context.optimizer_passes = options.optimizer_passes;
+      opts.context.output_predicates = options.output_predicates;
       INFLOG_ASSIGN_OR_RETURN(StratifiedResult r, Stratified(opts));
       out.detail = std::move(r);
       return out;

@@ -24,6 +24,7 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "src/ast/analysis.h"
 #include "src/ast/parser.h"
@@ -34,6 +35,7 @@
 #include "src/eval/stratified.h"
 #include "src/eval/wellfounded.h"
 #include "src/fixpoint/analysis.h"
+#include "src/opt/passes.h"
 #include "src/relation/database.h"
 
 namespace inflog {
@@ -90,6 +92,17 @@ struct EvalOptions {
   /// evaluating it under the active-domain reading. Applies to all four
   /// semantics.
   bool reject_unsafe_negation = false;
+  /// Which plan-optimizer passes run between rule lowering and fixpoint
+  /// dispatch (default: all). Authoritative for Evaluate() on the
+  /// relational pipelines (inflationary, stratified); inert for the
+  /// grounded pipelines. Results are identical for every selection.
+  OptimizerPasses optimizer_passes = OptimizerPasses::All();
+  /// Queried/output IDB predicate names. Empty (the default) means every
+  /// IDB predicate is an output. When non-empty and dead-rule elimination
+  /// is enabled, rules unreachable from these predicates are dropped, so
+  /// only the listed predicates' relations are specified. Evaluate fails
+  /// with InvalidArgument on names that are unknown or not IDB.
+  std::vector<std::string> output_predicates;
   InflationaryOptions inflationary;
   StratifiedOptions stratified;
   GrounderOptions wellfounded;

@@ -93,6 +93,20 @@ Status EvalContext::Bind(const EvalContextOptions& options) {
   scheduler_ = options.scheduler;
   min_slice_rows_ = ResolvedMinSliceRows(options);
   steal_variance_ = ResolvedStealVariance(options);
+  optimizer_passes_ = options.optimizer_passes;
+  for (const std::string& name : options.output_predicates) {
+    Result<uint32_t> pred = program_->FindPredicate(name);
+    if (!pred.ok()) {
+      return Status::InvalidArgument(
+          StrCat("output predicate ", name, " is not in the program"));
+    }
+    if (!program_->predicate(*pred).is_idb) {
+      return Status::InvalidArgument(
+          StrCat("output predicate ", name,
+                 " is an EDB relation; only IDB predicates are outputs"));
+    }
+    output_preds_.push_back(*pred);
+  }
   bindings_.resize(program_->num_predicates());
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);

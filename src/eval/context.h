@@ -24,12 +24,14 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/ast/program.h"
 #include "src/base/result.h"
 #include "src/eval/idb_state.h"
+#include "src/opt/passes.h"
 #include "src/relation/database.h"
 
 namespace inflog {
@@ -115,6 +117,18 @@ struct EvalContextOptions {
   /// paper's own programs use such rules under the active-domain
   /// reading, where every free variable ranges over the universe.
   bool reject_unsafe_negation = false;
+  /// Which plan-optimizer passes run between rule lowering and fixpoint
+  /// dispatch (src/opt/pass_manager.h). OptimizerPasses::None()
+  /// reproduces the greedy plans exactly; every selection yields the same
+  /// relations, stage count, stage sizes, and tuple stages.
+  OptimizerPasses optimizer_passes;
+  /// IDB predicate names the caller will actually read ("queried"
+  /// predicates). Empty (the default) means all of them. When non-empty,
+  /// dead-rule elimination may drop rules that cannot contribute to any
+  /// listed predicate — so the relations of *unlisted* predicates are
+  /// then unspecified. Binding fails on names that are unknown or not
+  /// IDB.
+  std::vector<std::string> output_predicates;
 
   /// Upper bound on the shard count (keeps per-probe shard loops cheap).
   static constexpr size_t kMaxShards = 64;
@@ -195,6 +209,13 @@ class EvalContext {
   /// already been replaced by EvalContextOptions::kDefaultStealVariance).
   double steal_variance() const { return steal_variance_; }
 
+  /// The plan-optimizer pass selection for this run.
+  const OptimizerPasses& optimizer_passes() const { return optimizer_passes_; }
+
+  /// Resolved EvalContextOptions::output_predicates as predicate ids,
+  /// in option order. Empty means every IDB predicate is an output.
+  const std::vector<uint32_t>& output_preds() const { return output_preds_; }
+
  private:
   EvalContext(const Program& program, const Database& database)
       : program_(&program), database_(&database) {}
@@ -220,6 +241,8 @@ class EvalContext {
   StageScheduler scheduler_ = StageScheduler::kAuto;
   size_t min_slice_rows_ = EvalContextOptions::kDefaultMinSliceRows;
   double steal_variance_ = EvalContextOptions::kDefaultStealVariance;
+  OptimizerPasses optimizer_passes_;
+  std::vector<uint32_t> output_preds_;
   // Relations for EDB predicates bound as empty (allow_missing_edb).
   std::vector<std::unique_ptr<Relation>> empties_;
 };

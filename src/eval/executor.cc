@@ -15,16 +15,19 @@ class Interpreter {
  public:
   Interpreter(const EvalContext& ctx, const RulePlan& plan,
               const IdbState& state, const DeltaRanges* deltas,
-              Relation* out, EvalStats* stats)
+              Relation* out, EvalStats* stats,
+              const std::vector<Relation>* shared)
       : ctx_(ctx),
         plan_(plan),
         rule_(ctx.program().rules()[plan.rule_index]),
+        head_(plan.has_projection ? plan.projection : rule_.head.args),
         state_(state),
         deltas_(deltas),
+        shared_(shared),
         out_(out),
         stats_(stats) {
     bindings_.assign(rule_.num_vars, kNoValue);
-    head_tuple_.resize(rule_.head.args.size());
+    head_tuple_.resize(head_.size());
     // One scratch slot per op depth: a kMatch at depth d recurses only
     // into depths > d, so slot d is never reused while a row of d is
     // being expanded — the buffers live for the whole run instead of
@@ -115,7 +118,13 @@ class Interpreter {
   }
 
   void StepMatch(const PlanOp& op, size_t op_index) {
-    const Relation& rel = ctx_.Resolve(op.predicate, state_);
+    INFLOG_DCHECK(op.shared_source < 0 ||
+                  (shared_ != nullptr &&
+                   static_cast<size_t>(op.shared_source) < shared_->size()))
+        << "shared-scan op without its intermediate";
+    const Relation& rel = op.shared_source >= 0
+                              ? (*shared_)[op.shared_source]
+                              : ctx_.Resolve(op.predicate, state_);
     const size_t num_shards = rel.num_shards();
     MatchScratch& scratch = match_scratch_[op_index];
     std::vector<uint32_t>& trail = scratch.trail;
@@ -212,8 +221,8 @@ class Interpreter {
 
   void Emit() {
     ++stats_->derivations;
-    for (size_t i = 0; i < rule_.head.args.size(); ++i) {
-      head_tuple_[i] = TermValue(rule_.head.args[i]);
+    for (size_t i = 0; i < head_.size(); ++i) {
+      head_tuple_[i] = TermValue(head_[i]);
     }
     if (out_->Insert(head_tuple_)) ++stats_->new_tuples;
   }
@@ -221,8 +230,12 @@ class Interpreter {
   const EvalContext& ctx_;
   const RulePlan& plan_;
   const Rule& rule_;
+  /// Terms emitted per derivation: the rule head, or the plan's
+  /// projection when it stages a shared intermediate.
+  const std::vector<Term>& head_;
   const IdbState& state_;
   const DeltaRanges* deltas_;
+  const std::vector<Relation>* shared_;
   Relation* out_;
   EvalStats* stats_;
   std::vector<Value> bindings_;
@@ -243,8 +256,9 @@ class Interpreter {
 
 void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
                  const IdbState& state, const DeltaRanges* deltas,
-                 Relation* out, EvalStats* stats) {
-  Interpreter(ctx, plan, state, deltas, out, stats).Run();
+                 Relation* out, EvalStats* stats,
+                 const std::vector<Relation>* shared) {
+  Interpreter(ctx, plan, state, deltas, out, stats, shared).Run();
 }
 
 DeltaWorkEstimate EstimateDeltaWork(
@@ -253,22 +267,25 @@ DeltaWorkEstimate EstimateDeltaWork(
   DeltaWorkEstimate est;
   for (const auto& [begin, end] : delta_ranges) est.rows += end - begin;
   if (est.rows == 0 || plan.never_fires || max_samples == 0) return est;
-  // Without indexes every probe scans its whole relation — the same cost
-  // for every delta row, so rows alone carry the estimate.
-  if (!ctx.use_join_indexes()) return est;
 
   // Locate the delta scan (whose row values seed the key) and the first
   // subsequent index probe with at least one key column resolvable from
   // the delta row alone — the probe whose fan-out dominates the row's
   // cost. Variables bound between the two (kBindEq, deeper matches)
   // are ignored: the estimate only needs the dominant, cheap-to-read
-  // signal, not the exact cost.
+  // signal, not the exact cost. Shared-intermediate scans (subplan
+  // sharing) have no resolvable predicate and never probe, so they are
+  // skipped. When no probe qualifies — the first match is a full scan or
+  // indexes are disabled — every row costs the same, and that uniform
+  // cost is the first joined relation's full cardinality (the rows each
+  // scan walks), not 1: a scan-heavy plan's rows are few but expensive.
   const Rule& rule = ctx.program().rules()[plan.rule_index];
   std::vector<int> delta_col(rule.num_vars, -1);  // var id -> delta column
   const PlanOp* delta_op = nullptr;
   const PlanOp* probe_op = nullptr;
+  const PlanOp* first_match = nullptr;
   for (const PlanOp& op : plan.ops) {
-    if (op.kind != PlanOp::Kind::kMatch) continue;
+    if (op.kind != PlanOp::Kind::kMatch || op.shared_source >= 0) continue;
     if (op.is_delta_scan) {
       delta_op = &op;
       for (size_t i = 0; i < op.args.size(); ++i) {
@@ -279,7 +296,9 @@ DeltaWorkEstimate EstimateDeltaWork(
       }
       continue;
     }
-    if (delta_op == nullptr || op.key_cols.empty()) continue;
+    if (delta_op == nullptr) continue;
+    if (first_match == nullptr) first_match = &op;
+    if (op.key_cols.empty() || !ctx.use_join_indexes()) continue;
     for (size_t col : op.key_cols) {
       const Term& t = op.args[col];
       if (t.IsConstant() || delta_col[t.id] >= 0) {
@@ -289,7 +308,15 @@ DeltaWorkEstimate EstimateDeltaWork(
     }
     if (probe_op != nullptr) break;
   }
-  if (delta_op == nullptr || probe_op == nullptr) return est;
+  if (delta_op == nullptr) return est;
+  if (probe_op == nullptr) {
+    if (first_match != nullptr &&
+        (first_match->key_cols.empty() || !ctx.use_join_indexes())) {
+      est.uniform_cost =
+          1 + ctx.Resolve(first_match->predicate, state).size();
+    }
+    return est;
+  }
 
   const Relation& delta_rel = ctx.Resolve(delta_op->predicate, state);
   const Relation& probe_rel = ctx.Resolve(probe_op->predicate, state);

@@ -46,6 +46,20 @@ struct EvalStats {
                                       ///< scheduler flipped to stealing.
   uint64_t batched_plans = 0;   ///< Tiny delta plans that shared a stage
                                 ///< task with at least one other plan.
+  // Optimizer pipeline counters (src/opt/pass_manager.h), filled once at
+  // plan-compile time. Pure functions of the program, the EDB contents,
+  // and the pass selection — invariant across the {threads × shards ×
+  // scheduler} sweep at a fixed pass selection.
+  uint64_t opt_rules_eliminated = 0;  ///< Rules dropped by dead-rule
+                                      ///< elimination.
+  uint64_t opt_plans_reordered = 0;   ///< Plans whose join order the
+                                      ///< cost-based pass changed.
+  uint64_t opt_subplans_shared = 0;   ///< Plans rewritten to read a shared
+                                      ///< intermediate.
+  uint64_t opt_shared_prefixes = 0;   ///< Distinct shared intermediates
+                                      ///< materialized per stage.
+  uint64_t opt_shared_rows = 0;       ///< Rows inserted into shared
+                                      ///< intermediates across all stages.
   /// Histogram of executed delta-slice sizes: bucket k counts slices with
   /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
   static constexpr size_t kSliceHistBuckets = 17;
@@ -78,6 +92,11 @@ struct EvalStats {
     auto_static_stages += other.auto_static_stages;
     auto_stealing_stages += other.auto_stealing_stages;
     batched_plans += other.batched_plans;
+    opt_rules_eliminated += other.opt_rules_eliminated;
+    opt_plans_reordered += other.opt_plans_reordered;
+    opt_subplans_shared += other.opt_subplans_shared;
+    opt_shared_prefixes += other.opt_shared_prefixes;
+    opt_shared_rows += other.opt_shared_rows;
     for (size_t i = 0; i < kSliceHistBuckets; ++i) {
       slice_hist[i] += other.slice_hist[i];
     }
@@ -95,11 +114,15 @@ using ShardRange = std::pair<size_t, size_t>;
 using DeltaRanges = std::vector<std::vector<ShardRange>>;
 
 /// Executes `plan` reading predicate values through `ctx`/`state`, inserting
-/// derived head tuples into `out` (which must have the head's arity).
-/// `deltas` may be null when the plan has no delta literal.
+/// derived head tuples into `out` (which must have the head's arity — or
+/// the projection arity when `plan.has_projection`). `deltas` may be null
+/// when the plan has no delta literal. `shared` holds the stage's shared
+/// intermediates, indexed by PlanOp::shared_source; may be null when the
+/// plan has no shared-scan ops.
 void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
                  const IdbState& state, const DeltaRanges* deltas,
-                 Relation* out, EvalStats* stats);
+                 Relation* out, EvalStats* stats,
+                 const std::vector<Relation>* shared = nullptr);
 
 /// Sampled per-row work estimate of one delta plan, used by the auto
 /// stage scheduler (StageScheduler::kAuto) to predict how unevenly the
@@ -118,6 +141,12 @@ struct DeltaWorkEstimate {
   /// the estimator no per-row signal (no index probe keyed by delta-bound
   /// variables, or indexes disabled); rows are then assumed uniform.
   std::vector<uint64_t> sample_cost;
+  /// Per-row cost assumed when `sample_cost` is empty: 1 plus the full
+  /// cardinality of the first non-delta match's relation when that match
+  /// is a scan (no usable key columns), else 1. Keeps scan-heavy plans
+  /// costed consistently with probed ones for the auto scheduler and the
+  /// optimizer instead of defaulting every uniform plan to weight 1.
+  uint64_t uniform_cost = 1;
 };
 
 /// Estimates `plan`'s per-row join work over the delta rows in

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "src/base/logging.h"
+#include "src/opt/pass_manager.h"
 
 namespace inflog {
 
@@ -24,18 +25,6 @@ FixpointDriver::Outcome FixpointDriver::Iterate(const Options& options,
 }
 
 namespace {
-
-/// The idb_index of the predicate a delta plan's delta-scan op reads.
-int DeltaScanIdb(const Program& program, const RulePlan& plan) {
-  for (const PlanOp& op : plan.ops) {
-    if (op.kind == PlanOp::Kind::kMatch && op.is_delta_scan) {
-      return program.predicate(op.predicate).idb_index;
-    }
-  }
-  // A never_fires plan may have no ops; slicing then degenerates to one
-  // empty task.
-  return -1;
-}
 
 /// Cuts one predicate's per-shard delta ranges into about `desired`
 /// slices, each itself a per-shard range vector. Slices align to shard
@@ -122,36 +111,17 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
   const size_t num_idb = program.idb_predicates().size();
   INFLOG_CHECK(state->relations.size() == num_idb);
 
-  std::vector<size_t> rules = options.rule_subset;
-  if (rules.empty()) {
-    rules.resize(program.rules().size());
-    std::iota(rules.begin(), rules.end(), 0);
-  }
-
-  // Dynamic mask mirrors the context's classification.
-  std::vector<bool> dynamic(num_idb, false);
-  for (size_t i = 0; i < num_idb; ++i) {
-    dynamic[i] = ctx.IsDynamic(program.idb_predicates()[i]);
-  }
-
-  // Compile plans: a full plan per rule (stage 1), and one delta plan per
-  // (rule, dynamic positive literal) for later stages.
-  compiled_.reserve(rules.size());
-  for (size_t r : rules) {
-    const Rule& rule = program.rules()[r];
-    const int idb = program.predicate(rule.head.predicate).idb_index;
-    INFLOG_CHECK(idb >= 0 && dynamic[idb])
-        << "fixpoint rule subset must have dynamic head predicates";
-    CompiledRule c{r, idb, PlanRule(program, r, dynamic, -1), {}};
-    if (use_deltas_) {
-      for (int lit : DeltaCandidates(program, rule, dynamic)) {
-        RulePlan plan = PlanRule(program, r, dynamic, lit);
-        const int delta_idb = DeltaScanIdb(program, plan);
-        c.deltas.push_back(DeltaPlan{std::move(plan), delta_idb});
-      }
-    }
-    compiled_.push_back(std::move(c));
-  }
+  // Lower the rules through the optimizer pass pipeline (greedy plans,
+  // then the passes ctx.optimizer_passes() enables). The counters are
+  // pure functions of (program, database, pass selection), so copying
+  // them into the determinism-checked stats block is sweep-safe.
+  OptCounters counters;
+  plans_ = CompileStagePlans(ctx, *state, options.rule_subset, use_deltas_,
+                             &counters);
+  stats_.opt_rules_eliminated = counters.rules_eliminated;
+  stats_.opt_plans_reordered = counters.plans_reordered;
+  stats_.opt_subplans_shared = counters.subplans_shared;
+  stats_.opt_shared_prefixes = counters.shared_prefixes;
 
   // All dynamic relations must agree on one shard count so staging
   // relations and the state partition every tuple set identically.
@@ -160,24 +130,40 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
     INFLOG_CHECK(rel.num_shards() == num_shards_)
         << "IDB relations must share one shard count";
   }
+  shared_rels_.reserve(plans_.shared.size());
+  for (const SharedSubplan& sp : plans_.shared) {
+    shared_rels_.emplace_back(sp.arity, num_shards_);
+  }
   delta_ranges_.assign(num_idb,
                        std::vector<ShardRange>(num_shards_, {0, 0}));
   stage_sizes_.resize(num_idb);
   stage_shard_sizes_.resize(num_idb);
 }
 
+void RelationalConsequence::ComputeSharedIntermediates(bool full_pass) {
+  for (size_t k = 0; k < plans_.shared.size(); ++k) {
+    const SharedSubplan& sp = plans_.shared[k];
+    if (sp.delta_pass == full_pass) continue;
+    shared_rels_[k] = Relation(sp.arity, num_shards_);
+    ExecutePlan(ctx_, sp.plan, *state_,
+                sp.delta_pass ? &delta_ranges_ : nullptr, &shared_rels_[k],
+                &stats_);
+    stats_.opt_shared_rows += shared_rels_[k].size();
+  }
+}
+
 void RelationalConsequence::RunStageSerial(bool full_pass,
                                            std::vector<Relation>* buffers) {
   if (full_pass) {
-    for (const CompiledRule& c : compiled_) {
+    for (const CompiledRulePlans& c : plans_.rules) {
       ExecutePlan(ctx_, c.full, *state_, nullptr, &(*buffers)[c.head_idb],
-                  &stats_);
+                  &stats_, &shared_rels_);
     }
   } else {
-    for (const CompiledRule& c : compiled_) {
-      for (const DeltaPlan& d : c.deltas) {
+    for (const CompiledRulePlans& c : plans_.rules) {
+      for (const CompiledDeltaPlan& d : c.deltas) {
         ExecutePlan(ctx_, d.plan, *state_, &delta_ranges_,
-                    &(*buffers)[c.head_idb], &stats_);
+                    &(*buffers)[c.head_idb], &stats_, &shared_rels_);
       }
     }
   }
@@ -194,11 +180,11 @@ void RelationalConsequence::FinalizeStageIndexes(bool full_pass) const {
       for (size_t col : op.key_cols) rel.EnsureIndexed(col);
     }
   };
-  for (const CompiledRule& c : compiled_) {
+  for (const CompiledRulePlans& c : plans_.rules) {
     if (full_pass) {
       touch(c.full);
     } else {
-      for (const DeltaPlan& d : c.deltas) touch(d.plan);
+      for (const CompiledDeltaPlan& d : c.deltas) touch(d.plan);
     }
   }
 }
@@ -212,10 +198,12 @@ void RelationalConsequence::RunStageParallel(bool full_pass,
   // thread count, shard count, and scheduler.
   size_t work = 0;
   if (full_pass) {
-    for (const CompiledRule& c : compiled_) {
+    for (const CompiledRulePlans& c : plans_.rules) {
       for (const PlanOp& op : c.full.ops) {
         if (op.kind == PlanOp::Kind::kMatch) {
-          work += ctx_.Resolve(op.predicate, *state_).size();
+          work += op.shared_source >= 0
+                      ? shared_rels_[op.shared_source].size()
+                      : ctx_.Resolve(op.predicate, *state_).size();
         }
       }
     }
@@ -283,8 +271,8 @@ RelationalConsequence::PartitionDeltaUnits() {
     pending = DeltaUnit();
     pending_rows = 0;
   };
-  for (const CompiledRule& c : compiled_) {
-    for (const DeltaPlan& d : c.deltas) {
+  for (const CompiledRulePlans& c : plans_.rules) {
+    for (const CompiledDeltaPlan& d : c.deltas) {
       size_t rows = 0;
       if (d.delta_idb >= 0) {
         for (const auto& [begin, end] : delta_ranges_[d.delta_idb]) {
@@ -357,9 +345,14 @@ double RelationalConsequence::EstimateStaticImbalance(
         ctx_, *u.plan, *state_, delta_ranges_[u.delta_idb], kMaxWorkSamples);
     std::vector<double> slice(desired, 0.0);
     if (est.sample_cost.empty()) {
+      // Uniform plans weigh each row by the estimate's scan-aware
+      // per-row cost (the first joined relation's cardinality when the
+      // plan probes nothing), so scan-heavy plans aren't under-counted
+      // against probed ones.
       for (size_t w = 0; w < desired; ++w) {
         slice[w] = static_cast<double>(u.rows * (w + 1) / desired -
-                                       u.rows * w / desired);
+                                       u.rows * w / desired) *
+                   static_cast<double>(est.uniform_cost);
       }
     } else {
       for (size_t i = 0; i < est.sample_cost.size(); ++i) {
@@ -401,7 +394,7 @@ void RelationalConsequence::RunStageStatic(
   // the hot fan-out path.
   std::vector<DeltaRanges> sliced_ranges;
   if (full_pass) {
-    for (const CompiledRule& c : compiled_) {
+    for (const CompiledRulePlans& c : plans_.rules) {
       tasks.push_back(StageTask{&c.full, c.head_idb, -1, nullptr});
     }
   } else {
@@ -457,7 +450,7 @@ void RelationalConsequence::RunStageStatic(
         size_t slot = 0;
         while (t.batch->heads[slot] != e.head_idb) ++slot;
         ExecutePlan(ctx_, *e.plan, *state_, &delta_ranges_, &outs[i][slot],
-                    &task_stats[i][slot]);
+                    &task_stats[i][slot], &shared_rels_);
       }
       return;
     }
@@ -466,7 +459,7 @@ void RelationalConsequence::RunStageStatic(
                   : (t.sliced >= 0 ? &sliced_ranges[t.sliced]
                                    : &delta_ranges_);
     ExecutePlan(ctx_, *t.plan, *state_, deltas, &outs[i][0],
-                &task_stats[i][0]);
+                &task_stats[i][0], &shared_rels_);
   });
 
   // Fold the per-task stagings in task order — the serial execution
@@ -504,7 +497,7 @@ void RelationalConsequence::RunStageStealing(
   std::vector<StealItem> items;
   std::vector<size_t> item_rows;
   if (full_pass) {
-    for (const CompiledRule& c : compiled_) {
+    for (const CompiledRulePlans& c : plans_.rules) {
       items.push_back(StealItem{&c.full, c.head_idb, -1, nullptr});
       item_rows.push_back(0);
     }
@@ -558,7 +551,7 @@ void RelationalConsequence::RunStageStealing(
             size_t slot = 0;
             while (u.heads[slot] != e.head_idb) ++slot;
             ExecutePlan(ctx_, *e.plan, *state_, &delta_ranges_,
-                        &rec.outs[slot], &rec.stats[slot]);
+                        &rec.outs[slot], &rec.stats[slot], &shared_rels_);
           }
           records[worker].push_back(std::move(rec));
           return;
@@ -579,7 +572,7 @@ void RelationalConsequence::RunStageStealing(
           }
         }
         ExecutePlan(ctx_, *item.plan, *state_, deltas, &rec.outs[0],
-                    &rec.stats[0]);
+                    &rec.stats[0], &shared_rels_);
         if (!full_pass && item.delta_idb >= 0) {
           // Restore the invariant scratch[worker] == delta_ranges_.
           scratch[worker][item.delta_idb] = delta_ranges_[item.delta_idb];
@@ -700,6 +693,10 @@ size_t RelationalConsequence::Step(size_t stage) {
   }
 
   const bool full_pass = stage == 0 || !use_deltas_;
+  // Shared intermediates (subplan sharing) are recomputed serially before
+  // the stage fans out, so every consumer — on any thread, under any
+  // scheduler — reads the same relation in the same order.
+  ComputeSharedIntermediates(full_pass);
   if (num_threads_ <= 1) {
     RunStageSerial(full_pass, &buffers);
   } else {

@@ -36,6 +36,7 @@
 #include "src/eval/context.h"
 #include "src/eval/executor.h"
 #include "src/ground/ground_program.h"
+#include "src/opt/plan_ir.h"
 
 namespace inflog {
 
@@ -132,9 +133,10 @@ class RelationalConsequence {
     std::unique_ptr<ThreadPool>* pool_cache = nullptr;
   };
 
-  /// Compiles the rule plans. Rules whose head predicate is not dynamic in
-  /// `ctx` must not be part of the subset. `ctx` and `state` must outlive
-  /// the operator.
+  /// Compiles the rule plans through the optimizer pass pipeline selected
+  /// by ctx.optimizer_passes() (src/opt/pass_manager.h). Rules whose head
+  /// predicate is not dynamic in `ctx` must not be part of the subset.
+  /// `ctx` and `state` must outlive the operator.
   RelationalConsequence(const EvalContext& ctx, const Options& options,
                         IdbState* state);
 
@@ -161,20 +163,6 @@ class RelationalConsequence {
   const EvalStats& stats() const { return stats_; }
 
  private:
-  struct DeltaPlan {
-    RulePlan plan;
-    /// idb_index of the predicate whose delta rows the plan scans (used to
-    /// slice the scan range across parallel tasks).
-    int delta_idb;
-  };
-
-  struct CompiledRule {
-    size_t rule_index;
-    int head_idb;
-    RulePlan full;
-    std::vector<DeltaPlan> deltas;
-  };
-
   /// One plan of a batched delta unit.
   struct BatchEntry {
     const RulePlan* plan;
@@ -271,10 +259,21 @@ class RelationalConsequence {
   /// so all relation reads during the parallel stage are lock-free.
   void FinalizeStageIndexes(bool full_pass) const;
 
+  /// Recomputes the stage's shared intermediates (subplan sharing): runs
+  /// every SharedSubplan of the pass kind serially into a fresh
+  /// shared_rels_ slot before the stage fans out. Serial execution keeps
+  /// the intermediates — and every consumer read — bit-identical across
+  /// thread counts and schedulers.
+  void ComputeSharedIntermediates(bool full_pass);
+
   const EvalContext& ctx_;
   IdbState* state_;
   bool use_deltas_;
-  std::vector<CompiledRule> compiled_;
+  /// The optimized plan set (src/opt/pass_manager.h).
+  StagePlans plans_;
+  /// The stage's shared intermediates, indexed by PlanOp::shared_source;
+  /// rebuilt by ComputeSharedIntermediates every stage.
+  std::vector<Relation> shared_rels_;
   DeltaRanges delta_ranges_;
   std::vector<std::vector<size_t>> stage_sizes_;
   std::vector<std::vector<std::vector<size_t>>> stage_shard_sizes_;

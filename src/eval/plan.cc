@@ -26,10 +26,12 @@ namespace {
 /// Incremental plan construction state.
 class Planner {
  public:
-  Planner(const Program& program, size_t rule_index, int delta_literal)
+  Planner(const Program& program, size_t rule_index, int delta_literal,
+          const std::vector<size_t>* atom_order = nullptr)
       : program_(program),
         rule_(program.rules()[rule_index]),
-        plan_() {
+        plan_(),
+        atom_order_(atom_order) {
     plan_.rule_index = rule_index;
     plan_.delta_literal = delta_literal;
     bound_.assign(rule_.num_vars, false);
@@ -47,6 +49,17 @@ class Planner {
         filters.push_back(i);
       }
     }
+    if (atom_order_ != nullptr) {
+      // An explicit order must cover exactly the greedy candidates.
+      INFLOG_CHECK(atom_order_->size() == atoms.size())
+          << "explicit atom order must be a permutation of the rule's "
+             "non-delta positive atoms";
+      for (size_t i : *atom_order_) {
+        INFLOG_CHECK(std::find(atoms.begin(), atoms.end(), i) != atoms.end())
+            << "explicit atom order names literal " << i
+            << " which is not an orderable atom";
+      }
+    }
 
     // The delta literal, when present, runs first: it is the smallest
     // input and every derivation must touch it.
@@ -55,8 +68,16 @@ class Planner {
     }
 
     FlushFilters(&filters);
+    size_t placed = 0;
     while (!plan_.never_fires && !atoms.empty()) {
-      const size_t best = PopBestAtom(&atoms);
+      size_t best;
+      if (atom_order_ != nullptr) {
+        best = (*atom_order_)[placed++];
+        atoms.erase(std::find(atoms.begin(), atoms.end(), best));
+      } else {
+        best = PopBestAtom(&atoms);
+      }
+      plan_.atom_order.push_back(best);
       EmitMatch(rule_.body[best], /*delta=*/false);
       FlushFilters(&filters);
     }
@@ -257,13 +278,14 @@ class Planner {
   const Program& program_;
   const Rule& rule_;
   RulePlan plan_;
+  /// Explicit join order (body indices), or null for the greedy policy.
+  const std::vector<size_t>* atom_order_;
   std::vector<bool> bound_;
 };
 
-}  // namespace
-
-RulePlan PlanRule(const Program& program, size_t rule_index,
-                  const std::vector<bool>& dynamic_idb, int delta_literal) {
+/// Shared argument validation for the PlanRule entry points.
+void CheckPlanArgs(const Program& program, size_t rule_index,
+                   const std::vector<bool>& dynamic_idb, int delta_literal) {
   INFLOG_CHECK(rule_index < program.rules().size());
   if (delta_literal >= 0) {
     const Rule& rule = program.rules()[rule_index];
@@ -274,7 +296,22 @@ RulePlan PlanRule(const Program& program, size_t rule_index,
     INFLOG_CHECK(info.is_idb && dynamic_idb[info.idb_index])
         << "delta literal must be a dynamic IDB atom";
   }
+}
+
+}  // namespace
+
+RulePlan PlanRule(const Program& program, size_t rule_index,
+                  const std::vector<bool>& dynamic_idb, int delta_literal) {
+  CheckPlanArgs(program, rule_index, dynamic_idb, delta_literal);
   return Planner(program, rule_index, delta_literal).Build();
+}
+
+RulePlan PlanRuleWithOrder(const Program& program, size_t rule_index,
+                           const std::vector<bool>& dynamic_idb,
+                           int delta_literal,
+                           const std::vector<size_t>& atom_order) {
+  CheckPlanArgs(program, rule_index, dynamic_idb, delta_literal);
+  return Planner(program, rule_index, delta_literal, &atom_order).Build();
 }
 
 std::string RulePlan::ToString(const Program& program) const {
@@ -285,6 +322,11 @@ std::string RulePlan::ToString(const Program& program) const {
     out += "\n  ";
     switch (op.kind) {
       case PlanOp::Kind::kMatch:
+        if (op.shared_source >= 0) {
+          out += StrCat("shared-scan #", op.shared_source, "/",
+                        op.args.size());
+          break;
+        }
         out += StrCat(op.is_delta_scan ? "delta-scan " : "match ",
                       program.predicate(op.predicate).name, "/",
                       op.args.size(), " keycols=", op.key_cols.size());
@@ -306,6 +348,7 @@ std::string RulePlan::ToString(const Program& program) const {
         break;
     }
   }
+  if (has_projection) out += StrCat("\n  project/", projection.size());
   return out;
 }
 

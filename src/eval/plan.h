@@ -47,6 +47,11 @@ struct PlanOp {
   /// kMatch only: scan the previous stage's delta rows of this dynamic
   /// predicate instead of the whole relation.
   bool is_delta_scan = false;
+  /// kMatch only: when >= 0, scan the stage's shared-intermediate
+  /// relation with this index (subplan sharing, src/opt/subplan_share.h)
+  /// instead of resolving `predicate` — which is kNoPredicate then. The
+  /// executor receives the intermediates alongside the plan.
+  int shared_source = -1;
 
   // kBindEq: bind `target_var` to the value of `source`.
   // kFilterEq / kFilterNeq: compare `lhs` and `rhs`.
@@ -71,6 +76,15 @@ struct RulePlan {
   bool never_fires = false;
   /// The body literal pinned as delta, or -1 for a full evaluation plan.
   int delta_literal = -1;
+  /// Body indices of the non-delta positive atoms in placement order —
+  /// the order the planner joined them (greedy or explicit). The join
+  /// reordering pass compares and replaces this.
+  std::vector<size_t> atom_order;
+  /// When true the executor emits `projection` instead of the rule head —
+  /// shared subplans use this to stage their projected prefix bindings
+  /// into an intermediate relation (arity projection.size(), possibly 0).
+  bool has_projection = false;
+  std::vector<Term> projection;
 
   /// Debug rendering of the op sequence.
   std::string ToString(const Program& program) const;
@@ -82,6 +96,16 @@ struct RulePlan {
 /// literal on a dynamic IDB predicate to pin as the delta.
 RulePlan PlanRule(const Program& program, size_t rule_index,
                   const std::vector<bool>& dynamic_idb, int delta_literal);
+
+/// Like PlanRule, but joins the non-delta positive atoms in exactly
+/// `atom_order` (body indices; must be a permutation of the rule's
+/// non-delta positive atoms) instead of the greedy order. Filter
+/// placement, residual enumeration, and the delta pin are unchanged —
+/// the cost-based join reordering pass replans through this.
+RulePlan PlanRuleWithOrder(const Program& program, size_t rule_index,
+                           const std::vector<bool>& dynamic_idb,
+                           int delta_literal,
+                           const std::vector<size_t>& atom_order);
 
 /// Indices of body literals eligible as delta literals (positive atoms on
 /// dynamic IDB predicates).

@@ -1,0 +1,133 @@
+#include "src/opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/logging.h"
+
+namespace inflog {
+namespace {
+
+/// Discount applied per known column of a dynamic (still empty at compile
+/// time) predicate: each bound column is assumed to shrink the match set
+/// by this factor, mirroring a uniform column over a small domain.
+constexpr double kDynamicColumnDiscount = 4.0;
+
+struct SampleKey {
+  size_t hash;
+  Tuple row;
+
+  bool operator<(const SampleKey& o) const {
+    if (hash != o.hash) return hash < o.hash;
+    return std::lexicographical_compare(row.begin(), row.end(),
+                                        o.row.begin(), o.row.end());
+  }
+};
+
+}  // namespace
+
+double CostModel::ColumnSelectivity(const Relation& rel, size_t col) const {
+  const auto key = std::make_pair(&rel, col);
+  const auto it = selectivity_cache_.find(key);
+  if (it != selectivity_cache_.end()) return it->second;
+
+  // Bottom-k rows by (hash, content): a pure function of the tuple set,
+  // so the sample — and every estimate built on it — is identical
+  // whatever the shard count or insertion order.
+  std::vector<SampleKey> sample;
+  sample.reserve(kSelectivitySamples + 1);
+  for (size_t s = 0; s < rel.num_shards(); ++s) {
+    const Relation::ShardView view = rel.shard(s);
+    for (size_t r = 0; r < view.size(); ++r) {
+      const TupleView row = view.Row(r);
+      SampleKey k{HashTuple(row), Tuple(row.begin(), row.end())};
+      if (sample.size() == kSelectivitySamples &&
+          !(k < sample.front())) {
+        continue;
+      }
+      sample.push_back(std::move(k));
+      std::push_heap(sample.begin(), sample.end());
+      if (sample.size() > kSelectivitySamples) {
+        std::pop_heap(sample.begin(), sample.end());
+        sample.pop_back();
+      }
+    }
+  }
+
+  double selectivity = 1.0;
+  if (!sample.empty()) {
+    std::vector<std::span<const uint32_t>> spans(rel.num_shards());
+    double total = 0;
+    for (const SampleKey& k : sample) {
+      total += static_cast<double>(
+          rel.EqualRowsPerShard(col, k.row[col], spans.data()));
+    }
+    selectivity =
+        std::max(1.0, total / static_cast<double>(sample.size()));
+  }
+  selectivity_cache_.emplace(key, selectivity);
+  return selectivity;
+}
+
+std::vector<double> CostModel::KnownColumnSelectivities(
+    const Literal& atom, const std::vector<bool>& bound) const {
+  std::vector<double> sels;
+  const Relation& rel = ctx_->Resolve(atom.predicate, *state_);
+  std::vector<std::span<const uint32_t>> spans(rel.num_shards());
+  for (size_t col = 0; col < atom.args.size(); ++col) {
+    const Term& t = atom.args[col];
+    if (t.IsConstant()) {
+      // Exact: the posting total for this constant, shard-summed.
+      sels.push_back(static_cast<double>(
+          rel.EqualRowsPerShard(col, t.id, spans.data())));
+    } else if (bound[t.id]) {
+      sels.push_back(ColumnSelectivity(rel, col));
+    }
+  }
+  return sels;
+}
+
+double CostModel::EstimateMatches(const Literal& atom,
+                                  const std::vector<bool>& bound) const {
+  INFLOG_DCHECK(atom.IsPositiveAtom());
+  size_t known = 0;
+  for (const Term& t : atom.args) {
+    if (t.IsConstant() || bound[t.id]) ++known;
+  }
+  if (ctx_->IsDynamic(atom.predicate)) {
+    // Dynamic relations are (usually) still empty when plans compile;
+    // assume a universe-sized relation that each known column shrinks.
+    double est = std::max<double>(1.0, ctx_->universe().size());
+    for (size_t i = 0; i < known; ++i) est /= kDynamicColumnDiscount;
+    return std::max(est, 1.0);
+  }
+  const Relation& rel = ctx_->Resolve(atom.predicate, *state_);
+  const double rows = static_cast<double>(rel.size());
+  if (rows == 0) return 0.0;
+  // Independence assumption: each known column keeps sel_c / rows of the
+  // rows, so matches = rows · Π (sel_c / rows).
+  double est = rows;
+  for (double sel : KnownColumnSelectivities(atom, bound)) {
+    est *= sel / rows;
+  }
+  return est;
+}
+
+double CostModel::EstimateProbeCost(const Literal& atom,
+                                    const std::vector<bool>& bound) const {
+  INFLOG_DCHECK(atom.IsPositiveAtom());
+  if (ctx_->IsDynamic(atom.predicate)) {
+    return std::max(EstimateMatches(atom, bound), 1.0);
+  }
+  const Relation& rel = ctx_->Resolve(atom.predicate, *state_);
+  const double rows = static_cast<double>(rel.size());
+  if (rows == 0) return 1.0;
+  const std::vector<double> sels = KnownColumnSelectivities(atom, bound);
+  if (sels.empty()) return rows;  // no known column: full scan
+  // The executor walks the shortest posting list of the known columns.
+  double shortest = sels[0];
+  for (double sel : sels) shortest = std::min(shortest, sel);
+  return std::max(shortest, 1.0);
+}
+
+}  // namespace inflog

@@ -1,0 +1,48 @@
+#include "src/opt/passes.h"
+
+#include "src/base/strings.h"
+
+namespace inflog {
+
+Result<OptimizerPasses> ParseOptimizerPasses(std::string_view text) {
+  if (text == "all") return OptimizerPasses::All();
+  if (text == "none") return OptimizerPasses::None();
+  OptimizerPasses passes = OptimizerPasses::None();
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t comma = text.find(',', pos);
+    const std::string_view name =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    if (name == "dce") {
+      passes.eliminate_dead_rules = true;
+    } else if (name == "reorder") {
+      passes.reorder_joins = true;
+    } else if (name == "share") {
+      passes.share_subplans = true;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown optimizer pass: '", std::string(name),
+                 "' (expected all|none or a comma list of dce|reorder|share)"));
+    }
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return passes;
+}
+
+std::string OptimizerPassesName(const OptimizerPasses& passes) {
+  if (passes == OptimizerPasses::All()) return "all";
+  if (!passes.any()) return "none";
+  std::string out;
+  auto append = [&](std::string_view name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+  if (passes.eliminate_dead_rules) append("dce");
+  if (passes.reorder_joins) append("reorder");
+  if (passes.share_subplans) append("share");
+  return out;
+}
+
+}  // namespace inflog

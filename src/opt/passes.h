@@ -1,0 +1,66 @@
+// Optimizer pass selection: which plan-optimizer passes run between rule
+// lowering and FixpointDriver dispatch (src/opt/pass_manager.h).
+//
+// This header is dependency-free below base/ so EvalContextOptions can
+// embed the selection without the eval layer depending on the optimizer
+// implementation. Every pass preserves the evaluated semantics (relations,
+// stage sizes, TupleStage) exactly; the selection only moves plan cost.
+
+#ifndef INFLOG_OPT_PASSES_H_
+#define INFLOG_OPT_PASSES_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+
+namespace inflog {
+
+/// Per-pass enable flags for the plan optimizer pipeline. The pipeline
+/// runs the enabled passes in the fixed order dead-rule elimination →
+/// join reordering → subplan sharing.
+struct OptimizerPasses {
+  /// Drop rules whose head predicate cannot reach any output predicate
+  /// in the dependency graph. Inert unless output predicates are named
+  /// (EvalContextOptions::output_predicates): with no declared outputs
+  /// every IDB predicate is an output and every rule is live.
+  bool eliminate_dead_rules = true;
+  /// Replace the greedy bound-column atom order with a cost-based one
+  /// (DP over bodies of up to kMaxDpAtoms atoms, driven by relation row
+  /// counts and sampled posting-list lengths; greedy beyond that).
+  bool reorder_joins = true;
+  /// Compute structurally equal join prefixes shared by several plans of
+  /// a stage once per stage into a cached intermediate.
+  bool share_subplans = true;
+
+  static OptimizerPasses All() { return OptimizerPasses{}; }
+  static OptimizerPasses None() { return {false, false, false}; }
+
+  bool any() const {
+    return eliminate_dead_rules || reorder_joins || share_subplans;
+  }
+
+  bool operator==(const OptimizerPasses& o) const {
+    return eliminate_dead_rules == o.eliminate_dead_rules &&
+           reorder_joins == o.reorder_joins &&
+           share_subplans == o.share_subplans;
+  }
+  bool operator!=(const OptimizerPasses& o) const { return !(*this == o); }
+
+  /// Join reordering searches orders exhaustively (DP over subsets) up to
+  /// this many positive body atoms and keeps the greedy order beyond.
+  static constexpr size_t kMaxDpAtoms = 8;
+};
+
+/// Parses a pass list: "all", "none", or a comma-separated subset of
+/// {dce, reorder, share} enabling exactly the named passes.
+/// InvalidArgument on unknown names.
+Result<OptimizerPasses> ParseOptimizerPasses(std::string_view text);
+
+/// Canonical rendering: "all", "none", or the comma-joined enabled pass
+/// names — ParseOptimizerPasses round-trips it.
+std::string OptimizerPassesName(const OptimizerPasses& passes);
+
+}  // namespace inflog
+
+#endif  // INFLOG_OPT_PASSES_H_

@@ -1,0 +1,304 @@
+#include "src/opt/subplan_share.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace {
+
+/// First-occurrence variable renaming, so prefixes differing only in
+/// variable ids fingerprint identically.
+class Canonicalizer {
+ public:
+  uint32_t Canon(uint32_t var) {
+    const auto [it, inserted] = map_.emplace(var, next_);
+    if (inserted) {
+      inverse_.push_back(var);
+      ++next_;
+    }
+    return it->second;
+  }
+
+  void AppendTerm(const Term& t, std::string* out) {
+    if (t.IsConstant()) {
+      *out += StrCat("c", t.id);
+    } else {
+      *out += StrCat("v", Canon(t.id));
+    }
+  }
+
+  /// Canon id of `var`, or -1 when the prefix never mentioned it.
+  int CanonOf(uint32_t var) const {
+    const auto it = map_.find(var);
+    return it == map_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  /// The member's own variable id for canon id `c`.
+  uint32_t Original(uint32_t c) const { return inverse_[c]; }
+
+  size_t size() const { return inverse_.size(); }
+
+ private:
+  std::unordered_map<uint32_t, uint32_t> map_;
+  std::vector<uint32_t> inverse_;
+  uint32_t next_ = 0;
+};
+
+/// One plan eligible for rewriting, with the bookkeeping a rewrite needs.
+struct PlanRef {
+  RulePlan* plan = nullptr;
+  /// The stored delta_idb to clear when the delta scan moves into the
+  /// prefix; null for full plans.
+  int* delta_idb = nullptr;
+  bool delta_pass = false;
+};
+
+/// One (plan, cut) prefix candidate.
+struct Candidate {
+  size_t plan_id;
+  size_t cut;      ///< Prefix is ops[0, cut).
+  size_t matches;  ///< kMatch ops in the prefix.
+  std::string fp;
+};
+
+/// Serializes one op into the running fingerprint. Key columns are
+/// implied by the op sequence (known-ness is a function of the preceding
+/// ops), so they are not serialized.
+void AppendOp(const PlanOp& op, Canonicalizer* canon, std::string* fp) {
+  switch (op.kind) {
+    case PlanOp::Kind::kMatch:
+      *fp += StrCat(op.is_delta_scan ? "|D" : "|M", op.predicate);
+      for (const Term& t : op.args) canon->AppendTerm(t, fp);
+      break;
+    case PlanOp::Kind::kBindEq:
+      *fp += "|B";
+      canon->AppendTerm(Term::Var(op.target_var), fp);
+      canon->AppendTerm(op.source, fp);
+      break;
+    case PlanOp::Kind::kFilterEq:
+      *fp += "|E";
+      canon->AppendTerm(op.lhs, fp);
+      canon->AppendTerm(op.rhs, fp);
+      break;
+    case PlanOp::Kind::kFilterNeq:
+      *fp += "|N";
+      canon->AppendTerm(op.lhs, fp);
+      canon->AppendTerm(op.rhs, fp);
+      break;
+    case PlanOp::Kind::kFilterNegAtom:
+      *fp += StrCat("|G", op.predicate);
+      for (const Term& t : op.args) canon->AppendTerm(t, fp);
+      break;
+    case PlanOp::Kind::kEnumerate:
+      *fp += "|U";  // never shared; kept for completeness
+      break;
+  }
+}
+
+/// Rebuilds the canonical renaming of `plan`'s prefix ops[0, cut).
+Canonicalizer PrefixCanon(const RulePlan& plan, size_t cut) {
+  Canonicalizer canon;
+  std::string sink;
+  for (size_t i = 0; i < cut; ++i) AppendOp(plan.ops[i], &canon, &sink);
+  return canon;
+}
+
+/// Canon ids of the prefix variables the suffix ops[cut, ...) or the rule
+/// head still reads.
+std::vector<uint32_t> NeededCanonVars(const Rule& rule, const RulePlan& plan,
+                                      size_t cut,
+                                      const Canonicalizer& canon) {
+  std::unordered_set<uint32_t> needed;
+  auto use = [&](const Term& t) {
+    if (!t.IsVariable()) return;
+    const int c = canon.CanonOf(t.id);
+    if (c >= 0) needed.insert(static_cast<uint32_t>(c));
+  };
+  for (size_t i = cut; i < plan.ops.size(); ++i) {
+    const PlanOp& op = plan.ops[i];
+    switch (op.kind) {
+      case PlanOp::Kind::kMatch:
+      case PlanOp::Kind::kFilterNegAtom:
+        for (const Term& t : op.args) use(t);
+        break;
+      case PlanOp::Kind::kBindEq:
+        use(op.source);
+        break;
+      case PlanOp::Kind::kFilterEq:
+      case PlanOp::Kind::kFilterNeq:
+        use(op.lhs);
+        use(op.rhs);
+        break;
+      case PlanOp::Kind::kEnumerate:
+        break;  // enumerated variables are unbound by construction
+    }
+  }
+  for (const Term& t : rule.head.args) use(t);
+  std::vector<uint32_t> out(needed.begin(), needed.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The idb_index scanned by the plan's delta op, or -1.
+int PrefixDeltaIdb(const Program& program, const RulePlan& plan,
+                   size_t cut) {
+  for (size_t i = 0; i < cut; ++i) {
+    const PlanOp& op = plan.ops[i];
+    if (op.kind == PlanOp::Kind::kMatch && op.is_delta_scan) {
+      return program.predicate(op.predicate).idb_index;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+void SubplanSharePass::Run(const PassContext& pctx, StagePlans* plans,
+                           OptCounters* counters) {
+  const Program& program = pctx.ctx->program();
+
+  // Every rewritable plan, in program order (rules, then full before
+  // deltas) — the deterministic tie-break order for everything below.
+  std::vector<PlanRef> refs;
+  for (CompiledRulePlans& c : plans->rules) {
+    refs.push_back(PlanRef{&c.full, nullptr, false});
+    for (CompiledDeltaPlan& d : c.deltas) {
+      refs.push_back(PlanRef{&d.plan, &d.delta_idb, true});
+    }
+  }
+
+  // Enumerate eligible prefixes: cuts at op boundaries before a kMatch or
+  // at the plan's end, with ≥ 2 matches and no kEnumerate inside.
+  std::vector<Candidate> candidates;
+  for (size_t p = 0; p < refs.size(); ++p) {
+    const RulePlan& plan = *refs[p].plan;
+    if (plan.never_fires || plan.has_projection) continue;
+    Canonicalizer canon;
+    std::string fp(refs[p].delta_pass ? "d" : "f");
+    size_t matches = 0;
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+      const PlanOp& op = plan.ops[i];
+      if (op.kind == PlanOp::Kind::kEnumerate) break;
+      if (op.kind == PlanOp::Kind::kMatch && matches >= 2) {
+        candidates.push_back(Candidate{p, i, matches, fp});
+      }
+      if (op.kind == PlanOp::Kind::kMatch) ++matches;
+      AppendOp(op, &canon, &fp);
+      if (i + 1 == plan.ops.size() && matches >= 2) {
+        candidates.push_back(Candidate{p, i + 1, matches, fp});
+      }
+    }
+  }
+
+  // Group by fingerprint, keeping first-seen order for the final
+  // tie-break.
+  std::map<std::string, std::vector<size_t>> by_fp;
+  std::vector<const std::string*> fp_order;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    auto [it, inserted] = by_fp.try_emplace(candidates[i].fp);
+    if (inserted) fp_order.push_back(&it->first);
+    it->second.push_back(i);
+  }
+  struct Group {
+    size_t first_seen;
+    const std::vector<size_t>* members;
+  };
+  std::vector<Group> groups;
+  for (size_t i = 0; i < fp_order.size(); ++i) {
+    const std::vector<size_t>& members = by_fp[*fp_order[i]];
+    if (members.size() >= 2) groups.push_back(Group{i, &members});
+  }
+  // Prefer the biggest shared joins: more matches first, then longer
+  // prefixes, then wider groups, then first seen.
+  std::sort(groups.begin(), groups.end(), [&](const Group& a, const Group& b) {
+    const Candidate& ca = candidates[(*a.members)[0]];
+    const Candidate& cb = candidates[(*b.members)[0]];
+    if (ca.matches != cb.matches) return ca.matches > cb.matches;
+    if (ca.cut != cb.cut) return ca.cut > cb.cut;
+    if (a.members->size() != b.members->size()) {
+      return a.members->size() > b.members->size();
+    }
+    return a.first_seen < b.first_seen;
+  });
+
+  // Greedy selection: each plan is rewritten at most once, by the best
+  // group (in the order above) that still has ≥ 2 unclaimed members.
+  std::vector<bool> claimed(refs.size(), false);
+  for (const Group& g : groups) {
+    std::vector<size_t> live;
+    for (size_t ci : *g.members) {
+      if (!claimed[candidates[ci].plan_id]) live.push_back(ci);
+    }
+    if (live.size() < 2) continue;
+
+    // Union of the canon variables any member still needs, in canon
+    // order — the intermediate's column layout.
+    std::vector<uint32_t> needed;
+    {
+      std::unordered_set<uint32_t> all;
+      for (size_t ci : live) {
+        const Candidate& cand = candidates[ci];
+        const RulePlan& plan = *refs[cand.plan_id].plan;
+        const Rule& rule = program.rules()[plan.rule_index];
+        const Canonicalizer canon = PrefixCanon(plan, cand.cut);
+        for (uint32_t c : NeededCanonVars(rule, plan, cand.cut, canon)) {
+          all.insert(c);
+        }
+      }
+      needed.assign(all.begin(), all.end());
+      std::sort(needed.begin(), needed.end());
+    }
+
+    // Donor: the first member's prefix, projecting the needed variables.
+    const size_t shared_id = plans->shared.size();
+    {
+      const Candidate& cand = candidates[live[0]];
+      const RulePlan& plan = *refs[cand.plan_id].plan;
+      const Canonicalizer canon = PrefixCanon(plan, cand.cut);
+      SharedSubplan sp;
+      sp.plan.rule_index = plan.rule_index;
+      sp.plan.delta_literal = plan.delta_literal;
+      sp.plan.ops.assign(plan.ops.begin(), plan.ops.begin() + cand.cut);
+      sp.plan.has_projection = true;
+      for (uint32_t c : needed) {
+        sp.plan.projection.push_back(Term::Var(canon.Original(c)));
+      }
+      sp.delta_pass = refs[cand.plan_id].delta_pass;
+      sp.delta_idb = PrefixDeltaIdb(program, plan, cand.cut);
+      sp.arity = needed.size();
+      plans->shared.push_back(std::move(sp));
+    }
+
+    // Rewrite every member: scan the intermediate, then its own suffix.
+    for (size_t ci : live) {
+      const Candidate& cand = candidates[ci];
+      PlanRef& ref = refs[cand.plan_id];
+      RulePlan& plan = *ref.plan;
+      const Canonicalizer canon = PrefixCanon(plan, cand.cut);
+      PlanOp scan;
+      scan.kind = PlanOp::Kind::kMatch;
+      scan.shared_source = static_cast<int>(shared_id);
+      for (uint32_t c : needed) {
+        scan.args.push_back(Term::Var(canon.Original(c)));
+      }
+      std::vector<PlanOp> ops;
+      ops.reserve(plan.ops.size() - cand.cut + 1);
+      ops.push_back(std::move(scan));
+      ops.insert(ops.end(), plan.ops.begin() + cand.cut, plan.ops.end());
+      plan.ops = std::move(ops);
+      plan.delta_literal = -1;
+      plan.atom_order.clear();
+      if (ref.delta_idb != nullptr) *ref.delta_idb = -1;
+      claimed[cand.plan_id] = true;
+      ++counters->subplans_shared;
+    }
+    ++counters->shared_prefixes;
+  }
+}
+
+}  // namespace inflog

@@ -1,0 +1,38 @@
+// Common-subplan sharing: structurally equal join prefixes appearing in
+// several plans of a stage are computed once per stage into a cached
+// intermediate relation (GVN for joins).
+//
+// Plans are fingerprinted prefix by prefix under canonical variable
+// renaming; a prefix is shareable when it ends at an op boundary before a
+// kMatch (or at the plan's end), holds at least two kMatch ops, and holds
+// no kEnumerate. For each group of ≥ 2 plans agreeing on a prefix, the
+// pass emits one donor plan — the prefix plus a projection of every
+// variable any member's suffix or head still needs — and rewrites each
+// member to scan the donor's intermediate (a kMatch with shared_source
+// set) followed by its own suffix. Full-pass and delta-pass prefixes
+// group separately (the delta scan is part of the fingerprint); a delta
+// plan whose delta scan moves into the prefix becomes delta-less
+// (delta_idb -1) and re-reads the fresh intermediate each stage.
+//
+// Soundness: the suffix and head read only projected variables, and the
+// per-stage head-tuple SET is invariant under deduplicating the prefix
+// assignments — so relations, stage sizes, and tuple stages are exactly
+// those of the unshared plans (EvalStats::derivations alone can drop).
+
+#ifndef INFLOG_OPT_SUBPLAN_SHARE_H_
+#define INFLOG_OPT_SUBPLAN_SHARE_H_
+
+#include "src/opt/pass_manager.h"
+
+namespace inflog {
+
+class SubplanSharePass : public PlanPass {
+ public:
+  std::string_view name() const override { return "share"; }
+  void Run(const PassContext& pctx, StagePlans* plans,
+           OptCounters* counters) override;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_OPT_SUBPLAN_SHARE_H_

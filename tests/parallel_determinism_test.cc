@@ -726,6 +726,85 @@ TEST(AutoSchedulerTest, TinyDeltaPlansAreBatched) {
   }
 }
 
+TEST_P(ParallelDeterminism, OptimizerSweepMatchesGreedyPlans) {
+  // The plan-optimizer pipeline must preserve the determinism contract
+  // twice over. At a fixed pass selection, the {threads × shards ×
+  // scheduler} sweep stays bit-identical — rows at a fixed shard count,
+  // sets and stats across shard counts, and the opt_* counters
+  // everywhere (they are pure functions of program, database and pass
+  // selection). And across pass selections, the answer itself —
+  // relations, stage count, stage sizes, per-tuple stages — equals the
+  // unoptimized greedy plans' exactly.
+  Database db = RandomFactDb(8600 + GetParam(), 14, 120);
+  Program program = testing::MustProgram(kJoinProgram, db.shared_symbols());
+
+  InflationaryOptions greedy_opts;
+  greedy_opts.context.num_threads = 1;
+  greedy_opts.context.optimizer_passes = OptimizerPasses::None();
+  auto greedy = EvalInflationary(program, db, greedy_opts);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->stats.opt_plans_reordered, 0u);
+  EXPECT_EQ(greedy->stats.opt_subplans_shared, 0u);
+  EXPECT_EQ(greedy->stats.opt_rules_eliminated, 0u);
+
+  InflationaryOptions opt_serial_opts;  // optimizer_passes defaults to all
+  opt_serial_opts.context.num_threads = 1;
+  auto opt_serial = EvalInflationary(program, db, opt_serial_opts);
+  ASSERT_TRUE(opt_serial.ok());
+
+  ExpectSameSets(greedy->state, opt_serial->state);
+  EXPECT_EQ(greedy->num_stages, opt_serial->num_stages);
+  EXPECT_EQ(greedy->stage_sizes, opt_serial->stage_sizes);
+  for (size_t i = 0; i < greedy->state.relations.size(); ++i) {
+    for (const Tuple& t : greedy->state.relations[i].SortedTuples()) {
+      EXPECT_EQ(greedy->TupleStage(i, t), opt_serial->TupleStage(i, t))
+          << "relation " << i;
+    }
+  }
+
+  for (size_t shards : kShardCounts) {
+    InflationaryOptions ref_opts;
+    ref_opts.context.num_threads = 1;
+    ref_opts.context.num_shards = shards;
+    auto reference = EvalInflationary(program, db, ref_opts);
+    ASSERT_TRUE(reference.ok());
+
+    for (size_t threads : kThreadCounts) {
+      for (StageScheduler scheduler : kSchedulers) {
+        const std::string config =
+            "optimized " + ConfigName(threads, shards, scheduler);
+        InflationaryOptions par_opts;
+        par_opts.context.num_threads = threads;
+        par_opts.context.num_shards = shards;
+        par_opts.context.scheduler = scheduler;
+        auto parallel = EvalInflationary(program, db, par_opts);
+        ASSERT_TRUE(parallel.ok()) << config;
+
+        ExpectSameRows(reference->state, parallel->state);
+        ExpectSameSets(greedy->state, parallel->state);
+        EXPECT_EQ(greedy->num_stages, parallel->num_stages) << config;
+        EXPECT_EQ(greedy->stage_sizes, parallel->stage_sizes) << config;
+        ExpectSameStats(opt_serial->stats, parallel->stats, config);
+        EXPECT_EQ(opt_serial->stats.opt_rules_eliminated,
+                  parallel->stats.opt_rules_eliminated)
+            << config;
+        EXPECT_EQ(opt_serial->stats.opt_plans_reordered,
+                  parallel->stats.opt_plans_reordered)
+            << config;
+        EXPECT_EQ(opt_serial->stats.opt_subplans_shared,
+                  parallel->stats.opt_subplans_shared)
+            << config;
+        EXPECT_EQ(opt_serial->stats.opt_shared_prefixes,
+                  parallel->stats.opt_shared_prefixes)
+            << config;
+        EXPECT_EQ(opt_serial->stats.opt_shared_rows,
+                  parallel->stats.opt_shared_rows)
+            << config;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDeterminism, ::testing::Range(0, 6));
 
 }  // namespace

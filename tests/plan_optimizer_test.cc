@@ -1,0 +1,387 @@
+// Tests for the plan-optimizer pass pipeline (src/opt/): pass-selection
+// parsing, golden compiled plans per pass (via RulePlan::ToString),
+// answer invariance across pass selections on all four semantics,
+// dead-rule elimination driven by the engine's output predicates, and
+// the scan-fallback delta work estimate the cost model shares with the
+// auto scheduler.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+#include "src/eval/idb_state.h"
+#include "src/eval/plan.h"
+#include "src/opt/pass_manager.h"
+#include "src/opt/passes.h"
+#include "tests/test_util.h"
+
+namespace inflog {
+namespace {
+
+using testing::IdbRelation;
+using testing::MustProgram;
+using testing::TuplesOf;
+
+TEST(OptimizerPassesTest, ParseAndRenderRoundTrip) {
+  auto all = ParseOptimizerPasses("all");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, OptimizerPasses::All());
+  EXPECT_TRUE(all->eliminate_dead_rules);
+  EXPECT_TRUE(all->reorder_joins);
+  EXPECT_TRUE(all->share_subplans);
+
+  auto none = ParseOptimizerPasses("none");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(*none, OptimizerPasses::None());
+  EXPECT_FALSE(none->any());
+
+  auto subset = ParseOptimizerPasses("dce,share");
+  ASSERT_TRUE(subset.ok());
+  EXPECT_TRUE(subset->eliminate_dead_rules);
+  EXPECT_FALSE(subset->reorder_joins);
+  EXPECT_TRUE(subset->share_subplans);
+
+  for (const char* text : {"all", "none", "dce", "reorder", "share",
+                           "dce,reorder", "dce,share", "reorder,share"}) {
+    auto passes = ParseOptimizerPasses(text);
+    ASSERT_TRUE(passes.ok()) << text;
+    auto again = ParseOptimizerPasses(OptimizerPassesName(*passes));
+    ASSERT_TRUE(again.ok()) << text;
+    EXPECT_EQ(*again, *passes) << text;
+  }
+
+  EXPECT_FALSE(ParseOptimizerPasses("dse").ok());
+  EXPECT_FALSE(ParseOptimizerPasses("").ok());
+  EXPECT_FALSE(ParseOptimizerPasses("all,dce").ok());
+}
+
+/// Compiles the fixpoint stage plans for an engine-loaded (program,
+/// database) under a pass selection, exposing the plans and counters.
+struct CompiledProgram {
+  std::unique_ptr<EvalContext> ctx;
+  IdbState state;
+  StagePlans plans;
+  OptCounters counters;
+};
+
+CompiledProgram CompileFor(const Engine& engine, std::string_view passes,
+                           std::vector<std::string> outputs = {}) {
+  auto program = engine.program();
+  INFLOG_CHECK(program.ok());
+  EvalContextOptions opts;
+  auto parsed = ParseOptimizerPasses(passes);
+  INFLOG_CHECK(parsed.ok()) << parsed.status().ToString();
+  opts.optimizer_passes = *parsed;
+  opts.output_predicates = std::move(outputs);
+  auto ctx = EvalContext::Create(**program, engine.database(), opts);
+  INFLOG_CHECK(ctx.ok()) << ctx.status().ToString();
+  CompiledProgram out;
+  out.ctx = std::make_unique<EvalContext>(std::move(ctx).value());
+  out.state = MakeEmptyIdbState(**program, out.ctx->num_shards());
+  out.plans = CompileStagePlans(*out.ctx, out.state, {}, /*use_deltas=*/true,
+                                &out.counters);
+  return out;
+}
+
+/// An engine where the greedy planner's bound-column heuristic picks the
+/// big scan first (body order breaks its tie), while row counts say the
+/// two-row Sel relation should lead.
+Engine SkewedJoinEngine() {
+  Engine engine;
+  INFLOG_CHECK(engine
+                   .LoadProgramText("Q(X) :- Big(X,Y), Sel(Y,Z).\n"
+                                    "Q2(X) :- Q(X), Big(X,Y), Sel(Y,Z).\n")
+                   .ok());
+  std::string facts;
+  for (int i = 0; i < 400; ++i) {
+    facts += "Big(" + std::to_string(i) + "," + std::to_string(i) + ").\n";
+  }
+  facts += "Sel(3,0). Sel(7,0).\n";
+  INFLOG_CHECK(engine.LoadDatabaseText(facts).ok());
+  return engine;
+}
+
+TEST(JoinReorderTest, GoldenPlanPutsSelectiveAtomFirst) {
+  Engine engine = SkewedJoinEngine();
+
+  const CompiledProgram greedy = CompileFor(engine, "none");
+  EXPECT_EQ(greedy.counters.plans_reordered, 0u);
+  ASSERT_EQ(greedy.plans.rules.size(), 2u);
+  const std::string greedy_text =
+      greedy.plans.rules[0].full.ToString(*engine.program().value());
+  // Greedy order: the 400-row scan leads.
+  EXPECT_LT(greedy_text.find("match Big"), greedy_text.find("match Sel"))
+      << greedy_text;
+
+  const CompiledProgram opt = CompileFor(engine, "reorder");
+  EXPECT_GE(opt.counters.plans_reordered, 1u);
+  const std::string opt_text =
+      opt.plans.rules[0].full.ToString(*engine.program().value());
+  // Cost-based order: the two-row relation leads, Big becomes a probe.
+  EXPECT_LT(opt_text.find("match Sel"), opt_text.find("match Big"))
+      << opt_text;
+
+  // The delta pin: a delta plan's delta scan stays first whatever the
+  // cost model says about the rest of the body.
+  ASSERT_FALSE(opt.plans.rules[1].deltas.empty());
+  const std::string delta_text =
+      opt.plans.rules[1].deltas[0].plan.ToString(*engine.program().value());
+  EXPECT_EQ(delta_text.find("delta-scan Q"), delta_text.find("delta-scan"))
+      << delta_text;
+  EXPECT_NE(delta_text.find("delta-scan Q"), std::string::npos) << delta_text;
+}
+
+TEST(SubplanShareTest, GoldenPlanScansSharedIntermediate) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .LoadProgramText("A(X,Z) :- R(X,Y), S(Y,Z).\n"
+                                   "B(X,W) :- R(X,Y), S(Y,Z), T(Z,W).\n")
+                  .ok());
+  std::string facts;
+  for (int i = 0; i < 20; ++i) {
+    facts += "R(" + std::to_string(i) + "," + std::to_string(i % 5) + ").\n";
+  }
+  for (int i = 0; i < 5; ++i) {
+    facts += "S(" + std::to_string(i) + "," + std::to_string(i + 100) + ").\n";
+  }
+  facts += "T(100,7). T(103,9).\n";
+  ASSERT_TRUE(engine.LoadDatabaseText(facts).ok());
+  const Program& program = *engine.program().value();
+
+  const CompiledProgram shared = CompileFor(engine, "share");
+  EXPECT_EQ(shared.counters.shared_prefixes, 1u);
+  EXPECT_EQ(shared.counters.subplans_shared, 2u);
+  ASSERT_EQ(shared.plans.shared.size(), 1u);
+
+  // The donor: the common R ⋈ S prefix with a projection of the
+  // variables any member still needs.
+  const SharedSubplan& donor = shared.plans.shared[0];
+  const std::string donor_text = donor.plan.ToString(program);
+  EXPECT_NE(donor_text.find("match R"), std::string::npos) << donor_text;
+  EXPECT_NE(donor_text.find("match S"), std::string::npos) << donor_text;
+  EXPECT_NE(donor_text.find("project/"), std::string::npos) << donor_text;
+  EXPECT_FALSE(donor.delta_pass);
+  EXPECT_EQ(donor.delta_idb, -1);
+
+  // Both members now open with a scan of intermediate #0.
+  for (size_t r = 0; r < 2; ++r) {
+    const std::string text = shared.plans.rules[r].full.ToString(program);
+    EXPECT_NE(text.find("shared-scan #0/"), std::string::npos) << text;
+    EXPECT_EQ(text.find("match R"), std::string::npos) << text;
+  }
+
+  // Without the pass, no intermediates exist and prefixes stay inline.
+  const CompiledProgram greedy = CompileFor(engine, "none");
+  EXPECT_TRUE(greedy.plans.shared.empty());
+  EXPECT_EQ(greedy.counters.subplans_shared, 0u);
+}
+
+TEST(DeadRulePassTest, DropsRulesUnreachableFromOutputs) {
+  Engine engine;
+  ASSERT_TRUE(engine
+                  .LoadProgramText("T(X,Y) :- E(X,Y).\n"
+                                   "T(X,Z) :- T(X,Y), E(Y,Z).\n"
+                                   "Side(X) :- T(X,X).\n"
+                                   "Waste(X,Y) :- T(X,Y), E(Y,X).\n")
+                  .ok());
+  ASSERT_TRUE(engine.LoadDatabaseText("E(0,1). E(1,2). E(2,0).").ok());
+
+  // No declared outputs: every rule is live, DCE is inert.
+  const CompiledProgram all_live = CompileFor(engine, "dce");
+  EXPECT_EQ(all_live.plans.rules.size(), 4u);
+  EXPECT_EQ(all_live.counters.rules_eliminated, 0u);
+
+  // Side needs T transitively; Waste is dead.
+  const CompiledProgram pruned = CompileFor(engine, "dce", {"Side"});
+  EXPECT_EQ(pruned.plans.rules.size(), 3u);
+  EXPECT_EQ(pruned.counters.rules_eliminated, 1u);
+  for (const CompiledRulePlans& c : pruned.plans.rules) {
+    const Rule& rule = engine.program().value()->rules()[c.rule_index];
+    EXPECT_NE(engine.program().value()->predicate(rule.head.predicate).name,
+              "Waste");
+  }
+
+  // Disabled pass: the selection is honored even with outputs named.
+  const CompiledProgram kept = CompileFor(engine, "none", {"Side"});
+  EXPECT_EQ(kept.plans.rules.size(), 4u);
+}
+
+TEST(DeadRulePassTest, EngineOutputPredicatesEndToEnd) {
+  const std::string program_text =
+      "T(X,Y) :- E(X,Y).\n"
+      "T(X,Z) :- T(X,Y), E(Y,Z).\n"
+      "Side(X) :- T(X,X).\n"
+      "Waste(X,Y) :- T(X,Y), E(Y,X).\n";
+  const std::string fact_text = "E(0,1). E(1,2). E(2,0). E(2,3).";
+
+  Engine baseline;
+  ASSERT_TRUE(baseline.LoadProgramText(program_text).ok());
+  ASSERT_TRUE(baseline.LoadDatabaseText(fact_text).ok());
+  EvalOptions base_opts;
+  base_opts.optimizer_passes = OptimizerPasses::None();
+  auto reference =
+      baseline.Evaluate(SemanticsKind::kInflationary, base_opts);
+  ASSERT_TRUE(reference.ok());
+
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText(program_text).ok());
+  ASSERT_TRUE(engine.LoadDatabaseText(fact_text).ok());
+  EvalOptions opts;
+  opts.output_predicates = {"Side"};
+  auto pruned = engine.Evaluate(SemanticsKind::kInflationary, opts);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->stats()->opt_rules_eliminated, 1u);
+
+  // The queried predicate (and everything it depends on) is exact.
+  const Program& program = *engine.program().value();
+  for (const char* name : {"Side", "T"}) {
+    EXPECT_EQ(TuplesOf(*engine.symbols(),
+                       IdbRelation(program, pruned->state(), name)),
+              TuplesOf(*baseline.symbols(),
+                       IdbRelation(program, reference->state(), name)))
+        << name;
+  }
+
+  // Unknown or EDB names fail loudly instead of silently pruning.
+  EvalOptions bad_name;
+  bad_name.output_predicates = {"NoSuch"};
+  EXPECT_FALSE(
+      engine.Evaluate(SemanticsKind::kInflationary, bad_name).ok());
+  EvalOptions edb_name;
+  edb_name.output_predicates = {"E"};
+  EXPECT_FALSE(
+      engine.Evaluate(SemanticsKind::kInflationary, edb_name).ok());
+}
+
+/// A program exercising all three passes at once: a shared join prefix,
+/// a reorderable body, recursion, and negation (stratifiable, so all
+/// four semantics accept it).
+constexpr char kMixedProgram[] =
+    "T(X,Y) :- E(X,Y).\n"
+    "T(X,Z) :- T(X,Y), E(Y,Z).\n"
+    "P(X,Z) :- E(X,Y), E(Y,Z), S(Z).\n"
+    "R(X,Z) :- E(X,Y), E(Y,Z), T(Z,X).\n"
+    "N(X) :- S(X), !T(X,X).\n";
+
+std::string MixedFacts() {
+  std::string facts;
+  for (int i = 0; i < 12; ++i) {
+    facts += "E(" + std::to_string(i) + "," + std::to_string((i + 1) % 12) +
+             ").\n";
+  }
+  facts += "E(0,6). E(3,9).\nS(2). S(5). S(11).\n";
+  return facts;
+}
+
+TEST(OptimizerInvarianceTest, AllFourSemanticsMatchGreedyPlans) {
+  for (SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified,
+        SemanticsKind::kWellFounded, SemanticsKind::kStable}) {
+    Engine engine;
+    ASSERT_TRUE(engine.LoadProgramText(kMixedProgram).ok());
+    ASSERT_TRUE(engine.LoadDatabaseText(MixedFacts()).ok());
+    const Program& program = *engine.program().value();
+
+    EvalOptions greedy_opts;
+    greedy_opts.optimizer_passes = OptimizerPasses::None();
+    auto greedy = engine.Evaluate(kind, greedy_opts);
+    ASSERT_TRUE(greedy.ok()) << SemanticsKindName(kind);
+
+    for (const char* passes :
+         {"all", "dce", "reorder", "share", "reorder,share"}) {
+      EvalOptions opts;
+      opts.optimizer_passes = *ParseOptimizerPasses(passes);
+      auto optimized = engine.Evaluate(kind, opts);
+      ASSERT_TRUE(optimized.ok())
+          << SemanticsKindName(kind) << " " << passes;
+      EXPECT_EQ(testing::CanonState(program, greedy->state()),
+                testing::CanonState(program, optimized->state()))
+          << SemanticsKindName(kind) << " " << passes;
+      if (kind == SemanticsKind::kStable) {
+        const auto& gm = std::get<StableResult>(greedy->detail);
+        const auto& om = std::get<StableResult>(optimized->detail);
+        EXPECT_EQ(testing::CanonStates(program, gm.models),
+                  testing::CanonStates(program, om.models))
+            << passes;
+      }
+    }
+  }
+}
+
+TEST(OptimizerInvarianceTest, StagesAndTupleStagesMatchGreedyPlans) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgramText(kMixedProgram).ok());
+  ASSERT_TRUE(engine.LoadDatabaseText(MixedFacts()).ok());
+
+  auto program = engine.program();
+  ASSERT_TRUE(program.ok());
+  InflationaryOptions greedy_opts;
+  greedy_opts.context.optimizer_passes = OptimizerPasses::None();
+  auto greedy = EvalInflationary(**program, engine.database(), greedy_opts);
+  ASSERT_TRUE(greedy.ok());
+
+  InflationaryOptions opt_opts;  // defaults: all passes
+  auto optimized = EvalInflationary(**program, engine.database(), opt_opts);
+  ASSERT_TRUE(optimized.ok());
+
+  EXPECT_EQ(greedy->num_stages, optimized->num_stages);
+  EXPECT_EQ(greedy->stage_sizes, optimized->stage_sizes);
+  for (size_t i = 0; i < greedy->state.relations.size(); ++i) {
+    ASSERT_EQ(greedy->state.relations[i].SortedTuples(),
+              optimized->state.relations[i].SortedTuples())
+        << "relation " << i;
+    for (const Tuple& t : greedy->state.relations[i].SortedTuples()) {
+      EXPECT_EQ(greedy->TupleStage(i, t), optimized->TupleStage(i, t))
+          << "relation " << i;
+    }
+  }
+}
+
+TEST(EstimateDeltaWorkTest, ScanFallbackUsesRelationCardinality) {
+  // The delta plan joins the delta against a keyless scan of E: no index
+  // probe is keyed by delta-bound variables, so sample_cost stays empty
+  // and uniform_cost must carry E's full cardinality instead of a flat 1.
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(
+      "W(X,Y) :- D(X), E(Z,Y).\n"
+      "D(X) :- Seed(X).\n"
+      "D(Y) :- D(X), Next(X,Y).\n",
+      symbols);
+  Database db(symbols);
+  for (int i = 0; i < 37; ++i) {
+    INFLOG_CHECK(
+        db.AddFactNamed("E", {std::to_string(i), std::to_string(i + 1)})
+            .ok());
+  }
+  INFLOG_CHECK(db.AddFactNamed("Seed", {"0"}).ok());
+  INFLOG_CHECK(db.AddFactNamed("Next", {"0", "1"}).ok());
+  auto ctx = EvalContext::Create(program, db);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+
+  const std::vector<bool> all_dynamic(program.idb_predicates().size(), true);
+  const Rule& rule = program.rules()[0];
+  const auto candidates = DeltaCandidates(program, rule, all_dynamic);
+  ASSERT_EQ(candidates.size(), 1u);
+  RulePlan plan = PlanRule(program, 0, all_dynamic, candidates[0]);
+
+  IdbState state = MakeEmptyIdbState(program);
+  const int d_idb =
+      program.predicate(*program.FindPredicate("D")).idb_index;
+  Relation& d = state.relations[d_idb];
+  d.Insert(Tuple{symbols->Intern("0")});
+  d.Insert(Tuple{symbols->Intern("1")});
+
+  const std::vector<ShardRange> ranges = {{0, d.size()}};
+  const DeltaWorkEstimate est =
+      EstimateDeltaWork(*ctx, plan, state, ranges, 16);
+  EXPECT_TRUE(est.sample_cost.empty());
+  EXPECT_EQ(est.uniform_cost, 1u + 37u);
+}
+
+}  // namespace
+}  // namespace inflog
