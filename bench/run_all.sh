@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E12) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E13) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
 #   {"bench":"e7_distance_query","threads":8,"shards":1,
 #    "scheduler":"auto","steal_variance":1,"optimize":"all",
+#    "updates":0,"incremental":1,
 #    "context":{...},"benchmarks":[...]}
 #
 # `threads`, `shards`, `scheduler`, `steal_variance`, and `optimize`
@@ -98,6 +99,31 @@ case "$steal_variance" in
     ;;
 esac
 
+# E13's update-stream configuration: `updates` records the stream length
+# per iteration the run was driven with (0 = the bench's built-in
+# default), `incremental` whether maintenance ran incrementally (1, the
+# default) or every update was forced through the recompute oracle (0).
+# Both are trajectory metadata only — the bench binaries read their own
+# INFLOG_E13_* environment; these fields keep the sweep configuration
+# visible next to threads/shards/scheduler.
+updates="${INFLOG_UPDATES:-0}"
+case "$updates" in
+  ''|*[!0-9]*)
+    echo "error: INFLOG_UPDATES must be a non-negative integer," \
+      "got '$updates'" >&2
+    exit 1
+    ;;
+esac
+
+incremental="${INFLOG_INCREMENTAL:-1}"
+case "$incremental" in
+  0|1) ;;
+  *)
+    echo "error: INFLOG_INCREMENTAL must be 0 or 1, got '$incremental'" >&2
+    exit 1
+    ;;
+esac
+
 # The plan-optimizer pass selection ("all", "none", or a comma list of
 # dce/reorder/share — mirrors the library's --optimize flag).
 optimize="${INFLOG_OPTIMIZE:-all}"
@@ -138,17 +164,19 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
     printf \
-      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"optimize":"%s","context":null,"benchmarks":[]}\n' \
+      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"optimize":"%s","updates":%s,"incremental":%s,"context":null,"benchmarks":[]}\n' \
       "$name" "$threads" "$shards" "$scheduler" "$steal_variance" \
-      "$optimize"
+      "$optimize" "$updates" "$incremental"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
     --argjson shards "$shards" --arg scheduler "$scheduler" \
     --argjson steal_variance "$steal_variance" --arg optimize "$optimize" \
+    --argjson updates "$updates" --argjson incremental "$incremental" \
     '{bench: $bench, threads: $threads, shards: $shards,
       scheduler: $scheduler, steal_variance: $steal_variance,
-      optimize: $optimize, context: .context, benchmarks: .benchmarks}' <<<"$out"
+      optimize: $optimize, updates: $updates, incremental: $incremental,
+      context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 
 if [ "$found" -eq 0 ]; then

@@ -6,6 +6,7 @@
 //     [--scheduler=auto|static|stealing] [--min-slice-rows=R]
 //     [--steal-variance=V] [--optimize=LIST] [--query=NAMES]
 //     [--reject-unsafe-negation] [--stats]
+//     [--apply-updates=FILE] [--verify-incremental]
 //     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
@@ -41,6 +42,18 @@
 // intersections, rows matched, steals, auto-scheduler decisions, slice
 // histogram, ...) after the result, so bench numbers can be explained
 // from the CLI; for modes without a relational fixpoint run it says so.
+//
+// --apply-updates=FILE switches the run into incremental view
+// maintenance: the program is evaluated once under the chosen semantics
+// (inflationary, stratified, wellfounded or stable), then each
+// non-empty, non-comment line of FILE is applied as one update batch of
+// whitespace-separated `+Rel(a,b)` inserts and `-Rel(a)` deletes, with
+// a per-update summary line (EDB/IDB churn, counting vs DRed units,
+// whether the update fell back to the recompute oracle). The maintained
+// state prints once at the end; with --stats the cumulative incremental_*
+// counters follow. --verify-incremental cross-checks every maintained
+// update against a from-scratch evaluation (expensive — each update then
+// costs a full recompute; meant for tests and oracle sweeps).
 //
 // Examples (data files ship in examples/data/):
 //   inflog_cli data/pi1.dlog data/path6.facts fixpoints
@@ -112,6 +125,8 @@ int main(int argc, char** argv) {
   inflog::OptimizerPasses optimizer_passes = inflog::OptimizerPasses::All();
   bool reject_unsafe_negation = false;
   bool print_stats = false;
+  std::string apply_updates;  // empty = plain one-shot evaluation
+  bool verify_incremental = false;
   std::vector<std::string> args;
   auto parse_count = [](const char* flag, const std::string& value,
                         long max, size_t* out) {
@@ -149,6 +164,26 @@ int main(int argc, char** argv) {
     }
     if (arg == "--reject-unsafe-negation") {
       reject_unsafe_negation = true;
+      continue;
+    }
+    if (arg == "--verify-incremental") {
+      verify_incremental = true;
+      continue;
+    }
+    if (arg == "--apply-updates" || arg.rfind("--apply-updates=", 0) == 0) {
+      if (arg == "--apply-updates") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --apply-updates requires a file\n";
+          return 2;
+        }
+        apply_updates = argv[++i];
+      } else {
+        apply_updates = arg.substr(sizeof("--apply-updates=") - 1);
+      }
+      if (apply_updates.empty()) {
+        std::cerr << "error: --apply-updates requires a file\n";
+        return 2;
+      }
       continue;
     }
     if (arg == "--scheduler" || arg.rfind("--scheduler=", 0) == 0) {
@@ -312,6 +347,87 @@ int main(int argc, char** argv) {
     options.reject_unsafe_negation = reject_unsafe_negation;
     options.optimizer_passes = optimizer_passes;
     options.output_predicates = g_query;
+    if (!apply_updates.empty()) {
+      options.verify_incremental = verify_incremental;
+      // Output predicates would let dead-rule elimination drop rules the
+      // maintainer needs intact; the session maintains every IDB.
+      options.output_predicates.clear();
+      if (auto s = engine.BeginIncremental(*kind, options); !s.ok()) {
+        return Fail(s);
+      }
+      std::ifstream updates(apply_updates);
+      if (!updates) {
+        return Fail(inflog::Status::NotFound("cannot open " + apply_updates));
+      }
+      std::string line;
+      size_t line_no = 0;
+      size_t update_no = 0;
+      while (std::getline(updates, line)) {
+        ++line_no;
+        auto batch = inflog::ParseUpdateLine(line, engine.symbols().get());
+        if (!batch.ok()) {
+          std::cerr << "error: " << apply_updates << ":" << line_no << ": "
+                    << batch.status().ToString() << "\n";
+          return 1;
+        }
+        if (batch->empty()) continue;  // blank / comment line
+        auto result = engine.ApplyUpdate(*batch);
+        if (!result.ok()) {
+          std::cerr << "error: " << apply_updates << ":" << line_no << ": "
+                    << result.status().ToString() << "\n";
+          return 1;
+        }
+        const inflog::EvalStats& s = result->stats;
+        std::cout << "update " << ++update_no << ": edb +"
+                  << s.incremental_edb_inserted << " -"
+                  << s.incremental_edb_deleted << ", idb +"
+                  << s.incremental_idb_inserted << " -"
+                  << s.incremental_idb_deleted;
+        if (result->used_oracle) {
+          std::cout << " (oracle recompute)";
+        } else {
+          std::cout << " (counting units " << s.incremental_counting_units
+                    << ", dred units " << s.incremental_dred_units << ")";
+        }
+        std::cout << "\n";
+      }
+      auto state = engine.IncrementalState();
+      if (!state.ok()) return Fail(state.status());
+      std::cout << "maintained state after " << update_no << " update(s):\n";
+      PrintState(engine, **state);
+      if (print_stats) {
+        auto stats = engine.IncrementalStats();
+        if (!stats.ok()) return Fail(stats.status());
+        const inflog::EvalStats& s = **stats;
+        std::cout << "stats:\n"
+                  << "  incremental_updates    " << s.incremental_updates
+                  << "\n"
+                  << "  oracle_runs            " << s.incremental_oracle_runs
+                  << "\n"
+                  << "  edb_inserted           " << s.incremental_edb_inserted
+                  << "\n"
+                  << "  edb_deleted            " << s.incremental_edb_deleted
+                  << "\n"
+                  << "  idb_inserted           " << s.incremental_idb_inserted
+                  << "\n"
+                  << "  idb_deleted            " << s.incremental_idb_deleted
+                  << "\n"
+                  << "  del_candidates         "
+                  << s.incremental_del_candidates << "\n"
+                  << "  rederived              " << s.incremental_rederived
+                  << "\n"
+                  << "  recounted              " << s.incremental_recounted
+                  << "\n"
+                  << "  counting_units         "
+                  << s.incremental_counting_units << "\n"
+                  << "  dred_units             " << s.incremental_dred_units
+                  << "\n"
+                  << "  derivations            " << s.derivations << "\n"
+                  << "  rows_matched           " << s.rows_matched << "\n"
+                  << "  index_probes           " << s.index_lookups << "\n";
+      }
+      return 0;
+    }
     auto outcome = engine.Evaluate(*kind, options);
     if (!outcome.ok()) return Fail(outcome.status());
     if (const auto* r =

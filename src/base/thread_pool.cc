@@ -317,6 +317,13 @@ struct DynLoop {
 ThreadPool::DynamicLoopStats ThreadPool::ParallelForDynamic(
     const std::vector<size_t>& item_rows, size_t min_grain,
     const DynamicBody& body) {
+  return ParallelForDynamic(item_rows, {}, min_grain, body);
+}
+
+ThreadPool::DynamicLoopStats ThreadPool::ParallelForDynamic(
+    const std::vector<size_t>& item_rows,
+    const std::vector<uint64_t>& item_weights, size_t min_grain,
+    const DynamicBody& body) {
   DynamicLoopStats stats;
   const size_t n = item_rows.size();
   if (n == 0) return stats;
@@ -330,8 +337,30 @@ ThreadPool::DynamicLoopStats ThreadPool::ParallelForDynamic(
   auto loop =
       std::make_shared<DynLoop>(item_rows, min_grain, participants, body);
   loop->unfinished.store(n, std::memory_order_relaxed);
-  for (size_t i = 0; i < n; ++i) {
-    loop->deques[i % participants].q.push_back(Chunk{i, 0, item_rows[i]});
+  if (item_weights.size() == n && n > 1) {
+    // LPT deal: heaviest item first onto the least-loaded deque. All tie
+    // breaks are deterministic, so the deal (though not the stealing that
+    // follows) is reproducible run to run.
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return item_weights[a] != item_weights[b]
+                 ? item_weights[a] > item_weights[b]
+                 : a < b;
+    });
+    std::vector<uint64_t> load(participants, 0);
+    for (const size_t i : order) {
+      size_t best = 0;
+      for (size_t p = 1; p < participants; ++p) {
+        if (load[p] < load[best]) best = p;
+      }
+      loop->deques[best].q.push_back(Chunk{i, 0, item_rows[i]});
+      load[best] += std::max<uint64_t>(item_weights[i], 1);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      loop->deques[i % participants].q.push_back(Chunk{i, 0, item_rows[i]});
+    }
   }
   for (size_t w = 0; w < workers_.size(); ++w) {
     Submit([loop] {

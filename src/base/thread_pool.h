@@ -86,7 +86,8 @@ class ThreadPool {
   /// count of item i; the loop covers every row of every item exactly once
   /// with body calls over disjoint, ascending ranges, in unspecified
   /// order and distribution. Scheduling: every participant owns a deque
-  /// (initial chunks are dealt round-robin in item order), pops its own
+  /// (initial chunks are dealt round-robin in item order — or by the
+  /// weighted LPT deal of the overload below), pops its own
   /// work LIFO, and steals FIFO from others when empty; an acquired chunk
   /// sheds its upper half back onto the owner's deque while it exceeds
   /// both 2*min_grain and the per-item baseline grain, or while another
@@ -98,6 +99,22 @@ class ThreadPool {
   /// spinning. Full barrier; first body exception is rethrown on the
   /// calling thread after the barrier.
   DynamicLoopStats ParallelForDynamic(const std::vector<size_t>& item_rows,
+                                      size_t min_grain,
+                                      const DynamicBody& body);
+
+  /// ParallelForDynamic with per-item work estimates steering the initial
+  /// deal: instead of dealing chunks round-robin by index, items are
+  /// assigned largest-weight-first to the least-loaded deque (classic LPT
+  /// list scheduling; ties break deterministically — equal weights by
+  /// ascending item index, equal loads by lowest participant id). A good
+  /// deal means the stealing machinery starts balanced and steals only to
+  /// correct estimation error, instead of spending the ramp-up correcting
+  /// a weight-oblivious deal. `item_weights` must be empty (round-robin
+  /// fallback) or have one entry per item; the row coverage contract and
+  /// the barrier are identical to the unweighted overload, and results
+  /// are unaffected either way (the caller merges deterministically).
+  DynamicLoopStats ParallelForDynamic(const std::vector<size_t>& item_rows,
+                                      const std::vector<uint64_t>& item_weights,
                                       size_t min_grain,
                                       const DynamicBody& body);
 

@@ -35,6 +35,7 @@ Engine::Engine()
 
 Status Engine::LoadProgramText(std::string_view text) {
   INFLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(text, symbols_));
+  incremental_.reset();  // the session borrows the program being replaced
   program_.emplace(std::move(program));
   return Status::OK();
 }
@@ -45,11 +46,13 @@ Status Engine::LoadProgram(Program program) {
         "program was built over a different symbol table; construct it "
         "with Engine::symbols()");
   }
+  incremental_.reset();  // the session borrows the program being replaced
   program_.emplace(std::move(program));
   return Status::OK();
 }
 
 Status Engine::LoadDatabaseText(std::string_view text) {
+  incremental_.reset();  // facts added behind ApplyUpdate go unmaintained
   return ParseDatabaseInto(text, &database_);
 }
 
@@ -202,6 +205,75 @@ Result<StableResult> Engine::StableModels(
     const StableOptions& options) const {
   INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
   return EnumerateStableModels(*p, database_, options);
+}
+
+Status Engine::BeginIncremental(SemanticsKind kind,
+                                const EvalOptions& options) {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  IncrementalOptions opts;
+  switch (kind) {
+    case SemanticsKind::kInflationary:
+      opts.semantics = MaintainedSemantics::kInflationary;
+      opts.use_seminaive = options.inflationary.use_seminaive;
+      break;
+    case SemanticsKind::kStratified:
+      opts.semantics = MaintainedSemantics::kStratified;
+      opts.use_seminaive = options.stratified.use_seminaive;
+      break;
+    case SemanticsKind::kWellFounded:
+      opts.semantics = MaintainedSemantics::kWellFounded;
+      break;
+    case SemanticsKind::kStable:
+      opts.semantics = MaintainedSemantics::kStable;
+      break;
+  }
+  opts.verify = options.verify_incremental;
+  opts.context.num_threads = options.num_threads;
+  opts.context.num_shards = options.num_shards;
+  opts.context.scheduler = options.scheduler;
+  opts.context.min_slice_rows = options.min_slice_rows;
+  opts.context.steal_variance = options.steal_variance;
+  opts.context.reject_unsafe_negation = options.reject_unsafe_negation;
+  opts.context.optimizer_passes = options.optimizer_passes;
+  opts.wellfounded = options.wellfounded;
+  opts.stable = options.stable;
+  if (options.reject_unsafe_negation) {
+    INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*p));
+  }
+  INFLOG_ASSIGN_OR_RETURN(incremental_,
+                          IncrementalSession::Create(*p, &database_, opts));
+  return Status::OK();
+}
+
+Result<UpdateResult> Engine::ApplyUpdate(const UpdateBatch& batch) {
+  if (incremental_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no incremental session; call BeginIncremental first");
+  }
+  return incremental_->ApplyUpdate(batch);
+}
+
+Result<UpdateResult> Engine::ApplyUpdate(
+    std::vector<std::pair<std::string, Tuple>> inserts,
+    std::vector<std::pair<std::string, Tuple>> deletes) {
+  UpdateBatch batch;
+  batch.inserts = std::move(inserts);
+  batch.deletes = std::move(deletes);
+  return ApplyUpdate(batch);
+}
+
+Result<const IdbState*> Engine::IncrementalState() const {
+  if (incremental_ == nullptr) {
+    return Status::FailedPrecondition("no incremental session");
+  }
+  return &incremental_->state();
+}
+
+Result<const EvalStats*> Engine::IncrementalStats() const {
+  if (incremental_ == nullptr) {
+    return Status::FailedPrecondition("no incremental session");
+  }
+  return &incremental_->cumulative_stats();
 }
 
 Result<FixpointAnalyzer> Engine::MakeAnalyzer(AnalyzeOptions options) const {

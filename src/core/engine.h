@@ -30,6 +30,7 @@
 #include "src/ast/parser.h"
 #include "src/ast/program.h"
 #include "src/base/result.h"
+#include "src/eval/incremental.h"
 #include "src/eval/inflationary.h"
 #include "src/eval/stable.h"
 #include "src/eval/stratified.h"
@@ -103,6 +104,12 @@ struct EvalOptions {
   /// only the listed predicates' relations are specified. Evaluate fails
   /// with InvalidArgument on names that are unknown or not IDB.
   std::vector<std::string> output_predicates;
+  /// Cross-check every incrementally maintained ApplyUpdate against a
+  /// from-scratch evaluation (the recompute oracle); a mismatch fails the
+  /// update with an Internal error. Consulted by BeginIncremental only —
+  /// expensive (each update costs a full evaluation), meant for tests and
+  /// the E13 oracle sweeps.
+  bool verify_incremental = false;
   InflationaryOptions inflationary;
   StratifiedOptions stratified;
   GrounderOptions wellfounded;
@@ -185,6 +192,42 @@ class Engine {
   /// Stable models (answer sets).
   Result<StableResult> StableModels(const StableOptions& options = {}) const;
 
+  // --- Incremental view maintenance. ---
+
+  /// Evaluates the loaded program once under `kind` and switches the
+  /// engine into incremental mode: subsequent ApplyUpdate calls maintain
+  /// the materialized result in O(delta) (counting for non-recursive
+  /// predicates, DRed for recursive ones) instead of re-evaluating.
+  /// Replaces any previous session. The relational semantics maintain
+  /// incrementally (inflationary requires a positive program); the
+  /// grounded semantics recompute per update but share the same API.
+  Status BeginIncremental(SemanticsKind kind, const EvalOptions& options = {});
+
+  /// Applies one batch of EDB changes to the database and brings the
+  /// maintained state up to date. FailedPrecondition before
+  /// BeginIncremental.
+  Result<UpdateResult> ApplyUpdate(const UpdateBatch& batch);
+
+  /// Convenience overload building the batch in place.
+  Result<UpdateResult> ApplyUpdate(
+      std::vector<std::pair<std::string, Tuple>> inserts,
+      std::vector<std::pair<std::string, Tuple>> deletes);
+
+  /// The maintained IDB state (valid until the next ApplyUpdate or
+  /// EndIncremental). FailedPrecondition when no session is active.
+  Result<const IdbState*> IncrementalState() const;
+
+  /// Counters accumulated across the session's updates.
+  Result<const EvalStats*> IncrementalStats() const;
+
+  bool HasIncrementalSession() const { return incremental_ != nullptr; }
+
+  /// Drops the incremental session (the database keeps every applied
+  /// update). Loading a new program or database text also drops it: the
+  /// session borrows the engine's program and the text loaders mutate
+  /// state behind its back.
+  void EndIncremental() { incremental_.reset(); }
+
   // --- Fixpoint analysis (Section 3). ---
 
   /// Builds a fixpoint analyzer for the loaded (program, database). The
@@ -201,6 +244,7 @@ class Engine {
   std::shared_ptr<SymbolTable> symbols_;
   Database database_;
   std::optional<Program> program_;
+  std::unique_ptr<IncrementalSession> incremental_;
 };
 
 }  // namespace inflog

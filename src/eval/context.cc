@@ -56,6 +56,26 @@ Result<EvalContext> EvalContext::CreateWithFixed(
   return ctx;
 }
 
+Result<EvalContext> EvalContext::CreateWithOverrides(
+    const Program& program, const Database& database,
+    std::vector<const Relation*> overrides,
+    const EvalContextOptions& options) {
+  EvalContext ctx(program, database);
+  ctx.dynamic_idb_.assign(program.idb_predicates().size(), true);
+  ctx.overrides_ = std::move(overrides);
+  // An overridden IDB predicate reads the supplied relation and does not
+  // evolve (the maintainer overrides exactly the frozen ones).
+  for (uint32_t pred = 0;
+       pred < ctx.overrides_.size() && pred < program.num_predicates();
+       ++pred) {
+    if (ctx.overrides_[pred] == nullptr) continue;
+    const PredicateInfo& info = program.predicate(pred);
+    if (info.is_idb) ctx.dynamic_idb_[info.idb_index] = false;
+  }
+  INFLOG_RETURN_IF_ERROR(ctx.Bind(options));
+  return ctx;
+}
+
 size_t ResolvedNumThreads(const EvalContextOptions& options) {
   return options.num_threads == 0 ? ThreadPool::HardwareConcurrency()
                                   : options.num_threads;
@@ -111,6 +131,26 @@ Status EvalContext::Bind(const EvalContextOptions& options) {
   for (uint32_t pred = 0; pred < program_->num_predicates(); ++pred) {
     const PredicateInfo& info = program_->predicate(pred);
     PredBinding& binding = bindings_[pred];
+    if (pred < overrides_.size() && overrides_[pred] != nullptr) {
+      // Caller-supplied binding (CreateWithOverrides): the predicate —
+      // EDB-classified companion or otherwise — reads this relation,
+      // whatever the database holds.
+      if (overrides_[pred]->arity() != info.arity) {
+        return Status::InvalidArgument(
+            StrCat("override for ", info.name, " has arity ",
+                   overrides_[pred]->arity(), " but the program declares ",
+                   info.arity));
+      }
+      if (info.is_idb && dynamic_idb_[info.idb_index]) {
+        return Status::InvalidArgument(
+            StrCat("override for ", info.name,
+                   " conflicts with its dynamic binding"));
+      }
+      binding.kind = info.is_idb ? PredBinding::Kind::kFixedIdb
+                                 : PredBinding::Kind::kEdb;
+      binding.fixed = overrides_[pred];
+      continue;
+    }
     if (info.is_idb) {
       if (dynamic_idb_[info.idb_index]) {
         binding.kind = PredBinding::Kind::kDynamicIdb;

@@ -173,6 +173,22 @@ class EvalContext {
       std::vector<bool> dynamic_idb, const IdbState* fixed_state,
       const EvalContextOptions& options = {});
 
+  /// Creates a context for a synthesized program (the incremental
+  /// maintainer's per-phase rule sets) in which individual predicates are
+  /// bound to caller-supplied relations: `overrides[pred]`, when non-null,
+  /// becomes predicate `pred`'s relation regardless of its EDB/IDB
+  /// classification — which is how a body-only companion predicate (a
+  /// delta set, a frozen original) reads a temp or maintained relation
+  /// without the database ever owning a copy. Overridden EDB predicates
+  /// need not exist in the database; non-overridden predicates bind as in
+  /// Create (every IDB predicate dynamic). `overrides` is indexed by
+  /// predicate id and may be shorter than num_predicates(); the pointed-to
+  /// relations must outlive the context.
+  static Result<EvalContext> CreateWithOverrides(
+      const Program& program, const Database& database,
+      std::vector<const Relation*> overrides,
+      const EvalContextOptions& options = {});
+
   /// The relation predicate `pred` reads from, given the evolving state.
   const Relation& Resolve(uint32_t pred, const IdbState& state) const;
 
@@ -233,6 +249,7 @@ class EvalContext {
   const Database* database_;
   std::vector<PredBinding> bindings_;   // by predicate id
   std::vector<bool> dynamic_idb_;       // by idb_index
+  std::vector<const Relation*> overrides_;  // by predicate id; may be short
   const IdbState* fixed_state_ = nullptr;
   std::vector<Value> universe_;
   bool use_join_indexes_ = true;

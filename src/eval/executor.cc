@@ -15,7 +15,7 @@ class Interpreter {
  public:
   Interpreter(const EvalContext& ctx, const RulePlan& plan,
               const IdbState& state, const DeltaRanges* deltas,
-              Relation* out, EvalStats* stats,
+              Relation* out, TupleCountMap* counts, EvalStats* stats,
               const std::vector<Relation>* shared)
       : ctx_(ctx),
         plan_(plan),
@@ -25,6 +25,7 @@ class Interpreter {
         deltas_(deltas),
         shared_(shared),
         out_(out),
+        counts_(counts),
         stats_(stats) {
     bindings_.assign(rule_.num_vars, kNoValue);
     head_tuple_.resize(head_.size());
@@ -214,8 +215,13 @@ class Interpreter {
       return;
     }
     for (size_t s = 0; s < num_shards; ++s) {
+      // Full scans walk physical rows and must skip tombstones; the delta
+      // and indexed paths above never name a dead row (delta ranges only
+      // cover freshly appended rows, postings drop erased ones).
       const Relation::ShardView view = rel.shard(s);
-      for (size_t r = 0; r < view.size(); ++r) try_row(view.Row(r));
+      for (size_t r = 0; r < view.size(); ++r) {
+        if (view.IsLive(r)) try_row(view.Row(r));
+      }
     }
   }
 
@@ -223,6 +229,12 @@ class Interpreter {
     ++stats_->derivations;
     for (size_t i = 0; i < head_.size(); ++i) {
       head_tuple_[i] = TermValue(head_[i]);
+    }
+    if (counts_ != nullptr) {
+      // Counting mode keeps every derivation (multiplicity), not the set:
+      // the incremental recount pass diffs these against stored counts.
+      ++(*counts_)[head_tuple_];
+      return;
     }
     if (out_->Insert(head_tuple_)) ++stats_->new_tuples;
   }
@@ -237,6 +249,7 @@ class Interpreter {
   const DeltaRanges* deltas_;
   const std::vector<Relation>* shared_;
   Relation* out_;
+  TupleCountMap* counts_;
   EvalStats* stats_;
   std::vector<Value> bindings_;
   Tuple head_tuple_;
@@ -258,7 +271,17 @@ void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
                  const IdbState& state, const DeltaRanges* deltas,
                  Relation* out, EvalStats* stats,
                  const std::vector<Relation>* shared) {
-  Interpreter(ctx, plan, state, deltas, out, stats, shared).Run();
+  Interpreter(ctx, plan, state, deltas, out, /*counts=*/nullptr, stats,
+              shared)
+      .Run();
+}
+
+void ExecutePlanCounted(const EvalContext& ctx, const RulePlan& plan,
+                        const IdbState& state, const DeltaRanges* deltas,
+                        TupleCountMap* out, EvalStats* stats,
+                        const std::vector<Relation>* shared) {
+  Interpreter(ctx, plan, state, deltas, /*out=*/nullptr, out, stats, shared)
+      .Run();
 }
 
 DeltaWorkEstimate EstimateDeltaWork(

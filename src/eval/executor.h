@@ -60,6 +60,34 @@ struct EvalStats {
                                       ///< materialized per stage.
   uint64_t opt_shared_rows = 0;       ///< Rows inserted into shared
                                       ///< intermediates across all stages.
+  // Incremental-maintenance counters (src/eval/incremental.h), filled by
+  // Engine::ApplyUpdate. The tuple-level counters (edb/idb inserts and
+  // deletes, candidates, rederived, recounted) are pure functions of the
+  // update stream and invariant across the {threads × shards × scheduler}
+  // sweep; the phase counters count maintenance passes run.
+  uint64_t incremental_updates = 0;      ///< ApplyUpdate calls maintained
+                                         ///< incrementally.
+  uint64_t incremental_oracle_runs = 0;  ///< ApplyUpdate calls that fell
+                                         ///< back to full recompute
+                                         ///< (grounded semantics,
+                                         ///< non-positive inflationary,
+                                         ///< universe growth with unsafe
+                                         ///< rules) or were oracle
+                                         ///< cross-checks.
+  uint64_t incremental_edb_inserted = 0;  ///< EDB tuples actually added.
+  uint64_t incremental_edb_deleted = 0;   ///< EDB tuples actually removed.
+  uint64_t incremental_idb_inserted = 0;  ///< Net IDB tuples added.
+  uint64_t incremental_idb_deleted = 0;   ///< Net IDB tuples removed.
+  uint64_t incremental_del_candidates = 0;  ///< Overcounted DRed deletion
+                                            ///< candidates erased before
+                                            ///< rederivation.
+  uint64_t incremental_rederived = 0;   ///< Candidates DRed put back.
+  uint64_t incremental_recounted = 0;   ///< Tuples whose derivation count
+                                        ///< the counting pass recomputed.
+  uint64_t incremental_counting_units = 0;  ///< Non-recursive rule units
+                                            ///< maintained by counting.
+  uint64_t incremental_dred_units = 0;      ///< Recursive rule units
+                                            ///< maintained by DRed.
   /// Histogram of executed delta-slice sizes: bucket k counts slices with
   /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
   static constexpr size_t kSliceHistBuckets = 17;
@@ -97,6 +125,17 @@ struct EvalStats {
     opt_subplans_shared += other.opt_subplans_shared;
     opt_shared_prefixes += other.opt_shared_prefixes;
     opt_shared_rows += other.opt_shared_rows;
+    incremental_updates += other.incremental_updates;
+    incremental_oracle_runs += other.incremental_oracle_runs;
+    incremental_edb_inserted += other.incremental_edb_inserted;
+    incremental_edb_deleted += other.incremental_edb_deleted;
+    incremental_idb_inserted += other.incremental_idb_inserted;
+    incremental_idb_deleted += other.incremental_idb_deleted;
+    incremental_del_candidates += other.incremental_del_candidates;
+    incremental_rederived += other.incremental_rederived;
+    incremental_recounted += other.incremental_recounted;
+    incremental_counting_units += other.incremental_counting_units;
+    incremental_dred_units += other.incremental_dred_units;
     for (size_t i = 0; i < kSliceHistBuckets; ++i) {
       slice_hist[i] += other.slice_hist[i];
     }
@@ -123,6 +162,16 @@ void ExecutePlan(const EvalContext& ctx, const RulePlan& plan,
                  const IdbState& state, const DeltaRanges* deltas,
                  Relation* out, EvalStats* stats,
                  const std::vector<Relation>* shared = nullptr);
+
+/// ExecutePlan variant that keeps derivation *multiplicities* instead of
+/// the derived set: each emitted head tuple increments its entry in `out`.
+/// The counting-based incremental maintainer recounts candidate tuples
+/// with this (a tuple's support is the number of distinct body matches,
+/// which plain ExecutePlan's set insertion collapses).
+void ExecutePlanCounted(const EvalContext& ctx, const RulePlan& plan,
+                        const IdbState& state, const DeltaRanges* deltas,
+                        TupleCountMap* out, EvalStats* stats,
+                        const std::vector<Relation>* shared = nullptr);
 
 /// Sampled per-row work estimate of one delta plan, used by the auto
 /// stage scheduler (StageScheduler::kAuto) to predict how unevenly the

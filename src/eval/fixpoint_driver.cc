@@ -134,21 +134,98 @@ RelationalConsequence::RelationalConsequence(const EvalContext& ctx,
   for (const SharedSubplan& sp : plans_.shared) {
     shared_rels_.emplace_back(sp.arity, num_shards_);
   }
-  delta_ranges_.assign(num_idb,
-                       std::vector<ShardRange>(num_shards_, {0, 0}));
+  if (options.initial_deltas != nullptr && use_deltas_) {
+    // Seeded run: stage 0 is a delta pass over the caller's appended row
+    // ranges (the incremental maintainer's trigger-pass insertions).
+    INFLOG_CHECK(options.initial_deltas->size() == num_idb);
+    for (const auto& ranges : *options.initial_deltas) {
+      INFLOG_CHECK(ranges.size() == num_shards_);
+    }
+    delta_ranges_ = *options.initial_deltas;
+    seeded_ = true;
+  } else {
+    delta_ranges_.assign(num_idb,
+                         std::vector<ShardRange>(num_shards_, {0, 0}));
+  }
   stage_sizes_.resize(num_idb);
   stage_shard_sizes_.resize(num_idb);
 }
 
 void RelationalConsequence::ComputeSharedIntermediates(bool full_pass) {
+  // Subplans of the other pass kind keep last stage's contents; only the
+  // matching ones are rebuilt this stage.
+  std::vector<size_t> pending;
   for (size_t k = 0; k < plans_.shared.size(); ++k) {
+    if (plans_.shared[k].delta_pass != full_pass) pending.push_back(k);
+  }
+  if (pending.empty()) return;
+
+  auto run_one = [&](size_t k, EvalStats* stats) {
     const SharedSubplan& sp = plans_.shared[k];
-    if (sp.delta_pass == full_pass) continue;
     shared_rels_[k] = Relation(sp.arity, num_shards_);
     ExecutePlan(ctx_, sp.plan, *state_,
                 sp.delta_pass ? &delta_ranges_ : nullptr, &shared_rels_[k],
-                &stats_);
-    stats_.opt_shared_rows += shared_rels_[k].size();
+                stats);
+  };
+
+  // Each subplan writes only its own shared_rels_ slot, so with several
+  // pending the rebuilds fan out one task apiece. The estimate mirrors
+  // RunStageParallel's: input rows the plans will touch, a deterministic
+  // proxy independent of threads/shards/scheduler, so the serial-vs-
+  // parallel choice is a pure function of the stage.
+  size_t work = 0;
+  if (num_threads_ > 1 && pending.size() >= 2) {
+    for (size_t k : pending) {
+      const SharedSubplan& sp = plans_.shared[k];
+      for (const PlanOp& op : sp.plan.ops) {
+        if (op.kind != PlanOp::Kind::kMatch || op.shared_source >= 0) {
+          continue;
+        }
+        if (op.is_delta_scan) {
+          const PredicateInfo& info = ctx_.program().predicate(op.predicate);
+          for (const auto& [begin, end] : delta_ranges_[info.idb_index]) {
+            work += end - begin;
+          }
+        } else {
+          work += ctx_.Resolve(op.predicate, *state_).size();
+        }
+      }
+    }
+  }
+  if (num_threads_ <= 1 || pending.size() < 2 || work < min_slice_rows_) {
+    for (size_t k : pending) {
+      run_one(k, &stats_);
+      stats_.opt_shared_rows += shared_rels_[k].size();
+    }
+    return;
+  }
+  if (*pool_slot_ == nullptr) {
+    *pool_slot_ = std::make_unique<ThreadPool>(num_threads_ - 1);
+  }
+  // Workers read the frozen state concurrently: finalize the column
+  // indexes the subplans probe before the fan-out, as RunStageParallel
+  // does for the rule plans.
+  if (ctx_.use_join_indexes()) {
+    for (size_t k : pending) {
+      for (const PlanOp& op : plans_.shared[k].plan.ops) {
+        if (op.kind != PlanOp::Kind::kMatch || op.is_delta_scan ||
+            op.key_cols.empty()) {
+          continue;
+        }
+        const Relation& rel = ctx_.Resolve(op.predicate, *state_);
+        for (size_t col : op.key_cols) rel.EnsureIndexed(col);
+      }
+    }
+  }
+  std::vector<EvalStats> task_stats(pending.size());
+  (*pool_slot_)->ParallelFor(pending.size(), [&](size_t i) {
+    run_one(pending[i], &task_stats[i]);
+  });
+  // Fold in subplan index order — the serial accumulation order — so the
+  // stats block is bit-identical to the serial rebuild.
+  for (size_t i = 0; i < pending.size(); ++i) {
+    stats_.Add(task_stats[i]);
+    stats_.opt_shared_rows += shared_rels_[pending[i]].size();
   }
 }
 
@@ -513,6 +590,37 @@ void RelationalConsequence::RunStageStealing(
     }
   }
 
+  // Per-item work estimates steer the initial deal (LPT instead of
+  // round-robin), so the stealing machinery starts balanced and steals
+  // only to correct estimation error. Batches weigh their summed delta
+  // rows; big plans reuse EstimateDeltaWork's posting-length signal
+  // (the same proxy the auto scheduler's imbalance estimate pools), so
+  // a hub-heavy plan outweighs an equal-row uniform one. Full passes
+  // have no delta signal and keep the round-robin deal.
+  std::vector<uint64_t> item_weights;
+  if (!full_pass && items.size() > 1) {
+    constexpr size_t kMaxWorkSamples = 2048;
+    item_weights.reserve(items.size());
+    for (const DeltaUnit& u : units) {
+      if (!u.batch.empty()) {
+        uint64_t rows = 0;
+        for (const BatchEntry& e : u.batch) rows += e.rows;
+        item_weights.push_back(std::max<uint64_t>(rows, 1));
+        continue;
+      }
+      const DeltaWorkEstimate est = EstimateDeltaWork(
+          ctx_, *u.plan, *state_, delta_ranges_[u.delta_idb],
+          kMaxWorkSamples);
+      uint64_t cost = 0;
+      if (est.sample_cost.empty()) {
+        cost = static_cast<uint64_t>(u.rows) * est.uniform_cost;
+      } else {
+        for (const uint64_t c : est.sample_cost) cost += c * est.stride;
+      }
+      item_weights.push_back(std::max<uint64_t>(cost, 1));
+    }
+  }
+
   // Each executed chunk stages into its own sharded relation(s) — one
   // per head for batch items. The set of chunks depends on steal timing,
   // but a chunk's (item, begin) key fully determines the delta rows it
@@ -536,7 +644,7 @@ void RelationalConsequence::RunStageStealing(
   std::vector<DeltaRanges> scratch(pool.num_workers() + 1);
 
   const ThreadPool::DynamicLoopStats dyn = pool.ParallelForDynamic(
-      item_rows, min_slice_rows_,
+      item_rows, item_weights, min_slice_rows_,
       [&](size_t i, size_t begin, size_t end, size_t worker) {
         const StealItem& item = items[i];
         ChunkRecord rec{i, begin, end - begin, {}, {}};
@@ -692,10 +800,11 @@ size_t RelationalConsequence::Step(size_t stage) {
     buffers.emplace_back(program.predicate(pred).arity, num_shards_);
   }
 
-  const bool full_pass = stage == 0 || !use_deltas_;
-  // Shared intermediates (subplan sharing) are recomputed serially before
-  // the stage fans out, so every consumer — on any thread, under any
-  // scheduler — reads the same relation in the same order.
+  const bool full_pass = (stage == 0 && !seeded_) || !use_deltas_;
+  // Shared intermediates (subplan sharing) are rebuilt before the stage
+  // fans out — one task per pending subplan when the work clears the
+  // serial cutoff — so every consumer, on any thread and under any
+  // scheduler, reads the same finalized relation.
   ComputeSharedIntermediates(full_pass);
   if (num_threads_ <= 1) {
     RunStageSerial(full_pass, &buffers);

@@ -131,6 +131,14 @@ class RelationalConsequence {
     /// by the first stage that fans out; when null the operator keeps its
     /// own private slot. Must outlive the operator.
     std::unique_ptr<ThreadPool>* pool_cache = nullptr;
+    /// Externally seeded initial deltas: when non-null (and use_deltas is
+    /// on), stage 0 runs *delta* plans over these per-shard ranges instead
+    /// of the full pass. The incremental maintainer records the
+    /// [pre-insert, post-insert) shard ranges of the tuples it appended to
+    /// the state and seeds the closure run with them, so resuming a
+    /// fixpoint after a small insertion costs O(delta), not O(state).
+    /// Copied at construction; sized num_idb × num_shards.
+    const DeltaRanges* initial_deltas = nullptr;
   };
 
   /// Compiles the rule plans through the optimizer pass pipeline selected
@@ -140,10 +148,11 @@ class RelationalConsequence {
   RelationalConsequence(const EvalContext& ctx, const Options& options,
                         IdbState* state);
 
-  /// Runs one stage: executes the plans (full plans at stage 0 or when
-  /// deltas are off, delta plans otherwise) into fresh buffers, merges the
-  /// buffers into the state, and exposes the appended row ranges as the
-  /// next stage's deltas. Returns the number of new tuples.
+  /// Runs one stage: executes the plans (full plans at stage 0 — unless
+  /// Options::initial_deltas seeded the run — or when deltas are off,
+  /// delta plans otherwise) into fresh buffers, merges the buffers into
+  /// the state, and exposes the appended row ranges as the next stage's
+  /// deltas. Returns the number of new tuples.
   size_t Step(size_t stage);
 
   /// stage_sizes[idb_index][k] = relation size after productive stage k+1.
@@ -260,15 +269,23 @@ class RelationalConsequence {
   void FinalizeStageIndexes(bool full_pass) const;
 
   /// Recomputes the stage's shared intermediates (subplan sharing): runs
-  /// every SharedSubplan of the pass kind serially into a fresh
-  /// shared_rels_ slot before the stage fans out. Serial execution keeps
-  /// the intermediates — and every consumer read — bit-identical across
-  /// thread counts and schedulers.
+  /// every SharedSubplan of the pass kind into a fresh shared_rels_ slot
+  /// before the stage fans out. Subplans write disjoint outputs, so when
+  /// several are pending (and the estimated work clears the serial
+  /// cutoff) they run as one ParallelFor task each — after finalizing the
+  /// indexes their plans probe — with per-task stats folded in subplan
+  /// index order. Each slot's contents are produced by exactly one task
+  /// executing the same plan over the same frozen state as the serial
+  /// path, so the intermediates — and every consumer read — stay
+  /// bit-identical across thread counts and schedulers.
   void ComputeSharedIntermediates(bool full_pass);
 
   const EvalContext& ctx_;
   IdbState* state_;
   bool use_deltas_;
+  /// True iff Options::initial_deltas seeded delta_ranges_, making stage 0
+  /// a delta pass.
+  bool seeded_ = false;
   /// The optimized plan set (src/opt/pass_manager.h).
   StagePlans plans_;
   /// The stage's shared intermediates, indexed by PlanOp::shared_source;

@@ -1,0 +1,1139 @@
+#include "src/eval/incremental.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+
+#include "src/ast/ast.h"
+#include "src/base/logging.h"
+#include "src/base/strings.h"
+#include "src/eval/inflationary.h"
+#include "src/eval/plan.h"
+#include "src/eval/seminaive.h"
+#include "src/eval/stratified.h"
+#include "src/opt/passes.h"
+#include "src/relation/relation.h"
+
+namespace inflog {
+namespace {
+
+using TupleSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
+
+Tuple ToTuple(TupleView view) { return Tuple(view.begin(), view.end()); }
+
+/// Iterates the live rows of `rel` in shard / physical-row order — the
+/// deterministic walk every maintenance membership decision uses (never
+/// an unordered map), so ApplyUpdate commits tuples in the same order on
+/// every thread/shard/scheduler configuration.
+template <typename Fn>
+void ForEachRow(const Relation& rel, Fn&& fn) {
+  for (size_t s = 0; s < rel.num_shards(); ++s) {
+    const Relation::ShardView view = rel.shard(s);
+    for (size_t r = 0; r < view.size(); ++r) {
+      if (view.IsLive(r)) fn(view.Row(r));
+    }
+  }
+}
+
+/// Ascending body indices of the rule's positive atoms. Synthesized
+/// trigger / recount / seed rules place their small delta or candidate
+/// literal at body index 0, so this order scans it first. The greedy
+/// planner must not be trusted here: among atoms with no bound columns it
+/// prefers the one with the fewest unbound variables, which can demote a
+/// wide delta literal behind a full-relation scan and turn an O(delta)
+/// pass into an O(database) one.
+std::vector<size_t> AscendingAtomOrder(const Rule& rule) {
+  std::vector<size_t> order;
+  for (size_t j = 0; j < rule.body.size(); ++j) {
+    if (rule.body[j].IsPositiveAtom()) order.push_back(j);
+  }
+  return order;
+}
+
+/// A per-phase synthesized program: companion predicates live here (the
+/// real program is never touched), real predicates keep their names so
+/// EDB atoms bind to the same database relations, and `overrides` routes
+/// any predicate — companion or real IDB — to a caller-owned relation
+/// through EvalContext::CreateWithOverrides.
+class SynthBuilder {
+ public:
+  explicit SynthBuilder(const Program& real)
+      : real_(real),
+        prog_(real.shared_symbols()),
+        real2synth_(real.num_predicates(), kNoPredicate) {}
+
+  Program& prog() { return prog_; }
+  const Program& prog() const { return prog_; }
+
+  /// Synth id of real predicate `pred` (same name and arity).
+  Result<uint32_t> Map(uint32_t pred) {
+    if (real2synth_[pred] != kNoPredicate) return real2synth_[pred];
+    const PredicateInfo& info = real_.predicate(pred);
+    INFLOG_ASSIGN_OR_RETURN(
+        const uint32_t id, prog_.GetOrAddPredicate(info.name, info.arity));
+    real2synth_[pred] = id;
+    return id;
+  }
+
+  /// Synth id of companion `<name><suffix>` of real predicate `pred`,
+  /// same arity. Suffixes contain '~', which the surface parser rejects
+  /// in identifiers, so companions can never collide with user
+  /// predicates.
+  Result<uint32_t> Companion(uint32_t pred, std::string_view suffix) {
+    const PredicateInfo& info = real_.predicate(pred);
+    return prog_.GetOrAddPredicate(StrCat(info.name, suffix), info.arity);
+  }
+
+  /// Routes synth predicate `synth_pred` to `rel` (must outlive the
+  /// contexts created from this builder).
+  void Bind(uint32_t synth_pred, const Relation* rel) {
+    if (overrides_.size() <= synth_pred) {
+      overrides_.resize(synth_pred + 1, nullptr);
+    }
+    overrides_[synth_pred] = rel;
+  }
+
+  /// `lit` with its predicate remapped into this program's id space.
+  Result<Literal> MapLiteral(const Literal& lit) {
+    Literal out = lit;
+    if (lit.IsPositiveAtom() || lit.IsNegatedAtom()) {
+      INFLOG_ASSIGN_OR_RETURN(out.predicate, Map(lit.predicate));
+    }
+    return out;
+  }
+
+  /// Binds every real IDB predicate this builder mapped — except those in
+  /// `skip` (the phase's dynamic heads) — to the maintained state, so
+  /// lower-unit predicates read their final values.
+  void BindMappedIdb(IdbState* state,
+                     const std::unordered_set<uint32_t>& skip) {
+    for (uint32_t p = 0; p < real2synth_.size(); ++p) {
+      if (real2synth_[p] == kNoPredicate || skip.count(p) != 0) continue;
+      const PredicateInfo& info = real_.predicate(p);
+      if (info.is_idb) {
+        Bind(real2synth_[p], &state->relations[info.idb_index]);
+      }
+    }
+  }
+
+  const std::vector<const Relation*>& overrides() const { return overrides_; }
+
+ private:
+  const Program& real_;
+  Program prog_;
+  std::vector<uint32_t> real2synth_;
+  std::vector<const Relation*> overrides_;
+};
+
+/// Per-literal replacement choices when expanding a rule into trigger
+/// variants; nullopt drops the literal from that variant.
+struct LitAlternatives {
+  std::vector<std::optional<Literal>> choices;
+};
+
+/// Appends to `sb` one rule per combination of per-literal choices
+/// (cartesian product, odometer order — deterministic), head unchanged
+/// across variants. Rule indices are collected into `out_rules`.
+Status AddVariants(SynthBuilder* sb, const HeadAtom& head, uint32_t num_vars,
+                   const std::vector<LitAlternatives>& lits,
+                   std::vector<size_t>* out_rules) {
+  std::vector<size_t> pick(lits.size(), 0);
+  while (true) {
+    Rule rule;
+    rule.head = head;
+    rule.num_vars = num_vars;
+    for (size_t j = 0; j < lits.size(); ++j) {
+      const std::optional<Literal>& choice = lits[j].choices[pick[j]];
+      if (choice.has_value()) rule.body.push_back(*choice);
+    }
+    out_rules->push_back(sb->prog().rules().size());
+    INFLOG_RETURN_IF_ERROR(sb->prog().AddRule(std::move(rule)));
+    size_t j = 0;
+    for (; j < lits.size(); ++j) {
+      if (++pick[j] < lits[j].choices.size()) break;
+      pick[j] = 0;
+    }
+    if (j == lits.size()) break;
+  }
+  return Status::OK();
+}
+
+/// Merges per-IDB staging buffers into `state` shard-by-shard, recording
+/// the appended physical ranges — the DeltaRanges a seeded semi-naive run
+/// resumes from. Returns true iff anything was appended.
+bool MergeRecordingRanges(const std::vector<Relation>& buffers,
+                          IdbState* state, DeltaRanges* ranges) {
+  bool any = false;
+  for (size_t i = 0; i < buffers.size(); ++i) {
+    Relation& target = state->relations[i];
+    for (size_t s = 0; s < target.num_shards(); ++s) {
+      const size_t before = target.ShardSize(s);
+      target.MergeShardFrom(buffers[i], s);
+      (*ranges)[i][s] = {before, target.ShardSize(s)};
+      any |= target.ShardSize(s) != before;
+    }
+  }
+  return any;
+}
+
+/// Compacts tombstone-heavy relations between updates (valid only while
+/// no delta ranges are outstanding). The threshold keeps compaction
+/// amortized: a relation is rebuilt only when at least half its physical
+/// rows are dead.
+void MaybeCompact(Relation* rel) {
+  const size_t dead = rel->dead_rows();
+  if (dead >= 1024 && dead >= rel->size()) rel->CompactDead();
+}
+
+}  // namespace
+
+Result<UpdateBatch> ParseUpdateLine(std::string_view line,
+                                    SymbolTable* symbols) {
+  UpdateBatch batch;
+  size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+    }
+  };
+  skip_ws();
+  while (i < line.size() && line[i] != '#') {
+    const char sign = line[i];
+    if (sign != '+' && sign != '-') {
+      return Status::InvalidArgument(
+          StrCat("expected '+' or '-' at column ", i + 1, " of update line: ",
+                 std::string(line)));
+    }
+    ++i;
+    const size_t name_start = i;
+    while (i < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+            line[i] == '_')) {
+      ++i;
+    }
+    if (i == name_start) {
+      return Status::InvalidArgument(
+          StrCat("missing relation name in update line: ", std::string(line)));
+    }
+    std::string name(line.substr(name_start, i - name_start));
+    if (i >= line.size() || line[i] != '(') {
+      return Status::InvalidArgument(
+          StrCat("expected '(' after relation name ", name));
+    }
+    ++i;
+    Tuple tuple;
+    skip_ws();
+    if (i < line.size() && line[i] == ')') {
+      ++i;
+    } else {
+      while (true) {
+        skip_ws();
+        const size_t const_start = i;
+        while (i < line.size() && line[i] != ',' && line[i] != ')' &&
+               std::isspace(static_cast<unsigned char>(line[i])) == 0) {
+          ++i;
+        }
+        if (i == const_start) {
+          return Status::InvalidArgument(
+              StrCat("empty constant in update of ", name));
+        }
+        tuple.push_back(
+            symbols->Intern(line.substr(const_start, i - const_start)));
+        skip_ws();
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (i < line.size() && line[i] == ')') {
+          ++i;
+          break;
+        }
+        return Status::InvalidArgument(
+            StrCat("unterminated tuple in update line: ", std::string(line)));
+      }
+    }
+    auto& side = sign == '+' ? batch.inserts : batch.deletes;
+    side.emplace_back(std::move(name), std::move(tuple));
+    skip_ws();
+  }
+  return batch;
+}
+
+IncrementalSession::IncrementalSession(const Program& program,
+                                       Database* database,
+                                       const IncrementalOptions& options)
+    : program_(&program),
+      database_(database),
+      options_(options),
+      analysis_(AnalyzeProgram(program)) {}
+
+Result<std::unique_ptr<IncrementalSession>> IncrementalSession::Create(
+    const Program& program, Database* database,
+    const IncrementalOptions& options) {
+  std::unique_ptr<IncrementalSession> session(
+      new IncrementalSession(program, database, options));
+  INFLOG_RETURN_IF_ERROR(session->Init());
+  return session;
+}
+
+Status IncrementalSession::Init() {
+  all_safe_ = analysis_.AllSafe();
+  switch (options_.semantics) {
+    case MaintainedSemantics::kStratified:
+      capable_ = analysis_.stratifiable;
+      break;
+    case MaintainedSemantics::kInflationary:
+      // The inflationary fixpoint of a positive program is the least
+      // fixpoint, which counting/DRed maintain exactly. Non-positive
+      // inflationary results are stage-sensitive: a deletion can change
+      // which stage a negated literal was consulted at, with non-local
+      // effects no delta algorithm bounds — recompute instead.
+      capable_ = program_->IsPositive();
+      break;
+    case MaintainedSemantics::kWellFounded:
+    case MaintainedSemantics::kStable:
+      capable_ = false;
+      break;
+  }
+  EvalStats scratch;
+  INFLOG_ASSIGN_OR_RETURN(state_, ComputeFullState(&scratch));
+  num_shards_ = state_.relations.empty()
+                    ? ResolvedNumShards(options_.context)
+                    : state_.relations[0].num_shards();
+  BuildUnits();
+  if (capable_) INFLOG_RETURN_IF_ERROR(InitCounts());
+  return Status::OK();
+}
+
+void IncrementalSession::BuildUnits() {
+  const std::vector<uint32_t>& idb_preds = program_->idb_predicates();
+  const size_t n = idb_preds.size();
+  units_.clear();
+  unit_of_idb_.assign(n, 0);
+  if (n == 0) return;
+
+  // Dependency edges head → body over idb_index space, plus the rules
+  // each head owns. All edges participate: under the semantics the
+  // session maintains incrementally, negative edges never close a cycle
+  // (stratifiable / positive), so they only constrain the topological
+  // order — which they must, deletions on a negated input propagate too.
+  std::vector<std::vector<uint32_t>> adj(n);
+  std::vector<bool> self_loop(n, false);
+  std::vector<std::vector<size_t>> rules_of(n);
+  const std::vector<Rule>& rules = program_->rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const uint32_t h =
+        static_cast<uint32_t>(program_->predicate(rules[r].head.predicate)
+                                  .idb_index);
+    rules_of[h].push_back(r);
+    for (const Literal& lit : rules[r].body) {
+      if (!lit.IsPositiveAtom() && !lit.IsNegatedAtom()) continue;
+      const PredicateInfo& info = program_->predicate(lit.predicate);
+      if (!info.is_idb) continue;
+      const uint32_t b = static_cast<uint32_t>(info.idb_index);
+      adj[h].push_back(b);
+      if (b == h) self_loop[h] = true;
+    }
+  }
+
+  // Iterative Tarjan. With head → dependency edges, components pop in
+  // dependency-first order — exactly the unit processing order.
+  std::vector<int64_t> index(n, -1);
+  std::vector<int64_t> low(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  int64_t counter = 0;
+  struct Frame {
+    uint32_t v;
+    size_t edge;
+  };
+  std::vector<Frame> dfs;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != -1) continue;
+    index[root] = low[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& frame = dfs.back();
+      if (frame.edge < adj[frame.v].size()) {
+        const uint32_t w = adj[frame.v][frame.edge++];
+        if (index[w] == -1) {
+          index[w] = low[w] = counter++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[frame.v] = std::min(low[frame.v], index[w]);
+        }
+        continue;
+      }
+      const uint32_t v = frame.v;
+      if (index[v] == low[v]) {
+        Unit unit;
+        std::vector<uint32_t> members;
+        uint32_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          members.push_back(w);
+        } while (w != v);
+        std::sort(members.begin(), members.end());
+        unit.recursive = members.size() > 1 || self_loop[members[0]];
+        for (const uint32_t m : members) {
+          unit_of_idb_[m] = units_.size();
+          unit.preds.push_back(idb_preds[m]);
+          unit.rules.insert(unit.rules.end(), rules_of[m].begin(),
+                            rules_of[m].end());
+        }
+        std::sort(unit.rules.begin(), unit.rules.end());
+        units_.push_back(std::move(unit));
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        low[dfs.back().v] = std::min(low[dfs.back().v], low[v]);
+      }
+    }
+  }
+}
+
+Result<IdbState> IncrementalSession::ComputeFullState(EvalStats* stats) {
+  switch (options_.semantics) {
+    case MaintainedSemantics::kStratified: {
+      StratifiedOptions opts;
+      opts.use_seminaive = options_.use_seminaive;
+      opts.context = options_.context;
+      INFLOG_ASSIGN_OR_RETURN(StratifiedResult result,
+                              EvalStratified(*program_, *database_, opts));
+      stats->Add(result.stats);
+      return std::move(result.state);
+    }
+    case MaintainedSemantics::kInflationary: {
+      InflationaryOptions opts;
+      opts.use_seminaive = options_.use_seminaive;
+      opts.context = options_.context;
+      INFLOG_ASSIGN_OR_RETURN(InflationaryResult result,
+                              EvalInflationary(*program_, *database_, opts));
+      stats->Add(result.stats);
+      return std::move(result.state);
+    }
+    case MaintainedSemantics::kWellFounded: {
+      INFLOG_ASSIGN_OR_RETURN(
+          WellFoundedResult result,
+          EvalWellFounded(*program_, *database_, options_.wellfounded));
+      return std::move(result.true_state);
+    }
+    case MaintainedSemantics::kStable: {
+      INFLOG_ASSIGN_OR_RETURN(
+          StableResult result,
+          EnumerateStableModels(*program_, *database_, options_.stable));
+      if (result.models.empty()) return MakeEmptyIdbState(*program_, 1);
+      return std::move(result.models.front());
+    }
+  }
+  return Status::Internal("unknown maintained semantics");
+}
+
+Status IncrementalSession::FullRecompute(EvalStats* stats) {
+  INFLOG_ASSIGN_OR_RETURN(state_, ComputeFullState(stats));
+  if (!state_.relations.empty()) {
+    num_shards_ = state_.relations[0].num_shards();
+  }
+  if (capable_) INFLOG_RETURN_IF_ERROR(InitCounts());
+  return Status::OK();
+}
+
+EvalContextOptions IncrementalSession::PhaseOptions() const {
+  EvalContextOptions opts = options_.context;
+  opts.allow_missing_edb = true;  // absent companions read as empty
+  opts.reject_unsafe_negation = false;
+  // Maintenance plans are ordered explicitly (delta literal first) or by
+  // the greedy planner after a delta binding; the cost-model passes would
+  // reorder against stale statistics and sharing would complicate the
+  // seeded delta bookkeeping.
+  opts.optimizer_passes = OptimizerPasses::None();
+  opts.output_predicates.clear();
+  opts.num_shards = num_shards_;
+  return opts;
+}
+
+Status IncrementalSession::InitCounts() {
+  const size_t num_idb = program_->idb_predicates().size();
+  counts_.counts.assign(num_idb, TupleCountMap{});
+  INFLOG_ASSIGN_OR_RETURN(
+      const EvalContext ctx,
+      EvalContext::CreateWithOverrides(*program_, *database_, {},
+                                       PhaseOptions()));
+  const std::vector<bool> dyn(num_idb, false);
+  EvalStats scratch;
+  for (const Unit& unit : units_) {
+    if (unit.recursive) continue;
+    const size_t idb = program_->predicate(unit.preds[0]).idb_index;
+    for (const size_t r : unit.rules) {
+      const RulePlan plan = PlanRule(*program_, r, dyn, -1);
+      ExecutePlanCounted(ctx, plan, state_, nullptr, &counts_.counts[idb],
+                         &scratch);
+    }
+  }
+  return Status::OK();
+}
+
+Result<UpdateResult> IncrementalSession::ApplyUpdate(
+    const UpdateBatch& batch) {
+  UpdateResult result;
+  EvalStats& st = result.stats;
+  const SymbolTable& symbols = *program_->shared_symbols();
+
+  // --- Validate the batch and net the EDB changes; no mutation yet, so a
+  // rejected batch leaves the session consistent. ---
+  struct EdbChange {
+    size_t arity = 0;
+    const Relation* old_rel = nullptr;  // pre-update relation, if loaded
+    std::vector<Tuple> del, ins;        // net lists, batch order
+    TupleSet raw_ins, del_seen, ins_seen;
+  };
+  std::map<std::string, EdbChange, std::less<>> edb;
+  const auto resolve = [&](const std::string& name,
+                           const Tuple& tuple) -> Result<EdbChange*> {
+    auto it = edb.find(name);
+    if (it == edb.end()) {
+      EdbChange change;
+      const Result<uint32_t> pred = program_->FindPredicate(name);
+      if (pred.ok()) {
+        const PredicateInfo& info = program_->predicate(pred.value());
+        if (info.is_idb) {
+          return Status::InvalidArgument(
+              StrCat("cannot update derived relation ", name));
+        }
+        change.arity = info.arity;
+      }
+      const Result<const Relation*> rel = database_->GetRelation(name);
+      if (rel.ok()) {
+        change.old_rel = rel.value();
+        if (!pred.ok()) change.arity = rel.value()->arity();
+      } else if (!pred.ok()) {
+        return Status::NotFound(
+            StrCat("unknown relation in update: ", name));
+      }
+      it = edb.emplace(name, std::move(change)).first;
+    }
+    if (tuple.size() != it->second.arity) {
+      return Status::InvalidArgument(
+          StrCat("update tuple for ", name, " has ", tuple.size(),
+                 " values, expected ", it->second.arity));
+    }
+    for (const Value v : tuple) {
+      if (v >= symbols.size()) {
+        return Status::InvalidArgument(
+            StrCat("update tuple for ", name, " holds uninterned value id ",
+                   v));
+      }
+    }
+    return &it->second;
+  };
+  for (const auto& [name, tuple] : batch.inserts) {
+    INFLOG_ASSIGN_OR_RETURN(EdbChange * change, resolve(name, tuple));
+    change->raw_ins.insert(tuple);
+  }
+  // net_del = {t in deletes : t not re-inserted, t in the old relation};
+  // net_ins = {t in inserts : t not in the old relation}. A tuple both
+  // deleted and inserted lands where the old state had it: deletes apply
+  // first, inserts win.
+  for (const auto& [name, tuple] : batch.deletes) {
+    INFLOG_ASSIGN_OR_RETURN(EdbChange * change, resolve(name, tuple));
+    if (change->raw_ins.count(tuple) != 0) continue;
+    if (change->old_rel == nullptr || !change->old_rel->Contains(tuple)) {
+      continue;
+    }
+    if (change->del_seen.insert(tuple).second) change->del.push_back(tuple);
+  }
+  for (const auto& [name, tuple] : batch.inserts) {
+    EdbChange& change = edb.find(name)->second;
+    if (change.old_rel != nullptr && change.old_rel->Contains(tuple)) {
+      continue;
+    }
+    if (change.ins_seen.insert(tuple).second) change.ins.push_back(tuple);
+  }
+
+  // --- Apply the net changes to the database. ---
+  bool universe_grew = false;
+  for (auto& [name, change] : edb) {
+    if (!change.del.empty()) {
+      INFLOG_ASSIGN_OR_RETURN(Relation * rel,
+                              database_->MutableRelation(name));
+      for (const Tuple& t : change.del) rel->Erase(t);
+    }
+    for (const Tuple& t : change.ins) {
+      for (const Value v : t) universe_grew |= !database_->InUniverse(v);
+      INFLOG_RETURN_IF_ERROR(database_->AddFact(name, t));
+    }
+    st.incremental_edb_deleted += change.del.size();
+    st.incremental_edb_inserted += change.ins.size();
+  }
+
+  // --- Route: incremental maintenance or the recompute oracle. ---
+  // Universe growth matters only to enumerating (unsafe) rules, whose
+  // candidate space is the universe itself — no delta bounds that.
+  if (!capable_ || (universe_grew && !all_safe_)) {
+    INFLOG_RETURN_IF_ERROR(FullRecompute(&st));
+    st.incremental_oracle_runs++;
+    result.used_oracle = true;
+    cumulative_.Add(st);
+    return result;
+  }
+  st.incremental_updates++;
+
+  // --- Maintain affected units in dependency order, threading net
+  // deltas downstream through `changed`. ---
+  std::map<uint32_t, PredDelta> changed;
+  for (const auto& [name, change] : edb) {
+    if (change.del.empty() && change.ins.empty()) continue;
+    const Result<uint32_t> pred = program_->FindPredicate(name);
+    if (!pred.ok()) continue;  // no rule can read it
+    PredDelta delta(change.arity);
+    for (const Tuple& t : change.del) {
+      delta.del.Insert(t);
+      delta.chg.Insert(t);
+    }
+    for (const Tuple& t : change.ins) {
+      delta.ins.Insert(t);
+      delta.chg.Insert(t);
+    }
+    changed.emplace(pred.value(), std::move(delta));
+  }
+
+  if (!changed.empty()) {
+    for (const Unit& unit : units_) {
+      bool affected = false;
+      for (const size_t r : unit.rules) {
+        for (const Literal& lit : program_->rules()[r].body) {
+          if ((lit.IsPositiveAtom() || lit.IsNegatedAtom()) &&
+              changed.count(lit.predicate) != 0) {
+            affected = true;
+            break;
+          }
+        }
+        if (affected) break;
+      }
+      if (!affected) continue;
+      if (unit.recursive) {
+        st.incremental_dred_units++;
+        INFLOG_RETURN_IF_ERROR(MaintainDRed(unit, &changed, &st));
+      } else {
+        st.incremental_counting_units++;
+        INFLOG_RETURN_IF_ERROR(MaintainCounting(unit, &changed, &st));
+      }
+    }
+  }
+
+  // Reclaim tombstone-heavy relations now that no delta ranges are live.
+  for (auto& [name, change] : edb) {
+    if (change.del.empty()) continue;
+    INFLOG_ASSIGN_OR_RETURN(Relation * rel, database_->MutableRelation(name));
+    MaybeCompact(rel);
+  }
+  for (Relation& rel : state_.relations) MaybeCompact(&rel);
+
+  if (options_.verify) {
+    EvalStats verify_stats;
+    INFLOG_ASSIGN_OR_RETURN(const IdbState fresh,
+                            ComputeFullState(&verify_stats));
+    st.incremental_oracle_runs++;
+    if (!(state_ == fresh)) {
+      return Status::Internal(
+          "incremental maintenance diverged from the from-scratch "
+          "evaluation (verify_incremental)");
+    }
+  }
+  cumulative_.Add(st);
+  return result;
+}
+
+Status IncrementalSession::MaintainCounting(
+    const Unit& unit, std::map<uint32_t, PredDelta>* changed,
+    EvalStats* st) {
+  INFLOG_CHECK(unit.preds.size() == 1);
+  const uint32_t head_pred = unit.preds[0];
+  const PredicateInfo& head_info = program_->predicate(head_pred);
+  const size_t head_idb = head_info.idb_index;
+  Relation& target = state_.relations[head_idb];
+  TupleCountMap& counts = counts_.counts[head_idb];
+
+  SynthBuilder sb(*program_);
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t synth_head, sb.Map(head_pred));
+  INFLOG_ASSIGN_OR_RETURN(const uint32_t cand_id,
+                          sb.Companion(head_pred, "~cand"));
+  std::vector<size_t> trigger_rules, recount_rules;
+
+  for (const size_t r : unit.rules) {
+    const Rule& orig = program_->rules()[r];
+    // One trigger family per changed body literal: the changed
+    // predicate's full delta (del ∪ ins) is scanned first, the remaining
+    // literals cover old ∪ new — positive changed literals split over
+    // {current, net-deleted}, negated changed literals are dropped (their
+    // old truth is not recoverable from the new state; the recount below
+    // is exact, so candidates only need to over-approximate).
+    for (size_t j = 0; j < orig.body.size(); ++j) {
+      const Literal& lj = orig.body[j];
+      if (!lj.IsPositiveAtom() && !lj.IsNegatedAtom()) continue;
+      const auto cit = changed->find(lj.predicate);
+      if (cit == changed->end() || !cit->second.any()) continue;
+      INFLOG_ASSIGN_OR_RETURN(const uint32_t trig,
+                              sb.Companion(lj.predicate, "~chg"));
+      sb.Bind(trig, &cit->second.chg);
+      std::vector<LitAlternatives> alts;
+      alts.push_back({{Literal::Pos(trig, lj.args)}});
+      for (size_t k = 0; k < orig.body.size(); ++k) {
+        if (k == j) continue;
+        const Literal& lk = orig.body[k];
+        LitAlternatives alt;
+        const bool is_atom = lk.IsPositiveAtom() || lk.IsNegatedAtom();
+        const auto kit = is_atom ? changed->find(lk.predicate)
+                                 : changed->end();
+        const bool k_changed = kit != changed->end() && kit->second.any();
+        if (lk.IsPositiveAtom() && k_changed) {
+          INFLOG_ASSIGN_OR_RETURN(const Literal cur, sb.MapLiteral(lk));
+          INFLOG_ASSIGN_OR_RETURN(const uint32_t dn,
+                                  sb.Companion(lk.predicate, "~dn"));
+          sb.Bind(dn, &kit->second.del);
+          alt.choices.push_back(cur);
+          alt.choices.push_back(Literal::Pos(dn, lk.args));
+        } else if (lk.IsNegatedAtom() && k_changed) {
+          alt.choices.push_back(std::nullopt);
+        } else {
+          INFLOG_ASSIGN_OR_RETURN(const Literal cur, sb.MapLiteral(lk));
+          alt.choices.push_back(cur);
+        }
+        alts.push_back(std::move(alt));
+      }
+      INFLOG_RETURN_IF_ERROR(AddVariants(&sb,
+                                         HeadAtom{synth_head, orig.head.args},
+                                         orig.num_vars, alts,
+                                         &trigger_rules));
+    }
+    // Exact recount: H :- H~cand(head args), <original body> — candidates
+    // first, counted over the *new* state only.
+    Rule recount;
+    recount.head = HeadAtom{synth_head, orig.head.args};
+    recount.num_vars = orig.num_vars;
+    recount.body.push_back(Literal::Pos(cand_id, orig.head.args));
+    for (const Literal& lk : orig.body) {
+      INFLOG_ASSIGN_OR_RETURN(Literal mapped, sb.MapLiteral(lk));
+      recount.body.push_back(std::move(mapped));
+    }
+    recount_rules.push_back(sb.prog().rules().size());
+    INFLOG_RETURN_IF_ERROR(sb.prog().AddRule(std::move(recount)));
+  }
+  if (trigger_rules.empty()) return Status::OK();
+
+  Relation cand(head_info.arity, 1);
+  sb.Bind(cand_id, &cand);
+  sb.BindMappedIdb(&state_, {head_pred});
+
+  INFLOG_ASSIGN_OR_RETURN(
+      const EvalContext ctx,
+      EvalContext::CreateWithOverrides(sb.prog(), *database_, sb.overrides(),
+                                       PhaseOptions()));
+  const IdbState dummy = MakeEmptyIdbState(sb.prog(), num_shards_);
+  const std::vector<bool> dyn(sb.prog().idb_predicates().size(), false);
+
+  for (const size_t tr : trigger_rules) {
+    const RulePlan plan = PlanRuleWithOrder(
+        sb.prog(), tr, dyn, -1, AscendingAtomOrder(sb.prog().rules()[tr]));
+    ExecutePlan(ctx, plan, dummy, nullptr, &cand, st);
+  }
+  if (cand.empty()) return Status::OK();
+
+  TupleCountMap fresh;
+  for (const size_t rr : recount_rules) {
+    const RulePlan plan = PlanRuleWithOrder(
+        sb.prog(), rr, dyn, -1, AscendingAtomOrder(sb.prog().rules()[rr]));
+    ExecutePlanCounted(ctx, plan, dummy, nullptr, &fresh, st);
+  }
+
+  // Commit: membership is (derivation count > 0); candidates whose count
+  // did not cross zero fall through both branches untouched.
+  PredDelta out(head_info.arity);
+  ForEachRow(cand, [&](TupleView row) {
+    st->incremental_recounted++;
+    const Tuple t = ToTuple(row);
+    const auto fit = fresh.find(t);
+    const uint64_t now = fit == fresh.end() ? 0 : fit->second;
+    if (now == 0) {
+      counts.erase(t);
+      if (target.Erase(t)) {
+        out.del.Insert(t);
+        out.chg.Insert(t);
+      }
+    } else {
+      counts[t] = now;
+      if (target.Insert(t)) {
+        out.ins.Insert(t);
+        out.chg.Insert(t);
+      }
+    }
+  });
+  st->incremental_idb_inserted += out.ins.size();
+  st->incremental_idb_deleted += out.del.size();
+  if (out.any()) changed->emplace(head_pred, std::move(out));
+  return Status::OK();
+}
+
+Status IncrementalSession::MaintainDRed(const Unit& unit,
+                                        std::map<uint32_t, PredDelta>* changed,
+                                        EvalStats* st) {
+  const std::unordered_set<uint32_t> in_unit(unit.preds.begin(),
+                                             unit.preds.end());
+  const std::vector<Rule>& rules = program_->rules();
+  const auto input_delta = [&](const Literal& lit) -> PredDelta* {
+    if (!lit.IsPositiveAtom() && !lit.IsNegatedAtom()) return nullptr;
+    if (in_unit.count(lit.predicate) != 0) return nullptr;
+    const auto it = changed->find(lit.predicate);
+    return it != changed->end() && it->second.any() ? &it->second : nullptr;
+  };
+
+  // ---- Phase 1: overcount — close the deleted set over the unit's rules
+  // against the frozen old unit state. Input literals are rewritten to
+  // over-approximate their old value from the new one: old B ⊆ B ∪ B~dn
+  // for positive literals, old ¬B ⊆ ¬B ∪ B~in for negated ones. The
+  // over-approximation is sound because phase 3 rederives anything
+  // deleted too eagerly. ----
+  SynthBuilder del_sb(*program_);
+  std::vector<size_t> del_seed_rules, del_prop_rules;
+  std::map<uint32_t, uint32_t> del_head;  // real pred → P~del synth id
+  const auto old_view = [&](const Literal& lk) -> Result<LitAlternatives> {
+    LitAlternatives alt;
+    const PredDelta* delta = input_delta(lk);
+    if (delta != nullptr && lk.IsPositiveAtom()) {
+      INFLOG_ASSIGN_OR_RETURN(const Literal cur, del_sb.MapLiteral(lk));
+      INFLOG_ASSIGN_OR_RETURN(const uint32_t dn,
+                              del_sb.Companion(lk.predicate, "~dn"));
+      del_sb.Bind(dn, &delta->del);
+      alt.choices.push_back(cur);
+      alt.choices.push_back(Literal::Pos(dn, lk.args));
+    } else if (delta != nullptr && lk.IsNegatedAtom()) {
+      INFLOG_ASSIGN_OR_RETURN(const Literal cur, del_sb.MapLiteral(lk));
+      INFLOG_ASSIGN_OR_RETURN(const uint32_t in,
+                              del_sb.Companion(lk.predicate, "~in"));
+      del_sb.Bind(in, &delta->ins);
+      alt.choices.push_back(cur);
+      alt.choices.push_back(Literal::Pos(in, lk.args));
+    } else {
+      // In-unit literals read the frozen old unit state (the session
+      // relations, pruned only in phase 2); unchanged inputs and
+      // (in)equalities are identical in both states.
+      INFLOG_ASSIGN_OR_RETURN(const Literal cur, del_sb.MapLiteral(lk));
+      alt.choices.push_back(cur);
+    }
+    return alt;
+  };
+  for (const size_t r : unit.rules) {
+    const Rule& orig = rules[r];
+    INFLOG_ASSIGN_OR_RETURN(const uint32_t dhead,
+                            del_sb.Companion(orig.head.predicate, "~del"));
+    del_head[orig.head.predicate] = dhead;
+    for (size_t j = 0; j < orig.body.size(); ++j) {
+      const Literal& lj = orig.body[j];
+      std::optional<Literal> trigger;
+      std::vector<size_t>* sink = nullptr;
+      if (lj.IsPositiveAtom() && in_unit.count(lj.predicate) != 0) {
+        // Propagation: a deleted in-unit tuple may kill this match.
+        INFLOG_ASSIGN_OR_RETURN(const uint32_t qdel,
+                                del_sb.Companion(lj.predicate, "~del"));
+        trigger = Literal::Pos(qdel, lj.args);
+        sink = &del_prop_rules;
+      } else if (const PredDelta* delta = input_delta(lj)) {
+        // Seed: a net-deleted input tuple (or net-inserted one under a
+        // negated literal) kills matches directly.
+        const bool positive = lj.IsPositiveAtom();
+        INFLOG_ASSIGN_OR_RETURN(
+            const uint32_t trig,
+            del_sb.Companion(lj.predicate, positive ? "~dn" : "~in"));
+        del_sb.Bind(trig, positive ? &delta->del : &delta->ins);
+        trigger = Literal::Pos(trig, lj.args);
+        sink = &del_seed_rules;
+      } else {
+        continue;
+      }
+      std::vector<LitAlternatives> alts;
+      alts.push_back({{*trigger}});
+      for (size_t k = 0; k < orig.body.size(); ++k) {
+        if (k == j) continue;
+        INFLOG_ASSIGN_OR_RETURN(LitAlternatives alt, old_view(orig.body[k]));
+        alts.push_back(std::move(alt));
+      }
+      INFLOG_RETURN_IF_ERROR(AddVariants(&del_sb,
+                                         HeadAtom{dhead, orig.head.args},
+                                         orig.num_vars, alts, sink));
+    }
+  }
+
+  std::map<uint32_t, Relation> removed;  // real pred → pruned tuples
+  for (const uint32_t p : unit.preds) {
+    removed.emplace(p, Relation(program_->predicate(p).arity, 1));
+  }
+
+  if (!del_seed_rules.empty()) {
+    // Unit predicates read the frozen pre-update state; lower IDB
+    // predicates read their (already final) maintained values.
+    del_sb.BindMappedIdb(&state_, {});
+    INFLOG_ASSIGN_OR_RETURN(
+        const EvalContext del_ctx,
+        EvalContext::CreateWithOverrides(del_sb.prog(), *database_,
+                                         del_sb.overrides(), PhaseOptions()));
+    const size_t num_del_idb = del_sb.prog().idb_predicates().size();
+    IdbState del_state = MakeEmptyIdbState(del_sb.prog(), num_shards_);
+    const std::vector<bool> dyn(num_del_idb, false);
+    std::vector<Relation> buffers;
+    buffers.reserve(num_del_idb);
+    for (const uint32_t sp : del_sb.prog().idb_predicates()) {
+      buffers.emplace_back(del_sb.prog().predicate(sp).arity, num_shards_);
+    }
+    for (const size_t sr : del_seed_rules) {
+      const Rule& rule = del_sb.prog().rules()[sr];
+      const RulePlan plan = PlanRuleWithOrder(del_sb.prog(), sr, dyn, -1,
+                                              AscendingAtomOrder(rule));
+      const size_t idb =
+          del_sb.prog().predicate(rule.head.predicate).idb_index;
+      ExecutePlan(del_ctx, plan, del_state, nullptr, &buffers[idb], st);
+    }
+    DeltaRanges seeds(num_del_idb,
+                      std::vector<ShardRange>(num_shards_, {0, 0}));
+    if (MergeRecordingRanges(buffers, &del_state, &seeds)) {
+      if (!del_prop_rules.empty()) {
+        SemiNaiveOptions sn;
+        sn.rule_subset = del_prop_rules;
+        sn.pool_cache = &pool_;
+        sn.initial_deltas = &seeds;
+        const SemiNaiveOutcome outcome =
+            RunSemiNaive(del_ctx, sn, &del_state);
+        st->Add(outcome.stats);
+      }
+      // ---- Phase 2: prune the candidates that are actually present. ----
+      for (size_t i = 0; i < num_del_idb; ++i) {
+        const uint32_t sp = del_sb.prog().idb_predicates()[i];
+        // Invert the companion mapping deterministically.
+        uint32_t real = kNoPredicate;
+        for (const auto& [rp, dh] : del_head) {
+          if (dh == sp) {
+            real = rp;
+            break;
+          }
+        }
+        INFLOG_CHECK(real != kNoPredicate);
+        Relation& target =
+            state_.relations[program_->predicate(real).idb_index];
+        Relation& rm = removed.at(real);
+        ForEachRow(del_state.relations[i], [&](TupleView row) {
+          st->incremental_del_candidates++;
+          if (target.Erase(row)) rm.Insert(row);
+        });
+      }
+    }
+  }
+
+  // ---- Phases 3 + 4 share one synthesized program: the unit predicates
+  // are its dynamic IDB (the session relations are moved in and out, not
+  // copied), rederivation rules re-prove pruned tuples (P~rm first), and
+  // insertion seeds trigger the original rules on net-inserted inputs. ----
+  SynthBuilder ins_sb(*program_);
+  std::vector<size_t> reder_rules, ins_seed_rules, closure_rules;
+  std::map<uint32_t, uint32_t> rm_id;  // real pred → P~rm synth id
+  for (const size_t r : unit.rules) {
+    const Rule& orig = rules[r];
+    INFLOG_ASSIGN_OR_RETURN(const uint32_t h2, ins_sb.Map(orig.head.predicate));
+    INFLOG_ASSIGN_OR_RETURN(const uint32_t rm,
+                            ins_sb.Companion(orig.head.predicate, "~rm"));
+    rm_id[orig.head.predicate] = rm;
+    // (a) Rederive: H :- H~rm(head args), <body over the current state>.
+    // Doubles as its own seed (explicit rm-first plan) and as a closure
+    // rule (delta plans pin the in-unit body literals).
+    Rule reder;
+    reder.head = HeadAtom{h2, orig.head.args};
+    reder.num_vars = orig.num_vars;
+    reder.body.push_back(Literal::Pos(rm, orig.head.args));
+    for (const Literal& lk : orig.body) {
+      INFLOG_ASSIGN_OR_RETURN(Literal mapped, ins_sb.MapLiteral(lk));
+      reder.body.push_back(std::move(mapped));
+    }
+    reder_rules.push_back(ins_sb.prog().rules().size());
+    INFLOG_RETURN_IF_ERROR(ins_sb.prog().AddRule(std::move(reder)));
+    // (b) Insertion seeds: one per changed-input literal, trigger first,
+    // the rest of the body over the current state — for pure insertions
+    // the other literals' new values already include their deltas, so no
+    // old/new splitting is needed.
+    for (size_t j = 0; j < orig.body.size(); ++j) {
+      const Literal& lj = orig.body[j];
+      const PredDelta* delta = input_delta(lj);
+      if (delta == nullptr) continue;
+      const bool positive = lj.IsPositiveAtom();
+      // A positive literal gains matches from net-inserted tuples; a
+      // negated one from net-deleted tuples (¬B newly true).
+      INFLOG_ASSIGN_OR_RETURN(
+          const uint32_t trig,
+          ins_sb.Companion(lj.predicate, positive ? "~in" : "~dn"));
+      ins_sb.Bind(trig, positive ? &delta->ins : &delta->del);
+      Rule seed;
+      seed.head = HeadAtom{h2, orig.head.args};
+      seed.num_vars = orig.num_vars;
+      seed.body.push_back(Literal::Pos(trig, lj.args));
+      for (size_t k = 0; k < orig.body.size(); ++k) {
+        if (k == j) continue;
+        INFLOG_ASSIGN_OR_RETURN(Literal mapped,
+                                ins_sb.MapLiteral(orig.body[k]));
+        seed.body.push_back(std::move(mapped));
+      }
+      ins_seed_rules.push_back(ins_sb.prog().rules().size());
+      INFLOG_RETURN_IF_ERROR(ins_sb.prog().AddRule(std::move(seed)));
+    }
+    // (c) Closure: the original rule verbatim, driven by seeded deltas.
+    Rule closure;
+    closure.head = HeadAtom{h2, orig.head.args};
+    closure.num_vars = orig.num_vars;
+    for (const Literal& lk : orig.body) {
+      INFLOG_ASSIGN_OR_RETURN(Literal mapped, ins_sb.MapLiteral(lk));
+      closure.body.push_back(std::move(mapped));
+    }
+    closure_rules.push_back(ins_sb.prog().rules().size());
+    INFLOG_RETURN_IF_ERROR(ins_sb.prog().AddRule(std::move(closure)));
+  }
+  for (const auto& [real, rm] : rm_id) ins_sb.Bind(rm, &removed.at(real));
+  ins_sb.BindMappedIdb(&state_, in_unit);
+
+  INFLOG_ASSIGN_OR_RETURN(
+      const EvalContext ins_ctx,
+      EvalContext::CreateWithOverrides(ins_sb.prog(), *database_,
+                                       ins_sb.overrides(), PhaseOptions()));
+  const size_t num_unit_idb = ins_sb.prog().idb_predicates().size();
+  std::vector<size_t> real_idb_of(num_unit_idb);
+  for (size_t si = 0; si < num_unit_idb; ++si) {
+    const uint32_t sp = ins_sb.prog().idb_predicates()[si];
+    INFLOG_ASSIGN_OR_RETURN(
+        const uint32_t real,
+        program_->FindPredicate(ins_sb.prog().predicate(sp).name));
+    real_idb_of[si] = program_->predicate(real).idb_index;
+  }
+
+  // Baseline physical sizes: every row appended past these during phases
+  // 3–4 is a net addition candidate (Erase tombstones in place, so the
+  // pruning above did not move anything).
+  std::vector<std::vector<size_t>> base(num_unit_idb,
+                                        std::vector<size_t>(num_shards_));
+  IdbState phase = MakeEmptyIdbState(ins_sb.prog(), num_shards_);
+  for (size_t si = 0; si < num_unit_idb; ++si) {
+    phase.relations[si] = std::move(state_.relations[real_idb_of[si]]);
+    for (size_t s = 0; s < num_shards_; ++s) {
+      base[si][s] = phase.relations[si].ShardSize(s);
+    }
+  }
+  const std::vector<bool> dyn(num_unit_idb, false);
+
+  // ---- Phase 3: rederive. ----
+  bool any_removed = false;
+  for (const auto& [p, rm] : removed) any_removed |= !rm.empty();
+  if (any_removed) {
+    std::vector<Relation> buffers;
+    buffers.reserve(num_unit_idb);
+    for (size_t si = 0; si < num_unit_idb; ++si) {
+      buffers.emplace_back(phase.relations[si].arity(), num_shards_);
+    }
+    for (const size_t rr : reder_rules) {
+      const Rule& rule = ins_sb.prog().rules()[rr];
+      const RulePlan plan = PlanRuleWithOrder(ins_sb.prog(), rr, dyn, -1,
+                                              AscendingAtomOrder(rule));
+      const size_t idb =
+          ins_sb.prog().predicate(rule.head.predicate).idb_index;
+      ExecutePlan(ins_ctx, plan, phase, nullptr, &buffers[idb], st);
+    }
+    DeltaRanges seeds(num_unit_idb,
+                      std::vector<ShardRange>(num_shards_, {0, 0}));
+    if (MergeRecordingRanges(buffers, &phase, &seeds)) {
+      SemiNaiveOptions sn;
+      sn.rule_subset = reder_rules;
+      sn.pool_cache = &pool_;
+      sn.initial_deltas = &seeds;
+      const SemiNaiveOutcome outcome = RunSemiNaive(ins_ctx, sn, &phase);
+      st->Add(outcome.stats);
+    }
+    for (size_t si = 0; si < num_unit_idb; ++si) {
+      const uint32_t sp = ins_sb.prog().idb_predicates()[si];
+      INFLOG_ASSIGN_OR_RETURN(
+          const uint32_t real,
+          program_->FindPredicate(ins_sb.prog().predicate(sp).name));
+      ForEachRow(removed.at(real), [&](TupleView row) {
+        if (phase.relations[si].Contains(row)) st->incremental_rederived++;
+      });
+    }
+  }
+
+  // ---- Phase 4: insert. ----
+  if (!ins_seed_rules.empty()) {
+    std::vector<Relation> buffers;
+    buffers.reserve(num_unit_idb);
+    for (size_t si = 0; si < num_unit_idb; ++si) {
+      buffers.emplace_back(phase.relations[si].arity(), num_shards_);
+    }
+    for (const size_t sr : ins_seed_rules) {
+      const Rule& rule = ins_sb.prog().rules()[sr];
+      const RulePlan plan = PlanRuleWithOrder(ins_sb.prog(), sr, dyn, -1,
+                                              AscendingAtomOrder(rule));
+      const size_t idb =
+          ins_sb.prog().predicate(rule.head.predicate).idb_index;
+      ExecutePlan(ins_ctx, plan, phase, nullptr, &buffers[idb], st);
+    }
+    DeltaRanges seeds(num_unit_idb,
+                      std::vector<ShardRange>(num_shards_, {0, 0}));
+    if (MergeRecordingRanges(buffers, &phase, &seeds)) {
+      SemiNaiveOptions sn;
+      sn.rule_subset = closure_rules;
+      sn.pool_cache = &pool_;
+      sn.initial_deltas = &seeds;
+      const SemiNaiveOutcome outcome = RunSemiNaive(ins_ctx, sn, &phase);
+      st->Add(outcome.stats);
+    }
+  }
+
+  // Move the unit relations home and net out the update's effect:
+  // removed-and-not-back is a deletion, appended-and-not-removed is an
+  // insertion (a tuple both removed and re-appended cancels).
+  for (size_t si = 0; si < num_unit_idb; ++si) {
+    state_.relations[real_idb_of[si]] = std::move(phase.relations[si]);
+  }
+  for (size_t si = 0; si < num_unit_idb; ++si) {
+    const uint32_t sp = ins_sb.prog().idb_predicates()[si];
+    INFLOG_ASSIGN_OR_RETURN(
+        const uint32_t real,
+        program_->FindPredicate(ins_sb.prog().predicate(sp).name));
+    Relation& target = state_.relations[real_idb_of[si]];
+    const Relation& rm = removed.at(real);
+    PredDelta out(target.arity());
+    ForEachRow(rm, [&](TupleView row) {
+      if (!target.Contains(row)) {
+        out.del.Insert(row);
+        out.chg.Insert(row);
+      }
+    });
+    for (size_t s = 0; s < num_shards_; ++s) {
+      const Relation::ShardView view = target.shard(s);
+      for (size_t row = base[si][s]; row < view.size(); ++row) {
+        if (!view.IsLive(row)) continue;
+        const TupleView t = view.Row(row);
+        if (!rm.Contains(t)) {
+          out.ins.Insert(t);
+          out.chg.Insert(t);
+        }
+      }
+    }
+    st->incremental_idb_inserted += out.ins.size();
+    st->incremental_idb_deleted += out.del.size();
+    if (out.any()) changed->emplace(real, std::move(out));
+  }
+  return Status::OK();
+}
+
+}  // namespace inflog

@@ -1,0 +1,227 @@
+// Incremental view maintenance: counting + DRed, so an update costs
+// O(delta) instead of O(database).
+//
+// An IncrementalSession pins one (program, database, semantics) triple,
+// evaluates it once from scratch, and then maintains the materialized IDB
+// state under batches of EDB inserts and deletes (ApplyUpdate). The
+// program's IDB predicates are decomposed into *units* — strongly
+// connected components of the predicate dependency graph, processed in
+// topological (dependency-first) order, which refines the stratification —
+// and each unit is maintained by the algorithm its shape admits:
+//
+//   * Non-recursive units (singleton SCCs without self-loops) keep a
+//     per-tuple derivation count (TupleCountMap). An update derives a
+//     superset of the tuples whose support may have changed (trigger
+//     passes scanning the small delta relations first), recounts exactly
+//     those candidates against the new state (ExecutePlanCounted), and
+//     inserts / erases tuples whose count crossed zero. No mixed
+//     old/new-state joins: candidate generation over-approximates (the
+//     recount is exact), so old-state views reduce to splitting changed
+//     body literals over {current relation, net-deleted delta}.
+//
+//   * Recursive units run DRed (delete-and-rederive): (1) overcount —
+//     propagate deletions through the unit's rules over the frozen old
+//     unit state, as a seeded semi-naive fixpoint over synthesized "P~del"
+//     companion predicates; (2) prune the candidates from the state
+//     (Relation::Erase tombstones); (3) rederive — re-prove pruned tuples
+//     from the surviving state, again a seeded fixpoint; (4) insert — seed
+//     the unit's own rules with the inserted-input triggers and close
+//     under the original rules. Every phase reuses the parallel stage
+//     dispatch of RelationalConsequence via SemiNaiveOptions::
+//     initial_deltas, so phase cost is O(delta), not O(state).
+//
+// Companion predicates ("P~del", "P~rm", "P~cand", net-delta views) exist
+// only in per-phase synthesized programs; they are bound to small
+// temporary relations through EvalContext::CreateWithOverrides — the
+// database never owns a copy, and the session state's relations are
+// std::move()d between the real program's idb_index space and a phase
+// program's without copying rows.
+//
+// Semantics gating: the stratified semantics is maintained incrementally;
+// the inflationary semantics is maintained incrementally iff the program
+// is positive (where it coincides with the least fixpoint — on
+// non-positive programs the inflationary result is stage-sensitive, and
+// deletion can change stage structure non-locally). The well-founded and
+// stable semantics, and updates that grow the universe under unsafe
+// (enumerating) rules, fall back to a full recompute — counted in
+// EvalStats::incremental_oracle_runs. The from-scratch recompute also
+// serves as a cross-check oracle (IncrementalOptions::verify /
+// EvalOptions::verify_incremental): after every maintained update the
+// state is compared against a fresh evaluation and any mismatch is an
+// Internal error.
+
+#ifndef INFLOG_EVAL_INCREMENTAL_H_
+#define INFLOG_EVAL_INCREMENTAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/ast/analysis.h"
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/base/status.h"
+#include "src/base/thread_pool.h"
+#include "src/eval/context.h"
+#include "src/eval/executor.h"
+#include "src/eval/idb_state.h"
+#include "src/eval/stable.h"
+#include "src/eval/wellfounded.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+
+/// One batch of external (EDB) changes, applied atomically: deletes are
+/// netted against inserts first (a tuple both deleted and re-inserted is
+/// a no-op), so the maintained state only ever sees net deltas.
+struct UpdateBatch {
+  std::vector<std::pair<std::string, Tuple>> inserts;
+  std::vector<std::pair<std::string, Tuple>> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+/// What one ApplyUpdate did.
+struct UpdateResult {
+  /// True when the update was served by a full recompute (grounded
+  /// semantics, non-positive inflationary program, or universe growth
+  /// under unsafe rules) instead of incremental maintenance.
+  bool used_oracle = false;
+  /// The update's counters: the incremental_* block plus the executor
+  /// work the maintenance phases ran.
+  EvalStats stats;
+};
+
+/// Parses one whitespace-separated update line into a batch: tokens are
+/// `+Rel(c1,c2,...)` (insert) or `-Rel(c1)` (delete); constants are
+/// interned into `symbols`. `#` starts a comment; a blank line is an
+/// empty batch. The CLI's --apply-updates mode and bench E13 share this.
+Result<UpdateBatch> ParseUpdateLine(std::string_view line,
+                                    SymbolTable* symbols);
+
+/// Which semantics an IncrementalSession maintains (mirrors the engine's
+/// SemanticsKind without depending on src/core/).
+enum class MaintainedSemantics {
+  kInflationary,
+  kStratified,
+  kWellFounded,
+  kStable,
+};
+
+/// Options for an incremental session.
+struct IncrementalOptions {
+  MaintainedSemantics semantics = MaintainedSemantics::kStratified;
+  /// Semi-naive stages for the full evaluations (initial run, oracle
+  /// recomputes). Maintenance phases always run semi-naive.
+  bool use_seminaive = true;
+  /// Cross-check every maintained update against a from-scratch
+  /// evaluation; mismatches fail ApplyUpdate with an Internal error.
+  bool verify = false;
+  /// Threads / shards / scheduler / slicing for every evaluation and
+  /// maintenance phase of the session.
+  EvalContextOptions context;
+  /// Grounded-pipeline options, consulted for those semantics only.
+  GrounderOptions wellfounded;
+  StableOptions stable;
+};
+
+/// A materialized evaluation kept consistent under EDB updates.
+class IncrementalSession {
+ public:
+  /// Evaluates (program, *database) under the requested semantics and
+  /// prepares the maintenance machinery (unit decomposition, derivation
+  /// counts for the counting-maintained predicates). `program` and
+  /// `database` must outlive the session; the session mutates *database*
+  /// in ApplyUpdate and nothing else may (a concurrent mutation leaves
+  /// the maintained state stale).
+  static Result<std::unique_ptr<IncrementalSession>> Create(
+      const Program& program, Database* database,
+      const IncrementalOptions& options = {});
+
+  /// Applies one batch: nets and applies the EDB changes (inserts run
+  /// through Database::AddFact so new constants join the universe;
+  /// deletes through Relation::Erase), then maintains every affected IDB
+  /// unit in dependency order. Update tuples must name EDB relations
+  /// known to the program or present in the database — unknown relation
+  /// names are NotFound, updating an IDB relation or mismatching an
+  /// arity is InvalidArgument, and the batch is rejected before any
+  /// mutation. After a non-OK ApplyUpdate the session may be
+  /// inconsistent; discard it.
+  Result<UpdateResult> ApplyUpdate(const UpdateBatch& batch);
+
+  /// The maintained IDB state (valid until the next ApplyUpdate).
+  const IdbState& state() const { return state_; }
+
+  /// Counters accumulated across every ApplyUpdate of the session.
+  const EvalStats& cumulative_stats() const { return cumulative_; }
+
+  /// True when updates are maintained incrementally rather than by full
+  /// recompute (stratified, or inflationary on a positive program).
+  bool incremental_capable() const { return capable_; }
+
+  const Program& program() const { return *program_; }
+
+ private:
+  /// One maintenance unit: an SCC of the IDB dependency graph, with the
+  /// rules whose heads it owns. Units are stored in dependency-first
+  /// topological order.
+  struct Unit {
+    std::vector<uint32_t> preds;  ///< Predicate ids (real program).
+    std::vector<size_t> rules;    ///< Indices into program.rules().
+    bool recursive = false;       ///< SCC size > 1 or a self-loop.
+  };
+
+  /// Net EDB/IDB delta of one predicate within one update: the tuples
+  /// that left (`del`), the tuples that arrived (`ins`), and their union
+  /// (`chg`), each a small unsharded relation the phase programs bind as
+  /// companion predicates.
+  struct PredDelta {
+    explicit PredDelta(size_t arity)
+        : del(arity), ins(arity), chg(arity) {}
+    Relation del;
+    Relation ins;
+    Relation chg;
+    bool any() const { return del.size() + ins.size() > 0; }
+  };
+
+  IncrementalSession(const Program& program, Database* database,
+                     const IncrementalOptions& options);
+
+  Status Init();
+  Status InitCounts();
+  void BuildUnits();
+  Result<IdbState> ComputeFullState(EvalStats* stats);
+  Status FullRecompute(EvalStats* stats);
+  EvalContextOptions PhaseOptions() const;
+
+  Status MaintainCounting(const Unit& unit,
+                          std::map<uint32_t, PredDelta>* changed,
+                          EvalStats* stats);
+  Status MaintainDRed(const Unit& unit,
+                      std::map<uint32_t, PredDelta>* changed,
+                      EvalStats* stats);
+
+  const Program* program_;
+  Database* database_;
+  IncrementalOptions options_;
+  ProgramAnalysis analysis_;
+  bool capable_ = false;
+  bool all_safe_ = false;
+  size_t num_shards_ = 1;
+  std::vector<Unit> units_;
+  /// Unit index per IDB predicate id (dense by idb_index).
+  std::vector<size_t> unit_of_idb_;
+  IdbState state_;
+  IdbCounts counts_;
+  EvalStats cumulative_;
+  /// Pool shared by every maintenance phase and full evaluation of the
+  /// session (RelationalConsequence::Options::pool_cache).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace inflog
+
+#endif  // INFLOG_EVAL_INCREMENTAL_H_

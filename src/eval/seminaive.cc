@@ -11,6 +11,7 @@ SemiNaiveOutcome RunSemiNaive(const EvalContext& ctx,
   theta_options.rule_subset = options.rule_subset;
   theta_options.use_deltas = options.use_deltas;
   theta_options.pool_cache = options.pool_cache;
+  theta_options.initial_deltas = options.initial_deltas;
   RelationalConsequence theta(ctx, theta_options, state);
 
   FixpointDriver::Options driver_options;

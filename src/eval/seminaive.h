@@ -45,6 +45,12 @@ struct SemiNaiveOptions {
   /// Optional caller-owned pool slot shared across runs (see
   /// RelationalConsequence::Options::pool_cache).
   std::unique_ptr<ThreadPool>* pool_cache = nullptr;
+  /// Externally seeded initial deltas (see
+  /// RelationalConsequence::Options::initial_deltas): when non-null,
+  /// stage 0 is a delta pass over these per-shard ranges instead of a
+  /// full pass. Used by the incremental maintainer to resume a fixpoint
+  /// after appending a small set of tuples to `state`.
+  const DeltaRanges* initial_deltas = nullptr;
 };
 
 /// Output of a semi-naive run.

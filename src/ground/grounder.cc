@@ -229,6 +229,7 @@ class RuleGrounder {
         for (size_t s = 0; s < rel.num_shards(); ++s) {
           const Relation::ShardView view = rel.shard(s);
           for (size_t r = 0; r < view.size(); ++r) {
+            if (!view.IsLive(r)) continue;  // EDB facts erased by updates
             if (MatchRow(op.args, view.Row(r), &trail)) {
               INFLOG_RETURN_IF_ERROR(Step(op_index + 1));
               for (uint32_t v : trail) bindings_[v] = kNoValue;

@@ -39,6 +39,7 @@ double CostModel::ColumnSelectivity(const Relation& rel, size_t col) const {
   for (size_t s = 0; s < rel.num_shards(); ++s) {
     const Relation::ShardView view = rel.shard(s);
     for (size_t r = 0; r < view.size(); ++r) {
+      if (!view.IsLive(r)) continue;
       const TupleView row = view.Row(r);
       SampleKey k{HashTuple(row), Tuple(row.begin(), row.end())};
       if (sample.size() == kSelectivitySamples &&

@@ -72,6 +72,7 @@ Status Database::MergeFrom(const Database& other) {
     for (size_t s = 0; s < rel.num_shards(); ++s) {
       const Relation::ShardView view = rel.shard(s);
       for (size_t r = 0; r < view.size(); ++r) {
+        if (!view.IsLive(r)) continue;
         const TupleView row = view.Row(r);
         for (size_t i = 0; i < row.size(); ++i) {
           tuple[i] = symbols_->Intern(other.symbols_->Name(row[i]));
@@ -84,6 +85,14 @@ Status Database::MergeFrom(const Database& other) {
 }
 
 Result<const Relation*> Database::GetRelation(std::string_view name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound(StrCat("no relation named ", name));
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::MutableRelation(std::string_view name) {
   auto it = relations_.find(name);
   if (it == relations_.end()) {
     return Status::NotFound(StrCat("no relation named ", name));

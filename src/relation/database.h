@@ -80,6 +80,14 @@ class Database {
   /// The relation named `name`, or NotFound.
   Result<const Relation*> GetRelation(std::string_view name) const;
 
+  /// Mutable access to the relation named `name`, or NotFound. The
+  /// incremental maintainer applies EDB updates through this (AddFact for
+  /// inserts so new constants join the universe, Relation::Erase for
+  /// deletes — the universe, being the *active domain plus history*,
+  /// never shrinks, matching what a from-scratch evaluation of this
+  /// database object would quantify over).
+  Result<Relation*> MutableRelation(std::string_view name);
+
   /// True iff a relation named `name` has been declared. Heterogeneous
   /// lookup: never allocates.
   bool HasRelation(std::string_view name) const {

@@ -25,34 +25,52 @@ void Relation::RehashShard(Shard* shard, size_t new_capacity) {
   shard->slots.assign(new_capacity, kEmptySlot);
   const size_t mask = new_capacity - 1;
   for (uint32_t row = 0; row < shard->size; ++row) {
+    // Dead rows keep their physical slot in the buffer but drop out of
+    // the membership table (their tombstone slots are not carried over).
+    if (shard->num_dead != 0 && shard->dead[row] != 0) continue;
     size_t slot = shard->row_hash[row] & mask;
     while (shard->slots[slot] != kEmptySlot) slot = (slot + 1) & mask;
     shard->slots[slot] = row;
   }
+  shard->slots_used = shard->size - shard->num_dead;
 }
 
 bool Relation::InsertIntoShard(Shard* shard, TupleView tuple, size_t hash) {
-  // Grow at 7/8 load so probe chains stay short.
+  // Grow at 7/8 load so probe chains stay short. Tombstone slots count
+  // toward load: they lengthen probe chains just like occupied ones.
   if (shard->slots.empty() ||
-      (shard->size + 1) * 8 > shard->slots.size() * 7) {
-    RehashShard(shard, SlotCapacityFor((shard->size + 1) * 2));
+      (shard->slots_used + 1) * 8 > shard->slots.size() * 7) {
+    RehashShard(shard,
+                SlotCapacityFor((shard->size - shard->num_dead + 1) * 2));
   }
   const size_t mask = shard->slots.size() - 1;
   size_t slot = hash & mask;
+  size_t reuse_slot = kEmptySlot;
   while (shard->slots[slot] != kEmptySlot) {
     const uint32_t row = shard->slots[slot];
-    if (shard->row_hash[row] == hash &&
-        TupleEq()(TupleView(shard->data.data() + size_t{row} * arity_,
-                            arity_),
-                  tuple)) {
+    if (row == kTombstoneSlot) {
+      // Remember the first reusable slot but keep probing: the tuple may
+      // sit further along the chain.
+      if (reuse_slot == kEmptySlot) reuse_slot = slot;
+    } else if (shard->row_hash[row] == hash &&
+               TupleEq()(TupleView(shard->data.data() + size_t{row} * arity_,
+                                   arity_),
+                         tuple)) {
       return false;
     }
     slot = (slot + 1) & mask;
   }
+  if (reuse_slot != kEmptySlot) {
+    slot = reuse_slot;  // tombstone turns back into an occupied slot
+  } else {
+    ++shard->slots_used;
+  }
   shard->slots[slot] = static_cast<uint32_t>(shard->size);
   shard->data.insert(shard->data.end(), tuple.begin(), tuple.end());
   shard->row_hash.push_back(hash);
+  if (!shard->dead.empty()) shard->dead.push_back(0);
   ++shard->size;
+  ++shard->ops;
   return true;
 }
 
@@ -77,7 +95,7 @@ bool Relation::FindRef(TupleView tuple, RowRef* ref) const {
   size_t slot = hash & mask;
   while (shard.slots[slot] != kEmptySlot) {
     const uint32_t row = shard.slots[slot];
-    if (shard.row_hash[row] == hash &&
+    if (row != kTombstoneSlot && shard.row_hash[row] == hash &&
         TupleEq()(TupleView(shard.data.data() + size_t{row} * arity_,
                             arity_),
                   tuple)) {
@@ -90,20 +108,98 @@ bool Relation::FindRef(TupleView tuple, RowRef* ref) const {
   return false;
 }
 
+bool Relation::Erase(TupleView tuple) {
+  INFLOG_DCHECK(tuple.size() == arity_);
+  const size_t hash = HashTuple(tuple);
+  Shard& shard = shards_[ShardOf(hash)];
+  if (shard.slots.empty()) return false;
+  const size_t mask = shard.slots.size() - 1;
+  size_t slot = hash & mask;
+  while (shard.slots[slot] != kEmptySlot) {
+    const uint32_t row = shard.slots[slot];
+    if (row != kTombstoneSlot && shard.row_hash[row] == hash &&
+        TupleEq()(TupleView(shard.data.data() + size_t{row} * arity_,
+                            arity_),
+                  tuple)) {
+      shard.slots[slot] = kTombstoneSlot;  // slots_used unchanged: the
+                                           // tombstone still loads the chain
+      if (shard.dead.empty()) shard.dead.assign(shard.size, 0);
+      shard.dead[row] = 1;
+      ++shard.num_dead;
+      ++shard.ops;
+      // Drop the row from every posting that already covers it; postings
+      // built later skip dead rows during catch-up (ShardIndex).
+      for (size_t col = 0; col < shard.col_indexes.size(); ++col) {
+        ColumnIndex* index = shard.col_indexes[col].get();
+        if (index == nullptr || index->rows_indexed <= row) continue;
+        std::vector<uint32_t>& ids =
+            index->postings[shard.data[size_t{row} * arity_ + col]];
+        auto it = std::lower_bound(ids.begin(), ids.end(), row);
+        if (it != ids.end() && *it == row) ids.erase(it);
+      }
+      return true;
+    }
+    slot = (slot + 1) & mask;
+  }
+  return false;
+}
+
+void Relation::CompactDead() {
+  for (Shard& shard : shards_) {
+    if (shard.num_dead == 0) continue;
+    std::vector<Value> data;
+    std::vector<size_t> row_hash;
+    const size_t live = shard.size - shard.num_dead;
+    data.reserve(live * arity_);
+    row_hash.reserve(live);
+    for (size_t row = 0; row < shard.size; ++row) {
+      if (shard.dead[row] != 0) continue;
+      const Value* begin = shard.data.data() + row * arity_;
+      data.insert(data.end(), begin, begin + arity_);
+      row_hash.push_back(shard.row_hash[row]);
+    }
+    shard.data = std::move(data);
+    shard.row_hash = std::move(row_hash);
+    shard.dead.clear();
+    shard.size = live;
+    shard.num_dead = 0;
+    shard.col_indexes.clear();
+    ++shard.ops;
+    RehashShard(&shard, SlotCapacityFor(live * 2));
+  }
+}
+
 int64_t Relation::Find(TupleView tuple) const {
   RowRef ref;
   if (!FindRef(tuple, &ref)) return -1;
   size_t offset = 0;
-  for (uint32_t s = 0; s < ref.shard; ++s) offset += shards_[s].size;
-  return static_cast<int64_t>(offset + ref.row);
+  for (uint32_t s = 0; s < ref.shard; ++s) {
+    offset += shards_[s].size - shards_[s].num_dead;
+  }
+  const Shard& shard = shards_[ref.shard];
+  if (shard.num_dead == 0) return static_cast<int64_t>(offset + ref.row);
+  for (uint32_t row = 0; row < ref.row; ++row) {
+    if (shard.dead[row] == 0) ++offset;
+  }
+  return static_cast<int64_t>(offset);
 }
 
 TupleView Relation::Row(size_t i) const {
   for (const Shard& shard : shards_) {
-    if (i < shard.size) {
+    const size_t live = shard.size - shard.num_dead;
+    if (i >= live) {
+      i -= live;
+      continue;
+    }
+    if (shard.num_dead == 0) {
       return TupleView(shard.data.data() + i * arity_, arity_);
     }
-    i -= shard.size;
+    for (size_t row = 0; row < shard.size; ++row) {
+      if (shard.dead[row] != 0) continue;
+      if (i-- == 0) {
+        return TupleView(shard.data.data() + row * arity_, arity_);
+      }
+    }
   }
   INFLOG_CHECK(false) << "row index out of range";
   return {};
@@ -119,8 +215,10 @@ const Relation::ColumnIndex& Relation::ShardIndex(const Shard& shard,
   // a frozen relation never write (the guard below is what makes the
   // parallel stage's lock-free reads data-race-free).
   if (index->rows_indexed == shard.size) return *index;
-  // Append-only: fold in just the rows added since the last call.
+  // Append-only: fold in just the rows added since the last call
+  // (skipping any that were tombstoned before the index caught up).
   for (size_t row = index->rows_indexed; row < shard.size; ++row) {
+    if (shard.num_dead != 0 && shard.dead[row] != 0) continue;
     index->postings[shard.data[row * arity_ + col]].push_back(
         static_cast<uint32_t>(row));
   }
@@ -168,6 +266,7 @@ size_t Relation::InsertAll(const Relation& other) {
   size_t added = 0;
   for (const Shard& src : other.shards_) {
     for (size_t row = 0; row < src.size; ++row) {
+      if (src.num_dead != 0 && src.dead[row] != 0) continue;
       // Tuple hashes are shard-count independent; reuse the source cache.
       const size_t hash = src.row_hash[row];
       const TupleView tuple(src.data.data() + row * arity_, arity_);
@@ -186,6 +285,7 @@ size_t Relation::MergeShardFrom(const Relation& other, size_t s) {
   Shard& dst = shards_[s];
   size_t added = 0;
   for (size_t row = 0; row < src.size; ++row) {
+    if (src.num_dead != 0 && src.dead[row] != 0) continue;
     const TupleView tuple(src.data.data() + row * arity_, arity_);
     if (InsertIntoShard(&dst, tuple, src.row_hash[row])) ++added;
   }
@@ -197,6 +297,7 @@ bool Relation::IsSubsetOf(const Relation& other) const {
   if (size() > other.size()) return false;
   for (const Shard& shard : shards_) {
     for (size_t row = 0; row < shard.size; ++row) {
+      if (shard.num_dead != 0 && shard.dead[row] != 0) continue;
       if (!other.Contains(
               TupleView(shard.data.data() + row * arity_, arity_))) {
         return false;
@@ -216,6 +317,7 @@ std::vector<Tuple> Relation::SortedTuples() const {
   rows.reserve(size());
   for (const Shard& shard : shards_) {
     for (size_t row = 0; row < shard.size; ++row) {
+      if (shard.num_dead != 0 && shard.dead[row] != 0) continue;
       const Value* begin = shard.data.data() + row * arity_;
       rows.emplace_back(begin, begin + arity_);
     }

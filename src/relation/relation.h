@@ -1,28 +1,38 @@
-// Relation: an append-only set of equal-arity tuples, hash-sharded.
+// Relation: an append-mostly set of equal-arity tuples, hash-sharded.
 //
 // Storage is split into S shards (a power of two, 1 by default) keyed by
 // tuple hash (ShardOfHash): each shard owns a flat row-major buffer, a
 // flat open-addressing hash table of shard-local row ids (linear probing,
-// power-of-two capacity, no tombstones — rows are never removed), the
-// per-row tuple-hash cache, and the lazily built per-column secondary
-// indexes (hash of column value → local row ids) the join executor
-// consumes. Because a tuple's shard is a pure function of its content,
-// two relations with the same shard count partition any tuple set
-// identically — which is what lets the fixpoint stage merge staging
-// relations into the state shard-by-shard with no cross-shard writes
-// (MergeShardFrom) and no serial merge step.
+// power-of-two capacity), the per-row tuple-hash cache, and the lazily
+// built per-column secondary indexes (hash of column value → local row
+// ids) the join executor consumes. Because a tuple's shard is a pure
+// function of its content, two relations with the same shard count
+// partition any tuple set identically — which is what lets the fixpoint
+// stage merge staging relations into the state shard-by-shard with no
+// cross-shard writes (MergeShardFrom) and no serial merge step.
+//
+// Deletion (Erase) tombstones a row in place: the row keeps its physical
+// slot in the buffer but is marked dead in a per-shard bitmap, its
+// membership slot turns into a probe-chain tombstone, and its ids are
+// removed from any already-built postings. Physical row ids therefore
+// never shift — the delta-range bookkeeping the incremental maintainer
+// shares with the fixpoint driver survives deletions — and CompactDead()
+// reclaims the space once a caller knows no row ids are outstanding.
 //
 // Row identity is (shard, local row); both components are stable because
-// shards are append-only. ShardView exposes one shard's rows and postings
-// to readers; the whole-relation Row(i)/Find(i) accessors linearize the
-// shards in shard-major order and exist for single-shard relations, tests
-// and printing — their global ids are stable only while the relation does
-// not grow (and forever when num_shards() == 1, which preserves the
+// shards are append-only (tombstones keep dead rows in place). ShardView
+// exposes one shard's physical rows — including dead ones, which scans
+// skip via IsLive — and postings to readers; the whole-relation
+// Row(i)/Find(i) accessors linearize the *live* rows in shard-major order
+// and exist for single-shard relations, tests and printing — their global
+// ids are stable only while the relation does not change (and forever
+// when num_shards() == 1 and nothing was erased, which preserves the
 // pre-sharding contract).
 //
-// Indexes are maintained incrementally: a shard being append-only, an
+// Indexes are maintained incrementally: rows only ever being appended, an
 // index is brought up to date by scanning only the rows appended since it
-// was last touched.
+// was last touched (skipping dead ones); Erase eagerly removes the dead
+// row from postings that already cover it.
 //
 // Thread-safety: const methods are safe to call concurrently EXCEPT that
 // EqualRows* catches a stale column index up first (a write). Callers
@@ -81,42 +91,63 @@ class Relation {
   /// The number of hash shards (a power of two, ≥ 1).
   size_t num_shards() const { return shards_.size(); }
 
-  /// The number of tuples (summed over shards).
+  /// The number of live tuples (summed over shards, dead rows excluded).
   size_t size() const {
     size_t n = 0;
-    for (const Shard& s : shards_) n += s.size;
+    for (const Shard& s : shards_) n += s.size - s.num_dead;
     return n;
   }
 
-  /// True iff the relation holds no tuples.
+  /// True iff the relation holds no live tuples.
   bool empty() const { return size() == 0; }
 
-  /// Rows currently in shard `s`.
+  /// Physical rows currently in shard `s` (tombstoned rows included —
+  /// this is the coordinate the fixpoint delta ranges are expressed in).
   size_t ShardSize(size_t s) const {
     INFLOG_DCHECK(s < shards_.size());
     return shards_[s].size;
+  }
+
+  /// Tombstoned rows across all shards.
+  size_t dead_rows() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) n += s.num_dead;
+    return n;
   }
 
   /// Inserts a tuple; returns true iff it was not already present.
   /// Requires tuple.size() == arity().
   bool Insert(TupleView tuple);
 
+  /// Removes a tuple by tombstoning its row in place (physical row ids do
+  /// not shift); returns true iff it was present. Requires
+  /// tuple.size() == arity().
+  bool Erase(TupleView tuple);
+
+  /// Rebuilds every shard without its tombstoned rows, dropping the lazily
+  /// built indexes. Invalidates RowRefs, global row ids, and any delta
+  /// ranges expressed in this relation's physical offsets — callers must
+  /// only compact between fixpoint runs.
+  void CompactDead();
+
   /// Membership test. Requires tuple.size() == arity().
   bool Contains(TupleView tuple) const;
 
-  /// Locates `tuple`; returns false if absent. The RowRef is stable
-  /// forever (shards are append-only), which lets callers map tuples to
-  /// the inflationary stage that introduced them via per-shard stage
-  /// sizes.
+  /// Locates `tuple`; returns false if absent (or tombstoned). The RowRef
+  /// is stable until CompactDead (rows are appended or tombstoned in
+  /// place, never moved), which lets callers map tuples to the
+  /// inflationary stage that introduced them via per-shard stage sizes.
   bool FindRef(TupleView tuple, RowRef* ref) const;
 
-  /// Shard-major global row index of `tuple`, or -1 if absent. Stable
-  /// while the relation does not grow; stable forever when
-  /// num_shards() == 1 (insertion order, the pre-sharding contract).
+  /// Shard-major global index of `tuple` among the live rows, or -1 if
+  /// absent. Stable while the relation does not change; stable forever
+  /// when num_shards() == 1 and nothing was erased (insertion order, the
+  /// pre-sharding contract).
   int64_t Find(TupleView tuple) const;
 
-  /// The i-th row in shard-major order. O(1) for single-shard relations,
-  /// O(num_shards) otherwise; bulk readers should iterate shards.
+  /// The i-th live row in shard-major order. O(1) for single-shard
+  /// relations without tombstones, O(shard rows) otherwise; bulk readers
+  /// should iterate shards.
   TupleView Row(size_t i) const;
 
   /// The row at a stable (shard, local) address.
@@ -132,8 +163,14 @@ class Relation {
   /// follow the Relation::EqualRows invalidation rules.
   class ShardView {
    public:
-    /// Rows in this shard.
+    /// Physical rows in this shard (tombstoned rows included; full scans
+    /// filter with IsLive — postings and delta ranges never name a dead
+    /// row, so indexed and delta walks skip the check).
     size_t size() const { return shard_->size; }
+    /// True iff local row `row` has not been tombstoned.
+    bool IsLive(size_t row) const {
+      return dead_ == nullptr || dead_[row] == 0;
+    }
     /// The local-id `row` of this shard.
     TupleView Row(size_t row) const {
       INFLOG_DCHECK(row < shard_->size);
@@ -143,8 +180,11 @@ class Relation {
    private:
     friend class Relation;
     ShardView(const Shard* shard, size_t arity)
-        : shard_(shard), arity_(arity) {}
+        : shard_(shard),
+          dead_(shard->num_dead == 0 ? nullptr : shard->dead.data()),
+          arity_(arity) {}
     const Shard* shard_;
+    const uint8_t* dead_;
     size_t arity_;
   };
 
@@ -197,9 +237,13 @@ class Relation {
   bool operator==(const Relation& other) const;
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
-  /// Grows monotonically with every successful insertion; lets callers
-  /// detect growth. Rows being append-only, this equals size().
-  uint64_t version() const { return size(); }
+  /// Grows monotonically with every successful mutation (insert, erase,
+  /// compaction); lets callers detect change.
+  uint64_t version() const {
+    uint64_t v = 0;
+    for (const Shard& s : shards_) v += s.ops;
+    return v;
+  }
 
   /// Rows in a canonical (lexicographically sorted) order, for printing
   /// and deterministic iteration in tests. Shard-count independent.
@@ -211,6 +255,10 @@ class Relation {
  private:
   /// Slot content marking an empty open-addressing slot.
   static constexpr uint32_t kEmptySlot = static_cast<uint32_t>(-1);
+  /// Slot content marking an erased entry. Probe chains walk through it
+  /// (so entries displaced past it stay reachable) and insertion reuses
+  /// it; rehashing drops tombstone slots along with the dead rows.
+  static constexpr uint32_t kTombstoneSlot = static_cast<uint32_t>(-2);
 
   /// Secondary index over one column of one shard: value → local ids of
   /// rows holding it. `rows_indexed` is how many leading rows have been
@@ -226,13 +274,24 @@ class Relation {
     Shard() = default;
     // Copies transfer rows but not the lazily built column indexes.
     Shard(const Shard& o)
-        : data(o.data), row_hash(o.row_hash), slots(o.slots), size(o.size) {}
+        : data(o.data),
+          row_hash(o.row_hash),
+          slots(o.slots),
+          dead(o.dead),
+          size(o.size),
+          num_dead(o.num_dead),
+          slots_used(o.slots_used),
+          ops(o.ops) {}
     Shard& operator=(const Shard& o) {
       if (this == &o) return *this;
       data = o.data;
       row_hash = o.row_hash;
       slots = o.slots;
+      dead = o.dead;
       size = o.size;
+      num_dead = o.num_dead;
+      slots_used = o.slots_used;
+      ops = o.ops;
       col_indexes.clear();
       return *this;
     }
@@ -242,7 +301,12 @@ class Relation {
     std::vector<Value> data;         // row-major tuple buffer
     std::vector<size_t> row_hash;    // per-row tuple hash (probe fast path)
     std::vector<uint32_t> slots;     // open-addressing table of local ids
-    size_t size = 0;
+    std::vector<uint8_t> dead;       // tombstone bitmap; empty until the
+                                     // first Erase, then one flag per row
+    size_t size = 0;                 // physical rows (dead ones included)
+    size_t num_dead = 0;             // tombstoned rows
+    size_t slots_used = 0;           // occupied + tombstone slots (load)
+    uint64_t ops = 0;                // mutations, feeds version()
     // Lazily created per-column indexes. Mutable: bringing an index up to
     // date does not change the relation's observable value.
     mutable std::vector<std::unique_ptr<ColumnIndex>> col_indexes;

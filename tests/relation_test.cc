@@ -421,6 +421,163 @@ TEST(RelationInsertAllStressTest, InterleavedGrowthKeepsIndexCurrent) {
   EXPECT_EQ(r.size(), 6u * 64u);
 }
 
+// --- Erase / tombstones ----------------------------------------------------
+// (the deletion path the incremental maintainer relies on: rows die in
+// place, physical ids never shift, CompactDead reclaims between runs.)
+
+TEST(RelationEraseTest, EraseTombstonesInPlace) {
+  Relation r(2);
+  r.Insert(Tuple{1, 2});
+  r.Insert(Tuple{3, 4});
+  const uint64_t v_before = r.version();
+
+  EXPECT_TRUE(r.Erase(Tuple{1, 2}));
+  EXPECT_FALSE(r.Contains(Tuple{1, 2}));
+  EXPECT_TRUE(r.Contains(Tuple{3, 4}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.ShardSize(0), 2u);  // the physical row stays put
+  EXPECT_EQ(r.dead_rows(), 1u);
+  EXPECT_GT(r.version(), v_before);
+
+  // The shard view still exposes the dead row; IsLive marks it.
+  const Relation::ShardView view = r.shard(0);
+  ASSERT_EQ(view.size(), 2u);
+  size_t live = 0;
+  for (size_t row = 0; row < view.size(); ++row) {
+    if (view.IsLive(row)) ++live;
+  }
+  EXPECT_EQ(live, 1u);
+
+  // Erasing an absent (or already dead) tuple is a no-op.
+  const uint64_t v_after = r.version();
+  EXPECT_FALSE(r.Erase(Tuple{9, 9}));
+  EXPECT_FALSE(r.Erase(Tuple{1, 2}));
+  EXPECT_EQ(r.version(), v_after);
+}
+
+TEST(RelationEraseTest, ReinsertAfterEraseAppendsFreshRow) {
+  Relation r(1);
+  r.Insert(Tuple{5});
+  EXPECT_TRUE(r.Erase(Tuple{5}));
+  EXPECT_TRUE(r.Insert(Tuple{5}));  // was dead, so this is new again
+  EXPECT_TRUE(r.Contains(Tuple{5}));
+  EXPECT_EQ(r.size(), 1u);
+  // The tombstoned row keeps its slot; the re-insert appends.
+  EXPECT_EQ(r.ShardSize(0), 2u);
+  EXPECT_EQ(r.dead_rows(), 1u);
+  EXPECT_FALSE(r.Insert(Tuple{5}));  // present now: duplicate
+}
+
+TEST(RelationEraseTest, FindRefSkipsDeadAndRowLinearizesLive) {
+  Relation r(1);
+  for (Value i = 0; i < 5; ++i) r.Insert(Tuple{i});
+  ASSERT_TRUE(r.Erase(Tuple{2}));
+
+  Relation::RowRef ref;
+  EXPECT_FALSE(r.FindRef(Tuple{2}, &ref));
+  EXPECT_EQ(r.Find(Tuple{2}), -1);
+
+  // Row(i)/Find(i) linearize the surviving rows only.
+  ASSERT_EQ(r.size(), 4u);
+  const Value expect[] = {0, 1, 3, 4};
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.Row(i)[0], expect[i]) << "live row " << i;
+    EXPECT_EQ(r.Find(Tuple{expect[i]}), static_cast<int64_t>(i));
+  }
+}
+
+TEST(RelationEraseTest, PostingsDropErasedRows) {
+  Relation r(2);
+  r.Insert(Tuple{1, 10});
+  r.Insert(Tuple{1, 11});
+  r.Insert(Tuple{2, 10});
+  // Built index: Erase must remove the row's ids eagerly.
+  EXPECT_EQ(r.EqualRows(0, 1).size(), 2u);
+  ASSERT_TRUE(r.Erase(Tuple{1, 10}));
+  EXPECT_EQ(r.EqualRows(0, 1).size(), 1u);
+  EXPECT_EQ(r.EqualRows(1, 10).size(), 1u);
+
+  // Unbuilt index: a column first probed after the erase must skip the
+  // dead row while catching up.
+  Relation fresh(2);
+  fresh.Insert(Tuple{1, 10});
+  fresh.Insert(Tuple{1, 11});
+  ASSERT_TRUE(fresh.Erase(Tuple{1, 10}));
+  EXPECT_EQ(fresh.EqualRows(1, 10).size(), 0u);
+  EXPECT_EQ(fresh.EqualRows(1, 11).size(), 1u);
+}
+
+TEST(RelationEraseTest, SetOperationsIgnoreTombstones) {
+  Relation a(1), b(1);
+  for (Value i = 0; i < 10; ++i) a.Insert(Tuple{i});
+  for (Value i = 0; i < 5; ++i) b.Insert(Tuple{i});
+  for (Value i = 5; i < 10; ++i) ASSERT_TRUE(a.Erase(Tuple{i}));
+
+  // Equality, subset, SortedTuples and InsertAll all see only live rows.
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_EQ(a.SortedTuples(), b.SortedTuples());
+  Relation dst(1);
+  EXPECT_EQ(dst.InsertAll(a), 5u);
+  EXPECT_EQ(dst, b);
+  Relation merged(1);
+  EXPECT_EQ(merged.MergeShardFrom(a, 0), 5u);
+  EXPECT_EQ(merged, b);
+}
+
+TEST(RelationEraseTest, CompactDeadReclaimsRows) {
+  Relation r(1, 4);
+  for (Value i = 0; i < 40; ++i) r.Insert(Tuple{i});
+  for (Value i = 0; i < 40; i += 2) ASSERT_TRUE(r.Erase(Tuple{i}));
+  EXPECT_EQ(r.size(), 20u);
+  EXPECT_EQ(r.dead_rows(), 20u);
+
+  r.CompactDead();
+  EXPECT_EQ(r.size(), 20u);
+  EXPECT_EQ(r.dead_rows(), 0u);
+  size_t physical = 0;
+  for (size_t s = 0; s < r.num_shards(); ++s) physical += r.ShardSize(s);
+  EXPECT_EQ(physical, 20u);
+  for (Value i = 0; i < 40; ++i) {
+    EXPECT_EQ(r.Contains(Tuple{i}), i % 2 == 1) << "value " << i;
+  }
+  // Postings rebuild against the compacted layout.
+  std::vector<std::span<const uint32_t>> spans(r.num_shards());
+  EXPECT_EQ(r.EqualRowsPerShard(0, 1, spans.data()), 1u);
+  EXPECT_EQ(r.EqualRowsPerShard(0, 2, spans.data()), 0u);
+}
+
+TEST(RelationEraseTest, ShardedEraseStressAgainstScan) {
+  Relation r(2, 8);
+  for (Value i = 0; i < 200; ++i) r.Insert(Tuple{i % 5, i});
+  for (Value i = 0; i < 200; i += 3) ASSERT_TRUE(r.Erase(Tuple{i % 5, i}));
+
+  // Postings must match a live-row scan in every shard.
+  std::vector<std::span<const uint32_t>> spans(r.num_shards());
+  for (Value v = 0; v < 5; ++v) {
+    size_t live_scan = 0;
+    for (size_t s = 0; s < r.num_shards(); ++s) {
+      const Relation::ShardView view = r.shard(s);
+      for (size_t row = 0; row < view.size(); ++row) {
+        if (view.IsLive(row) && view.Row(row)[0] == v) ++live_scan;
+      }
+    }
+    EXPECT_EQ(r.EqualRowsPerShard(0, v, spans.data()), live_scan)
+        << "value " << v;
+  }
+  // Membership and re-insertion agree with the erase pattern, across the
+  // probe-chain tombstones the erases left behind.
+  for (Value i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.Contains(Tuple{i % 5, i}), i % 3 != 0) << "row " << i;
+  }
+  size_t reinserted = 0;
+  for (Value i = 0; i < 200; i += 3) {
+    if (r.Insert(Tuple{i % 5, i})) ++reinserted;
+  }
+  EXPECT_EQ(reinserted, 67u);  // ceil(200 / 3)
+  EXPECT_EQ(r.size(), 200u);
+}
+
 TEST(DatabaseTest, AddFactDeclaresAndFillsUniverse) {
   Database db;
   const Value a = db.symbols().Intern("a");
