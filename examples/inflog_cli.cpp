@@ -6,6 +6,8 @@
 //     [--scheduler=auto|static|stealing] [--min-slice-rows=R]
 //     [--steal-variance=V] [--optimize=LIST] [--query=NAMES]
 //     [--reject-unsafe-negation] [--stats]
+//     [--sat-preprocess=0|1] [--sat-deletion=0|1] [--sat-portfolio=K]
+//     [--sat-reduce-interval=N] [--dump-cnf=FILE]
 //     [--apply-updates=FILE] [--verify-incremental]
 //     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
@@ -43,6 +45,19 @@
 // histogram, ...) after the result, so bench numbers can be explained
 // from the CLI; for modes without a relational fixpoint run it says so.
 //
+// The --sat-* flags configure the CDCL core behind the SAT-backed modes
+// (stable, fixpoints): --sat-preprocess=0|1 toggles the preprocessing
+// front-end (root BCP, pure literals, bounded variable elimination;
+// default 0), --sat-deletion=0|1 the LBD-scored learnt-clause database
+// reduction (default 1), --sat-portfolio=K races K diversified solver
+// instances and takes the first definitive answer (default 1 = the plain
+// single solver), and --sat-reduce-interval=N sets the conflicts between
+// learnt-DB reductions (0 = the built-in default, 2000). Results are
+// bit-identical for every --sat-* combination — the enumerations are
+// canonicalized — only the sat_* search counters vary. --dump-cnf=FILE
+// writes the Clark-completion encoding of the loaded (program, database)
+// as DIMACS CNF to FILE and continues with the requested run.
+//
 // --apply-updates=FILE switches the run into incremental view
 // maintenance: the program is evaluated once under the chosen semantics
 // (inflationary, stratified, wellfounded or stable), then each
@@ -72,6 +87,7 @@
 #include <vector>
 
 #include "src/core/engine.h"
+#include "src/sat/dimacs.h"
 
 namespace {
 
@@ -127,6 +143,13 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   std::string apply_updates;  // empty = plain one-shot evaluation
   bool verify_incremental = false;
+  // CDCL core knobs for the SAT-backed modes; the defaults match
+  // sat::SolverOptions (preprocessing off, deletion on, plain solver).
+  size_t sat_preprocess = 0;
+  size_t sat_deletion = 1;
+  size_t sat_portfolio = 1;
+  size_t sat_reduce_interval = 0;  // 0 = the solver default (2000)
+  std::string dump_cnf;            // empty = no DIMACS dump
   std::vector<std::string> args;
   auto parse_count = [](const char* flag, const std::string& value,
                         long max, size_t* out) {
@@ -182,6 +205,22 @@ int main(int argc, char** argv) {
       }
       if (apply_updates.empty()) {
         std::cerr << "error: --apply-updates requires a file\n";
+        return 2;
+      }
+      continue;
+    }
+    if (arg == "--dump-cnf" || arg.rfind("--dump-cnf=", 0) == 0) {
+      if (arg == "--dump-cnf") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --dump-cnf requires a file\n";
+          return 2;
+        }
+        dump_cnf = argv[++i];
+      } else {
+        dump_cnf = arg.substr(sizeof("--dump-cnf=") - 1);
+      }
+      if (dump_cnf.empty()) {
+        std::cerr << "error: --dump-cnf requires a file\n";
         return 2;
       }
       continue;
@@ -287,6 +326,21 @@ int main(int argc, char** argv) {
     if (handled == 0) {
       handled = flag_value("--min-slice-rows", 1 << 20, &min_slice_rows);
     }
+    if (handled == 0) {
+      handled = flag_value("--sat-preprocess", 1, &sat_preprocess);
+    }
+    if (handled == 0) {
+      handled = flag_value("--sat-deletion", 1, &sat_deletion);
+    }
+    if (handled == 0) {
+      // The portfolio races K diversified members; 64 is far beyond any
+      // sensible core count and keeps typos from spawning thousands.
+      handled = flag_value("--sat-portfolio", 64, &sat_portfolio);
+    }
+    if (handled == 0) {
+      handled =
+          flag_value("--sat-reduce-interval", 1 << 20, &sat_reduce_interval);
+    }
     if (handled < 0) return 2;
     if (handled > 0) continue;
     args.push_back(arg);
@@ -304,7 +358,9 @@ int main(int argc, char** argv) {
                  "[--scheduler=auto|static|stealing] [--min-slice-rows=R] "
                  "[--steal-variance=V] [--optimize=all|none|dce,reorder,"
                  "share] [--query=NAMES] [--reject-unsafe-negation] "
-                 "[--stats] "
+                 "[--stats] [--sat-preprocess=0|1] [--sat-deletion=0|1] "
+                 "[--sat-portfolio=K] [--sat-reduce-interval=N] "
+                 "[--dump-cnf=FILE] "
                  "PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
@@ -319,6 +375,29 @@ int main(int argc, char** argv) {
   auto db_text = ReadFile(args[1]);
   if (!db_text.ok()) return Fail(db_text.status());
   if (auto s = engine.LoadDatabaseText(*db_text); !s.ok()) return Fail(s);
+
+  inflog::sat::SolverOptions sat_options;
+  sat_options.preprocess = sat_preprocess != 0;
+  sat_options.reduce_db = sat_deletion != 0;
+  sat_options.portfolio_threads = sat_portfolio == 0 ? 1 : sat_portfolio;
+  sat_options.reduce_base = sat_reduce_interval;  // 0 = solver default
+
+  if (!dump_cnf.empty()) {
+    // Ground + Clark-complete the loaded (program, database) and write
+    // the encoding the SAT-backed modes solve, then continue normally.
+    auto analyzer = engine.MakeAnalyzer();
+    if (!analyzer.ok()) return Fail(analyzer.status());
+    std::ofstream out(dump_cnf);
+    if (!out) {
+      return Fail(inflog::Status::NotFound("cannot open " + dump_cnf));
+    }
+    out << inflog::sat::ToDimacs(analyzer->encoding().cnf);
+    out.flush();
+    if (!out) {
+      return Fail(inflog::Status::Internal("cannot write " + dump_cnf));
+    }
+    std::cout << "wrote completion CNF to " << dump_cnf << "\n";
+  }
 
   // The executor counters only exist for the relational-fixpoint
   // semantics; everywhere else --stats says so instead of vanishing.
@@ -347,6 +426,7 @@ int main(int argc, char** argv) {
     options.reject_unsafe_negation = reject_unsafe_negation;
     options.optimizer_passes = optimizer_passes;
     options.output_predicates = g_query;
+    options.sat = sat_options;
     if (!apply_updates.empty()) {
       options.verify_incremental = verify_incremental;
       // Output predicates would let dead-rule elimination drop rules the
@@ -483,7 +563,17 @@ int main(int argc, char** argv) {
                   << "  opt_shared_prefixes  " << s->opt_shared_prefixes
                   << "\n"
                   << "  opt_shared_rows      " << s->opt_shared_rows
-                  << "\n";
+                  << "\n"
+                  << "  sat_conflicts        " << s->sat_conflicts << "\n"
+                  << "  sat_decisions        " << s->sat_decisions << "\n"
+                  << "  sat_propagations     " << s->sat_propagations << "\n"
+                  << "  sat_restarts         " << s->sat_restarts << "\n"
+                  << "  sat_learned          " << s->sat_learned << "\n"
+                  << "  sat_deleted          " << s->sat_deleted << "\n"
+                  << "  sat_pre_vars_elim    "
+                  << s->sat_preprocess_vars_eliminated << "\n"
+                  << "  sat_pre_clauses_rm   "
+                  << s->sat_preprocess_clauses_removed << "\n";
         // Executed-slice size distribution, log2 buckets; only the
         // populated ones, so serial runs print a single empty line.
         std::cout << "  slice_hist      ";
@@ -502,7 +592,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (semantics == "fixpoints") {
-    auto analyzer = engine.MakeAnalyzer();
+    inflog::AnalyzeOptions analyze;
+    analyze.solver = sat_options;
+    auto analyzer = engine.MakeAnalyzer(analyze);
     if (!analyzer.ok()) return Fail(analyzer.status());
     auto fixpoints = analyzer->EnumerateFixpoints(/*limit=*/64);
     if (!fixpoints.ok()) return Fail(fixpoints.status());
@@ -516,7 +608,22 @@ int main(int argc, char** argv) {
     if (!least.ok()) return Fail(least.status());
     std::cout << "least fixpoint exists: "
               << (least->has_least ? "yes" : "no") << "\n";
-    stats_not_applicable("fixpoints");
+    if (print_stats) {
+      // Fixpoint analysis runs the CDCL pipeline, not the relational
+      // executor: the sat_* block is the whole story.
+      const inflog::sat::SolverStats& s = analyzer->sat_stats();
+      std::cout << "stats:\n"
+                << "  sat_conflicts        " << s.conflicts << "\n"
+                << "  sat_decisions        " << s.decisions << "\n"
+                << "  sat_propagations     " << s.propagations << "\n"
+                << "  sat_restarts         " << s.restarts << "\n"
+                << "  sat_learned          " << s.learned_clauses << "\n"
+                << "  sat_deleted          " << s.deleted_clauses << "\n"
+                << "  sat_pre_vars_elim    " << s.preprocess_vars_eliminated
+                << "\n"
+                << "  sat_pre_clauses_rm   " << s.preprocess_clauses_removed
+                << "\n";
+    }
     return 0;
   }
   std::cerr << "unknown semantics: " << semantics << "\n";

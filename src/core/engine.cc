@@ -121,9 +121,12 @@ const EvalStats* EvalOutcome::stats() const {
       return &std::get<InflationaryResult>(detail).stats;
     case SemanticsKind::kStratified:
       return &std::get<StratifiedResult>(detail).stats;
-    case SemanticsKind::kWellFounded:
     case SemanticsKind::kStable:
-      return nullptr;  // grounded pipelines bypass the executor
+      // The stable pipeline bypasses the executor but carries the CDCL
+      // counters of its supported-model enumeration.
+      return &std::get<StableResult>(detail).stats;
+    case SemanticsKind::kWellFounded:
+      return nullptr;  // grounded pipeline, bypasses the executor
   }
   return nullptr;
 }
@@ -175,7 +178,9 @@ Result<EvalOutcome> Engine::Evaluate(SemanticsKind kind,
       return out;
     }
     case SemanticsKind::kStable: {
-      INFLOG_ASSIGN_OR_RETURN(StableResult r, StableModels(options.stable));
+      StableOptions opts = options.stable;
+      opts.analyze.solver = options.sat;
+      INFLOG_ASSIGN_OR_RETURN(StableResult r, StableModels(opts));
       out.detail = std::move(r);
       return out;
     }
@@ -237,6 +242,7 @@ Status Engine::BeginIncremental(SemanticsKind kind,
   opts.context.optimizer_passes = options.optimizer_passes;
   opts.wellfounded = options.wellfounded;
   opts.stable = options.stable;
+  opts.stable.analyze.solver = options.sat;
   if (options.reject_unsafe_negation) {
     INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*p));
   }

@@ -110,6 +110,12 @@ struct EvalOptions {
   /// expensive (each update costs a full evaluation), meant for tests and
   /// the E13 oracle sweeps.
   bool verify_incremental = false;
+  /// CDCL solver configuration for the SAT-backed stable pipeline
+  /// (preprocessing, learnt-clause deletion, portfolio width, budgets).
+  /// Authoritative for Evaluate(): it overrides the solver options nested
+  /// in `stable`. Results are identical for every configuration —
+  /// enumeration is canonicalized — only the search statistics vary.
+  sat::SolverOptions sat;
   InflationaryOptions inflationary;
   StratifiedOptions stratified;
   GrounderOptions wellfounded;

@@ -88,6 +88,24 @@ struct EvalStats {
                                             ///< maintained by counting.
   uint64_t incremental_dred_units = 0;      ///< Recursive rule units
                                             ///< maintained by DRed.
+  // SAT core counters (src/sat/solver.h SolverStats), filled by the
+  // grounded stable pipeline (and any caller that runs the CDCL solver).
+  // The search counters (conflicts .. deleted) describe *how* the solver
+  // searched and vary with the solver configuration (preprocessing,
+  // deletion, portfolio width); the results they lead to are bit-identical
+  // across every configuration.
+  uint64_t sat_conflicts = 0;     ///< CDCL conflicts across all solves.
+  uint64_t sat_decisions = 0;     ///< Branching decisions.
+  uint64_t sat_propagations = 0;  ///< Unit propagations.
+  uint64_t sat_restarts = 0;      ///< Luby restarts.
+  uint64_t sat_learned = 0;       ///< Clauses learned from conflicts.
+  uint64_t sat_deleted = 0;       ///< Learnt clauses dropped by ReduceDB.
+  uint64_t sat_preprocess_vars_eliminated = 0;    ///< Vars removed by the
+                                                  ///< preprocessing
+                                                  ///< front-end.
+  uint64_t sat_preprocess_clauses_removed = 0;    ///< Net clause-count
+                                                  ///< drop from
+                                                  ///< preprocessing.
   /// Histogram of executed delta-slice sizes: bucket k counts slices with
   /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
   static constexpr size_t kSliceHistBuckets = 17;
@@ -136,6 +154,14 @@ struct EvalStats {
     incremental_recounted += other.incremental_recounted;
     incremental_counting_units += other.incremental_counting_units;
     incremental_dred_units += other.incremental_dred_units;
+    sat_conflicts += other.sat_conflicts;
+    sat_decisions += other.sat_decisions;
+    sat_propagations += other.sat_propagations;
+    sat_restarts += other.sat_restarts;
+    sat_learned += other.sat_learned;
+    sat_deleted += other.sat_deleted;
+    sat_preprocess_vars_eliminated += other.sat_preprocess_vars_eliminated;
+    sat_preprocess_clauses_removed += other.sat_preprocess_clauses_removed;
     for (size_t i = 0; i < kSliceHistBuckets; ++i) {
       slice_hist[i] += other.slice_hist[i];
     }

@@ -1,8 +1,27 @@
 #include "src/eval/stable.h"
 
+#include <algorithm>
+
 #include "src/eval/reduct.h"
 
 namespace inflog {
+
+namespace {
+
+// Copies a portfolio's aggregated CDCL counters into the sat_* block of
+// the engine-level stats.
+void FillSatStats(const sat::SolverStats& s, EvalStats* stats) {
+  stats->sat_conflicts = s.conflicts;
+  stats->sat_decisions = s.decisions;
+  stats->sat_propagations = s.propagations;
+  stats->sat_restarts = s.restarts;
+  stats->sat_learned = s.learned_clauses;
+  stats->sat_deleted = s.deleted_clauses;
+  stats->sat_preprocess_vars_eliminated = s.preprocess_vars_eliminated;
+  stats->sat_preprocess_clauses_removed = s.preprocess_clauses_removed;
+}
+
+}  // namespace
 
 Result<StableResult> EnumerateStableModels(const Program& program,
                                            const Database& database,
@@ -14,25 +33,32 @@ Result<StableResult> EnumerateStableModels(const Program& program,
   const CompletionEncoding& encoding = analyzer.encoding();
 
   // Enumerate supported models directly at the SAT level so we can apply
-  // the stability filter on atom vectors.
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, [&]() -> Result<sat::Solver> {
-    sat::Solver s(options.analyze.solver);
-    s.AddCnf(encoding.cnf);
-    return s;
-  }());
+  // the stability filter on atom vectors. Atom variables are frozen: the
+  // blocking clauses below reference them after the first Solve, and
+  // freezing keeps preprocessing an exact projection onto them.
+  sat::PortfolioSolver solver(options.analyze.solver);
+  solver.AddCnf(encoding.cnf);
+  for (const int32_t var : encoding.atom_vars) {
+    if (var >= 0) solver.FreezeVar(var);
+  }
 
   StableResult out;
+  std::vector<std::vector<bool>> stable_atoms;
+  bool enumeration_complete = false;
   while (out.supported_examined < options.max_supported) {
     const sat::SolveResult res = solver.Solve();
     if (res == sat::SolveResult::kUnknown) {
       return Status::ResourceExhausted("SAT conflict budget exhausted");
     }
-    if (res == sat::SolveResult::kUnsat) return out;
+    if (res == sat::SolveResult::kUnsat) {
+      enumeration_complete = true;
+      break;
+    }
     ++out.supported_examined;
     const std::vector<bool> atoms = encoding.DecodeAtoms(solver.Model());
     // Gelfond–Lifschitz check: S is stable iff S = LM(P^S).
     if (LeastModelOfReduct(ground, atoms) == atoms) {
-      out.models.push_back(ground.DecodeState(program, atoms));
+      stable_atoms.push_back(atoms);
     }
     // Block this supported model and continue.
     sat::Clause block;
@@ -41,9 +67,23 @@ Result<StableResult> EnumerateStableModels(const Program& program,
       if (var < 0) continue;
       block.push_back(atoms[a] ? sat::Neg(var) : sat::Pos(var));
     }
-    if (block.empty() || !solver.AddClause(block)) return out;
+    if (block.empty() || !solver.AddClause(block)) {
+      enumeration_complete = true;
+      break;
+    }
   }
-  return Status::ResourceExhausted("supported-model budget exhausted");
+  if (!enumeration_complete) {
+    return Status::ResourceExhausted("supported-model budget exhausted");
+  }
+  // Canonical order: the model list is then identical whatever order the
+  // solver configuration produced the supported models in.
+  std::sort(stable_atoms.begin(), stable_atoms.end());
+  out.models.reserve(stable_atoms.size());
+  for (const std::vector<bool>& atoms : stable_atoms) {
+    out.models.push_back(ground.DecodeState(program, atoms));
+  }
+  FillSatStats(solver.stats(), &out.stats);
+  return out;
 }
 
 }  // namespace inflog

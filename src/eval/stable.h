@@ -17,6 +17,7 @@
 
 #include "src/ast/program.h"
 #include "src/base/result.h"
+#include "src/eval/executor.h"
 #include "src/eval/idb_state.h"
 #include "src/fixpoint/analysis.h"
 #include "src/relation/database.h"
@@ -32,10 +33,16 @@ struct StableOptions {
 
 /// Result of stable-model enumeration.
 struct StableResult {
+  /// The stable models, sorted canonically (by ground-atom assignment) so
+  /// the result is bit-identical whatever order the solver configuration
+  /// (preprocessing, deletion, portfolio width) finds them in.
   std::vector<IdbState> models;
   /// Supported models (fixpoints) examined — ≥ models.size(); the gap is
   /// the supported-but-not-stable count (e.g. self-supported loops).
   size_t supported_examined = 0;
+  /// Run counters; the sat_* block carries the CDCL statistics of the
+  /// supported-model enumeration.
+  EvalStats stats;
 };
 
 /// Enumerates the stable models of (π, D).

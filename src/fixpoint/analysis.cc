@@ -1,5 +1,7 @@
 #include "src/fixpoint/analysis.h"
 
+#include <algorithm>
+
 #include "src/base/strings.h"
 #include "src/eval/theta.h"
 
@@ -17,15 +19,21 @@ Result<FixpointAnalyzer> FixpointAnalyzer::Create(const Program* program,
   return analyzer;
 }
 
-Result<sat::Solver> FixpointAnalyzer::MakeSolver() const {
-  sat::Solver solver(options_.solver);
+Result<sat::PortfolioSolver> FixpointAnalyzer::MakeSolver() const {
+  sat::PortfolioSolver solver(options_.solver);
   solver.AddCnf(encoding_.cnf);
+  // Blocking clauses and activation assumptions reference the atom
+  // variables after the first Solve: freeze them so preprocessing cannot
+  // eliminate them (elimination is an exact existential projection, so the
+  // model set over the frozen variables is unchanged).
+  for (const int32_t var : encoding_.atom_vars) {
+    if (var >= 0) solver.FreezeVar(var);
+  }
   return solver;
 }
 
 Result<IdbState> FixpointAnalyzer::DecodeModel(
-    const sat::Solver& solver) const {
-  const std::vector<bool> atoms = encoding_.DecodeAtoms(solver.Model());
+    const std::vector<bool>& atoms) const {
   IdbState state = ground_.DecodeState(*program_, atoms);
   if (options_.verify_models) {
     INFLOG_ASSIGN_OR_RETURN(const bool is_fixpoint, VerifyFixpoint(state));
@@ -39,18 +47,20 @@ Result<IdbState> FixpointAnalyzer::DecodeModel(
 }
 
 sat::Clause FixpointAnalyzer::BlockingClause(
-    const sat::Solver& solver) const {
+    const std::vector<bool>& atoms) const {
   sat::Clause clause;
-  for (int32_t var : encoding_.atom_vars) {
+  for (size_t a = 0; a < encoding_.atom_vars.size(); ++a) {
+    const int32_t var = encoding_.atom_vars[a];
     if (var < 0) continue;
-    clause.push_back(solver.ModelValue(var) ? sat::Neg(var) : sat::Pos(var));
+    clause.push_back(atoms[a] ? sat::Neg(var) : sat::Pos(var));
   }
   return clause;
 }
 
 Result<bool> FixpointAnalyzer::HasFixpoint() const {
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
   const sat::SolveResult res = solver.Solve();
+  sat_stats_.Add(solver.stats());
   if (res == sat::SolveResult::kUnknown) {
     return Status::ResourceExhausted("SAT conflict budget exhausted");
   }
@@ -58,67 +68,96 @@ Result<bool> FixpointAnalyzer::HasFixpoint() const {
 }
 
 Result<std::optional<IdbState>> FixpointAnalyzer::FindFixpoint() const {
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
   const sat::SolveResult res = solver.Solve();
+  sat_stats_.Add(solver.stats());
   if (res == sat::SolveResult::kUnknown) {
     return Status::ResourceExhausted("SAT conflict budget exhausted");
   }
   if (res == sat::SolveResult::kUnsat) {
     return std::optional<IdbState>();
   }
-  INFLOG_ASSIGN_OR_RETURN(IdbState state, DecodeModel(solver));
+  INFLOG_ASSIGN_OR_RETURN(IdbState state,
+                          DecodeModel(encoding_.DecodeAtoms(solver.Model())));
   return std::optional<IdbState>(std::move(state));
 }
 
 Result<std::vector<IdbState>> FixpointAnalyzer::EnumerateFixpoints(
     size_t limit) const {
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
-  std::vector<IdbState> fixpoints;
-  while (limit == 0 || fixpoints.size() < limit) {
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
+  std::vector<std::vector<bool>> found;
+  while (limit == 0 || found.size() < limit) {
     const sat::SolveResult res = solver.Solve();
     if (res == sat::SolveResult::kUnknown) {
+      sat_stats_.Add(solver.stats());
       return Status::ResourceExhausted("SAT conflict budget exhausted");
     }
     if (res == sat::SolveResult::kUnsat) break;
-    INFLOG_ASSIGN_OR_RETURN(IdbState state, DecodeModel(solver));
-    fixpoints.push_back(std::move(state));
-    const sat::Clause block = BlockingClause(solver);
+    std::vector<bool> atoms = encoding_.DecodeAtoms(solver.Model());
+    const sat::Clause block = BlockingClause(atoms);
+    found.push_back(std::move(atoms));
     if (block.empty() || !solver.AddClause(block)) break;
+  }
+  sat_stats_.Add(solver.stats());
+  // Canonical order: a full enumeration is then identical whatever the
+  // solver configuration found the models in.
+  std::sort(found.begin(), found.end());
+  std::vector<IdbState> fixpoints;
+  fixpoints.reserve(found.size());
+  for (const std::vector<bool>& atoms : found) {
+    INFLOG_ASSIGN_OR_RETURN(IdbState state, DecodeModel(atoms));
+    fixpoints.push_back(std::move(state));
   }
   return fixpoints;
 }
 
 Result<uint64_t> FixpointAnalyzer::CountFixpoints(uint64_t limit) const {
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
   uint64_t count = 0;
   while (true) {
     const sat::SolveResult res = solver.Solve();
     if (res == sat::SolveResult::kUnknown) {
+      sat_stats_.Add(solver.stats());
       return Status::ResourceExhausted("SAT conflict budget exhausted");
     }
-    if (res == sat::SolveResult::kUnsat) return count;
+    if (res == sat::SolveResult::kUnsat) {
+      sat_stats_.Add(solver.stats());
+      return count;
+    }
     ++count;
     if (count > limit) {
+      sat_stats_.Add(solver.stats());
       return Status::ResourceExhausted(
           StrCat("more than ", limit, " fixpoints"));
     }
-    const sat::Clause block = BlockingClause(solver);
-    if (block.empty() || !solver.AddClause(block)) return count;
+    const sat::Clause block =
+        BlockingClause(encoding_.DecodeAtoms(solver.Model()));
+    if (block.empty() || !solver.AddClause(block)) {
+      sat_stats_.Add(solver.stats());
+      return count;
+    }
   }
 }
 
 Result<UniqueStatus> FixpointAnalyzer::UniqueFixpoint() const {
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
   sat::SolveResult res = solver.Solve();
   if (res == sat::SolveResult::kUnknown) {
+    sat_stats_.Add(solver.stats());
     return Status::ResourceExhausted("SAT conflict budget exhausted");
   }
-  if (res == sat::SolveResult::kUnsat) return UniqueStatus::kNoFixpoint;
-  const sat::Clause block = BlockingClause(solver);
+  if (res == sat::SolveResult::kUnsat) {
+    sat_stats_.Add(solver.stats());
+    return UniqueStatus::kNoFixpoint;
+  }
+  const sat::Clause block =
+      BlockingClause(encoding_.DecodeAtoms(solver.Model()));
   if (block.empty() || !solver.AddClause(block)) {
+    sat_stats_.Add(solver.stats());
     return UniqueStatus::kUnique;  // no atoms at all: the empty state only
   }
   res = solver.Solve();
+  sat_stats_.Add(solver.stats());
   if (res == sat::SolveResult::kUnknown) {
     return Status::ResourceExhausted("SAT conflict budget exhausted");
   }
@@ -128,19 +167,25 @@ Result<UniqueStatus> FixpointAnalyzer::UniqueFixpoint() const {
 
 Result<LeastFixpointOutcome> FixpointAnalyzer::LeastFixpoint() const {
   LeastFixpointOutcome out;
-  INFLOG_ASSIGN_OR_RETURN(sat::Solver solver, MakeSolver());
+  INFLOG_ASSIGN_OR_RETURN(sat::PortfolioSolver solver, MakeSolver());
   sat::SolveResult res = solver.Solve();
   ++out.sat_calls;
   if (res == sat::SolveResult::kUnknown) {
+    sat_stats_.Add(solver.stats());
     return Status::ResourceExhausted("SAT conflict budget exhausted");
   }
-  if (res == sat::SolveResult::kUnsat) return out;  // no fixpoint at all
+  if (res == sat::SolveResult::kUnsat) {
+    sat_stats_.Add(solver.stats());
+    return out;  // no fixpoint at all
+  }
   out.has_fixpoint = true;
 
   // Candidate C := atoms true in the first model; then repeatedly ask for
   // a fixpoint missing part of C and intersect. When no such model exists,
   // C is exactly the intersection of all fixpoints. Each round either
   // terminates or strictly shrinks C, so at most |C₀|+1 SAT calls run.
+  // (Activation variables are created after the first Solve, so the
+  // preprocessor never sees — and cannot eliminate — them.)
   std::vector<bool> candidate = encoding_.DecodeAtoms(solver.Model());
   while (true) {
     sat::Clause ask;
@@ -154,6 +199,7 @@ Result<LeastFixpointOutcome> FixpointAnalyzer::LeastFixpoint() const {
     res = solver.Solve({sat::Pos(activation)});
     ++out.sat_calls;
     if (res == sat::SolveResult::kUnknown) {
+      sat_stats_.Add(solver.stats());
       return Status::ResourceExhausted("SAT conflict budget exhausted");
     }
     // Deactivate the query clause for subsequent rounds.
@@ -166,6 +212,7 @@ Result<LeastFixpointOutcome> FixpointAnalyzer::LeastFixpoint() const {
       candidate[a] = candidate[a] && model_atoms[a];
     }
   }
+  sat_stats_.Add(solver.stats());
 
   out.intersection = ground_.DecodeState(*program_, candidate);
   // Theorem 3's observation: a least fixpoint exists iff the intersection

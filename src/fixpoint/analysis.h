@@ -33,6 +33,7 @@
 #include "src/fixpoint/completion.h"
 #include "src/ground/grounder.h"
 #include "src/relation/database.h"
+#include "src/sat/portfolio.h"
 #include "src/sat/solver.h"
 
 namespace inflog {
@@ -76,8 +77,11 @@ class FixpointAnalyzer {
   /// Some fixpoint, or nullopt when none exists.
   Result<std::optional<IdbState>> FindFixpoint() const;
 
-  /// Up to `limit` fixpoints (0 = all). The order is solver-dependent but
-  /// deterministic for a fixed build.
+  /// Up to `limit` fixpoints (0 = all). The returned set is sorted
+  /// canonically (by ground-atom assignment), so a full enumeration is
+  /// identical across solver configurations (preprocessing, deletion,
+  /// portfolio width); with a nonzero `limit`, *which* fixpoints are found
+  /// first remains solver-dependent.
   Result<std::vector<IdbState>> EnumerateFixpoints(size_t limit = 0) const;
 
   /// Number of fixpoints, counted by enumeration up to `limit`
@@ -96,25 +100,31 @@ class FixpointAnalyzer {
   const GroundProgram& ground() const { return ground_; }
   const CompletionEncoding& encoding() const { return encoding_; }
 
+  /// SAT statistics accumulated across every query on this analyzer.
+  const sat::SolverStats& sat_stats() const { return sat_stats_; }
+
  private:
   FixpointAnalyzer(const Program* program, const Database* database,
                    AnalyzeOptions options)
       : program_(program), database_(database), options_(options) {}
 
-  /// Fresh solver pre-loaded with the completion.
-  Result<sat::Solver> MakeSolver() const;
+  /// Fresh portfolio pre-loaded with the completion; every completion atom
+  /// variable is frozen so blocking clauses and assumptions stay sound
+  /// under preprocessing.
+  Result<sat::PortfolioSolver> MakeSolver() const;
 
-  /// Decodes + optionally verifies a solver model.
-  Result<IdbState> DecodeModel(const sat::Solver& solver) const;
+  /// Decodes + optionally verifies an atom assignment.
+  Result<IdbState> DecodeModel(const std::vector<bool>& atoms) const;
 
-  /// Clause blocking the model's head-atom assignment.
-  sat::Clause BlockingClause(const sat::Solver& solver) const;
+  /// Clause blocking the given head-atom assignment.
+  sat::Clause BlockingClause(const std::vector<bool>& atoms) const;
 
   const Program* program_;
   const Database* database_;
   AnalyzeOptions options_;
   GroundProgram ground_;
   CompletionEncoding encoding_;
+  mutable sat::SolverStats sat_stats_;
 };
 
 }  // namespace inflog

@@ -1,0 +1,115 @@
+#include "src/sat/portfolio.h"
+
+#include <algorithm>
+
+namespace inflog {
+namespace sat {
+
+SolverOptions PortfolioSolver::MemberOptions(const SolverOptions& base,
+                                             size_t i,
+                                             const std::atomic<bool>* stop) {
+  SolverOptions o = base;
+  o.portfolio_threads = 1;
+  o.stop = stop;
+  if (i == 0) return o;  // member 0 is the undiversified reference
+  // Diversification: distinct seeds for random decisions, alternating
+  // initial polarity, spread restart schedules and activity decays.
+  o.seed = base.seed + 0x9e3779b97f4a7c15ULL * i;
+  if (o.seed == 0) o.seed = i;
+  o.random_decision_freq = 0.02;
+  o.init_phase_true = (i % 2) == 1;
+  if (o.restart_base != 0) {
+    static constexpr uint64_t kRestartScale[4] = {1, 2, 4, 8};
+    o.restart_base = base.restart_base * kRestartScale[i % 4];
+  }
+  static constexpr double kDecay[4] = {0.95, 0.85, 0.99, 0.90};
+  o.activity_decay = kDecay[i % 4];
+  return o;
+}
+
+PortfolioSolver::PortfolioSolver(SolverOptions options)
+    : options_(options),
+      stop_(std::make_unique<std::atomic<bool>>(false)) {
+  const size_t k = std::max<size_t>(1, options_.portfolio_threads);
+  members_.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    // A single member honors the caller's stop flag directly (exact
+    // single-solver behavior); a real portfolio routes members through the
+    // shared internal flag that the winner raises.
+    const std::atomic<bool>* stop = k == 1 ? options_.stop : stop_.get();
+    members_.push_back(
+        std::make_unique<Solver>(MemberOptions(options_, i, stop)));
+  }
+}
+
+Var PortfolioSolver::NewVar() {
+  const Var v = members_[0]->NewVar();
+  for (size_t i = 1; i < members_.size(); ++i) {
+    const Var w = members_[i]->NewVar();
+    INFLOG_CHECK(w == v);
+  }
+  return v;
+}
+
+void PortfolioSolver::FreezeVar(Var v) {
+  for (auto& m : members_) m->FreezeVar(v);
+}
+
+bool PortfolioSolver::AddClause(Clause clause) {
+  if (!ok_) return false;
+  bool all_ok = true;
+  for (auto& m : members_) {
+    if (!m->AddClause(clause)) all_ok = false;
+  }
+  if (!all_ok) ok_ = false;
+  return all_ok;
+}
+
+bool PortfolioSolver::AddCnf(const Cnf& cnf) {
+  while (num_vars() < cnf.num_vars) NewVar();
+  for (const Clause& clause : cnf.clauses) {
+    if (!AddClause(clause)) return false;
+  }
+  return true;
+}
+
+SolveResult PortfolioSolver::Solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return SolveResult::kUnsat;
+  if (members_.size() == 1) {
+    winner_ = 0;
+    return members_[0]->Solve(assumptions);
+  }
+  if (options_.stop != nullptr &&
+      options_.stop->load(std::memory_order_relaxed)) {
+    return SolveResult::kUnknown;
+  }
+  stop_->store(false, std::memory_order_relaxed);
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(members_.size() - 1);
+  }
+  std::atomic<int> winner{-1};
+  std::vector<SolveResult> results(members_.size(), SolveResult::kUnknown);
+  pool_->ParallelFor(members_.size(), [&](size_t i) {
+    const SolveResult r = members_[i]->Solve(assumptions);
+    results[i] = r;
+    if (r != SolveResult::kUnknown) {
+      int expected = -1;
+      if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+        stop_->store(true, std::memory_order_relaxed);
+      }
+    }
+  });
+  const int w = winner.load();
+  if (w < 0) return SolveResult::kUnknown;  // every member hit a budget
+  winner_ = static_cast<size_t>(w);
+  return results[winner_];
+}
+
+SolverStats PortfolioSolver::stats() const {
+  SolverStats total;
+  for (const auto& m : members_) total.Add(m->stats());
+  return total;
+}
+
+}  // namespace sat
+}  // namespace inflog

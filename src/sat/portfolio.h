@@ -1,0 +1,90 @@
+// Portfolio parallel SAT solving.
+//
+// A PortfolioSolver runs K diversified CDCL instances (different seeds,
+// polarities, restart schedules and activity decays) on the same formula
+// and takes the first definitive answer; the winner raises a shared
+// atomic stop flag and the losers return at their next conflict or
+// decision. Clause additions and freezes are broadcast to every member,
+// so the portfolio is a drop-in for the incremental Solver API
+// (blocking-clause model enumeration works unchanged).
+//
+// Determinism: with `portfolio_threads = 1` the single member is
+// configured exactly like a plain Solver — no randomness, no stop flag
+// races — so results are bit-identical to the sequential engine by
+// construction. With K > 1 the *verdict* (SAT/UNSAT) is still
+// deterministic — it is a property of the formula — but which member's
+// model is reported depends on timing; engine layers that need stable
+// output across widths canonicalize (sort) what they derive from models.
+
+#ifndef INFLOG_SAT_PORTFOLIO_H_
+#define INFLOG_SAT_PORTFOLIO_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/sat/solver.h"
+
+namespace inflog {
+namespace sat {
+
+/// K-way portfolio over diversified Solver instances. K comes from
+/// SolverOptions::portfolio_threads (clamped to >= 1).
+class PortfolioSolver {
+ public:
+  explicit PortfolioSolver(SolverOptions options = {});
+
+  Var NewVar();
+  int32_t num_vars() const { return members_[0]->num_vars(); }
+
+  /// Broadcast FreezeVar (see Solver::FreezeVar).
+  void FreezeVar(Var v);
+
+  /// Adds a clause to every member. Returns false when the formula is
+  /// known unsatisfiable at the root.
+  bool AddClause(Clause clause);
+  bool AddCnf(const Cnf& cnf);
+
+  /// Races the members; first definitive answer wins. With one member
+  /// this is exactly Solver::Solve. An external SolverOptions::stop flag
+  /// is honored mid-search with one member and checked between solves
+  /// otherwise.
+  SolveResult Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access after kSat: the winning member's model.
+  bool ModelValue(Var v) const { return members_[winner_]->ModelValue(v); }
+  std::vector<bool> Model() const { return members_[winner_]->Model(); }
+
+  /// Aggregated statistics across every member.
+  SolverStats stats() const;
+
+  /// True while the root state is consistent: a member that derives the
+  /// empty clause (under no assumptions) makes the whole portfolio unsat.
+  bool ok() const {
+    if (!ok_) return false;
+    for (const auto& m : members_) {
+      if (!m->ok()) return false;
+    }
+    return true;
+  }
+
+  size_t num_members() const { return members_.size(); }
+
+ private:
+  static SolverOptions MemberOptions(const SolverOptions& base, size_t i,
+                                     const std::atomic<bool>* stop);
+
+  SolverOptions options_;
+  bool ok_ = true;
+  // Heap-held so members can keep a stable pointer across moves.
+  std::unique_ptr<std::atomic<bool>> stop_;
+  std::vector<std::unique_ptr<Solver>> members_;
+  std::unique_ptr<ThreadPool> pool_;  // created lazily, K > 1 only
+  size_t winner_ = 0;
+};
+
+}  // namespace sat
+}  // namespace inflog
+
+#endif  // INFLOG_SAT_PORTFOLIO_H_

@@ -5,21 +5,31 @@
 namespace inflog {
 namespace sat {
 
-Solver::Solver(SolverOptions options) : options_(options) {}
+Solver::Solver(SolverOptions options) : options_(options) {
+  rng_ = Rng(options_.seed);
+}
 
 Var Solver::NewVar() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(kUndef);
   levels_.push_back(0);
-  reasons_.push_back(kNoReason);
+  reasons_.push_back(kNullClauseRef);
   activity_.push_back(0.0);
-  phase_.push_back(0);  // default polarity: false (negative phase)
+  phase_.push_back(options_.init_phase_true ? 1 : 0);
   seen_.push_back(0);
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   heap_pos_.push_back(-1);
   watches_.emplace_back();
   watches_.emplace_back();
+  lbd_seen_.resize(assigns_.size() + 1, 0);  // indexed by decision level
   HeapInsert(v);
   return v;
+}
+
+void Solver::FreezeVar(Var v) {
+  INFLOG_CHECK(v >= 0 && v < num_vars());
+  frozen_[v] = 1;
 }
 
 bool Solver::AddClause(Clause clause) {
@@ -33,6 +43,9 @@ bool Solver::AddClause(Clause clause) {
   for (const Lit& lit : clause) {
     INFLOG_CHECK(lit.var() >= 0 && lit.var() < num_vars())
         << "clause uses unallocated variable";
+    INFLOG_CHECK(!eliminated_[lit.var()])
+        << "clause mentions a preprocessing-eliminated variable; "
+           "FreezeVar it before the first Solve";
     if (LitValue(lit) == 1) return true;            // already satisfied
     if (LitValue(lit) == 0) continue;               // false at root: drop
     if (!simplified.empty() && lit == prev) continue;  // duplicate
@@ -45,12 +58,14 @@ bool Solver::AddClause(Clause clause) {
     return false;
   }
   if (simplified.size() == 1) {
-    Enqueue(simplified[0], kNoReason);
-    if (Propagate() != kNoReason) ok_ = false;
+    Enqueue(simplified[0], kNullClauseRef);
+    if (Propagate() != kNullClauseRef) ok_ = false;
     return ok_;
   }
-  const uint32_t cref = static_cast<uint32_t>(clauses_.size());
-  clauses_.push_back(InternalClause{std::move(simplified), false});
+  const ClauseRef cref = arena_.Alloc(
+      simplified.data(), static_cast<uint32_t>(simplified.size()),
+      /*learned=*/false, /*lbd=*/0);
+  clauses_.push_back(cref);
   AttachClause(cref);
   return true;
 }
@@ -63,14 +78,28 @@ bool Solver::AddCnf(const Cnf& cnf) {
   return true;
 }
 
-void Solver::AttachClause(uint32_t cref) {
-  const InternalClause& c = clauses_[cref];
-  INFLOG_DCHECK(c.lits.size() >= 2);
-  watches_[c.lits[0].code].push_back(Watch{cref, c.lits[1]});
-  watches_[c.lits[1].code].push_back(Watch{cref, c.lits[0]});
+void Solver::AttachClause(ClauseRef cref) {
+  const Lit* lits = arena_.lits(cref);
+  INFLOG_DCHECK(arena_.size(cref) >= 2);
+  watches_[lits[0].code].push_back(Watch{cref, lits[1]});
+  watches_[lits[1].code].push_back(Watch{cref, lits[0]});
 }
 
-void Solver::Enqueue(Lit l, int32_t reason) {
+void Solver::DetachClause(ClauseRef cref) {
+  const Lit* lits = arena_.lits(cref);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Watch>& ws = watches_[lits[i].code];
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].clause == cref) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::Enqueue(Lit l, ClauseRef reason) {
   INFLOG_DCHECK(LitValue(l) == kUndef);
   const Var v = l.var();
   assigns_[v] = l.negated() ? 0 : 1;
@@ -79,7 +108,7 @@ void Solver::Enqueue(Lit l, int32_t reason) {
   trail_.push_back(l);
 }
 
-int32_t Solver::Propagate() {
+ClauseRef Solver::Propagate() {
   while (qhead_ < trail_.size()) {
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
@@ -93,53 +122,79 @@ int32_t Solver::Propagate() {
         ws[keep++] = w;
         continue;
       }
-      InternalClause& c = clauses_[w.clause];
+      Lit* lits = arena_.lits(w.clause);
+      const uint32_t size = arena_.size(w.clause);
       // Normalize: the false literal sits at position 1.
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      INFLOG_DCHECK(c.lits[1] == false_lit);
-      if (LitValue(c.lits[0]) == 1) {
-        ws[keep++] = Watch{w.clause, c.lits[0]};
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      INFLOG_DCHECK(lits[1] == false_lit);
+      const Lit first = lits[0];
+      if (LitValue(first) == 1) {
+        ws[keep++] = Watch{w.clause, first};
         continue;
       }
       // Find a replacement watch.
       bool found = false;
-      for (size_t k = 2; k < c.lits.size(); ++k) {
-        if (LitValue(c.lits[k]) != 0) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[c.lits[1].code].push_back(Watch{w.clause, c.lits[0]});
+      for (uint32_t k = 2; k < size; ++k) {
+        if (LitValue(lits[k]) != 0) {
+          std::swap(lits[1], lits[k]);
+          watches_[lits[1].code].push_back(Watch{w.clause, first});
           found = true;
           break;
         }
       }
       if (found) continue;  // watch moved to another list
       // Unit or conflicting.
-      ws[keep++] = w;
-      if (LitValue(c.lits[0]) == 0) {
+      ws[keep++] = Watch{w.clause, first};
+      if (LitValue(first) == 0) {
         // Conflict: restore the remaining watches and report.
         for (size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
         ws.resize(keep);
         qhead_ = trail_.size();
-        return static_cast<int32_t>(w.clause);
+        return w.clause;
       }
-      Enqueue(c.lits[0], static_cast<int32_t>(w.clause));
+      Enqueue(first, w.clause);
     }
     ws.resize(keep);
   }
-  return kNoReason;
+  return kNullClauseRef;
 }
 
-void Solver::Analyze(int32_t conflict, Clause* learnt, int* backtrack_level) {
+uint32_t Solver::ComputeLbd(const Lit* lits, uint32_t size) {
+  uint32_t count = 0;
+  for (uint32_t i = 0; i < size; ++i) {
+    const int level = levels_[lits[i].var()];
+    if (level == 0) continue;  // root literals carry no glue
+    if (lbd_seen_[level] == 0) {
+      lbd_seen_[level] = 1;
+      ++count;
+    }
+  }
+  for (uint32_t i = 0; i < size; ++i) lbd_seen_[levels_[lits[i].var()]] = 0;
+  return count;
+}
+
+void Solver::Analyze(ClauseRef conflict, Clause* learnt, int* backtrack_level,
+                     uint32_t* lbd) {
   learnt->clear();
   learnt->push_back(Lit());  // slot for the asserting literal
   int counter = 0;
   Lit p;
   bool have_p = false;
   size_t index = trail_.size();
-  int32_t reason = conflict;
+  ClauseRef reason = conflict;
   do {
-    INFLOG_DCHECK(reason != kNoReason) << "analysis reached a decision";
-    const InternalClause& c = clauses_[reason];
-    for (const Lit& q : c.lits) {
+    INFLOG_DCHECK(reason != kNullClauseRef) << "analysis reached a decision";
+    if (arena_.learned(reason)) {
+      BumpClause(reason);
+      // LBD update on use: a reason clause participating in a conflict
+      // gets its glue refreshed (only ever lowered).
+      const uint32_t cur = ComputeLbd(arena_.lits(reason), arena_.size(reason));
+      if (cur < arena_.lbd(reason)) arena_.set_lbd(reason, cur);
+    }
+    const Lit* lits = arena_.lits(reason);
+    const uint32_t size = arena_.size(reason);
+    for (uint32_t i = 0; i < size; ++i) {
+      const Lit q = lits[i];
       if (have_p && q == p) continue;
       const Var v = q.var();
       if (seen_[v] || levels_[v] == 0) continue;
@@ -174,6 +229,7 @@ void Solver::Analyze(int32_t conflict, Clause* learnt, int* backtrack_level) {
   if (learnt->size() > 1) {
     std::swap((*learnt)[1], (*learnt)[max_pos]);
   }
+  *lbd = ComputeLbd(learnt->data(), static_cast<uint32_t>(learnt->size()));
   for (size_t i = 0; i < learnt->size(); ++i) {
     seen_[(*learnt)[i].var()] = 0;
   }
@@ -186,7 +242,7 @@ void Solver::CancelUntil(int level) {
     const Var v = trail_[i - 1].var();
     phase_[v] = assigns_[v];  // phase saving
     assigns_[v] = kUndef;
-    reasons_[v] = kNoReason;
+    reasons_[v] = kNullClauseRef;
     if (!HeapContains(v)) HeapInsert(v);
   }
   trail_.resize(bound);
@@ -203,10 +259,29 @@ void Solver::BumpVar(Var v) {
   if (HeapContains(v)) HeapSiftUp(heap_pos_[v]);
 }
 
+void Solver::BumpClause(ClauseRef cref) {
+  const float a = arena_.activity(cref) + cla_inc_;
+  arena_.set_activity(cref, a);
+  if (a > 1e20f) {
+    for (const ClauseRef lr : learnts_) {
+      arena_.set_activity(lr, arena_.activity(lr) * 1e-20f);
+    }
+    cla_inc_ *= 1e-20f;
+  }
+}
+
 Lit Solver::PickBranchLit() {
+  // Diversified portfolio members sprinkle random decisions.
+  if (options_.seed != 0 && options_.random_decision_freq > 0.0 &&
+      !heap_.empty() && rng_.Bernoulli(options_.random_decision_freq)) {
+    const Var v = heap_[rng_.Uniform(heap_.size())];
+    if (assigns_[v] == kUndef && !eliminated_[v]) {
+      return Lit(v, phase_[v] != 1);
+    }
+  }
   while (!heap_.empty()) {
     const Var v = HeapPopMax();
-    if (assigns_[v] == kUndef) {
+    if (assigns_[v] == kUndef && !eliminated_[v]) {
       return Lit(v, phase_[v] != 1);
     }
   }
@@ -279,12 +354,170 @@ uint64_t Solver::Luby(uint64_t i) {
   return uint64_t{1} << seq;
 }
 
+void Solver::RunPreprocess() {
+  preprocessed_ = true;
+  INFLOG_DCHECK(DecisionLevel() == 0);
+  preprocessor_ = std::make_unique<Preprocessor>(num_vars(),
+                                                 options_.preprocess_options);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (frozen_[v]) preprocessor_->FreezeVar(v);
+  }
+  // Feed the preprocessor the root state: implied units plus every problem
+  // clause currently attached.
+  std::vector<Clause> clauses;
+  clauses.reserve(clauses_.size() + trail_.size());
+  for (const Lit& l : trail_) clauses.push_back(Clause{l});
+  for (const ClauseRef cref : clauses_) {
+    const Lit* lits = arena_.lits(cref);
+    clauses.emplace_back(lits, lits + arena_.size(cref));
+  }
+  if (!preprocessor_->Run(std::move(clauses))) {
+    ok_ = false;
+    return;
+  }
+  const PreprocessStats& ps = preprocessor_->stats();
+  stats_.preprocess_vars_eliminated = ps.pure_eliminated + ps.bve_eliminated;
+  stats_.preprocess_clauses_removed = ps.clauses_removed;
+  RebuildFromClauses(preprocessor_->clauses());
+}
+
+void Solver::RebuildFromClauses(const std::vector<Clause>& clauses) {
+  arena_.Clear();
+  clauses_.clear();
+  learnts_.clear();
+  for (std::vector<Watch>& ws : watches_) ws.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  std::fill(assigns_.begin(), assigns_.end(), kUndef);
+  std::fill(reasons_.begin(), reasons_.end(), kNullClauseRef);
+  std::fill(levels_.begin(), levels_.end(), 0);
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+
+  const std::vector<int8_t>& forced = preprocessor_->forced();
+  for (Var v = 0; v < num_vars(); ++v) {
+    eliminated_[v] = preprocessor_->IsEliminated(v) ? 1 : 0;
+    if (eliminated_[v]) continue;
+    if (forced[v] >= 0) {
+      Enqueue(Lit(v, /*negated=*/forced[v] == 0), kNullClauseRef);
+      continue;
+    }
+    HeapInsert(v);
+  }
+  // The preprocessor reached a BCP fixpoint: no surviving clause mentions
+  // a forced variable, so there is nothing to propagate.
+  qhead_ = trail_.size();
+
+  for (const Clause& c : clauses) {
+    INFLOG_DCHECK(c.size() >= 2);
+    const ClauseRef cref =
+        arena_.Alloc(c.data(), static_cast<uint32_t>(c.size()),
+                     /*learned=*/false, /*lbd=*/0);
+    clauses_.push_back(cref);
+    AttachClause(cref);
+  }
+}
+
+void Solver::ReduceDB() {
+  INFLOG_DCHECK(DecisionLevel() == 0);
+  ++stats_.db_reductions;
+  // Keep every glue-2-or-better clause plus the better half of the rest,
+  // ranked by (LBD ascending, activity descending).
+  std::sort(learnts_.begin(), learnts_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              const uint32_t la = arena_.lbd(a);
+              const uint32_t lb = arena_.lbd(b);
+              if (la != lb) return la < lb;
+              return arena_.activity(a) > arena_.activity(b);
+            });
+  const size_t keep_rank = learnts_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learnts_.size());
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    const ClauseRef cref = learnts_[i];
+    if (arena_.lbd(cref) <= 2 || i < keep_rank) {
+      kept.push_back(cref);
+      continue;
+    }
+    arena_.set_mark(cref);
+    ++stats_.deleted_clauses;
+  }
+  learnts_.swap(kept);
+  GarbageCollect();
+}
+
+void Solver::RemoveRootSatisfied(std::vector<ClauseRef>* list) {
+  size_t keep = 0;
+  for (const ClauseRef cref : *list) {
+    const Lit* lits = arena_.lits(cref);
+    const uint32_t size = arena_.size(cref);
+    bool satisfied = false;
+    for (uint32_t i = 0; i < size; ++i) {
+      if (LitValue(lits[i]) == 1) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      if (arena_.learned(cref)) ++stats_.deleted_clauses;
+    } else {
+      (*list)[keep++] = cref;
+    }
+  }
+  list->resize(keep);
+}
+
+void Solver::GarbageCollect() {
+  INFLOG_DCHECK(DecisionLevel() == 0);
+  // Analysis never reads the reason of a level-0 literal, so clearing root
+  // reasons here frees every clause to move or die.
+  for (const Lit& l : trail_) reasons_[l.var()] = kNullClauseRef;
+  RemoveRootSatisfied(&clauses_);
+  RemoveRootSatisfied(&learnts_);
+  ClauseArena fresh;
+  for (std::vector<ClauseRef>* list : {&clauses_, &learnts_}) {
+    for (ClauseRef& cref : *list) {
+      // Watches are rebuilt below, so positions 0 and 1 must be non-false
+      // literals; at a root BCP fixpoint every clause not satisfied at the
+      // root has at least two.
+      Lit* lits = arena_.lits(cref);
+      const uint32_t size = arena_.size(cref);
+      uint32_t w = 0;
+      for (uint32_t i = 0; i < size && w < 2; ++i) {
+        if (LitValue(lits[i]) != 0) std::swap(lits[w++], lits[i]);
+      }
+      INFLOG_DCHECK(w == 2);
+      cref = arena_.CopyClause(cref, &fresh);
+    }
+  }
+  arena_.Swap(&fresh);
+  for (std::vector<Watch>& ws : watches_) ws.clear();
+  for (const ClauseRef cref : clauses_) AttachClause(cref);
+  for (const ClauseRef cref : learnts_) AttachClause(cref);
+}
+
+void Solver::ExtendModel() {
+  if (preprocessor_ == nullptr) return;
+  preprocessor_->Extend(&model_);
+}
+
 SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return SolveResult::kUnsat;
   CancelUntil(0);
-  if (Propagate() != kNoReason) {
+  if (Propagate() != kNullClauseRef) {
     ok_ = false;
     return SolveResult::kUnsat;
+  }
+  if (options_.preprocess && !preprocessed_) {
+    RunPreprocess();
+    if (!ok_) return SolveResult::kUnsat;
+  }
+  for (const Lit& a : assumptions) {
+    INFLOG_CHECK(a.var() >= 0 && a.var() < num_vars());
+    INFLOG_CHECK(!eliminated_[a.var()])
+        << "assumption on a preprocessing-eliminated variable; FreezeVar "
+           "it before the first Solve";
   }
 
   uint64_t restart_count = 0;
@@ -293,10 +526,12 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
           ? UINT64_MAX
           : options_.restart_base * Luby(restart_count);
   uint64_t conflicts_this_restart = 0;
+  const uint64_t reduce_base =
+      options_.reduce_base == 0 ? 2000 : options_.reduce_base;
 
   while (true) {
-    const int32_t conflict = Propagate();
-    if (conflict != kNoReason) {
+    const ClauseRef conflict = Propagate();
+    if (conflict != kNullClauseRef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
       if (DecisionLevel() == 0) {
@@ -305,7 +540,8 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
       }
       Clause learnt;
       int backtrack_level = 0;
-      Analyze(conflict, &learnt, &backtrack_level);
+      uint32_t lbd = 0;
+      Analyze(conflict, &learnt, &backtrack_level, &lbd);
       CancelUntil(backtrack_level);
       if (learnt.size() == 1) {
         CancelUntil(0);
@@ -313,17 +549,24 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
           ok_ = false;
           return SolveResult::kUnsat;
         }
-        if (LitValue(learnt[0]) == kUndef) Enqueue(learnt[0], kNoReason);
+        if (LitValue(learnt[0]) == kUndef) Enqueue(learnt[0], kNullClauseRef);
       } else {
-        const uint32_t cref = static_cast<uint32_t>(clauses_.size());
-        clauses_.push_back(InternalClause{learnt, true});
+        const ClauseRef cref = arena_.Alloc(
+            learnt.data(), static_cast<uint32_t>(learnt.size()),
+            /*learned=*/true, lbd);
+        learnts_.push_back(cref);
         AttachClause(cref);
-        Enqueue(learnt[0], static_cast<int32_t>(cref));
+        BumpClause(cref);
+        Enqueue(learnt[0], cref);
         ++stats_.learned_clauses;
       }
       DecayActivities();
       if (options_.max_conflicts != 0 &&
           stats_.conflicts >= options_.max_conflicts) {
+        CancelUntil(0);
+        return SolveResult::kUnknown;
+      }
+      if (StopRequested()) {
         CancelUntil(0);
         return SolveResult::kUnknown;
       }
@@ -337,33 +580,46 @@ SolveResult Solver::Solve(const std::vector<Lit>& assumptions) {
       conflicts_until_restart =
           options_.restart_base * Luby(restart_count);
       CancelUntil(0);
+      // Learnt-database reduction piggybacks on restarts: the trail is at
+      // the root, so no learnt clause is locked as a reason.
+      if (options_.reduce_db &&
+          stats_.conflicts >= reduce_conflicts_ + reduce_base +
+                                  stats_.db_reductions * options_.reduce_inc) {
+        ReduceDB();
+        reduce_conflicts_ = stats_.conflicts;
+      }
       continue;
     }
 
     // Apply assumptions as pseudo-decisions, one level each.
     if (DecisionLevel() < static_cast<int>(assumptions.size())) {
       const Lit a = assumptions[DecisionLevel()];
-      INFLOG_CHECK(a.var() >= 0 && a.var() < num_vars());
       if (LitValue(a) == 0) {
         // Assumption conflicts with the current (root-implied) state.
         CancelUntil(0);
         return SolveResult::kUnsat;
       }
       NewDecisionLevel();
-      if (LitValue(a) == kUndef) Enqueue(a, kNoReason);
+      if (LitValue(a) == kUndef) Enqueue(a, kNullClauseRef);
       continue;
     }
 
+    if (StopRequested()) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
     ++stats_.decisions;
     const Lit next = PickBranchLit();
     if (next.code == -1) {
-      // Every variable is assigned: a model.
+      // Every live variable is assigned: a model. Preprocessing-eliminated
+      // variables are reconstructed by ExtendModel.
       model_.assign(assigns_.begin(), assigns_.end());
+      ExtendModel();
       CancelUntil(0);
       return SolveResult::kSat;
     }
     NewDecisionLevel();
-    Enqueue(next, kNoReason);
+    Enqueue(next, kNullClauseRef);
   }
 }
 

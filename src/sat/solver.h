@@ -1,21 +1,38 @@
-// CDCL SAT solver (MiniSat-style).
+// CDCL SAT solver (MiniSat/Glucose-style).
 //
-// Conflict-driven clause learning with two-literal watches, first-UIP
-// conflict analysis, VSIDS variable activities with phase saving, Luby
-// restarts, incremental clause addition, and solving under assumptions.
+// Conflict-driven clause learning with two-literal watches over a
+// contiguous clause arena, first-UIP conflict analysis, LBD-scored
+// learnt-clause database reduction, VSIDS variable activities with phase
+// saving, Luby restarts, an optional preprocessing front-end (root BCP,
+// pure literals, NiVER bounded variable elimination) with model
+// reconstruction, incremental clause addition, and solving under
+// assumptions.
 //
 // This is the NP engine behind the paper's Theorems 1–3: fixpoint
 // existence, uniqueness and least-fixpoint queries are all answered
 // through Clark-completion encodings solved here. It is also used as the
 // independent satisfiability oracle for the Example 1 reduction tests.
+//
+// Incremental use with preprocessing: the preprocessor runs once, at the
+// first Solve. Variables that later clauses or assumptions will mention
+// must be frozen (FreezeVar) before that first Solve — the analyzer
+// freezes every completion atom variable, which keeps blocking-clause
+// model enumeration exact (elimination computes the existential
+// projection onto the surviving variables, so the model set over frozen
+// variables is unchanged).
 
 #ifndef INFLOG_SAT_SOLVER_H_
 #define INFLOG_SAT_SOLVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "src/base/rng.h"
+#include "src/sat/arena.h"
 #include "src/sat/cnf.h"
+#include "src/sat/preprocess.h"
 
 namespace inflog {
 namespace sat {
@@ -24,7 +41,7 @@ namespace sat {
 enum class SolveResult {
   kSat,
   kUnsat,
-  kUnknown,  ///< Conflict budget exhausted.
+  kUnknown,  ///< Conflict budget exhausted or stop flag raised.
 };
 
 /// Tuning knobs and budgets.
@@ -35,6 +52,37 @@ struct SolverOptions {
   uint64_t restart_base = 100;
   /// VSIDS decay factor.
   double activity_decay = 0.95;
+
+  /// Run the preprocessing front-end once, at the first Solve. Callers
+  /// that add clauses or assumptions over existing variables after that
+  /// must FreezeVar them first.
+  bool preprocess = false;
+  PreprocessOptions preprocess_options;
+
+  /// LBD-scored learnt-clause database reduction (checked at restarts;
+  /// glue <= 2 clauses and the better half by (LBD, activity) survive,
+  /// the arena is garbage-collected after each reduction).
+  bool reduce_db = true;
+  /// Conflicts before the first reduction; 0 = the default (2000).
+  uint64_t reduce_base = 0;
+  /// Extra conflicts added to the gap after each reduction (default 300).
+  uint64_t reduce_inc = 300;
+
+  /// Portfolio width used by PortfolioSolver (a plain Solver ignores it);
+  /// 1 = a single undiversified instance, deterministic by construction.
+  size_t portfolio_threads = 1;
+
+  /// Diversification (used by portfolio instances): 0 keeps the
+  /// deterministic base behavior; nonzero seeds random decisions.
+  uint64_t seed = 0;
+  /// Probability of a random branch decision (needs seed != 0).
+  double random_decision_freq = 0.0;
+  /// Initial saved phase for every variable (false = MiniSat default).
+  bool init_phase_true = false;
+
+  /// Cooperative cancellation: when set and the pointee becomes true, the
+  /// search returns kUnknown at the next conflict or decision.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Run statistics.
@@ -44,6 +92,22 @@ struct SolverStats {
   uint64_t propagations = 0;
   uint64_t restarts = 0;
   uint64_t learned_clauses = 0;
+  uint64_t deleted_clauses = 0;   ///< Learnt clauses dropped by ReduceDB.
+  uint64_t db_reductions = 0;     ///< ReduceDB passes (each ends in a GC).
+  uint64_t preprocess_vars_eliminated = 0;
+  uint64_t preprocess_clauses_removed = 0;
+
+  void Add(const SolverStats& o) {
+    conflicts += o.conflicts;
+    decisions += o.decisions;
+    propagations += o.propagations;
+    restarts += o.restarts;
+    learned_clauses += o.learned_clauses;
+    deleted_clauses += o.deleted_clauses;
+    db_reductions += o.db_reductions;
+    preprocess_vars_eliminated += o.preprocess_vars_eliminated;
+    preprocess_clauses_removed += o.preprocess_clauses_removed;
+  }
 };
 
 /// Incremental CDCL solver.
@@ -57,8 +121,13 @@ class Solver {
   /// Number of allocated variables.
   int32_t num_vars() const { return static_cast<int32_t>(assigns_.size()); }
 
+  /// Marks `v` as referenced by future clauses or assumptions: the
+  /// preprocessor will not eliminate it. Call before the first Solve.
+  void FreezeVar(Var v);
+
   /// Adds a clause (callable between Solve calls). Returns false when the
-  /// solver is already in an unsatisfiable root state.
+  /// solver is already in an unsatisfiable root state. Must not mention
+  /// preprocessing-eliminated variables (freeze them instead).
   bool AddClause(Clause clause);
 
   /// Loads every clause of `cnf` (allocating variables as needed).
@@ -68,7 +137,7 @@ class Solver {
   SolveResult Solve(const std::vector<Lit>& assumptions = {});
 
   /// Model access after kSat: the value of `v` in the satisfying
-  /// assignment.
+  /// assignment (eliminated variables reconstructed).
   bool ModelValue(Var v) const {
     INFLOG_CHECK(v >= 0 && static_cast<size_t>(v) < model_.size());
     return model_[v] == 1;
@@ -86,16 +155,16 @@ class Solver {
   /// True while the root state is consistent (no empty clause derived).
   bool ok() const { return ok_; }
 
+  /// Live learnt-clause count (ReduceDB observability for tests).
+  size_t num_learnts() const { return learnts_.size(); }
+  /// Arena buffer size in words (GC observability for tests).
+  size_t arena_words() const { return arena_.words(); }
+
  private:
   static constexpr int8_t kUndef = -1;
-  static constexpr int32_t kNoReason = -1;
 
-  struct InternalClause {
-    std::vector<Lit> lits;
-    bool learned = false;
-  };
   struct Watch {
-    uint32_t clause;
+    ClauseRef clause;
     Lit blocker;
   };
 
@@ -111,14 +180,32 @@ class Solver {
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
   void NewDecisionLevel() { trail_lim_.push_back(trail_.size()); }
 
-  void AttachClause(uint32_t cref);
-  void Enqueue(Lit l, int32_t reason);
-  int32_t Propagate();  // returns conflicting clause index or kNoReason
-  void Analyze(int32_t conflict, Clause* learnt, int* backtrack_level);
+  void AttachClause(ClauseRef cref);
+  void DetachClause(ClauseRef cref);
+  void Enqueue(Lit l, ClauseRef reason);
+  ClauseRef Propagate();  // kNullClauseRef = no conflict
+  void Analyze(ClauseRef conflict, Clause* learnt, int* backtrack_level,
+               uint32_t* lbd);
+  uint32_t ComputeLbd(const Lit* lits, uint32_t size);
   void CancelUntil(int level);
   void BumpVar(Var v);
-  void DecayActivities() { var_inc_ /= options_.activity_decay; }
+  void BumpClause(ClauseRef cref);
+  void DecayActivities() {
+    var_inc_ /= options_.activity_decay;
+    cla_inc_ *= 1.001f;
+  }
   Lit PickBranchLit();
+
+  void RunPreprocess();
+  void RebuildFromClauses(const std::vector<Clause>& clauses);
+  void ReduceDB();
+  void RemoveRootSatisfied(std::vector<ClauseRef>* list);
+  void GarbageCollect();
+  void ExtendModel();
+  bool StopRequested() const {
+    return options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed);
+  }
 
   // Activity-ordered decision heap (max-heap on activity_).
   bool HeapLess(Var a, Var b) const { return activity_[a] < activity_[b]; }
@@ -134,18 +221,29 @@ class Solver {
   SolverStats stats_;
   bool ok_ = true;
 
-  std::vector<InternalClause> clauses_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> clauses_;  // problem clauses
+  std::vector<ClauseRef> learnts_;
   std::vector<std::vector<Watch>> watches_;  // by literal code
   std::vector<int8_t> assigns_;              // by var
   std::vector<int> levels_;                  // by var
-  std::vector<int32_t> reasons_;             // by var
+  std::vector<ClauseRef> reasons_;           // by var
   std::vector<double> activity_;             // by var
   std::vector<int8_t> phase_;                // by var (saved polarity)
   std::vector<char> seen_;                   // by var (analyze scratch)
+  std::vector<int> lbd_seen_;                // by level (ComputeLbd scratch)
+  std::vector<int8_t> frozen_;               // by var
+  std::vector<int8_t> eliminated_;           // by var
   std::vector<Lit> trail_;
   std::vector<size_t> trail_lim_;
   size_t qhead_ = 0;
   double var_inc_ = 1.0;
+  float cla_inc_ = 1.0f;
+
+  bool preprocessed_ = false;
+  std::unique_ptr<Preprocessor> preprocessor_;  // kept for Extend
+  uint64_t reduce_conflicts_ = 0;  // conflicts at the last reduction
+  Rng rng_{0};
 
   std::vector<Var> heap_;
   std::vector<int32_t> heap_pos_;  // by var; -1 = not in heap

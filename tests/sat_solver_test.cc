@@ -6,6 +6,7 @@
 
 #include "src/base/rng.h"
 #include "src/sat/dimacs.h"
+#include "src/sat/portfolio.h"
 #include "src/sat/solver.h"
 
 namespace inflog {
@@ -247,6 +248,266 @@ TEST(SolverTest, StatsAccumulate) {
   EXPECT_GT(s.stats().conflicts, 0u);
   EXPECT_GT(s.stats().decisions, 0u);
   EXPECT_GT(s.stats().propagations, 0u);
+}
+
+// --- Preprocessing front-end. ---
+
+TEST(PreprocessTest, PureLiteralsLeaveSatisfiableResidue) {
+  SolverOptions opts;
+  opts.preprocess = true;
+  Solver s(opts);
+  Cnf cnf;
+  const Var x = cnf.NewVar(), y = cnf.NewVar(), z = cnf.NewVar();
+  cnf.AddClause({Pos(x), Pos(y)});
+  cnf.AddClause({Pos(x), Neg(z)});
+  s.AddCnf(cnf);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  // The reconstructed model must satisfy the ORIGINAL clauses even though
+  // x is pure (and y, z may be eliminated too).
+  EXPECT_TRUE(cnf.IsSatisfiedBy(s.Model()));
+}
+
+TEST(PreprocessTest, BveReconstructsEliminatedVariables) {
+  SolverOptions opts;
+  opts.preprocess = true;
+  Solver s(opts);
+  Cnf cnf;
+  // x occurs once per polarity: NiVER resolves it away, replacing
+  // (x ∨ a)(¬x ∨ b) with (a ∨ b). The model must still assign x a value
+  // satisfying both original clauses.
+  const Var x = cnf.NewVar(), a = cnf.NewVar(), b = cnf.NewVar();
+  cnf.AddClause({Pos(x), Pos(a)});
+  cnf.AddClause({Neg(x), Pos(b)});
+  cnf.AddClause({Neg(a), Pos(b)});
+  cnf.AddClause({Pos(a), Neg(b)});
+  s.AddCnf(cnf);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(cnf.IsSatisfiedBy(s.Model()));
+}
+
+TEST(PreprocessTest, DetectsRootUnsat) {
+  SolverOptions opts;
+  opts.preprocess = true;
+  Solver s(opts);
+  const Var x = s.NewVar(), y = s.NewVar();
+  s.AddClause({Pos(x), Pos(y)});
+  s.AddClause({Pos(x), Neg(y)});
+  s.AddClause({Neg(x), Pos(y)});
+  s.AddClause({Neg(x), Neg(y)});
+  EXPECT_EQ(s.Solve(), SolveResult::kUnsat);
+}
+
+TEST(PreprocessTest, FrozenVariablesStayAssumable) {
+  SolverOptions opts;
+  opts.preprocess = true;
+  Solver s(opts);
+  const Var x = s.NewVar(), y = s.NewVar();
+  s.AddClause({Pos(x), Pos(y)});
+  s.FreezeVar(x);
+  s.FreezeVar(y);
+  ASSERT_EQ(s.Solve({Neg(x)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(y));
+  ASSERT_EQ(s.Solve({Neg(x), Neg(y)}), SolveResult::kUnsat);
+  // Incremental clause addition over frozen vars after preprocessing.
+  ASSERT_TRUE(s.AddClause({Neg(x)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(y));
+}
+
+TEST(PreprocessTest, ReportsEliminationStats) {
+  SolverOptions opts;
+  opts.preprocess = true;
+  Solver s(opts);
+  // A unit chain: root BCP forces everything, removing every clause.
+  std::vector<Var> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.NewVar());
+  s.AddClause({Pos(v[0])});
+  for (int i = 0; i + 1 < 10; ++i) s.AddClause({Neg(v[i]), Pos(v[i + 1])});
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_GT(s.stats().preprocess_clauses_removed, 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.ModelValue(v[i]));
+}
+
+// --- Differential: the modern configurations must agree with the raw
+// solver on hundreds of random instances, and every model must satisfy
+// the ORIGINAL clauses (exercising reconstruction end to end). ---
+
+TEST(PreprocessDifferentialTest, AgreesWithRawSolverAcross500Instances) {
+  for (int seed = 0; seed < 500; ++seed) {
+    Rng rng(seed * 104729 + 7);
+    const int n = 6 + static_cast<int>(rng.Uniform(9));  // 6..14 vars
+    const int m = static_cast<int>(n * (2.0 + (seed % 5)));
+    Cnf cnf = Random3Sat(n, m, &rng);
+
+    Solver raw;
+    raw.AddCnf(cnf);
+    const SolveResult expected = raw.Solve();
+    ASSERT_NE(expected, SolveResult::kUnknown) << "seed=" << seed;
+
+    SolverOptions pre_opts;
+    pre_opts.preprocess = true;
+    Solver pre(pre_opts);
+    pre.AddCnf(cnf);
+    ASSERT_EQ(pre.Solve(), expected) << "seed=" << seed;
+    if (expected == SolveResult::kSat) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(pre.Model())) << "seed=" << seed;
+    }
+
+    // Every tenth instance also races a preprocessed portfolio, keeping
+    // the thread churn bounded.
+    if (seed % 10 == 0) {
+      SolverOptions port_opts;
+      port_opts.preprocess = true;
+      port_opts.portfolio_threads = 3;
+      PortfolioSolver port(port_opts);
+      port.AddCnf(cnf);
+      ASSERT_EQ(port.Solve(), expected) << "seed=" << seed;
+      if (expected == SolveResult::kSat) {
+        EXPECT_TRUE(cnf.IsSatisfiedBy(port.Model())) << "seed=" << seed;
+      }
+    }
+  }
+}
+
+// --- Learnt-clause deletion and arena garbage collection. ---
+
+TEST(ReduceDbTest, DeletesLearntsAndKeepsVerdict) {
+  SolverOptions keep;
+  keep.reduce_db = false;
+  Solver baseline(keep);
+  baseline.AddCnf(Pigeonhole(6));
+
+  SolverOptions del;
+  del.reduce_db = true;
+  del.reduce_base = 100;
+  del.reduce_inc = 50;
+  Solver reducing(del);
+  reducing.AddCnf(Pigeonhole(6));
+
+  ASSERT_EQ(baseline.Solve(), SolveResult::kUnsat);
+  ASSERT_EQ(reducing.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(reducing.stats().db_reductions, 0u);
+  EXPECT_GT(reducing.stats().deleted_clauses, 0u);
+  // Live learnts never exceed learned minus deleted (root-satisfied
+  // removal can only shrink the list further).
+  EXPECT_LE(reducing.num_learnts(),
+            reducing.stats().learned_clauses -
+                reducing.stats().deleted_clauses);
+}
+
+TEST(ReduceDbTest, GarbageCollectionCompactsArena) {
+  // Same instance, deletion on vs off: the reducing solver's arena must
+  // end strictly smaller — each reduction copies only live clauses into a
+  // fresh arena. Both runs are deterministic, so this is stable.
+  SolverOptions keep;
+  keep.reduce_db = false;
+  Solver baseline(keep);
+  baseline.AddCnf(Pigeonhole(6));
+  ASSERT_EQ(baseline.Solve(), SolveResult::kUnsat);
+
+  SolverOptions del;
+  del.reduce_db = true;
+  del.reduce_base = 100;
+  del.reduce_inc = 50;
+  Solver reducing(del);
+  reducing.AddCnf(Pigeonhole(6));
+  ASSERT_EQ(reducing.Solve(), SolveResult::kUnsat);
+
+  ASSERT_GT(reducing.stats().db_reductions, 0u);
+  EXPECT_LT(reducing.arena_words(), baseline.arena_words());
+}
+
+TEST(ReduceDbTest, SolverStaysUsableAfterReduction) {
+  SolverOptions del;
+  del.reduce_db = true;
+  del.reduce_base = 100;
+  del.reduce_inc = 50;
+  Solver s(del);
+  Cnf cnf = Pigeonhole(4);
+  cnf.clauses.erase(cnf.clauses.begin());  // satisfiable variant
+  s.AddCnf(cnf);
+  // Drive conflicts with repeated blocking to cross the reduce threshold,
+  // checking every model against the (incrementally growing) clause set.
+  int models = 0;
+  while (s.Solve() == SolveResult::kSat && models < 2000) {
+    ++models;
+    EXPECT_TRUE(cnf.IsSatisfiedBy(s.Model()));
+    Clause block;
+    for (Var v = 0; v < s.num_vars(); ++v) {
+      block.push_back(s.ModelValue(v) ? Neg(v) : Pos(v));
+    }
+    if (!s.AddClause(block)) break;
+  }
+  EXPECT_GT(models, 0);
+  EXPECT_LT(models, 2000);  // enumeration terminated
+}
+
+// --- Portfolio. ---
+
+TEST(PortfolioTest, WidthOneReproducesPlainSolver) {
+  Solver plain;
+  plain.AddCnf(Pigeonhole(5));
+  SolverOptions popts;
+  popts.portfolio_threads = 1;
+  PortfolioSolver port(popts);
+  port.AddCnf(Pigeonhole(5));
+  ASSERT_EQ(plain.Solve(), SolveResult::kUnsat);
+  ASSERT_EQ(port.Solve(), SolveResult::kUnsat);
+  // Bit-identical search, not just the same verdict.
+  EXPECT_EQ(port.stats().conflicts, plain.stats().conflicts);
+  EXPECT_EQ(port.stats().decisions, plain.stats().decisions);
+  EXPECT_EQ(port.stats().propagations, plain.stats().propagations);
+}
+
+TEST(PortfolioTest, RacedMembersAgreeOnVerdict) {
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 31337 + 5);
+    Cnf cnf = Random3Sat(10, 10 * (3 + seed % 3), &rng);
+    Solver single;
+    single.AddCnf(cnf);
+    const SolveResult expected = single.Solve();
+    SolverOptions popts;
+    popts.portfolio_threads = 4;
+    PortfolioSolver port(popts);
+    port.AddCnf(cnf);
+    ASSERT_EQ(port.Solve(), expected) << "seed=" << seed;
+    if (expected == SolveResult::kSat) {
+      EXPECT_TRUE(cnf.IsSatisfiedBy(port.Model())) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(PortfolioTest, SupportsAssumptionsAndIncrementalClauses) {
+  SolverOptions popts;
+  popts.portfolio_threads = 2;
+  PortfolioSolver s(popts);
+  const Var x = s.NewVar(), y = s.NewVar();
+  ASSERT_TRUE(s.AddClause({Pos(x), Pos(y)}));
+  ASSERT_EQ(s.Solve({Neg(x)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(y));
+  ASSERT_EQ(s.Solve({Neg(x), Neg(y)}), SolveResult::kUnsat);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  ASSERT_TRUE(s.AddClause({Neg(x)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(y));
+}
+
+TEST(PortfolioTest, ModelEnumerationWithBlockingClauses) {
+  SolverOptions popts;
+  popts.portfolio_threads = 2;
+  PortfolioSolver s(popts);
+  const Var x = s.NewVar(), y = s.NewVar(), z = s.NewVar();
+  s.AddClause({Pos(x), Pos(y)});
+  int models = 0;
+  while (s.Solve() == SolveResult::kSat && models < 100) {
+    ++models;
+    Clause block;
+    for (Var v : {x, y, z}) {
+      block.push_back(s.ModelValue(v) ? Neg(v) : Pos(v));
+    }
+    if (!s.AddClause(block)) break;
+  }
+  EXPECT_EQ(models, 6);
 }
 
 // --- DIMACS. ---
