@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E13) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E14) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
 #   {"bench":"e7_distance_query","threads":8,"shards":1,
@@ -150,6 +150,30 @@ case "$sat_portfolio" in
     ;;
 esac
 
+# The serving configuration the run was driven with: `serve_threads`
+# records the reader thread count (mirrors the CLI's --serve-threads;
+# E14 sweeps 1..8 itself and carries the count in its counters) and
+# `cache` whether the epoch-keyed query cache was on (1, the serving
+# default) or off (0, --serve-cache=0). Trajectory metadata like
+# updates/incremental above.
+serve_threads="${INFLOG_SERVE_THREADS:-1}"
+case "$serve_threads" in
+  ''|0|*[!0-9]*)
+    echo "error: INFLOG_SERVE_THREADS must be a positive integer," \
+      "got '$serve_threads'" >&2
+    exit 1
+    ;;
+esac
+
+cache="${INFLOG_CACHE:-1}"
+case "$cache" in
+  0|1) ;;
+  *)
+    echo "error: INFLOG_CACHE must be 0 or 1, got '$cache'" >&2
+    exit 1
+    ;;
+esac
+
 # The plan-optimizer pass selection ("all", "none", or a comma list of
 # dce/reorder/share — mirrors the library's --optimize flag).
 optimize="${INFLOG_OPTIMIZE:-all}"
@@ -190,10 +214,10 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     # A filter that matches nothing leaves the binary silent; keep one
     # line per bench anyway so trajectories stay aligned.
     printf \
-      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"optimize":"%s","updates":%s,"incremental":%s,"sat_preprocess":%s,"sat_portfolio":%s,"context":null,"benchmarks":[]}\n' \
+      '{"bench":"%s","threads":%s,"shards":%s,"scheduler":"%s","steal_variance":%s,"optimize":"%s","updates":%s,"incremental":%s,"sat_preprocess":%s,"sat_portfolio":%s,"serve_threads":%s,"cache":%s,"context":null,"benchmarks":[]}\n' \
       "$name" "$threads" "$shards" "$scheduler" "$steal_variance" \
       "$optimize" "$updates" "$incremental" "$sat_preprocess" \
-      "$sat_portfolio"
+      "$sat_portfolio" "$serve_threads" "$cache"
     continue
   fi
   jq -c --arg bench "$name" --argjson threads "$threads" \
@@ -202,10 +226,12 @@ for bin in "$build_dir"/e[0-9]_* "$build_dir"/e[0-9][0-9]_*; do
     --argjson updates "$updates" --argjson incremental "$incremental" \
     --argjson sat_preprocess "$sat_preprocess" \
     --argjson sat_portfolio "$sat_portfolio" \
+    --argjson serve_threads "$serve_threads" --argjson cache "$cache" \
     '{bench: $bench, threads: $threads, shards: $shards,
       scheduler: $scheduler, steal_variance: $steal_variance,
       optimize: $optimize, updates: $updates, incremental: $incremental,
       sat_preprocess: $sat_preprocess, sat_portfolio: $sat_portfolio,
+      serve_threads: $serve_threads, cache: $cache,
       context: .context, benchmarks: .benchmarks}' <<<"$out"
 done
 

@@ -9,6 +9,8 @@
 //     [--sat-preprocess=0|1] [--sat-deletion=0|1] [--sat-portfolio=K]
 //     [--sat-reduce-interval=N] [--dump-cnf=FILE]
 //     [--apply-updates=FILE] [--verify-incremental]
+//     [--serve] [--serve-threads=N] [--serve-cache=0|1]
+//     [--compact-threshold=F] [--update-batch=N]
 //     PROGRAM.dlog DATABASE.facts [SEMANTICS]
 //
 // SEMANTICS is one of:
@@ -69,6 +71,30 @@
 // counters follow. --verify-incremental cross-checks every maintained
 // update against a from-scratch evaluation (expensive — each update then
 // costs a full recompute; meant for tests and oracle sweeps).
+// --update-batch=N coalesces every N consecutive update lines into one
+// batch before applying (net-delta semantics: deletes apply first,
+// inserts win within the window), and --compact-threshold=F compacts any
+// relation whose dead-row share exceeds F after an update (default 0.3;
+// 0 disables) — both apply to --apply-updates and --serve alike.
+//
+// --serve switches into serving mode: the program is evaluated once,
+// published as epoch snapshot 0, and newline-delimited commands are read
+// from stdin:
+//   ?T(1,X)            point/join query (same term syntax as rules);
+//                      prints "[epoch E] ?T(1,X) = {...}" (sets render
+//                      exactly like the batch-mode relation printout,
+//                      ground queries print true/false)
+//   +E(1,2) -E(2,3)    one update batch (same syntax as --apply-updates);
+//                      publishes the next epoch when the batch window
+//                      flushes
+//   .epoch / .stats / .flush   print the current epoch / the serve
+//                      counters / flush a partial update window
+// Consecutive query lines form a group evaluated concurrently by
+// --serve-threads=N reader threads against one pinned snapshot; answers
+// print in input order and are bit-identical to a fresh batch evaluation
+// of that epoch regardless of N. --serve-cache=0 disables the
+// delta-invalidated query-result cache (answers are identical either
+// way; only the cache_* counters change).
 //
 // Examples (data files ship in examples/data/):
 //   inflog_cli data/pi1.dlog data/path6.facts fixpoints
@@ -86,6 +112,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/thread_pool.h"
 #include "src/core/engine.h"
 #include "src/sat/dimacs.h"
 
@@ -143,6 +170,11 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   std::string apply_updates;  // empty = plain one-shot evaluation
   bool verify_incremental = false;
+  bool serve_mode = false;
+  size_t serve_threads = 1;  // reader threads for serve-mode query groups
+  size_t serve_cache = 1;    // query-result cache on/off
+  double compact_threshold = 0.3;  // dead-row share; 0 disables
+  size_t update_batch = 1;         // update lines coalesced per ApplyUpdate
   // CDCL core knobs for the SAT-backed modes; the defaults match
   // sat::SolverOptions (preprocessing off, deletion on, plain solver).
   size_t sat_preprocess = 0;
@@ -191,6 +223,35 @@ int main(int argc, char** argv) {
     }
     if (arg == "--verify-incremental") {
       verify_incremental = true;
+      continue;
+    }
+    if (arg == "--serve") {
+      serve_mode = true;
+      continue;
+    }
+    if (arg == "--compact-threshold" ||
+        arg.rfind("--compact-threshold=", 0) == 0) {
+      std::string value;
+      if (arg == "--compact-threshold") {  // two-token form
+        if (i + 1 >= argc) {
+          std::cerr << "error: --compact-threshold requires a value\n";
+          return 2;
+        }
+        value = argv[++i];
+      } else {
+        value = arg.substr(sizeof("--compact-threshold=") - 1);
+      }
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || !std::isfinite(v) || v < 0 || v > 1) {
+        std::cerr << "error: --compact-threshold expects a number in "
+                     "[0, 1], got '"
+                  << value << "'\n";
+        return 2;
+      }
+      compact_threshold = v;
       continue;
     }
     if (arg == "--apply-updates" || arg.rfind("--apply-updates=", 0) == 0) {
@@ -341,6 +402,17 @@ int main(int argc, char** argv) {
       handled =
           flag_value("--sat-reduce-interval", 1 << 20, &sat_reduce_interval);
     }
+    if (handled == 0) {
+      // 64 reader threads is far beyond any sensible CLI use and keeps
+      // typos from spawning thousands.
+      handled = flag_value("--serve-threads", 64, &serve_threads);
+    }
+    if (handled == 0) {
+      handled = flag_value("--serve-cache", 1, &serve_cache);
+    }
+    if (handled == 0) {
+      handled = flag_value("--update-batch", 1 << 20, &update_batch);
+    }
     if (handled < 0) return 2;
     if (handled > 0) continue;
     args.push_back(arg);
@@ -360,7 +432,10 @@ int main(int argc, char** argv) {
                  "share] [--query=NAMES] [--reject-unsafe-negation] "
                  "[--stats] [--sat-preprocess=0|1] [--sat-deletion=0|1] "
                  "[--sat-portfolio=K] [--sat-reduce-interval=N] "
-                 "[--dump-cnf=FILE] "
+                 "[--dump-cnf=FILE] [--apply-updates=FILE] "
+                 "[--verify-incremental] [--serve] [--serve-threads=N] "
+                 "[--serve-cache=0|1] [--compact-threshold=F] "
+                 "[--update-batch=N] "
                  "PROGRAM.dlog DATABASE.facts "
                  "[inflationary|stratified|wellfounded|stable|fixpoints|"
                  "analyze]\n";
@@ -427,21 +502,162 @@ int main(int argc, char** argv) {
     options.optimizer_passes = optimizer_passes;
     options.output_predicates = g_query;
     options.sat = sat_options;
+    if (serve_mode && !apply_updates.empty()) {
+      std::cerr << "error: --serve and --apply-updates are exclusive\n";
+      return 2;
+    }
+    // One update summary line per flushed batch, shared by the
+    // --apply-updates loop and serve mode.
+    size_t update_no = 0;
+    auto print_update = [&](const inflog::UpdateResult& result) {
+      const inflog::EvalStats& s = result.stats;
+      std::cout << "update " << ++update_no << ": edb +"
+                << s.incremental_edb_inserted << " -"
+                << s.incremental_edb_deleted << ", idb +"
+                << s.incremental_idb_inserted << " -"
+                << s.incremental_idb_deleted;
+      if (result.used_oracle) {
+        std::cout << " (oracle recompute)";
+      } else {
+        std::cout << " (counting units " << s.incremental_counting_units
+                  << ", dred units " << s.incremental_dred_units << ")";
+      }
+      std::cout << "\n";
+    };
+    auto print_serve_stats = [](const inflog::EvalStats& s) {
+      std::cout << "serve stats:\n"
+                << "  serve_epochs_published " << s.serve_epochs_published
+                << "\n"
+                << "  serve_snapshots_pinned " << s.serve_snapshots_pinned
+                << "\n"
+                << "  serve_queries          " << s.serve_queries << "\n"
+                << "  serve_updates          " << s.serve_updates << "\n"
+                << "  serve_batched_updates  " << s.serve_batched_updates
+                << "\n"
+                << "  serve_compactions      " << s.serve_compactions << "\n"
+                << "  cache_hits             " << s.cache_hits << "\n"
+                << "  cache_misses           " << s.cache_misses << "\n"
+                << "  cache_invalidations    " << s.cache_invalidations
+                << "\n";
+    };
+    if (serve_mode) {
+      options.verify_incremental = verify_incremental;
+      // Output predicates would let dead-rule elimination drop rules the
+      // maintainer needs intact; the session maintains every IDB.
+      options.output_predicates.clear();
+      options.serving.cache = serve_cache != 0;
+      options.serving.compact_threshold = compact_threshold;
+      options.serving.update_batch = update_batch == 0 ? 1 : update_batch;
+      if (auto s = engine.BeginServing(*kind, options); !s.ok()) {
+        return Fail(s);
+      }
+      auto serving = engine.serving();
+      if (!serving.ok()) return Fail(serving.status());
+      inflog::serve::ServingSession* session = *serving;
+      inflog::ThreadPool pool(serve_threads == 0 ? 0 : serve_threads - 1);
+      std::cout << "serving epoch " << session->epoch() << " ("
+                << inflog::SemanticsKindName(*kind) << ", "
+                << (serve_threads == 0 ? size_t{1} : serve_threads)
+                << " reader thread(s), cache "
+                << (serve_cache != 0 ? "on" : "off") << ")\n";
+      // Consecutive query lines form a group: all of them evaluate
+      // against ONE pinned snapshot, concurrently across the reader
+      // threads, and print in input order.
+      std::vector<std::string> group;
+      auto run_group = [&] {
+        if (group.empty()) return;
+        const inflog::serve::SnapshotHandle snap = session->Pin();
+        std::vector<std::string> rendered(group.size());
+        std::vector<inflog::Status> errors(group.size(),
+                                           inflog::Status::OK());
+        pool.ParallelFor(group.size(), [&](size_t q) {
+          auto outcome = session->Query(group[q], snap);
+          if (outcome.ok()) {
+            rendered[q] = outcome->answer.rendered;
+          } else {
+            errors[q] = outcome.status();
+          }
+        });
+        for (size_t q = 0; q < group.size(); ++q) {
+          if (errors[q].ok()) {
+            std::cout << "[epoch " << snap->epoch() << "] " << group[q]
+                      << " = " << rendered[q] << "\n";
+          } else {
+            std::cout << "[epoch " << snap->epoch() << "] " << group[q]
+                      << " : error: " << errors[q].ToString() << "\n";
+          }
+        }
+        group.clear();
+      };
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        const size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        const size_t last = line.find_last_not_of(" \t");
+        const std::string trimmed = line.substr(first, last - first + 1);
+        if (trimmed[0] == '#') continue;
+        if (trimmed[0] == '?') {
+          group.push_back(trimmed);
+          continue;
+        }
+        run_group();  // updates and commands order against queries
+        if (trimmed == ".epoch") {
+          std::cout << "epoch " << session->epoch() << "\n";
+          continue;
+        }
+        if (trimmed == ".stats") {
+          print_serve_stats(session->stats());
+          continue;
+        }
+        if (trimmed == ".flush") {
+          auto flushed = session->Flush();
+          if (!flushed.ok()) return Fail(flushed.status());
+          if (flushed->has_value()) print_update(**flushed);
+          continue;
+        }
+        auto batch = inflog::ParseUpdateLine(trimmed, engine.symbols().get());
+        if (!batch.ok()) {
+          std::cout << "error: " << batch.status().ToString() << "\n";
+          continue;
+        }
+        if (batch->empty()) continue;
+        auto flushed = session->Enqueue(*batch);
+        // A failed ApplyUpdate leaves the maintained state inconsistent;
+        // stop serving instead of answering from it.
+        if (!flushed.ok()) return Fail(flushed.status());
+        if (flushed->has_value()) print_update(**flushed);
+      }
+      run_group();
+      auto tail = session->Flush();
+      if (!tail.ok()) return Fail(tail.status());
+      if (tail->has_value()) print_update(**tail);
+      if (print_stats) print_serve_stats(session->stats());
+      return 0;
+    }
     if (!apply_updates.empty()) {
       options.verify_incremental = verify_incremental;
       // Output predicates would let dead-rule elimination drop rules the
       // maintainer needs intact; the session maintains every IDB.
       options.output_predicates.clear();
-      if (auto s = engine.BeginIncremental(*kind, options); !s.ok()) {
+      // Updates route through the serving layer (cache off — nothing
+      // queries it here) so --compact-threshold and --update-batch apply
+      // to file-driven streams too; with the defaults the output is
+      // line-identical to the pre-serving incremental loop.
+      options.serving.cache = false;
+      options.serving.compact_threshold = compact_threshold;
+      options.serving.update_batch = update_batch == 0 ? 1 : update_batch;
+      if (auto s = engine.BeginServing(*kind, options); !s.ok()) {
         return Fail(s);
       }
+      auto serving = engine.serving();
+      if (!serving.ok()) return Fail(serving.status());
+      inflog::serve::ServingSession* session = *serving;
       std::ifstream updates(apply_updates);
       if (!updates) {
         return Fail(inflog::Status::NotFound("cannot open " + apply_updates));
       }
       std::string line;
       size_t line_no = 0;
-      size_t update_no = 0;
       while (std::getline(updates, line)) {
         ++line_no;
         auto batch = inflog::ParseUpdateLine(line, engine.symbols().get());
@@ -451,26 +667,17 @@ int main(int argc, char** argv) {
           return 1;
         }
         if (batch->empty()) continue;  // blank / comment line
-        auto result = engine.ApplyUpdate(*batch);
-        if (!result.ok()) {
+        auto flushed = session->Enqueue(*batch);
+        if (!flushed.ok()) {
           std::cerr << "error: " << apply_updates << ":" << line_no << ": "
-                    << result.status().ToString() << "\n";
+                    << flushed.status().ToString() << "\n";
           return 1;
         }
-        const inflog::EvalStats& s = result->stats;
-        std::cout << "update " << ++update_no << ": edb +"
-                  << s.incremental_edb_inserted << " -"
-                  << s.incremental_edb_deleted << ", idb +"
-                  << s.incremental_idb_inserted << " -"
-                  << s.incremental_idb_deleted;
-        if (result->used_oracle) {
-          std::cout << " (oracle recompute)";
-        } else {
-          std::cout << " (counting units " << s.incremental_counting_units
-                    << ", dred units " << s.incremental_dred_units << ")";
-        }
-        std::cout << "\n";
+        if (flushed->has_value()) print_update(**flushed);
       }
+      auto tail = session->Flush();
+      if (!tail.ok()) return Fail(tail.status());
+      if (tail->has_value()) print_update(**tail);
       auto state = engine.IncrementalState();
       if (!state.ok()) return Fail(state.status());
       std::cout << "maintained state after " << update_no << " update(s):\n";
@@ -505,6 +712,7 @@ int main(int argc, char** argv) {
                   << "  derivations            " << s.derivations << "\n"
                   << "  rows_matched           " << s.rows_matched << "\n"
                   << "  index_probes           " << s.index_lookups << "\n";
+        print_serve_stats(session->stats());
       }
       return 0;
     }

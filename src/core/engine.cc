@@ -35,7 +35,8 @@ Engine::Engine()
 
 Status Engine::LoadProgramText(std::string_view text) {
   INFLOG_ASSIGN_OR_RETURN(Program program, ParseProgram(text, symbols_));
-  incremental_.reset();  // the session borrows the program being replaced
+  incremental_.reset();  // the sessions borrow the program being replaced
+  serving_.reset();
   program_.emplace(std::move(program));
   return Status::OK();
 }
@@ -46,13 +47,15 @@ Status Engine::LoadProgram(Program program) {
         "program was built over a different symbol table; construct it "
         "with Engine::symbols()");
   }
-  incremental_.reset();  // the session borrows the program being replaced
+  incremental_.reset();  // the sessions borrow the program being replaced
+  serving_.reset();
   program_.emplace(std::move(program));
   return Status::OK();
 }
 
 Status Engine::LoadDatabaseText(std::string_view text) {
   incremental_.reset();  // facts added behind ApplyUpdate go unmaintained
+  serving_.reset();
   return ParseDatabaseInto(text, &database_);
 }
 
@@ -212,9 +215,12 @@ Result<StableResult> Engine::StableModels(
   return EnumerateStableModels(*p, database_, options);
 }
 
-Status Engine::BeginIncremental(SemanticsKind kind,
-                                const EvalOptions& options) {
-  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+namespace {
+
+/// The shared EvalOptions -> IncrementalOptions mapping of
+/// BeginIncremental and BeginServing.
+IncrementalOptions MakeIncrementalOptions(SemanticsKind kind,
+                                          const EvalOptions& options) {
   IncrementalOptions opts;
   switch (kind) {
     case SemanticsKind::kInflationary:
@@ -243,15 +249,74 @@ Status Engine::BeginIncremental(SemanticsKind kind,
   opts.wellfounded = options.wellfounded;
   opts.stable = options.stable;
   opts.stable.analyze.solver = options.sat;
+  return opts;
+}
+
+}  // namespace
+
+Status Engine::BeginIncremental(SemanticsKind kind,
+                                const EvalOptions& options) {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
   if (options.reject_unsafe_negation) {
     INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*p));
   }
-  INFLOG_ASSIGN_OR_RETURN(incremental_,
-                          IncrementalSession::Create(*p, &database_, opts));
+  serving_.reset();  // both sessions borrow the same live database
+  INFLOG_ASSIGN_OR_RETURN(
+      incremental_,
+      IncrementalSession::Create(*p, &database_,
+                                 MakeIncrementalOptions(kind, options)));
   return Status::OK();
 }
 
+Status Engine::BeginServing(SemanticsKind kind, const EvalOptions& options) {
+  INFLOG_ASSIGN_OR_RETURN(const Program* p, program());
+  if (options.reject_unsafe_negation) {
+    INFLOG_RETURN_IF_ERROR(CheckNegationSafety(*p));
+  }
+  incremental_.reset();  // both sessions borrow the same live database
+  INFLOG_ASSIGN_OR_RETURN(
+      serving_,
+      serve::ServingSession::Create(*p, &database_,
+                                    MakeIncrementalOptions(kind, options),
+                                    options.serving));
+  return Status::OK();
+}
+
+Result<serve::SnapshotHandle> Engine::Open() const {
+  if (serving_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no serving session; call BeginServing first");
+  }
+  return serving_->Pin();
+}
+
+Result<serve::QueryOutcome> Engine::Query(
+    std::string_view line, const serve::SnapshotHandle& snap) const {
+  if (serving_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no serving session; call BeginServing first");
+  }
+  return serving_->Query(line, snap);
+}
+
+Result<serve::QueryOutcome> Engine::Query(std::string_view line) const {
+  if (serving_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no serving session; call BeginServing first");
+  }
+  return serving_->Query(line);
+}
+
+Result<serve::ServingSession*> Engine::serving() const {
+  if (serving_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no serving session; call BeginServing first");
+  }
+  return serving_.get();
+}
+
 Result<UpdateResult> Engine::ApplyUpdate(const UpdateBatch& batch) {
+  if (serving_ != nullptr) return serving_->ApplyUpdate(batch);
   if (incremental_ == nullptr) {
     return Status::FailedPrecondition(
         "no incremental session; call BeginIncremental first");
@@ -269,6 +334,7 @@ Result<UpdateResult> Engine::ApplyUpdate(
 }
 
 Result<const IdbState*> Engine::IncrementalState() const {
+  if (serving_ != nullptr) return &serving_->incremental().state();
   if (incremental_ == nullptr) {
     return Status::FailedPrecondition("no incremental session");
   }
@@ -276,6 +342,7 @@ Result<const IdbState*> Engine::IncrementalState() const {
 }
 
 Result<const EvalStats*> Engine::IncrementalStats() const {
+  if (serving_ != nullptr) return &serving_->incremental().cumulative_stats();
   if (incremental_ == nullptr) {
     return Status::FailedPrecondition("no incremental session");
   }

@@ -38,6 +38,7 @@
 #include "src/fixpoint/analysis.h"
 #include "src/opt/passes.h"
 #include "src/relation/database.h"
+#include "src/serve/serving.h"
 
 namespace inflog {
 
@@ -110,6 +111,10 @@ struct EvalOptions {
   /// expensive (each update costs a full evaluation), meant for tests and
   /// the E13 oracle sweeps.
   bool verify_incremental = false;
+  /// Serving-layer tuning (query cache, periodic compaction, update
+  /// coalescing). Consulted by BeginServing only; the query answers are
+  /// bit-identical for every setting.
+  serve::ServingTuning serving;
   /// CDCL solver configuration for the SAT-backed stable pipeline
   /// (preprocessing, learnt-clause deletion, portfolio width, budgets).
   /// Authoritative for Evaluate(): it overrides the solver options nested
@@ -210,8 +215,9 @@ class Engine {
   Status BeginIncremental(SemanticsKind kind, const EvalOptions& options = {});
 
   /// Applies one batch of EDB changes to the database and brings the
-  /// maintained state up to date. FailedPrecondition before
-  /// BeginIncremental.
+  /// maintained state up to date. In serving mode this also publishes
+  /// the next epoch snapshot and advances the query cache.
+  /// FailedPrecondition before BeginIncremental/BeginServing.
   Result<UpdateResult> ApplyUpdate(const UpdateBatch& batch);
 
   /// Convenience overload building the batch in place.
@@ -234,6 +240,41 @@ class Engine {
   /// state behind its back.
   void EndIncremental() { incremental_.reset(); }
 
+  // --- Serving (epoch snapshots + concurrent readers). ---
+
+  /// Evaluates the loaded program once under `kind` and switches the
+  /// engine into serving mode: the materialized result is published as
+  /// epoch snapshot 0, ApplyUpdate maintains it incrementally and
+  /// publishes the next epoch, and any number of threads may Open pinned
+  /// snapshots and Query them concurrently with the writer. Replaces any
+  /// previous serving or incremental session. Tuning (query cache,
+  /// periodic compaction, update coalescing) comes from
+  /// `options.serving`.
+  Status BeginServing(SemanticsKind kind, const EvalOptions& options = {});
+
+  /// Pins the current epoch snapshot; the epoch stays alive while the
+  /// handle does. Safe from any thread. FailedPrecondition when no
+  /// serving session is active.
+  Result<serve::SnapshotHandle> Open() const;
+
+  /// Parses and evaluates one `?...` query line against `snap` (from
+  /// Open), consulting the serving cache. Safe from any thread.
+  Result<serve::QueryOutcome> Query(std::string_view line,
+                                    const serve::SnapshotHandle& snap) const;
+
+  /// Convenience: Open() + Query against the current epoch.
+  Result<serve::QueryOutcome> Query(std::string_view line) const;
+
+  /// The serving session, for callers that drive coalescing/flush or
+  /// read the registry directly. FailedPrecondition when inactive.
+  Result<serve::ServingSession*> serving() const;
+
+  bool HasServingSession() const { return serving_ != nullptr; }
+
+  /// Drops the serving session. Outstanding snapshot handles stay valid
+  /// (they own their sealed state); only publication stops.
+  void EndServing() { serving_.reset(); }
+
   // --- Fixpoint analysis (Section 3). ---
 
   /// Builds a fixpoint analyzer for the loaded (program, database). The
@@ -251,6 +292,7 @@ class Engine {
   Database database_;
   std::optional<Program> program_;
   std::unique_ptr<IncrementalSession> incremental_;
+  std::unique_ptr<serve::ServingSession> serving_;
 };
 
 }  // namespace inflog

@@ -106,6 +106,22 @@ struct EvalStats {
   uint64_t sat_preprocess_clauses_removed = 0;    ///< Net clause-count
                                                   ///< drop from
                                                   ///< preprocessing.
+  // Serving-layer counters (src/serve/), filled by ServingSession. Like
+  // the scheduler counters, they describe how the session was driven
+  // (thread count, cache on/off, batching window) — the query answers
+  // themselves are bit-identical across every configuration.
+  uint64_t serve_epochs_published = 0;  ///< Snapshots sealed and swapped in.
+  uint64_t serve_snapshots_pinned = 0;  ///< Pin calls readers made.
+  uint64_t serve_queries = 0;           ///< Queries evaluated (or served
+                                        ///< from cache).
+  uint64_t serve_updates = 0;           ///< Update lines accepted.
+  uint64_t serve_batched_updates = 0;   ///< Update lines coalesced into a
+                                        ///< larger batch (update_batch>1).
+  uint64_t serve_compactions = 0;       ///< Relations compacted by the
+                                        ///< periodic schedule.
+  uint64_t cache_hits = 0;           ///< Query-cache lookups that hit.
+  uint64_t cache_misses = 0;         ///< Lookups that evaluated instead.
+  uint64_t cache_invalidations = 0;  ///< Entries killed by net deltas.
   /// Histogram of executed delta-slice sizes: bucket k counts slices with
   /// row count in [2^k, 2^(k+1)), the last bucket everything larger.
   static constexpr size_t kSliceHistBuckets = 17;
@@ -162,6 +178,15 @@ struct EvalStats {
     sat_deleted += other.sat_deleted;
     sat_preprocess_vars_eliminated += other.sat_preprocess_vars_eliminated;
     sat_preprocess_clauses_removed += other.sat_preprocess_clauses_removed;
+    serve_epochs_published += other.serve_epochs_published;
+    serve_snapshots_pinned += other.serve_snapshots_pinned;
+    serve_queries += other.serve_queries;
+    serve_updates += other.serve_updates;
+    serve_batched_updates += other.serve_batched_updates;
+    serve_compactions += other.serve_compactions;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    cache_invalidations += other.cache_invalidations;
     for (size_t i = 0; i < kSliceHistBuckets; ++i) {
       slice_hist[i] += other.slice_hist[i];
     }

@@ -583,6 +583,18 @@ Result<UpdateResult> IncrementalSession::ApplyUpdate(
     INFLOG_RETURN_IF_ERROR(FullRecompute(&st));
     st.incremental_oracle_runs++;
     result.used_oracle = true;
+    // A full recompute may move any IDB relation: report every one plus
+    // the EDB relations the batch actually changed.
+    for (const auto& [name, change] : edb) {
+      if (!change.del.empty() || !change.ins.empty()) {
+        result.changed_relations.push_back(name);
+      }
+    }
+    for (const uint32_t pred : program_->idb_predicates()) {
+      result.changed_relations.push_back(program_->predicate(pred).name);
+    }
+    std::sort(result.changed_relations.begin(),
+              result.changed_relations.end());
     cumulative_.Add(st);
     return result;
   }
@@ -631,6 +643,24 @@ Result<UpdateResult> IncrementalSession::ApplyUpdate(
     }
   }
 
+  // Report exactly what moved: EDB relations with a non-empty net delta
+  // and the predicates whose maintained delta is non-empty (`changed`
+  // holds the EDB seeds too, so dedupe after merging).
+  for (const auto& [name, change] : edb) {
+    if (!change.del.empty() || !change.ins.empty()) {
+      result.changed_relations.push_back(name);
+    }
+  }
+  for (const auto& [pred, delta] : changed) {
+    if (delta.any()) {
+      result.changed_relations.push_back(program_->predicate(pred).name);
+    }
+  }
+  std::sort(result.changed_relations.begin(), result.changed_relations.end());
+  result.changed_relations.erase(std::unique(result.changed_relations.begin(),
+                                             result.changed_relations.end()),
+                                 result.changed_relations.end());
+
   // Reclaim tombstone-heavy relations now that no delta ranges are live.
   for (auto& [name, change] : edb) {
     if (change.del.empty()) continue;
@@ -652,6 +682,27 @@ Result<UpdateResult> IncrementalSession::ApplyUpdate(
   }
   cumulative_.Add(st);
   return result;
+}
+
+size_t IncrementalSession::CompactDeadRelations(double threshold,
+                                                size_t min_rows) {
+  size_t compacted = 0;
+  const auto consider = [&](Relation* rel) {
+    const size_t dead = rel->dead_rows();
+    const size_t total = dead + rel->size();
+    if (total < min_rows || dead == 0) return;
+    if (static_cast<double>(dead) < threshold * static_cast<double>(total)) {
+      return;
+    }
+    rel->CompactDead();
+    ++compacted;
+  };
+  for (const std::string& name : database_->RelationNames()) {
+    const Result<Relation*> rel = database_->MutableRelation(name);
+    if (rel.ok()) consider(*rel);
+  }
+  for (Relation& rel : state_.relations) consider(&rel);
+  return compacted;
 }
 
 Status IncrementalSession::MaintainCounting(

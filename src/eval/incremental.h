@@ -90,6 +90,13 @@ struct UpdateResult {
   /// semantics, non-positive inflationary program, or universe growth
   /// under unsafe rules) instead of incremental maintenance.
   bool used_oracle = false;
+  /// Names of the relations whose contents this update actually changed:
+  /// the EDB relations with a non-empty net delta plus the IDB
+  /// predicates whose maintained state moved. The oracle path reports
+  /// conservatively (every updated EDB name plus every IDB predicate).
+  /// Sorted, deduplicated. The serving layer keys snapshot copy-reuse
+  /// and cache invalidation off this list.
+  std::vector<std::string> changed_relations;
   /// The update's counters: the incremental_* block plus the executor
   /// work the maintenance phases ran.
   EvalStats stats;
@@ -154,6 +161,13 @@ class IncrementalSession {
 
   /// The maintained IDB state (valid until the next ApplyUpdate).
   const IdbState& state() const { return state_; }
+
+  /// Compacts every EDB and maintained IDB relation whose dead-row share
+  /// exceeds `threshold` (dead / (dead + live), relations with at least
+  /// `min_rows` physical rows only). Returns the number of relations
+  /// compacted. Valid between updates (no delta ranges outstanding);
+  /// the serving layer calls this on its periodic compaction schedule.
+  size_t CompactDeadRelations(double threshold, size_t min_rows = 64);
 
   /// Counters accumulated across every ApplyUpdate of the session.
   const EvalStats& cumulative_stats() const { return cumulative_; }

@@ -1,0 +1,114 @@
+#include "src/serve/serving.h"
+
+#include <utility>
+
+namespace inflog {
+namespace serve {
+
+Result<std::unique_ptr<ServingSession>> ServingSession::Create(
+    const Program& program, Database* database,
+    const IncrementalOptions& options, const ServingTuning& tuning) {
+  INFLOG_ASSIGN_OR_RETURN(std::unique_ptr<IncrementalSession> session,
+                          IncrementalSession::Create(program, database,
+                                                     options));
+  auto serving = std::unique_ptr<ServingSession>(
+      new ServingSession(std::move(session), database, tuning));
+  // Epoch 0: everything is new, seal the full state.
+  serving->registry_.Publish(serving->session_->program(), *database,
+                             serving->session_->state(),
+                             /*changed_relations=*/nullptr,
+                             serving->stats());
+  return serving;
+}
+
+SnapshotHandle ServingSession::Pin() const { return registry_.Pin(); }
+
+Result<QueryOutcome> ServingSession::Query(std::string_view line,
+                                           const SnapshotHandle& snap) const {
+  INFLOG_ASSIGN_OR_RETURN(const ServeQuery query,
+                          ParseServeQuery(line, snap->symbols()));
+  QueryOutcome out;
+  out.epoch = snap->epoch();
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  if (tuning_.cache) {
+    std::optional<ServeAnswer> cached = cache_.Lookup(query.key, out.epoch);
+    if (cached.has_value()) {
+      out.cache_hit = true;
+      out.answer = std::move(*cached);
+      return out;
+    }
+  }
+  INFLOG_ASSIGN_OR_RETURN(out.answer,
+                          EvalServeQuery(query, session_->program(), *snap));
+  if (tuning_.cache) {
+    cache_.Insert(query.key, out.epoch, query.support, out.answer);
+  }
+  return out;
+}
+
+Result<QueryOutcome> ServingSession::Query(std::string_view line) const {
+  return Query(line, Pin());
+}
+
+Result<UpdateResult> ServingSession::ApplyUpdate(const UpdateBatch& batch,
+                                                 size_t lines) {
+  INFLOG_ASSIGN_OR_RETURN(UpdateResult result,
+                          session_->ApplyUpdate(batch));
+  updates_.fetch_add(lines, std::memory_order_relaxed);
+  if (lines > 1) batched_.fetch_add(lines, std::memory_order_relaxed);
+  if (tuning_.compact_threshold > 0) {
+    // Compaction changes the physical layout only, so relations it
+    // touches outside `changed_relations` still share the previous
+    // epoch's sealed copy (same logical content).
+    compactions_.fetch_add(
+        session_->CompactDeadRelations(tuning_.compact_threshold),
+        std::memory_order_relaxed);
+  }
+  const uint64_t next = registry_.Publish(
+      session_->program(), *database_, session_->state(),
+      &result.changed_relations, stats());
+  if (tuning_.cache) cache_.Advance(&result.changed_relations, next);
+  return result;
+}
+
+Result<std::optional<UpdateResult>> ServingSession::Enqueue(
+    const UpdateBatch& batch) {
+  if (tuning_.update_batch <= 1) {
+    INFLOG_ASSIGN_OR_RETURN(UpdateResult result, ApplyUpdate(batch, 1));
+    return std::optional<UpdateResult>(std::move(result));
+  }
+  pending_.inserts.insert(pending_.inserts.end(), batch.inserts.begin(),
+                          batch.inserts.end());
+  pending_.deletes.insert(pending_.deletes.end(), batch.deletes.begin(),
+                          batch.deletes.end());
+  ++pending_lines_;
+  if (pending_lines_ >= tuning_.update_batch) return Flush();
+  return std::optional<UpdateResult>();
+}
+
+Result<std::optional<UpdateResult>> ServingSession::Flush() {
+  if (pending_lines_ == 0) return std::optional<UpdateResult>();
+  const UpdateBatch batch = std::move(pending_);
+  const size_t lines = pending_lines_;
+  pending_ = UpdateBatch{};
+  pending_lines_ = 0;
+  INFLOG_ASSIGN_OR_RETURN(UpdateResult result, ApplyUpdate(batch, lines));
+  return std::optional<UpdateResult>(std::move(result));
+}
+
+EvalStats ServingSession::stats() const {
+  EvalStats st = session_->cumulative_stats();
+  st.serve_epochs_published = registry_.epochs_published();
+  st.serve_snapshots_pinned = registry_.pins();
+  st.serve_queries = queries_.load(std::memory_order_relaxed);
+  st.serve_updates = updates_.load(std::memory_order_relaxed);
+  st.serve_batched_updates = batched_.load(std::memory_order_relaxed);
+  st.serve_compactions = compactions_.load(std::memory_order_relaxed);
+  st.cache_hits = cache_.hits();
+  st.cache_misses = cache_.misses();
+  st.cache_invalidations = cache_.invalidations();
+  return st;
+}
+
+}  // namespace serve
+}  // namespace inflog

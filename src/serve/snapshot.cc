@@ -1,0 +1,156 @@
+#include "src/serve/snapshot.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/base/strings.h"
+
+namespace inflog {
+namespace serve {
+
+namespace {
+
+/// Copies a live relation into a sealed one: tombstones compacted away,
+/// every column index built, so post-seal reads are pure.
+std::shared_ptr<const Relation> Seal(const Relation& live) {
+  auto sealed = std::make_shared<Relation>(live);
+  sealed->CompactDead();
+  for (size_t col = 0; col < sealed->arity(); ++col) {
+    sealed->EnsureIndexed(col);
+  }
+  return sealed;
+}
+
+}  // namespace
+
+DatabaseSnapshot::~DatabaseSnapshot() {
+  if (live_ != nullptr) live_->fetch_sub(1, std::memory_order_relaxed);
+}
+
+Result<const Relation*> DatabaseSnapshot::Find(const Program& program,
+                                               std::string_view name) const {
+  const Result<uint32_t> pred = program.FindPredicate(name);
+  if (pred.ok()) {
+    const PredicateInfo& info = program.predicate(*pred);
+    if (info.is_idb) {
+      if (static_cast<size_t>(info.idb_index) >= idb_.size()) {
+        return Status::Internal(
+            StrCat("snapshot does not cover IDB predicate ", name));
+      }
+      return idb_[info.idb_index].get();
+    }
+  }
+  const auto it = edb_.find(name);
+  if (it != edb_.end()) return it->second.get();
+  return Status::NotFound(
+      StrCat("unknown relation in query: ", std::string(name)));
+}
+
+Result<Database> DatabaseSnapshot::ToDatabase() const {
+  // The rebuilt database gets its own symbol copy so the oracle run can
+  // never mutate the frozen table other readers share (ids are preserved,
+  // so tuples carry over verbatim).
+  Database db(std::make_shared<SymbolTable>(*symbols_));
+  for (const Value v : *universe_) db.AddUniverseValue(v);
+  for (const auto& [name, rel] : edb_) {
+    INFLOG_RETURN_IF_ERROR(db.DeclareRelation(name, rel->arity()));
+    for (size_t s = 0; s < rel->num_shards(); ++s) {
+      const Relation::ShardView view = rel->shard(s);
+      for (size_t r = 0; r < view.size(); ++r) {
+        if (!view.IsLive(r)) continue;
+        INFLOG_RETURN_IF_ERROR(db.AddFact(name, view.Row(r)));
+      }
+    }
+  }
+  return db;
+}
+
+SnapshotRegistry::SnapshotRegistry()
+    : live_(std::make_shared<std::atomic<int64_t>>(0)) {}
+
+uint64_t SnapshotRegistry::Publish(
+    const Program& program, const Database& database, const IdbState& state,
+    const std::vector<std::string>* changed_relations,
+    const EvalStats& stats) {
+  const std::unordered_set<std::string_view> changed =
+      changed_relations == nullptr
+          ? std::unordered_set<std::string_view>{}
+          : std::unordered_set<std::string_view>(changed_relations->begin(),
+                                                 changed_relations->end());
+  const bool all_changed = changed_relations == nullptr;
+  const DatabaseSnapshot* prev = writer_prev_.get();
+
+  auto snap = std::shared_ptr<DatabaseSnapshot>(new DatabaseSnapshot());
+  snap->epoch_ = prev == nullptr ? 0 : prev->epoch_ + 1;
+  snap->stats_ = stats;
+
+  // Freeze the symbol table / universe: copy only when they grew since
+  // the last seal (both are append-only).
+  const SymbolTable& symbols = database.symbols();
+  if (prev != nullptr && symbols.size() == symbols_size_at_seal_) {
+    snap->symbols_ = prev->symbols_;
+    snap->universe_ = database.universe().size() == prev->universe_->size()
+                          ? prev->universe_
+                          : std::make_shared<const std::vector<Value>>(
+                                database.universe());
+  } else {
+    snap->symbols_ = std::make_shared<const SymbolTable>(symbols);
+    snap->universe_ =
+        std::make_shared<const std::vector<Value>>(database.universe());
+  }
+  symbols_size_at_seal_ = symbols.size();
+
+  for (const std::string& name : database.RelationNames()) {
+    const Result<const Relation*> rel = database.GetRelation(name);
+    INFLOG_CHECK(rel.ok());
+    std::shared_ptr<const Relation> sealed;
+    if (!all_changed && changed.count(name) == 0 && prev != nullptr) {
+      const auto it = prev->edb_.find(name);
+      if (it != prev->edb_.end()) sealed = it->second;
+    }
+    if (sealed == nullptr) sealed = Seal(**rel);
+    snap->edb_.emplace(name, std::move(sealed));
+  }
+
+  snap->idb_.resize(state.relations.size());
+  for (uint32_t pred : program.idb_predicates()) {
+    const PredicateInfo& info = program.predicate(pred);
+    const size_t i = info.idb_index;
+    std::shared_ptr<const Relation> sealed;
+    if (!all_changed && changed.count(info.name) == 0 && prev != nullptr &&
+        i < prev->idb_.size()) {
+      sealed = prev->idb_[i];
+    }
+    if (sealed == nullptr) sealed = Seal(state.relations[i]);
+    snap->idb_[i] = std::move(sealed);
+  }
+
+  snap->live_ = live_;
+  live_->fetch_add(1, std::memory_order_relaxed);
+  writer_prev_ = snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ = snap;
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return snap->epoch_;
+}
+
+SnapshotHandle SnapshotRegistry::Pin() const {
+  pins_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t SnapshotRegistry::epoch() const {
+  SnapshotHandle snap;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap = current_;
+  }
+  return snap == nullptr ? kNoEpoch : snap->epoch();
+}
+
+}  // namespace serve
+}  // namespace inflog

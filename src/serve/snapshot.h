@@ -1,0 +1,176 @@
+// Epoch snapshots: immutable, sealed views of one (database, maintained
+// IDB state) pair, published through an atomic epoch pointer so readers
+// run lock-free against a stable state while the writer builds the next
+// epoch.
+//
+// A DatabaseSnapshot owns shared handles to *sealed* relations: each
+// relation was copied from the live state, compacted (CompactDead) and
+// fully indexed (EnsureIndexed on every column) before publication, so
+// every read the query evaluator performs on it — Contains, shard scans,
+// EqualRowsPerShard — is a pure read with no lazy index catch-up.
+// Relations the update did not touch are shared with the previous epoch
+// by pointer (the delta the incremental maintainer computes names exactly
+// the touched relations), so sealing an epoch costs O(changed relations),
+// not O(database).
+//
+// The symbol table and universe are frozen the same way: a snapshot holds
+// a copy taken when the table last grew (ids are append-only, so an
+// unchanged size means an unchanged table) and otherwise shares the
+// previous epoch's copy. Readers therefore never touch the live
+// SymbolTable the writer interns new constants into.
+//
+// Lifecycle: SnapshotRegistry::Pin hands out shared_ptr handles (the pin);
+// dropping the last handle retires the epoch (the unpin) — classic
+// reference-counted epoch GC. The current-epoch handle is guarded by a
+// mutex that Pin holds only long enough to copy one shared_ptr — every
+// actual read (query evaluation, snapshot accessors) then runs against
+// the pinned, fully-sealed snapshot with no synchronization at all, and
+// readers never observe a half-built epoch. (libstdc++'s lock-based
+// std::atomic<std::shared_ptr> would do the same job, but its reader
+// unlock is a relaxed RMW — formally racy with the writer's store, and
+// ThreadSanitizer rightly flags it.)
+
+#ifndef INFLOG_SERVE_SNAPSHOT_H_
+#define INFLOG_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/ast/program.h"
+#include "src/base/result.h"
+#include "src/eval/executor.h"
+#include "src/eval/idb_state.h"
+#include "src/relation/database.h"
+
+namespace inflog {
+namespace serve {
+
+/// One sealed epoch: an immutable view of the EDB and the maintained IDB
+/// state at the moment it was published. All members are frozen — nothing
+/// mutates after sealing, so any number of threads may read concurrently.
+class DatabaseSnapshot {
+ public:
+  ~DatabaseSnapshot();
+
+  DatabaseSnapshot(const DatabaseSnapshot&) = delete;
+  DatabaseSnapshot& operator=(const DatabaseSnapshot&) = delete;
+
+  /// The epoch number (0 = the initial evaluation, +1 per published
+  /// update batch).
+  uint64_t epoch() const { return epoch_; }
+
+  /// The frozen symbol table of this epoch. Contains every id any sealed
+  /// relation references (interning is append-only and sealing happens
+  /// after the update that introduced new constants).
+  const SymbolTable& symbols() const { return *symbols_; }
+
+  /// The frozen universe (active domain plus declared elements).
+  const std::vector<Value>& universe() const { return *universe_; }
+
+  /// The sealed relation named `name`: an IDB predicate of `program`
+  /// resolves to the maintained state, anything else to the EDB relation
+  /// of that name. NotFound when neither exists.
+  Result<const Relation*> Find(const Program& program,
+                               std::string_view name) const;
+
+  /// The sealed EDB relations by name (deterministic iteration order).
+  const std::map<std::string, std::shared_ptr<const Relation>, std::less<>>&
+  edb() const {
+    return edb_;
+  }
+
+  /// The sealed IDB relations by dense idb_index.
+  const std::vector<std::shared_ptr<const Relation>>& idb() const {
+    return idb_;
+  }
+
+  /// Cumulative serving/maintenance counters at the moment this epoch was
+  /// sealed (the per-snapshot EvalStats the serving API exposes).
+  const EvalStats& stats() const { return stats_; }
+
+  /// Rebuilds a standalone Database holding this epoch's EDB contents and
+  /// universe (sharing the frozen symbol copy). This is the oracle hook:
+  /// tests evaluate the program from scratch against it and compare with
+  /// the sealed IDB state.
+  Result<Database> ToDatabase() const;
+
+ private:
+  friend class SnapshotRegistry;
+  DatabaseSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const SymbolTable> symbols_;
+  std::shared_ptr<const std::vector<Value>> universe_;
+  std::map<std::string, std::shared_ptr<const Relation>, std::less<>> edb_;
+  std::vector<std::shared_ptr<const Relation>> idb_;
+  EvalStats stats_;
+  /// Registry's live-epoch gauge; decremented on retirement.
+  std::shared_ptr<std::atomic<int64_t>> live_;
+};
+
+/// A pinned snapshot: holding it keeps the epoch alive.
+using SnapshotHandle = std::shared_ptr<const DatabaseSnapshot>;
+
+/// Publishes sealed epochs and hands out pins. One writer calls Publish;
+/// any number of readers call Pin concurrently.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry();
+
+  /// Seals the next epoch from the live (database, state) pair and
+  /// atomically installs it as current. `changed_relations` names the
+  /// relations the update touched (sorted or not; nullptr means
+  /// everything changed — the initial epoch and oracle recomputes);
+  /// untouched relations are shared with the previous epoch instead of
+  /// copied. `program` supplies the IDB naming; `stats` is frozen into
+  /// the snapshot. Returns the published epoch number. Writer-side only.
+  uint64_t Publish(const Program& program, const Database& database,
+                   const IdbState& state,
+                   const std::vector<std::string>* changed_relations,
+                   const EvalStats& stats);
+
+  /// Pins the current epoch (counted); never returns null once Publish
+  /// has run. Safe from any thread.
+  SnapshotHandle Pin() const;
+
+  /// The current epoch number (kNoEpoch before the first Publish).
+  uint64_t epoch() const;
+  static constexpr uint64_t kNoEpoch = static_cast<uint64_t>(-1);
+
+  /// Epochs published so far.
+  uint64_t epochs_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+  /// Pin calls served so far.
+  uint64_t pins() const { return pins_.load(std::memory_order_relaxed); }
+
+  /// Epochs not yet retired (their last handle still alive). At quiesce
+  /// this is 1: the current epoch.
+  int64_t live_snapshots() const {
+    return live_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Guards current_ only; held for one shared_ptr copy per Pin/Publish.
+  mutable std::mutex mu_;
+  std::shared_ptr<const DatabaseSnapshot> current_;
+  mutable std::atomic<uint64_t> pins_{0};
+  std::atomic<uint64_t> published_{0};
+  std::shared_ptr<std::atomic<int64_t>> live_;
+  /// Writer-side bookkeeping for copy reuse: the snapshot the writer
+  /// published last (readers never touch this).
+  std::shared_ptr<const DatabaseSnapshot> writer_prev_;
+  size_t symbols_size_at_seal_ = 0;
+};
+
+}  // namespace serve
+}  // namespace inflog
+
+#endif  // INFLOG_SERVE_SNAPSHOT_H_
