@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Runs every experiment bench (E1..E14) and emits ONE JSON line per bench
+# Runs every experiment bench (E1..E15) and emits ONE JSON line per bench
 # binary on stdout, ready to append to a BENCH_*.json trajectory file:
 #
 #   {"bench":"e7_distance_query","threads":8,"shards":1,
@@ -19,8 +19,12 @@
 # their *counters*), so the fields default to 1/1/auto/1/all — set
 # INFLOG_THREADS=N / INFLOG_SHARDS=S /
 # INFLOG_SCHEDULER=static|stealing|auto / INFLOG_STEAL_VARIANCE=V /
-# INFLOG_OPTIMIZE=all|none|dce,reorder,share only when actually running
-# a build/flag combination that evaluates with those values.
+# INFLOG_OPTIMIZE=all|none|<comma list of pass tokens> only when
+# actually running a build/flag combination that evaluates with those
+# values. The valid pass tokens are whatever the library exports —
+# asked of the build via `inflog_cli --list-optimize-passes` rather
+# than hardcoded here, so new passes (magic, inline, ...) validate
+# without touching this script.
 #
 # Usage:
 #   bench/run_all.sh [--smoke] [BUILD_DIR] [EXTRA_BENCHMARK_ARGS...]
@@ -174,22 +178,29 @@ case "$cache" in
     ;;
 esac
 
-# The plan-optimizer pass selection ("all", "none", or a comma list of
-# dce/reorder/share — mirrors the library's --optimize flag).
+# The optimizer pass selection ("all", "none", or a comma list of pass
+# tokens — mirrors the library's --optimize flag). The token set comes
+# from the built CLI so it tracks the library: `--list-optimize-passes`
+# prints one token per line (dce, reorder, share, magic, inline today).
 optimize="${INFLOG_OPTIMIZE:-all}"
 case "$optimize" in
   all|none) ;;
   *)
+    if [ -x "$build_dir/inflog_cli" ] &&
+        pass_tokens="$("$build_dir/inflog_cli" --list-optimize-passes)"; then
+      :
+    else
+      echo "warning: $build_dir/inflog_cli --list-optimize-passes" \
+        "unavailable; falling back to the built-in token list" >&2
+      pass_tokens=$'dce\nreorder\nshare\nmagic\ninline'
+    fi
     IFS=',' read -ra opt_parts <<<"$optimize"
     for part in "${opt_parts[@]}"; do
-      case "$part" in
-        dce|reorder|share) ;;
-        *)
-          echo "error: INFLOG_OPTIMIZE must be 'all', 'none' or a comma" \
-            "list of dce/reorder/share, got '$optimize'" >&2
-          exit 1
-          ;;
-      esac
+      if ! grep -Fxq -- "$part" <<<"$pass_tokens"; then
+        echo "error: INFLOG_OPTIMIZE must be 'all', 'none' or a comma" \
+          "list of: $(tr '\n' ' ' <<<"$pass_tokens")— got '$optimize'" >&2
+        exit 1
+      fi
     done
     ;;
 esac

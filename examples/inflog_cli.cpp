@@ -4,8 +4,8 @@
 // Usage:
 //   inflog_cli [--threads=N] [--shards=S]
 //     [--scheduler=auto|static|stealing] [--min-slice-rows=R]
-//     [--steal-variance=V] [--optimize=LIST] [--query=NAMES]
-//     [--reject-unsafe-negation] [--stats]
+//     [--steal-variance=V] [--optimize=LIST] [--list-optimize-passes]
+//     [--query=NAMES] [--reject-unsafe-negation] [--stats]
 //     [--sat-preprocess=0|1] [--sat-deletion=0|1] [--sat-portfolio=K]
 //     [--sat-reduce-interval=N] [--dump-cnf=FILE]
 //     [--apply-updates=FILE] [--verify-incremental]
@@ -32,13 +32,18 @@
 // variation flip threshold (0 = default 1.0; lower steals more eagerly).
 // Results are deterministic and identical for every (threads, shards,
 // scheduler, min-slice-rows, steal-variance) combination.
-// --optimize=LIST selects the plan-optimizer passes for the relational
+// --optimize=LIST selects the optimizer passes for the relational
 // pipelines (inflationary, stratified): "all" (the default), "none"
 // (today's greedy plans exactly), or a comma list of dce, reorder,
-// share. Results are identical for every selection. --query=NAMES (a
-// comma list of IDB predicates) declares the output predicates: with
-// dce enabled, rules unreachable from them are dropped, so only the
-// listed relations are specified (and printed).
+// share, magic, inline (--list-optimize-passes prints the tokens, one
+// per line, and exits — scripts validate against it instead of
+// hardcoding). Results on the queried predicates are identical for
+// every selection. --query=NAMES (a comma list of IDB predicates)
+// declares the output predicates: with dce enabled, rules unreachable
+// from them are dropped, and the magic/inline program rewrites
+// specialize the program toward them, so only the listed relations are
+// specified (and printed). Without --query, dce, magic and inline are
+// all no-ops.
 // --reject-unsafe-negation fails instead of evaluating rules whose
 // negated literal has a variable bound by no positive body literal (by
 // default such rules get the paper's active-domain reading). --stats
@@ -305,6 +310,12 @@ int main(int argc, char** argv) {
       scheduler = *parsed;
       continue;
     }
+    if (arg == "--list-optimize-passes") {
+      for (const std::string_view token : inflog::OptimizerPassTokens()) {
+        std::cout << token << "\n";
+      }
+      return 0;
+    }
     if (arg == "--optimize" || arg.rfind("--optimize=", 0) == 0) {
       std::string value;
       if (arg == "--optimize") {  // two-token form
@@ -429,7 +440,8 @@ int main(int argc, char** argv) {
               << " [--threads=N] [--shards=S] "
                  "[--scheduler=auto|static|stealing] [--min-slice-rows=R] "
                  "[--steal-variance=V] [--optimize=all|none|dce,reorder,"
-                 "share] [--query=NAMES] [--reject-unsafe-negation] "
+                 "share,magic,inline] [--list-optimize-passes] "
+                 "[--query=NAMES] [--reject-unsafe-negation] "
                  "[--stats] [--sat-preprocess=0|1] [--sat-deletion=0|1] "
                  "[--sat-portfolio=K] [--sat-reduce-interval=N] "
                  "[--dump-cnf=FILE] [--apply-updates=FILE] "
@@ -771,6 +783,10 @@ int main(int argc, char** argv) {
                   << "  opt_shared_prefixes  " << s->opt_shared_prefixes
                   << "\n"
                   << "  opt_shared_rows      " << s->opt_shared_rows
+                  << "\n"
+                  << "  opt_magic_rules_generated " << s->opt_magic_rules_generated
+                  << "\n"
+                  << "  opt_rules_inlined    " << s->opt_rules_inlined
                   << "\n"
                   << "  sat_conflicts        " << s->sat_conflicts << "\n"
                   << "  sat_decisions        " << s->sat_decisions << "\n"

@@ -60,6 +60,14 @@ struct EvalStats {
                                       ///< materialized per stage.
   uint64_t opt_shared_rows = 0;       ///< Rows inserted into shared
                                       ///< intermediates across all stages.
+  // Program-rewrite counters (src/opt/program_rewrite.h), filled by the
+  // evaluators when declared outputs make the magic-sets / inlining
+  // rewrites active. Pure functions of the program, the outputs, and
+  // the pass selection — sweep-invariant like the plan counters above.
+  uint64_t opt_magic_rules_generated = 0;  ///< Magic (demand) rules the
+                                           ///< magic-sets rewrite added.
+  uint64_t opt_rules_inlined = 0;          ///< Predicates inlined into
+                                           ///< their single call site.
   // Incremental-maintenance counters (src/eval/incremental.h), filled by
   // Engine::ApplyUpdate. The tuple-level counters (edb/idb inserts and
   // deletes, candidates, rederived, recounted) are pure functions of the
@@ -159,6 +167,8 @@ struct EvalStats {
     opt_subplans_shared += other.opt_subplans_shared;
     opt_shared_prefixes += other.opt_shared_prefixes;
     opt_shared_rows += other.opt_shared_rows;
+    opt_magic_rules_generated += other.opt_magic_rules_generated;
+    opt_rules_inlined += other.opt_rules_inlined;
     incremental_updates += other.incremental_updates;
     incremental_oracle_runs += other.incremental_oracle_runs;
     incremental_edb_inserted += other.incremental_edb_inserted;

@@ -1,5 +1,7 @@
 #include "src/eval/inflationary.h"
 
+#include "src/opt/program_rewrite.h"
+
 namespace inflog {
 
 size_t InflationaryResult::TupleStage(size_t idb_index,
@@ -17,7 +19,11 @@ size_t InflationaryResult::TupleStage(size_t idb_index,
   return 0;
 }
 
-Result<InflationaryResult> EvalInflationary(
+namespace {
+
+/// The rewrite-free evaluator: used directly when no program rewrite is
+/// active, and on the rewritten program otherwise.
+Result<InflationaryResult> EvalInflationaryCore(
     const Program& program, const Database& database,
     const InflationaryOptions& options) {
   INFLOG_ASSIGN_OR_RETURN(
@@ -34,6 +40,58 @@ Result<InflationaryResult> EvalInflationary(
   result.stage_sizes = std::move(outcome.stage_sizes);
   result.stage_shard_sizes = std::move(outcome.stage_shard_sizes);
   result.stats = outcome.stats;
+  return result;
+}
+
+/// Moves a rewritten run's per-predicate state and stage bookkeeping
+/// back into the original program's idb_index layout. Predicates the
+/// rewrite dropped get empty relations and all-zero stage rows (their
+/// contents are unspecified under declared outputs, matching the
+/// dead-rule contract; TupleStage reports 0 for them).
+void RemapToOriginalLayout(const Program& original, const Program& rewritten,
+                           InflationaryResult* result) {
+  const std::vector<int> map = MapIdbIndices(original, rewritten);
+  const size_t num_shards = result->state.relations.empty()
+                                ? 1
+                                : result->state.relations[0].num_shards();
+  const size_t num_stage_rows =
+      result->stage_sizes.empty() ? 0 : result->stage_sizes[0].size();
+  IdbState remapped = MakeEmptyIdbState(original, num_shards);
+  std::vector<std::vector<size_t>> sizes(map.size());
+  std::vector<std::vector<std::vector<size_t>>> shard_sizes(map.size());
+  for (size_t i = 0; i < map.size(); ++i) {
+    if (map[i] >= 0) {
+      remapped.relations[i] = std::move(result->state.relations[map[i]]);
+      sizes[i] = std::move(result->stage_sizes[map[i]]);
+      shard_sizes[i] = std::move(result->stage_shard_sizes[map[i]]);
+    } else {
+      sizes[i].assign(num_stage_rows, 0);
+      shard_sizes[i].assign(num_stage_rows,
+                            std::vector<size_t>(num_shards, 0));
+    }
+  }
+  result->state = std::move(remapped);
+  result->stage_sizes = std::move(sizes);
+  result->stage_shard_sizes = std::move(shard_sizes);
+}
+
+}  // namespace
+
+Result<InflationaryResult> EvalInflationary(
+    const Program& program, const Database& database,
+    const InflationaryOptions& options) {
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, options.context.output_predicates,
+      options.context.optimizer_passes, RewriteSemantics::kInflationary);
+  if (!rewrite.active) {
+    return EvalInflationaryCore(program, database, options);
+  }
+  INFLOG_ASSIGN_OR_RETURN(
+      InflationaryResult result,
+      EvalInflationaryCore(*rewrite.program, database, options));
+  result.stats.opt_magic_rules_generated = rewrite.magic_rules_generated;
+  result.stats.opt_rules_inlined = rewrite.rules_inlined;
+  RemapToOriginalLayout(program, *rewrite.program, &result);
   return result;
 }
 

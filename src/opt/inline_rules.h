@@ -1,0 +1,29 @@
+// Rule inlining: a predicate defined by exactly one non-recursive rule
+// and consumed by exactly one positive body atom is substituted into
+// its call site (with fresh-variable renaming for its local variables),
+// and the defining rule disappears. Cascades until no candidate is
+// left. See src/opt/program_rewrite.h for the applicability gates the
+// driver enforces before calling this.
+
+#ifndef INFLOG_OPT_INLINE_RULES_H_
+#define INFLOG_OPT_INLINE_RULES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/opt/program_rewrite.h"
+
+namespace inflog {
+
+/// Inlines every candidate predicate in `ws` (lowest predicate id
+/// first, cascading). A candidate is IDB, not an output, defined by
+/// exactly one rule whose head arguments are distinct variables, not
+/// (transitively) recursive, consumed by exactly one positive body
+/// atom across all rules, and never negated. Returns the number of
+/// predicates inlined (= defining rules removed).
+uint64_t InlineSingleUseRules(const std::vector<bool>& is_output,
+                              RewriteWorkspace* ws);
+
+}  // namespace inflog
+
+#endif  // INFLOG_OPT_INLINE_RULES_H_

@@ -1,0 +1,188 @@
+#include "src/opt/magic.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace inflog {
+
+namespace {
+
+using Mask = uint32_t;
+
+/// Call sites on predicates wider than this get the all-free adornment
+/// (Mask has 32 bits; real programs never get close).
+constexpr size_t kMaxAdornArity = 20;
+
+std::string AdornSuffix(Mask mask, size_t arity) {
+  std::string s;
+  for (size_t i = 0; i < arity; ++i) s += ((mask >> i) & 1) ? 'b' : 'f';
+  return s;
+}
+
+size_t Popcount(Mask mask) {
+  size_t n = 0;
+  for (; mask != 0; mask &= mask - 1) ++n;
+  return n;
+}
+
+/// The synthetic predicates of one demanded (predicate, adornment).
+struct Adorned {
+  uint32_t adorned_pred = kNoPredicate;  ///< == the original pred if free.
+  uint32_t magic_pred = kNoPredicate;    ///< unset for the all-free case.
+};
+
+}  // namespace
+
+uint64_t ApplyMagicSets(const std::vector<uint32_t>& outputs,
+                        RewriteWorkspace* ws) {
+  const size_t num_preds = ws->names.size();
+  std::vector<std::vector<size_t>> rules_of(num_preds);
+  for (size_t r = 0; r < ws->rules.size(); ++r) {
+    rules_of[ws->rules[r].head.predicate].push_back(r);
+  }
+  // A body atom is rewritten (and carries demand) iff its predicate is
+  // derived here; rule-less IDB leftovers behave like empty EDB.
+  auto derived = [&](uint32_t pred) {
+    return pred < num_preds && ws->is_idb[pred] && !rules_of[pred].empty();
+  };
+
+  std::map<std::pair<uint32_t, Mask>, Adorned> demanded;
+  std::vector<std::pair<uint32_t, Mask>> worklist;
+  auto demand = [&](uint32_t pred, Mask mask) -> Adorned {
+    auto it = demanded.find({pred, mask});
+    if (it != demanded.end()) return it->second;
+    Adorned a;
+    if (mask == 0) {
+      a.adorned_pred = pred;
+    } else {
+      const std::string base = ws->names[pred];
+      const size_t arity = ws->arities[pred];
+      const std::string suffix = AdornSuffix(mask, arity);
+      a.adorned_pred = ws->AddPredicate(base + "_" + suffix, arity);
+      a.magic_pred =
+          ws->AddPredicate("magic_" + base + "_" + suffix, Popcount(mask));
+    }
+    demanded.emplace(std::make_pair(pred, mask), a);
+    worklist.emplace_back(pred, mask);
+    return a;
+  };
+
+  for (uint32_t out : outputs) demand(out, 0);
+
+  // adorned_rules[(original rule index, head mask)] = rewritten rule;
+  // the map order makes the final rule order deterministic.
+  std::map<std::pair<size_t, Mask>, Rule> adorned_rules;
+  std::vector<Rule> magic_rules;
+
+  for (size_t wi = 0; wi < worklist.size(); ++wi) {
+    const auto [pred, mask] = worklist[wi];
+    const Adorned self = demanded.at({pred, mask});
+    for (const size_t r : rules_of[pred]) {
+      const Rule& rule = ws->rules[r];
+      Rule out;
+      out.num_vars = rule.num_vars;
+      out.var_names = rule.var_names;
+      out.head.predicate = self.adorned_pred;
+      out.head.args = rule.head.args;
+      std::vector<bool> bound(rule.num_vars, false);
+      if (mask != 0) {
+        std::vector<Term> guard_args;
+        for (size_t j = 0; j < rule.head.args.size(); ++j) {
+          if (((mask >> j) & 1) == 0) continue;
+          const Term& t = rule.head.args[j];
+          guard_args.push_back(t);
+          if (t.IsVariable()) bound[t.id] = true;
+        }
+        out.body.push_back(Literal::Pos(self.magic_pred, guard_args));
+      }
+      // Left-to-right SIPS: constants and earlier positive atoms bind;
+      // an equality with one side bound binds the other; negated atoms
+      // and inequalities bind nothing.
+      for (const Literal& lit : rule.body) {
+        if (lit.kind == Literal::Kind::kEq) {
+          const Term& a = lit.args[0];
+          const Term& b = lit.args[1];
+          const bool a_bound = a.IsConstant() || bound[a.id];
+          const bool b_bound = b.IsConstant() || bound[b.id];
+          if (a_bound && !b_bound) bound[b.id] = true;
+          if (b_bound && !a_bound) bound[a.id] = true;
+          out.body.push_back(lit);
+          continue;
+        }
+        const bool rewritable = lit.IsPositiveAtom() && derived(lit.predicate);
+        if (!rewritable) {
+          out.body.push_back(lit);
+          if (lit.IsPositiveAtom()) {
+            for (const Term& t : lit.args) {
+              if (t.IsVariable()) bound[t.id] = true;
+            }
+          }
+          continue;
+        }
+        Mask call = 0;
+        if (ws->arities[lit.predicate] <= kMaxAdornArity) {
+          for (size_t j = 0; j < lit.args.size(); ++j) {
+            const Term& t = lit.args[j];
+            if (t.IsConstant() || bound[t.id]) call |= Mask(1) << j;
+          }
+        }
+        const Adorned callee = demand(lit.predicate, call);
+        if (call != 0) {
+          // Demand rule: magic_Q_β(bound args) ← guard, body prefix.
+          Rule m;
+          m.num_vars = rule.num_vars;
+          m.var_names = rule.var_names;
+          m.head.predicate = callee.magic_pred;
+          for (size_t j = 0; j < lit.args.size(); ++j) {
+            if ((call >> j) & 1) m.head.args.push_back(lit.args[j]);
+          }
+          m.body = out.body;
+          CompactRuleVariables(&m);
+          // Skip the trivial self-demand magic_Q_β(x̄) ← magic_Q_β(x̄).
+          const bool self_loop = m.body.size() == 1 &&
+                                 m.body[0].IsPositiveAtom() &&
+                                 m.body[0].predicate == m.head.predicate &&
+                                 m.body[0].args == m.head.args;
+          if (!self_loop) magic_rules.push_back(std::move(m));
+        }
+        Literal adorned_call = lit;
+        adorned_call.predicate = callee.adorned_pred;
+        out.body.push_back(std::move(adorned_call));
+        for (const Term& t : lit.args) {
+          if (t.IsVariable()) bound[t.id] = true;
+        }
+      }
+      adorned_rules.emplace(std::make_pair(r, mask), std::move(out));
+    }
+  }
+
+  // No call site had a bound argument: the adorned program would be the
+  // original one; leave the workspace untouched.
+  if (magic_rules.empty()) return 0;
+
+  std::vector<bool> pred_demanded(num_preds, false);
+  for (const auto& [key, adorned] : demanded) pred_demanded[key.first] = true;
+
+  std::vector<Rule> out_rules;
+  out_rules.reserve(adorned_rules.size() + magic_rules.size() +
+                    ws->rules.size());
+  for (size_t r = 0; r < ws->rules.size(); ++r) {
+    if (!pred_demanded[ws->rules[r].head.predicate]) {
+      // Not needed from the outputs: copied verbatim (dead-rule
+      // elimination, not magic, is the pass that drops dead rules).
+      out_rules.push_back(std::move(ws->rules[r]));
+      continue;
+    }
+    for (auto it = adorned_rules.lower_bound({r, 0});
+         it != adorned_rules.end() && it->first.first == r; ++it) {
+      out_rules.push_back(std::move(it->second));
+    }
+  }
+  const uint64_t generated = magic_rules.size();
+  for (Rule& m : magic_rules) out_rules.push_back(std::move(m));
+  ws->rules = std::move(out_rules);
+  return generated;
+}
+
+}  // namespace inflog

@@ -1,0 +1,38 @@
+// Magic-sets / demand transformation (Bancilhon–Maier–Sagiv–Ullman;
+// Beeri–Ramakrishnan "magic templates"), restricted to programs whose
+// needed part is negation-free on IDB predicates (the driver in
+// src/opt/program_rewrite.h checks the gate).
+//
+// Starting from the declared outputs with the all-free adornment, a
+// worklist propagates binding patterns through rule bodies with the
+// left-to-right sideways-information-passing strategy (constants and
+// head-bound variables are bound; a positive atom binds its variables
+// for the literals to its right; an equality with one side bound binds
+// the other). Each demanded (predicate, adornment α ≠ all-free) pair
+// gets an adorned predicate P_α (same arity) whose rules are the
+// original rules guarded by magic_P_α(bound args), and each call site
+// contributes a magic rule deriving the demand from the consumer's
+// guard plus its body prefix. All-free demand keeps the original
+// predicate name, so output relations keep their names and full
+// contents. Rules not needed from the outputs are copied verbatim.
+
+#ifndef INFLOG_OPT_MAGIC_H_
+#define INFLOG_OPT_MAGIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/opt/program_rewrite.h"
+
+namespace inflog {
+
+/// Applies the transformation to `ws` for output predicate ids
+/// `outputs`. Returns the number of magic (demand) rules generated;
+/// 0 means no call site had a bound argument and `ws` was left
+/// untouched.
+uint64_t ApplyMagicSets(const std::vector<uint32_t>& outputs,
+                        RewriteWorkspace* ws);
+
+}  // namespace inflog
+
+#endif  // INFLOG_OPT_MAGIC_H_

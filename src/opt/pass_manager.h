@@ -7,6 +7,10 @@
 // elimination → join reordering → subplan sharing) → RelationalConsequence
 // dispatch. Every pass preserves the evaluated relations, stage count,
 // per-stage sizes, and tuple stages exactly; only plan cost moves.
+// (The magic/inline *program* rewrites — program_rewrite.h — act a
+// level above this pipeline, rewriting the rule set before lowering;
+// they carry the weaker outputs-as-sets contract of passes.h, not the
+// exact one here.)
 //
 // Determinism: a pass may read only shard-invariant statistics (relation
 // sizes, shard-summed posting totals, content-ordered samples — see

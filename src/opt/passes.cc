@@ -4,6 +4,26 @@
 
 namespace inflog {
 
+namespace {
+
+struct TokenEntry {
+  std::string_view name;
+  bool OptimizerPasses::* member;
+};
+
+// Canonical token table: parse, render, and --list-optimize-passes all
+// walk this, so a new pass cannot be selectable but unlisted (or vice
+// versa).
+constexpr TokenEntry kTokens[] = {
+    {"dce", &OptimizerPasses::eliminate_dead_rules},
+    {"reorder", &OptimizerPasses::reorder_joins},
+    {"share", &OptimizerPasses::share_subplans},
+    {"magic", &OptimizerPasses::magic_sets},
+    {"inline", &OptimizerPasses::inline_rules},
+};
+
+}  // namespace
+
 Result<OptimizerPasses> ParseOptimizerPasses(std::string_view text) {
   if (text == "all") return OptimizerPasses::All();
   if (text == "none") return OptimizerPasses::None();
@@ -14,16 +34,19 @@ Result<OptimizerPasses> ParseOptimizerPasses(std::string_view text) {
     const std::string_view name =
         text.substr(pos, comma == std::string_view::npos ? std::string_view::npos
                                                          : comma - pos);
-    if (name == "dce") {
-      passes.eliminate_dead_rules = true;
-    } else if (name == "reorder") {
-      passes.reorder_joins = true;
-    } else if (name == "share") {
-      passes.share_subplans = true;
-    } else {
+    bool known = false;
+    for (const TokenEntry& entry : kTokens) {
+      if (name == entry.name) {
+        passes.*entry.member = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
       return Status::InvalidArgument(
           StrCat("unknown optimizer pass: '", std::string(name),
-                 "' (expected all|none or a comma list of dce|reorder|share)"));
+                 "' (expected all|none or a comma list of "
+                 "dce|reorder|share|magic|inline)"));
     }
     if (comma == std::string_view::npos) break;
     pos = comma + 1;
@@ -35,14 +58,19 @@ std::string OptimizerPassesName(const OptimizerPasses& passes) {
   if (passes == OptimizerPasses::All()) return "all";
   if (!passes.any()) return "none";
   std::string out;
-  auto append = [&](std::string_view name) {
-    if (!out.empty()) out += ",";
-    out += name;
-  };
-  if (passes.eliminate_dead_rules) append("dce");
-  if (passes.reorder_joins) append("reorder");
-  if (passes.share_subplans) append("share");
+  for (const TokenEntry& entry : kTokens) {
+    if (passes.*entry.member) {
+      if (!out.empty()) out += ",";
+      out += entry.name;
+    }
+  }
   return out;
+}
+
+std::vector<std::string_view> OptimizerPassTokens() {
+  std::vector<std::string_view> names;
+  for (const TokenEntry& entry : kTokens) names.push_back(entry.name);
+  return names;
 }
 
 }  // namespace inflog

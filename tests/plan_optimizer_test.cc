@@ -18,6 +18,7 @@
 #include "src/eval/plan.h"
 #include "src/opt/pass_manager.h"
 #include "src/opt/passes.h"
+#include "src/opt/program_rewrite.h"
 #include "tests/test_util.h"
 
 namespace inflog {
@@ -40,14 +41,30 @@ TEST(OptimizerPassesTest, ParseAndRenderRoundTrip) {
   EXPECT_EQ(*none, OptimizerPasses::None());
   EXPECT_FALSE(none->any());
 
+  EXPECT_TRUE(all->magic_sets);
+  EXPECT_TRUE(all->inline_rules);
+
   auto subset = ParseOptimizerPasses("dce,share");
   ASSERT_TRUE(subset.ok());
   EXPECT_TRUE(subset->eliminate_dead_rules);
   EXPECT_FALSE(subset->reorder_joins);
   EXPECT_TRUE(subset->share_subplans);
+  EXPECT_FALSE(subset->magic_sets);
+  EXPECT_FALSE(subset->inline_rules);
 
-  for (const char* text : {"all", "none", "dce", "reorder", "share",
-                           "dce,reorder", "dce,share", "reorder,share"}) {
+  auto rewrites = ParseOptimizerPasses("magic,inline");
+  ASSERT_TRUE(rewrites.ok());
+  EXPECT_TRUE(rewrites->magic_sets);
+  EXPECT_TRUE(rewrites->inline_rules);
+  EXPECT_FALSE(rewrites->eliminate_dead_rules);
+
+  // Every selectable token is exactly one member of the render table.
+  EXPECT_EQ(OptimizerPassTokens().size(), 5u);
+
+  for (const char* text :
+       {"all", "none", "dce", "reorder", "share", "dce,reorder", "dce,share",
+        "reorder,share", "magic", "inline", "magic,inline", "dce,magic",
+        "dce,reorder,share,magic,inline"}) {
     auto passes = ParseOptimizerPasses(text);
     ASSERT_TRUE(passes.ok()) << text;
     auto again = ParseOptimizerPasses(OptimizerPassesName(*passes));
@@ -292,8 +309,11 @@ TEST(OptimizerInvarianceTest, AllFourSemanticsMatchGreedyPlans) {
     auto greedy = engine.Evaluate(kind, greedy_opts);
     ASSERT_TRUE(greedy.ok()) << SemanticsKindName(kind);
 
+    // No outputs are declared, so the program rewrites (magic, inline)
+    // stay inert and exact state equality must hold for them too.
     for (const char* passes :
-         {"all", "dce", "reorder", "share", "reorder,share"}) {
+         {"all", "dce", "reorder", "share", "reorder,share", "magic",
+          "inline", "magic,inline"}) {
       EvalOptions opts;
       opts.optimizer_passes = *ParseOptimizerPasses(passes);
       auto optimized = engine.Evaluate(kind, opts);
@@ -339,6 +359,164 @@ TEST(OptimizerInvarianceTest, StagesAndTupleStagesMatchGreedyPlans) {
       EXPECT_EQ(greedy->TupleStage(i, t), optimized->TupleStage(i, t))
           << "relation " << i;
     }
+  }
+}
+
+// --- Program rewrites: magic sets and rule inlining. -----------------------
+
+OptimizerPasses MagicOnly() {
+  OptimizerPasses passes = OptimizerPasses::None();
+  passes.magic_sets = true;
+  return passes;
+}
+
+OptimizerPasses InlineOnly() {
+  OptimizerPasses passes = OptimizerPasses::None();
+  passes.inline_rules = true;
+  return passes;
+}
+
+constexpr char kTcPointQuery[] =
+    "TC(X,Y) :- E(X,Y).\n"
+    "TC(X,Z) :- TC(X,Y), E(Y,Z).\n"
+    "Q(Y) :- TC(c0,Y).\n";
+
+TEST(MagicSetsTest, GoldenTransitiveClosurePointQuery) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(kTcPointQuery, symbols);
+
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, {"Q"}, MagicOnly(), RewriteSemantics::kStratified);
+  ASSERT_TRUE(rewrite.active);
+  EXPECT_EQ(rewrite.magic_rules_generated, 1u);
+  EXPECT_EQ(rewrite.rules_inlined, 0u);
+
+  // The classic adorned program: one bound-free adornment of TC, its
+  // magic seed from the query constant, and the guarded rules. The
+  // recursive call site's self-demand rule magic_TC_bf(X) ←
+  // magic_TC_bf(X) is elided.
+  const std::string text = rewrite.program->ToString();
+  EXPECT_NE(text.find("magic_TC_bf(c0)."), std::string::npos) << text;
+  EXPECT_NE(text.find("TC_bf(X,Y) :- magic_TC_bf(X), E(X,Y)."),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("TC_bf(X,Z) :- magic_TC_bf(X), TC_bf(X,Y), E(Y,Z)."),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("Q(Y) :- TC_bf(c0,Y)."), std::string::npos) << text;
+  EXPECT_EQ(rewrite.program->rules().size(), 4u) << text;
+}
+
+TEST(MagicSetsTest, WithoutDeclaredOutputsIsANoOp) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(kTcPointQuery, symbols);
+  // --optimize=magic without --query: nothing to specialize for.
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, {}, MagicOnly(), RewriteSemantics::kStratified);
+  EXPECT_FALSE(rewrite.active);
+  EXPECT_EQ(rewrite.magic_rules_generated, 0u);
+  EXPECT_EQ(rewrite.rules_inlined, 0u);
+  EXPECT_EQ(rewrite.program, nullptr);
+}
+
+TEST(MagicSetsTest, AllFreeQueryIsANoOp) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(
+      "TC(X,Y) :- E(X,Y).\n"
+      "TC(X,Z) :- TC(X,Y), E(Y,Z).\n"
+      "Q(X,Y) :- TC(X,Y).\n",
+      symbols);
+  // No call site ever has a bound argument, so the adorned program would
+  // be the original one; the rewrite stays inert.
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, {"Q"}, MagicOnly(), RewriteSemantics::kStratified);
+  EXPECT_FALSE(rewrite.active);
+  EXPECT_EQ(rewrite.magic_rules_generated, 0u);
+}
+
+TEST(MagicSetsTest, NegatedIdbInTheNeededPartBailsOut) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(
+      "T(X,Y) :- E(X,Y).\n"
+      "T(X,Z) :- T(X,Y), E(Y,Z).\n"
+      "Q(X) :- E(c0,X), !T(X,X).\n",
+      symbols);
+  // The needed part negates the derived T: restricting T to the demanded
+  // tuples could flip !T answers, so magic must decline (the documented
+  // bail-out in src/opt/magic.h).
+  for (const RewriteSemantics semantics :
+       {RewriteSemantics::kInflationary, RewriteSemantics::kStratified}) {
+    const ProgramRewriteResult rewrite =
+        RewriteProgramForOutputs(program, {"Q"}, MagicOnly(), semantics);
+    EXPECT_FALSE(rewrite.active);
+    EXPECT_EQ(rewrite.magic_rules_generated, 0u);
+  }
+}
+
+TEST(InlineRulesTest, GoldenSingleUsePredicateIsSubstituted) {
+  auto symbols = std::make_shared<SymbolTable>();
+  Program program = MustProgram(
+      "Mid(X,Y) :- E(X,Y), S(Y).\n"
+      "Out(X) :- Mid(X,Y), T(Y).\n",
+      symbols);
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, {"Out"}, InlineOnly(), RewriteSemantics::kStratified);
+  ASSERT_TRUE(rewrite.active);
+  EXPECT_EQ(rewrite.rules_inlined, 1u);
+  EXPECT_EQ(rewrite.magic_rules_generated, 0u);
+
+  const std::string text = rewrite.program->ToString();
+  EXPECT_NE(text.find("Out(X) :- E(X,Y), S(Y), T(Y)."), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("Mid"), std::string::npos) << text;
+  EXPECT_EQ(rewrite.program->rules().size(), 1u) << text;
+}
+
+TEST(InlineRulesTest, RecursiveAndMultiUsePredicatesAreKept) {
+  auto symbols = std::make_shared<SymbolTable>();
+  // TC is recursive, so inlining it would change the fixpoint; Twice is
+  // used at two sites, so inlining would duplicate work. Both must stay.
+  Program program = MustProgram(
+      "TC(X,Y) :- E(X,Y).\n"
+      "TC(X,Z) :- TC(X,Y), E(Y,Z).\n"
+      "Twice(X) :- S(X).\n"
+      "Q(X) :- TC(X,X), Twice(X).\n"
+      "Q(X) :- Twice(X), E(X,X).\n",
+      symbols);
+  const ProgramRewriteResult rewrite = RewriteProgramForOutputs(
+      program, {"Q"}, InlineOnly(), RewriteSemantics::kStratified);
+  EXPECT_FALSE(rewrite.active);
+  EXPECT_EQ(rewrite.rules_inlined, 0u);
+}
+
+TEST(ProgramRewriteTest, EngineEndToEndMatchesBaselineAndReportsCounters) {
+  const std::string facts = "E(c0,c1). E(c1,c2). E(c2,c3). E(c7,c8).";
+  for (const SemanticsKind kind :
+       {SemanticsKind::kInflationary, SemanticsKind::kStratified}) {
+    Engine baseline;
+    ASSERT_TRUE(baseline.LoadProgramText(kTcPointQuery).ok());
+    ASSERT_TRUE(baseline.LoadDatabaseText(facts).ok());
+    EvalOptions base_opts;
+    base_opts.optimizer_passes = OptimizerPasses::None();
+    const auto reference = baseline.Evaluate(kind, base_opts);
+    ASSERT_TRUE(reference.ok());
+
+    Engine engine;
+    ASSERT_TRUE(engine.LoadProgramText(kTcPointQuery).ok());
+    ASSERT_TRUE(engine.LoadDatabaseText(facts).ok());
+    EvalOptions opts;
+    opts.optimizer_passes = *ParseOptimizerPasses("magic,inline");
+    opts.output_predicates = {"Q"};
+    const auto rewritten = engine.Evaluate(kind, opts);
+    ASSERT_TRUE(rewritten.ok()) << SemanticsKindName(kind);
+
+    EXPECT_EQ(rewritten->stats()->opt_magic_rules_generated, 1u);
+    const Program& program = *engine.program().value();
+    EXPECT_EQ(TuplesOf(*engine.symbols(),
+                       IdbRelation(program, rewritten->state(), "Q")),
+              TuplesOf(*baseline.symbols(),
+                       IdbRelation(program, reference->state(), "Q")))
+        << SemanticsKindName(kind);
   }
 }
 

@@ -1,0 +1,76 @@
+// Seeded random DATALOG¬ program + EDB + query generator, shared by the
+// property tests (tests/semantics_property_test.cc) and the optimizer
+// differential fuzzer (tests/optimizer_fuzz_test.cc).
+//
+// Programs are stratifiable BY CONSTRUCTION: predicates live in layers,
+// positive body atoms reference the same or lower layers (same-layer
+// references create recursion), and negated atoms reference strictly
+// lower layers or the EDB. Rules are range-restricted (head variables
+// and negated-atom variables are bound by positive body atoms), so the
+// grounded pipelines stay cheap. Constants injected into rule bodies
+// and an optional bound-argument query rule give the magic-sets
+// rewrite real binding patterns to propagate.
+
+#ifndef INFLOG_TESTS_PROGRAM_GENERATOR_H_
+#define INFLOG_TESTS_PROGRAM_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace inflog {
+namespace testing {
+
+/// Knobs for GenerateProgram. The defaults suit the differential
+/// fuzzer: small domains so the four semantics stay fast, constants so
+/// magic sets fires, negation on.
+struct GeneratorOptions {
+  /// Number of predicate layers, drawn uniformly from [min, max].
+  int min_layers = 2;
+  int max_layers = 3;
+  /// Allow negated atoms (always into strictly lower layers / the EDB).
+  bool allow_negation = true;
+  /// Probability that an atom argument is a constant instead of a
+  /// variable. 0 keeps the program constant-free.
+  double constant_probability = 0.25;
+  /// Also use the unary EDB predicate S/1 in rule bodies (the binary
+  /// E/2 is always available).
+  bool unary_edb = true;
+  /// Probability of appending a goal-directed query rule
+  /// (Q(Y) :- P(c,Y). or Q(X) :- E(c,X), P(X).) and making Q the
+  /// output — the shape the magic-sets rewrite specializes.
+  double point_query_probability = 0.6;
+  /// Constants c0..c{domain_size-1}; facts_text draws from the same
+  /// pool so bound queries have matches.
+  int domain_size = 6;
+  /// Number of E/2 facts in facts_text.
+  int num_edges = 24;
+};
+
+/// One generated workload.
+struct GeneratedProgram {
+  /// Parsable rule text.
+  std::string program_text;
+  /// Parsable facts over E/2 (and S/1 when enabled), same constant
+  /// pool as the rules.
+  std::string facts_text;
+  /// 1-2 IDB names to declare as outputs (the queried predicates).
+  std::vector<std::string> outputs;
+};
+
+/// Generates one random stratifiable program, its EDB, and its queried
+/// predicates. Equal (rng state, options) yield equal workloads.
+GeneratedProgram GenerateProgram(Rng* rng,
+                                 const GeneratorOptions& options = {});
+
+/// The layered negation-bearing shape the cross-semantics property
+/// suite sweeps (stratified = total well-founded = unique stable):
+/// GenerateProgram specialized to the shared E/2-only EDB, no
+/// constants, negation on — rule text only, facts come from a graph.
+std::string RandomStratifiedProgramText(Rng* rng);
+
+}  // namespace testing
+}  // namespace inflog
+
+#endif  // INFLOG_TESTS_PROGRAM_GENERATOR_H_

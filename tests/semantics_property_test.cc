@@ -18,6 +18,7 @@
 #include "src/eval/wellfounded.h"
 #include "src/fixpoint/analysis.h"
 #include "src/reductions/three_coloring.h"
+#include "tests/program_generator.h"
 #include "tests/test_util.h"
 
 namespace inflog {
@@ -99,37 +100,14 @@ TEST_P(ChromaticCount, PiColFixpointsCountProperColorings) {
 
 INSTANTIATE_TEST_SUITE_P(Graphs, ChromaticCount, ::testing::Range(0, 9));
 
-/// Random stratified program over E/2 with three layers.
-std::string RandomStratifiedProgram(Rng* rng) {
-  // Layer 0: a positive recursion over E; layer 1: negation of layer 0;
-  // layer 2: mixes both. Shapes vary with the seed.
-  std::string text = "A(X,Y) :- E(X,Y).\n";
-  if (rng->Bernoulli(0.7)) text += "A(X,Y) :- E(X,Z), A(Z,Y).\n";
-  switch (rng->Uniform(3)) {
-    case 0:
-      text += "B(X,Y) :- E(Y,X), !A(X,Y).\n";
-      break;
-    case 1:
-      text += "B(X,X) :- E(X,Y), !A(Y,X).\n";
-      break;
-    default:
-      text += "B(X,Y) :- A(X,Y), !A(Y,X).\n";
-      break;
-  }
-  if (rng->Bernoulli(0.5)) {
-    text += "C(X) :- B(X,Y), !B(Y,X).\n";
-  } else {
-    text += "C(X) :- E(X,Y), B(Y,X).\n";
-  }
-  return text;
-}
-
 class StratifiedAgreement : public ::testing::TestWithParam<int> {};
 
 TEST_P(StratifiedAgreement, StratifiedEqualsWfsEqualsUniqueStable) {
   const int seed = GetParam();
   Rng rng(seed * 577 + 23);
-  const std::string text = RandomStratifiedProgram(&rng);
+  // Shared generator (tests/program_generator.h): layered, stratifiable
+  // by construction, E/2-only EDB, no constants.
+  const std::string text = testing::RandomStratifiedProgramText(&rng);
   auto symbols = std::make_shared<SymbolTable>();
   Program p = MustProgram(text, symbols);
   ASSERT_TRUE(AnalyzeProgram(p).stratifiable) << text;
